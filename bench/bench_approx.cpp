@@ -1,0 +1,85 @@
+// A-approx: MinWork is an n-approximation for the makespan (paper §2.2).
+//
+// Measure makespan(MinWork) / makespan(OPT) across workloads, including the
+// adversarial instance that drives the ratio toward n, and compare with the
+// greedy / LPT heuristics. The shape to reproduce: average-case ratios are
+// small, the worst case approaches the n bound, and the bound never breaks.
+#include <cstdio>
+
+#include "exp/table.hpp"
+#include "mech/minwork.hpp"
+#include "mech/opt.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+using dmw::Summary;
+using dmw::exp::Table;
+using namespace dmw::mech;
+
+struct Ratios {
+  Summary minwork, greedy, lpt;
+};
+
+void accumulate(Ratios& ratios, const SchedulingInstance& instance) {
+  const auto opt = optimal_makespan(instance);
+  const double denom = static_cast<double>(opt.makespan);
+  ratios.minwork.add(
+      static_cast<double>(run_minwork(instance).schedule.makespan(instance)) /
+      denom);
+  ratios.greedy.add(static_cast<double>(greedy_makespan(instance).makespan) /
+                    denom);
+  ratios.lpt.add(static_cast<double>(lpt_makespan(instance).makespan) / denom);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== MinWork n-approximation (paper §2.2) ==\n\n");
+  const BidSet bids = BidSet::iota(5);
+  dmw::Xoshiro256ss rng(123);
+  const std::size_t n = 4, m = 8, trials = 40;
+
+  Ratios uniform, machine, task, zipf, bimodal;
+  for (std::size_t t = 0; t < trials; ++t) {
+    accumulate(uniform, make_uniform_instance(n, m, bids, rng));
+    accumulate(machine, make_machine_correlated_instance(n, m, bids, rng));
+    accumulate(task, make_task_correlated_instance(n, m, bids, rng));
+    accumulate(zipf, make_zipf_instance(n, m, bids, rng));
+    accumulate(bimodal, make_bimodal_instance(n, m, bids, 0.25, rng));
+  }
+
+  Table table({"workload", "mechanism", "mean ratio", "max ratio"});
+  const auto emit = [&](const char* name, const Ratios& r) {
+    table.row({name, "MinWork", Table::num(r.minwork.mean()),
+               Table::num(r.minwork.max())});
+    table.row({name, "greedy", Table::num(r.greedy.mean()),
+               Table::num(r.greedy.max())});
+    table.row({name, "LPT", Table::num(r.lpt.mean()),
+               Table::num(r.lpt.max())});
+  };
+  emit("uniform", uniform);
+  emit("machine-corr", machine);
+  emit("task-corr", task);
+  emit("zipf", zipf);
+  emit("bimodal", bimodal);
+  table.print();
+
+  std::printf("\nadversarial worst case (ratio should approach n):\n");
+  Table worst({"n", "m", "MinWork/OPT", "bound n"});
+  bool bound_holds = true;
+  for (std::size_t wn : {2u, 3u, 4u, 5u, 6u}) {
+    const auto instance = make_minwork_worst_case(wn, wn, bids);
+    const auto opt = optimal_makespan(instance);
+    const double ratio =
+        static_cast<double>(run_minwork(instance).schedule.makespan(instance)) /
+        static_cast<double>(opt.makespan);
+    if (ratio > static_cast<double>(wn) + 1e-9) bound_holds = false;
+    worst.row({Table::num(wn), Table::num(wn), Table::num(ratio),
+               Table::num(static_cast<std::uint64_t>(wn))});
+  }
+  worst.print();
+  std::printf("\nn-approximation bound held on every instance: %s\n",
+              bound_holds ? "YES" : "NO");
+  return bound_holds ? 0 : 1;
+}

@@ -1,0 +1,108 @@
+// P-crash: availability under crash faults (paper Open Problem 11).
+//
+// "As long as the number of agents obeying the protocol remains above a
+// threshold, the mechanism is computable. If the number of agents drops
+// below the threshold, the mechanism cannot be resolved."
+// Strict DMW aborts on the first silent agent; crash-tolerant DMW completes
+// with up to c fail-silent agents at any phase boundary and aborts (quorum
+// lost) beyond that. This bench sweeps crash counts and points and prints
+// the completion matrix.
+#include <cstdio>
+
+#include "dmw/protocol.hpp"
+#include "dmw/strategies.hpp"
+#include "exp/table.hpp"
+
+namespace {
+
+using dmw::exp::Table;
+using dmw::num::Group64;
+using dmw::proto::CrashPoint;
+using dmw::proto::PublicParams;
+
+const char* point_name(CrashPoint p) {
+  switch (p) {
+    case CrashPoint::kBeforeBidding:
+      return "before bidding";
+    case CrashPoint::kAfterBidding:
+      return "after bidding";
+    case CrashPoint::kAfterLambdaPsi:
+      return "after lambda/psi";
+    case CrashPoint::kAfterDisclosure:
+      return "after disclosure";
+    case CrashPoint::kAfterReduced:
+      return "after reduced";
+  }
+  return "?";
+}
+
+struct Result {
+  bool completed = false;
+  std::string reason;
+};
+
+Result run(const PublicParams<Group64>& params,
+           const dmw::mech::SchedulingInstance& instance,
+           std::size_t crashes, CrashPoint point) {
+  dmw::proto::HonestStrategy<Group64> honest;
+  dmw::proto::CrashStrategy<Group64> crash(point);
+  std::vector<dmw::proto::Strategy<Group64>*> strategies(params.n(), &honest);
+  for (std::size_t k = 0; k < crashes; ++k)
+    strategies[params.n() - 1 - k] = &crash;
+  dmw::proto::ProtocolRunner<Group64> runner(params, instance, strategies);
+  const auto outcome = runner.run();
+  Result result;
+  result.completed = !outcome.aborted;
+  result.reason = outcome.aborted
+                      ? to_string(outcome.abort_record->reason)
+                      : "completed";
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = 9, m = 2, c = 2;
+  const auto strict =
+      PublicParams<Group64>::make(Group64::test_group(), n, m, c, 61);
+  const auto tolerant = PublicParams<Group64>::make_crash_tolerant(
+      Group64::test_group(), n, m, c, 61);
+
+  std::printf("== Availability under crash faults (Open Problem 11) ==\n");
+  std::printf("n=%zu, c=%zu; strict quorum %zu, tolerant quorum %zu; "
+              "tolerant bid set W={1..%u} (vs strict {1..%u})\n\n",
+              n, c, strict.quorum(), tolerant.quorum(),
+              tolerant.bid_set().max(), strict.bid_set().max());
+
+  dmw::Xoshiro256ss rng(62);
+  const auto strict_instance =
+      dmw::mech::make_uniform_instance(n, m, strict.bid_set(), rng);
+  const auto tolerant_instance =
+      dmw::mech::make_uniform_instance(n, m, tolerant.bid_set(), rng);
+
+  Table table({"crashes", "crash point", "strict protocol",
+               "crash-tolerant protocol"});
+  bool tolerant_ok = true;
+  for (std::size_t crashes : {0u, 1u, 2u, 3u}) {
+    for (CrashPoint point :
+         {CrashPoint::kBeforeBidding, CrashPoint::kAfterBidding,
+          CrashPoint::kAfterLambdaPsi, CrashPoint::kAfterReduced}) {
+      if (crashes == 0 && point != CrashPoint::kBeforeBidding) continue;
+      const auto strict_result =
+          run(strict, strict_instance, crashes, point);
+      const auto tolerant_result =
+          run(tolerant, tolerant_instance, crashes, point);
+      table.row({dmw::exp::Table::num(crashes), point_name(point),
+                 strict_result.reason, tolerant_result.reason});
+      if (crashes <= c && !tolerant_result.completed) tolerant_ok = false;
+      if (crashes > c && tolerant_result.completed) tolerant_ok = false;
+    }
+  }
+  table.print();
+  std::printf("\ncrash-tolerant mode: completes iff crashes <= c: %s\n",
+              tolerant_ok ? "YES" : "NO");
+  std::printf("the availability comes at a price: the tolerant bid set "
+              "shrinks from w_k = n-c-1 to n-2c-1 (resolution must survive "
+              "c lost points).\n");
+  return tolerant_ok ? 0 : 1;
+}

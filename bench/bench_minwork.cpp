@@ -1,0 +1,60 @@
+// Baseline microbench: the centralized MinWork mechanism and the full DMW
+// protocol, head to head on identical instances (google-benchmark, with
+// asymptotic complexity fits over n).
+#include <benchmark/benchmark.h>
+
+#include "dmw/protocol.hpp"
+#include "mech/minwork.hpp"
+
+namespace {
+
+using dmw::Xoshiro256ss;
+using dmw::num::Group64;
+using dmw::proto::PublicParams;
+
+void BM_MinWorkCentralized(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = 4;
+  Xoshiro256ss rng(n);
+  const auto instance = dmw::mech::make_uniform_instance(
+      n, m, dmw::mech::BidSet::iota(3), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dmw::mech::run_minwork(instance));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MinWorkCentralized)->RangeMultiplier(2)->Range(4, 64)->Complexity();
+
+void BM_DmwFullProtocol(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = 2;
+  const auto params =
+      PublicParams<Group64>::make(Group64::test_group(), n, m, 1, n);
+  Xoshiro256ss rng(n + 1);
+  const auto instance =
+      dmw::mech::make_uniform_instance(n, m, params.bid_set(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dmw::proto::run_honest_dmw(params, instance));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DmwFullProtocol)->RangeMultiplier(2)->Range(4, 16)->Complexity();
+
+void BM_DmwPerTask(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 8;
+  const auto params =
+      PublicParams<Group64>::make(Group64::test_group(), n, m, 1, m);
+  Xoshiro256ss rng(m + 1);
+  const auto instance =
+      dmw::mech::make_uniform_instance(n, m, params.bid_set(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dmw::proto::run_honest_dmw(params, instance));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(m));
+}
+BENCHMARK(BM_DmwPerTask)->RangeMultiplier(2)->Range(1, 8)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

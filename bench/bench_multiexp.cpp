@@ -1,0 +1,106 @@
+// Ablation bench: the two implementation choices DESIGN.md calls out.
+//
+// 1. Straus multi-exponentiation vs naive per-term exponentiation in
+//    commitment_eval (the inner loop of every verification identity).
+// 2. Aggregated Eq. (11) verification (Qhat built once per task, then one
+//    commitment_eval per publisher -> O(n^2 log p) per agent) vs the naive
+//    reading of the paper (per-pair Gamma_{i,l} -> O(n^3 log p) per agent).
+//
+// Both matter for Theorem 12's claimed bound; this bench quantifies them.
+#include <benchmark/benchmark.h>
+
+#include "crypto/chacha.hpp"
+#include "dmw/polycommit.hpp"
+
+namespace {
+
+using dmw::num::Group64;
+using dmw::proto::BidPolynomials;
+using dmw::proto::CommitmentVectors;
+using dmw::proto::PublicParams;
+
+struct Fixture {
+  PublicParams<Group64> params;
+  std::vector<CommitmentVectors<Group64>> commitments;  // one per agent
+
+  explicit Fixture(std::size_t n)
+      : params(PublicParams<Group64>::make(Group64::test_group(), n, 1,
+                                           /*max_faulty=*/1, /*seed=*/n)) {
+    auto rng = dmw::crypto::ChaChaRng::from_seed(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto bid = params.bid_set().values()[i % params.bid_set().size()];
+      commitments.push_back(CommitmentVectors<Group64>::commit(
+          params, BidPolynomials<Group64>::sample(params, bid, rng)));
+    }
+  }
+};
+
+void BM_CommitmentEvalStraus(benchmark::State& state) {
+  Fixture fx(static_cast<std::size_t>(state.range(0)));
+  const auto alpha = fx.params.pseudonym(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dmw::proto::commitment_eval<Group64>(
+        fx.params.group(), fx.commitments[0].Q, alpha));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CommitmentEvalStraus)->RangeMultiplier(2)->Range(4, 32)->Complexity();
+
+void BM_CommitmentEvalNaive(benchmark::State& state) {
+  Fixture fx(static_cast<std::size_t>(state.range(0)));
+  const auto alpha = fx.params.pseudonym(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dmw::proto::commitment_eval_naive<Group64>(
+        fx.params.group(), fx.commitments[0].Q, alpha));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CommitmentEvalNaive)->RangeMultiplier(2)->Range(4, 32)->Complexity();
+
+// Eq. (11) verification for all n publishers, aggregated: build Qhat once
+// (n * sigma multiplications), then evaluate it at every pseudonym.
+void BM_Eq11Aggregated(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Fixture fx(n);
+  const Group64& g = fx.params.group();
+  for (auto _ : state) {
+    const std::size_t sigma = fx.params.sigma();
+    std::vector<Group64::Elem> qhat(sigma, g.identity());
+    for (std::size_t k = 0; k < n; ++k)
+      for (std::size_t l = 0; l < sigma; ++l)
+        qhat[l] = g.mul(qhat[l], fx.commitments[k].Q[l]);
+    Group64::Elem sink = g.identity();
+    for (std::size_t i = 0; i < n; ++i) {
+      sink = g.mul(sink, dmw::proto::commitment_eval<Group64>(
+                             g, qhat, fx.params.pseudonym(i)));
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Eq11Aggregated)->RangeMultiplier(2)->Range(4, 32)->Complexity();
+
+// Naive reading: every verifier i recomputes Gamma_{i,l} for every
+// publisher l — n^2 commitment evaluations.
+void BM_Eq11Naive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Fixture fx(n);
+  const Group64& g = fx.params.group();
+  for (auto _ : state) {
+    Group64::Elem sink = g.identity();
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t l = 0; l < n; ++l) {
+        sink = g.mul(sink, dmw::proto::commitment_eval<Group64>(
+                               g, fx.commitments[l].Q,
+                               fx.params.pseudonym(i)));
+      }
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Eq11Naive)->RangeMultiplier(2)->Range(4, 16)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

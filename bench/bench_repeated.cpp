@@ -1,0 +1,70 @@
+// P-repeated: the Remark after Theorem 10, quantified.
+//
+// Left side: unilateral exploitation of the revealed prices never beats
+// truth-telling (Vickrey robustness round by round). Right side: a
+// price-fixing coalition that uses exactly the information DMW discloses
+// (winner + second price) extracts growing rents from the payment
+// infrastructure — the concrete danger of repeated executions.
+#include <cstdio>
+
+#include "exp/repeated.hpp"
+#include "exp/table.hpp"
+
+int main() {
+  using namespace dmw::exp;
+  using dmw::exp::Table;
+
+  const dmw::mech::BidSet bids = dmw::mech::BidSet::iota(5);
+  dmw::Xoshiro256ss rng(2025);
+  const auto instance = dmw::mech::make_uniform_instance(5, 3, bids, rng);
+  const std::size_t rounds = 20;
+
+  std::printf("== Repeated executions of the same job set (Remark, Thm. 10) "
+              "==\n");
+  std::printf("%s", instance.describe().c_str());
+  std::printf("rounds per experiment: %zu\n\n", rounds);
+
+  std::printf("-- unilateral price learning --\n");
+  Table uni({"policy", "agent", "adaptive total U", "truthful total U",
+             "gain"});
+  ShadeToSecondPricePolicy shade;
+  UndercutFirstPricePolicy undercut;
+  bool unilateral_gain = false;
+  for (BiddingPolicy* policy :
+       std::initializer_list<BiddingPolicy*>{&shade, &undercut}) {
+    for (std::size_t agent = 0; agent < instance.n; ++agent) {
+      const auto r = run_repeated(instance, bids, agent, *policy, rounds);
+      const auto gain = r.adaptive_total - r.truthful_total;
+      if (gain > 0) unilateral_gain = true;
+      uni.row({policy->name(), "A" + std::to_string(agent + 1),
+               std::to_string(r.adaptive_total),
+               std::to_string(r.truthful_total), std::to_string(gain)});
+    }
+  }
+  uni.print();
+  std::printf("any unilateral gain: %s (second-price auctions stay "
+              "strategyproof under repetition)\n\n",
+              unilateral_gain ? "YES (!)" : "no");
+
+  std::printf("-- price-fixing coalition (winner + learned price-setter) "
+              "--\n");
+  Table coal({"rounds", "coalition U (collusion)", "coalition U (truthful)",
+              "extracted rent"});
+  dmw::mech::SchedulingInstance fixed{4, 2, {{1, 4}, {3, 2}, {4, 3}, {4, 4}}};
+  for (std::size_t r : {2u, 5u, 10u, 20u, 40u}) {
+    TruthfulPolicy winner_policy;
+    AccomplicePolicy accomplice(0);
+    const auto result = run_repeated(fixed, bids, 0, winner_policy, r,
+                                     /*partner=*/1, &accomplice);
+    coal.row({Table::num(std::uint64_t{r}),
+              std::to_string(result.coalition_adaptive),
+              std::to_string(result.coalition_truthful),
+              std::to_string(result.coalition_adaptive -
+                             result.coalition_truthful)});
+  }
+  coal.print();
+  std::printf("\nconclusion: the disclosures are harmless one-shot; under "
+              "repetition they enable collusion against the payer — exactly "
+              "the paper's caveat.\n");
+  return unilateral_gain ? 1 : 0;
+}

@@ -1,0 +1,77 @@
+// A-reserr: §2.4's false-resolution probability.
+//
+// Paper claim: "If s > d [probing with too few points in our convention:
+// s <= d] and assuming random picking of the polynomial coefficients,
+// the degree resolution mistakenly succeeds with probability 1/p."
+// In the corrected domain accounting the relevant modulus is q (the
+// exponent field), so the predicted false-vanish rate per probe is 1/q.
+// We measure it directly on small-q groups where the event is observable.
+#include <cstdio>
+
+#include "exp/table.hpp"
+#include "poly/lagrange.hpp"
+#include "poly/polynomial.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using dmw::Xoshiro256ss;
+using dmw::num::Group64;
+using Poly = dmw::poly::Polynomial<Group64>;
+
+/// One trial: degree-d polynomial probed with s = d-1 points; returns true
+/// if the interpolation falsely vanishes.
+///
+/// Refinement over the paper: at s = d exactly, the probe value reduces to
+/// a_d * prod(alpha_k) (all lower monomials interpolate exactly), which is
+/// never zero because the leading coefficient is nonzero — so a false
+/// resolution is *impossible* one point short. The 1/q event first appears
+/// at s <= d-1, where uniformly random middle coefficients enter the
+/// interpolation residue. Verified by tests/test_resolution_error.cpp.
+bool trial(const Group64& g, std::size_t degree, Xoshiro256ss& rng) {
+  const Poly p = Poly::random_zero_const(g, degree, rng);
+  const std::size_t probe = degree - 1;
+  std::vector<std::uint64_t> points;
+  while (points.size() < probe) {
+    const auto candidate = g.random_nonzero_scalar(rng);
+    if (std::find(points.begin(), points.end(), candidate) == points.end())
+      points.push_back(candidate);
+  }
+  const auto values = p.eval_all(g, points);
+  return dmw::poly::interpolate_at_zero(g, points, values, probe) == 0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== False degree-resolution probability (paper §2.4) ==\n");
+  std::printf("claimed: 1/q per probe (paper prints 1/p; the interpolation "
+              "lives in Z_q)\n\n");
+
+  dmw::exp::Table table({"q", "trials", "false hits", "measured rate",
+                         "predicted 1/q", "ratio"});
+  Xoshiro256ss group_rng(777);
+  const std::size_t trials = 200000;
+  const std::size_t degree = 6;
+  for (unsigned q_bits : {8u, 10u, 12u, 14u}) {
+    const Group64 g = Group64::generate(q_bits + 6, q_bits, group_rng);
+    Xoshiro256ss rng(q_bits);
+    std::size_t hits = 0;
+    for (std::size_t t = 0; t < trials; ++t) {
+      if (trial(g, degree, rng)) ++hits;
+    }
+    const double measured =
+        static_cast<double>(hits) / static_cast<double>(trials);
+    const double predicted = 1.0 / static_cast<double>(g.q());
+    table.row({dmw::exp::Table::num(g.q()), dmw::exp::Table::num(trials),
+               dmw::exp::Table::num(hits),
+               dmw::exp::Table::num(measured, 6),
+               dmw::exp::Table::num(predicted, 6),
+               dmw::exp::Table::num(predicted > 0 ? measured / predicted : 0,
+                                    2)});
+  }
+  table.print();
+  std::printf("\nat the production group size (q ~ 2^40) the per-probe "
+              "false rate is ~1e-12: never observed in any test run.\n");
+  return 0;
+}

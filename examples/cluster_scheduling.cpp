@@ -1,0 +1,96 @@
+// Cluster scheduling across autonomous organizations.
+//
+// The paper's motivating scenario: Internet-scale resources "controlled and
+// operated by a multitude of self-interested, independent parties" with no
+// administrator every party trusts. Eight organizations contribute one
+// machine each to a shared batch queue of fourteen jobs; speeds differ by
+// organization (machine-correlated workload). They run DMW to decide who
+// executes what and at which (second-price) compensation — no central
+// scheduler involved.
+//
+// The example then evaluates the outcome the way a cluster operator would:
+// makespan vs. the true optimum and the greedy/LPT heuristics, total money
+// transferred, and per-organization profit.
+#include <cstdio>
+
+#include "dmw/protocol.hpp"
+#include "exp/table.hpp"
+#include "mech/minwork.hpp"
+#include "mech/opt.hpp"
+
+int main() {
+  using dmw::exp::Table;
+  using dmw::num::Group64;
+  using dmw::proto::PublicParams;
+
+  const std::size_t orgs = 8, jobs = 14, max_faulty = 2;
+  const auto params = PublicParams<Group64>::make(
+      Group64::test_group(), orgs, jobs, max_faulty, /*seed=*/4711);
+  std::printf("federated cluster: %zu organizations, %zu jobs\n", orgs, jobs);
+  std::printf("%s\n\n", params.describe().c_str());
+
+  // Heterogeneous hardware: each organization has a speed class, so its
+  // quoted times cluster in one band of W.
+  dmw::Xoshiro256ss rng(271828);
+  const auto instance = dmw::mech::make_machine_correlated_instance(
+      orgs, jobs, params.bid_set(), rng);
+
+  const auto outcome = dmw::proto::run_honest_dmw(params, instance);
+  if (outcome.aborted) {
+    std::printf("protocol aborted: %s\n",
+                to_string(outcome.abort_record->reason));
+    return 1;
+  }
+
+  // Per-organization settlement sheet.
+  Table sheet({"org", "jobs won", "busy time", "payment", "profit"});
+  std::uint64_t total_paid = 0;
+  for (std::size_t i = 0; i < orgs; ++i) {
+    const auto mine = outcome.schedule.tasks_for(i);
+    sheet.row({"org-" + std::to_string(i + 1),
+               Table::num(mine.size()),
+               Table::num(outcome.schedule.load(instance, i)),
+               Table::num(outcome.payments[i]),
+               Table::num(static_cast<double>(outcome.utility(instance, i)),
+                          0)});
+    total_paid += outcome.payments[i];
+  }
+  sheet.print();
+  std::printf("\ntotal payments dispensed: %llu\n",
+              static_cast<unsigned long long>(total_paid));
+
+  // Operator's view: scheduling quality of the incentive-compatible
+  // allocation against classical baselines.
+  const auto opt = dmw::mech::optimal_makespan(instance);
+  const auto greedy = dmw::mech::greedy_makespan(instance);
+  const auto lpt = dmw::mech::lpt_makespan(instance);
+  const auto dmw_makespan = outcome.schedule.makespan(instance);
+
+  Table quality({"scheduler", "makespan", "vs OPT", "strategyproof"});
+  quality.row({"DMW (= MinWork)", Table::num(dmw_makespan),
+               Table::num(static_cast<double>(dmw_makespan) /
+                          static_cast<double>(opt.makespan)),
+               "yes (faithful, fully distributed)"});
+  quality.row({"greedy list", Table::num(greedy.makespan),
+               Table::num(static_cast<double>(greedy.makespan) /
+                          static_cast<double>(opt.makespan)),
+               "no (needs true costs)"});
+  quality.row({"LPT", Table::num(lpt.makespan),
+               Table::num(static_cast<double>(lpt.makespan) /
+                          static_cast<double>(opt.makespan)),
+               "no (needs true costs)"});
+  quality.row({"OPT (branch&bound)", Table::num(opt.makespan), "1.00",
+               "no (needs true costs)"});
+  quality.print();
+
+  std::printf("\nprotocol cost: %llu p2p-equivalent messages, %llu bytes, "
+              "%llu rounds\n",
+              static_cast<unsigned long long>(
+                  outcome.traffic.p2p_equivalent_messages),
+              static_cast<unsigned long long>(
+                  outcome.traffic.p2p_equivalent_bytes),
+              static_cast<unsigned long long>(outcome.rounds));
+  std::printf("the price of removing the trusted center: a Theta(n) factor "
+              "in messages (Table 1).\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+#include "crypto/aead.hpp"
+
+#include <cstring>
+
+#include "crypto/chacha.hpp"
+#include "crypto/sha256.hpp"
+#include "support/check.hpp"
+
+namespace dmw::crypto {
+
+namespace {
+
+// Domain-separated subkeys: one for the cipher, one for the MAC.
+struct SubKeys {
+  std::array<std::uint8_t, 32> enc;
+  std::array<std::uint8_t, 32> mac;
+};
+
+SubKeys derive_subkeys(std::span<const std::uint8_t> key32) {
+  DMW_REQUIRE(key32.size() == kAeadKeyBytes);
+  SubKeys keys;
+  const auto enc = hkdf_sha256(key32, {}, "dmw-aead-enc", 32);
+  const auto mac = hkdf_sha256(key32, {}, "dmw-aead-mac", 32);
+  std::memcpy(keys.enc.data(), enc.data(), 32);
+  std::memcpy(keys.mac.data(), mac.data(), 32);
+  return keys;
+}
+
+Digest256 compute_tag(std::span<const std::uint8_t> mac_key,
+                      std::uint64_t nonce,
+                      std::span<const std::uint8_t> ciphertext,
+                      std::span<const std::uint8_t> aad) {
+  // MAC input: len(aad) || aad || nonce || ciphertext (length framing
+  // prevents boundary ambiguity).
+  std::vector<std::uint8_t> input;
+  input.reserve(16 + aad.size() + ciphertext.size());
+  for (int i = 0; i < 8; ++i)
+    input.push_back(static_cast<std::uint8_t>(
+        static_cast<std::uint64_t>(aad.size()) >> (8 * i)));
+  input.insert(input.end(), aad.begin(), aad.end());
+  for (int i = 0; i < 8; ++i)
+    input.push_back(static_cast<std::uint8_t>(nonce >> (8 * i)));
+  input.insert(input.end(), ciphertext.begin(), ciphertext.end());
+  return hmac_sha256(mac_key, input);
+}
+
+bool constant_time_equal(std::span<const std::uint8_t> a,
+                         std::span<const std::uint8_t> b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+}  // namespace
+
+void chacha20_xor(std::span<const std::uint8_t> key32, std::uint64_t nonce,
+                  std::span<std::uint8_t> data) {
+  DMW_REQUIRE(key32.size() == kAeadKeyBytes);
+  std::array<std::uint32_t, 8> key;
+  for (int i = 0; i < 8; ++i) {
+    key[i] = std::uint32_t{key32[4 * i]} |
+             (std::uint32_t{key32[4 * i + 1]} << 8) |
+             (std::uint32_t{key32[4 * i + 2]} << 16) |
+             (std::uint32_t{key32[4 * i + 3]} << 24);
+  }
+  const std::array<std::uint32_t, 3> nonce_words = {
+      static_cast<std::uint32_t>(nonce),
+      static_cast<std::uint32_t>(nonce >> 32), 0x64616561};  // "aead"
+  std::array<std::uint8_t, 64> block;
+  std::uint32_t counter = 0;
+  for (std::size_t offset = 0; offset < data.size(); offset += 64) {
+    chacha20_block(key, counter++, nonce_words, block);
+    const std::size_t chunk = std::min<std::size_t>(64, data.size() - offset);
+    for (std::size_t i = 0; i < chunk; ++i) data[offset + i] ^= block[i];
+  }
+}
+
+std::vector<std::uint8_t> aead_seal(std::span<const std::uint8_t> key32,
+                                    std::uint64_t nonce,
+                                    std::span<const std::uint8_t> plaintext,
+                                    std::span<const std::uint8_t> aad) {
+  const SubKeys keys = derive_subkeys(key32);
+  std::vector<std::uint8_t> out(plaintext.begin(), plaintext.end());
+  chacha20_xor(keys.enc, nonce, out);
+  const Digest256 tag = compute_tag(keys.mac, nonce, out, aad);
+  out.insert(out.end(), tag.begin(), tag.begin() + kAeadTagBytes);
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> aead_open(
+    std::span<const std::uint8_t> key32, std::uint64_t nonce,
+    std::span<const std::uint8_t> sealed, std::span<const std::uint8_t> aad) {
+  if (sealed.size() < kAeadTagBytes) return std::nullopt;
+  const SubKeys keys = derive_subkeys(key32);
+  const auto ciphertext = sealed.first(sealed.size() - kAeadTagBytes);
+  const auto tag = sealed.last(kAeadTagBytes);
+  const Digest256 expected = compute_tag(keys.mac, nonce, ciphertext, aad);
+  if (!constant_time_equal(
+          tag, std::span<const std::uint8_t>(expected.data(), kAeadTagBytes)))
+    return std::nullopt;
+  std::vector<std::uint8_t> out(ciphertext.begin(), ciphertext.end());
+  chacha20_xor(keys.enc, nonce, out);
+  return out;
+}
+
+}  // namespace dmw::crypto

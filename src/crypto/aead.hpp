@@ -1,0 +1,38 @@
+// Authenticated encryption (ChaCha20 + HMAC-SHA256, encrypt-then-MAC).
+//
+// Realizes the paper's "private channels among the agents" assumption:
+// Phase II share bundles travel sealed under pairwise session keys (see
+// crypto/dh.hpp). Not a misuse-resistant AEAD — nonces are deterministic
+// per-message counters managed by the channel layer and must never repeat
+// under one key.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace dmw::crypto {
+
+inline constexpr std::size_t kAeadKeyBytes = 32;
+inline constexpr std::size_t kAeadTagBytes = 16;
+
+/// XOR `data` in place with the ChaCha20 keystream for (key, nonce).
+void chacha20_xor(std::span<const std::uint8_t> key32, std::uint64_t nonce,
+                  std::span<std::uint8_t> data);
+
+/// Seal: returns ciphertext || tag. `aad` is authenticated but not
+/// encrypted (the channel layer binds sender, receiver and message kind).
+std::vector<std::uint8_t> aead_seal(std::span<const std::uint8_t> key32,
+                                    std::uint64_t nonce,
+                                    std::span<const std::uint8_t> plaintext,
+                                    std::span<const std::uint8_t> aad);
+
+/// Open: verifies the tag (constant-time comparison) and decrypts.
+/// Returns nullopt on any authentication failure.
+std::optional<std::vector<std::uint8_t>> aead_open(
+    std::span<const std::uint8_t> key32, std::uint64_t nonce,
+    std::span<const std::uint8_t> sealed, std::span<const std::uint8_t> aad);
+
+}  // namespace dmw::crypto

@@ -1,0 +1,100 @@
+#include "crypto/chacha.hpp"
+
+#include <cstring>
+
+#include "crypto/sha256.hpp"
+
+namespace dmw::crypto {
+
+namespace {
+
+inline std::uint32_t rotl32(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) {
+  a += b; d ^= a; d = rotl32(d, 16);
+  c += d; b ^= c; b = rotl32(b, 12);
+  a += b; d ^= a; d = rotl32(d, 8);
+  c += d; b ^= c; b = rotl32(b, 7);
+}
+
+}  // namespace
+
+void chacha20_block(const std::array<std::uint32_t, 8>& key,
+                    std::uint32_t counter,
+                    const std::array<std::uint32_t, 3>& nonce,
+                    std::array<std::uint8_t, 64>& out) {
+  std::uint32_t state[16] = {
+      0x61707865, 0x3320646e, 0x79622d32, 0x6b206574,  // "expand 32-byte k"
+      key[0], key[1], key[2], key[3],
+      key[4], key[5], key[6], key[7],
+      counter, nonce[0], nonce[1], nonce[2]};
+  std::uint32_t working[16];
+  std::memcpy(working, state, sizeof(state));
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(working[0], working[4], working[8], working[12]);
+    quarter_round(working[1], working[5], working[9], working[13]);
+    quarter_round(working[2], working[6], working[10], working[14]);
+    quarter_round(working[3], working[7], working[11], working[15]);
+    quarter_round(working[0], working[5], working[10], working[15]);
+    quarter_round(working[1], working[6], working[11], working[12]);
+    quarter_round(working[2], working[7], working[8], working[13]);
+    quarter_round(working[3], working[4], working[9], working[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t v = working[i] + state[i];
+    out[4 * i] = static_cast<std::uint8_t>(v);
+    out[4 * i + 1] = static_cast<std::uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<std::uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+}
+
+ChaChaRng::ChaChaRng(std::span<const std::uint8_t> key32,
+                     std::uint64_t stream) {
+  DMW_REQUIRE(key32.size() == 32);
+  for (int i = 0; i < 8; ++i) {
+    key_[i] = std::uint32_t{key32[4 * i]} |
+              (std::uint32_t{key32[4 * i + 1]} << 8) |
+              (std::uint32_t{key32[4 * i + 2]} << 16) |
+              (std::uint32_t{key32[4 * i + 3]} << 24);
+  }
+  nonce_[0] = static_cast<std::uint32_t>(stream);
+  nonce_[1] = static_cast<std::uint32_t>(stream >> 32);
+  nonce_[2] = 0;
+}
+
+ChaChaRng ChaChaRng::from_seed(std::uint64_t seed, std::uint64_t stream) {
+  std::uint8_t seed_bytes[8];
+  for (int i = 0; i < 8; ++i)
+    seed_bytes[i] = static_cast<std::uint8_t>(seed >> (8 * i));
+  const Digest256 key = Sha256::hash(std::span<const std::uint8_t>(seed_bytes));
+  return ChaChaRng(std::span<const std::uint8_t>(key), stream);
+}
+
+void ChaChaRng::refill() {
+  chacha20_block(key_, counter_, nonce_, block_);
+  ++counter_;
+  DMW_CHECK_MSG(counter_ != 0, "ChaChaRng stream exhausted");
+  used_ = 0;
+}
+
+std::uint64_t ChaChaRng::next() {
+  if (used_ + 8 > block_.size()) refill();
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= std::uint64_t{block_[used_ + i]} << (8 * i);
+  used_ += 8;
+  return v;
+}
+
+void ChaChaRng::fill(std::span<std::uint8_t> out) {
+  for (auto& b : out) {
+    if (used_ >= block_.size()) refill();
+    b = block_[used_++];
+  }
+}
+
+}  // namespace dmw::crypto

@@ -1,0 +1,64 @@
+// ChaCha20-based deterministic CSPRNG (from scratch).
+//
+// Agents draw their secret polynomial coefficients from this generator: the
+// statistical-quality xoshiro generator is fine for workloads, but the
+// protocol's hiding properties rest on unpredictable coefficients, so agent
+// secrets come from a keyed stream cipher. Deterministic seeding keeps runs
+// reproducible.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "support/check.hpp"
+
+namespace dmw::crypto {
+
+/// Raw ChaCha20 block function (RFC 8439).
+void chacha20_block(const std::array<std::uint32_t, 8>& key,
+                    std::uint32_t counter,
+                    const std::array<std::uint32_t, 3>& nonce,
+                    std::array<std::uint8_t, 64>& out);
+
+/// Deterministic random generator producing 64-bit words from a 32-byte key.
+/// Satisfies std::uniform_random_bit_generator.
+class ChaChaRng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit ChaChaRng(std::span<const std::uint8_t> key32,
+                     std::uint64_t stream = 0);
+
+  /// Convenience: derive the key from a 64-bit seed via SHA-256.
+  static ChaChaRng from_seed(std::uint64_t seed, std::uint64_t stream = 0);
+
+  std::uint64_t next();
+  std::uint64_t operator()() { return next(); }
+
+  /// Unbiased integer in [0, bound).
+  std::uint64_t below(std::uint64_t bound) {
+    DMW_REQUIRE(bound > 0);
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  void fill(std::span<std::uint8_t> out);
+
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~std::uint64_t{0}; }
+
+ private:
+  void refill();
+
+  std::array<std::uint32_t, 8> key_{};
+  std::array<std::uint32_t, 3> nonce_{};
+  std::uint32_t counter_ = 0;
+  std::array<std::uint8_t, 64> block_{};
+  std::size_t used_ = 64;
+};
+
+}  // namespace dmw::crypto

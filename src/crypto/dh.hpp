@@ -1,0 +1,62 @@
+// Diffie-Hellman key agreement over the DMW Schnorr group.
+//
+// The same published group (p, q, z1) that carries the protocol's
+// commitments also provides pairwise session keys: each agent publishes
+// z1^x_i once; the (i, k) channel key is HKDF(z1^{x_i x_k}) with the agent
+// ids in the info string for directional separation. Shares then travel
+// sealed under crypto/aead.hpp, realizing the paper's "securely transmits
+// the shares" (II.2) without any extra trust assumption.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/aead.hpp"
+#include "crypto/sha256.hpp"
+#include "net/serialize.hpp"
+#include "numeric/group.hpp"
+
+namespace dmw::crypto {
+
+template <dmw::num::GroupBackend G>
+struct DhKeyPair {
+  typename G::Scalar secret;
+  typename G::Elem public_key;
+
+  template <class Rng>
+  static DhKeyPair generate(const G& g, Rng& rng) {
+    DhKeyPair pair;
+    pair.secret = g.random_nonzero_scalar(rng);
+    pair.public_key = g.pow(g.z1(), pair.secret);
+    return pair;
+  }
+};
+
+/// Raw shared group element z1^{x_mine * x_theirs}.
+template <dmw::num::GroupBackend G>
+typename G::Elem dh_shared_element(const G& g,
+                                   const typename G::Scalar& my_secret,
+                                   const typename G::Elem& their_public) {
+  return g.pow(their_public, my_secret);
+}
+
+/// Directional 32-byte channel key for messages sender -> receiver.
+/// Both endpoints derive the same value (the DH element is symmetric; the
+/// direction lives in the HKDF info string).
+template <dmw::num::GroupBackend G>
+std::array<std::uint8_t, kAeadKeyBytes> derive_channel_key(
+    const G& g, const typename G::Elem& shared, std::size_t sender,
+    std::size_t receiver) {
+  net::Writer w;
+  net::write_elem(w, g, shared);
+  const std::string info = "dmw-channel-" + std::to_string(sender) + "-" +
+                           std::to_string(receiver);
+  const auto bytes = hkdf_sha256(w.bytes(), {}, info, kAeadKeyBytes);
+  std::array<std::uint8_t, kAeadKeyBytes> key{};
+  std::copy(bytes.begin(), bytes.end(), key.begin());
+  return key;
+}
+
+}  // namespace dmw::crypto

@@ -1,0 +1,64 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for pseudonym derivation, deterministic per-task seed expansion
+// (via HMAC/HKDF) and the protocol audit transcript.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dmw::crypto {
+
+using Digest256 = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view text) {
+    update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+  }
+  /// Finalize and return the digest; the object must be reset() before reuse.
+  Digest256 finish();
+
+  static Digest256 hash(std::span<const std::uint8_t> data) {
+    Sha256 h;
+    h.update(data);
+    return h.finish();
+  }
+  static Digest256 hash(std::string_view text) {
+    Sha256 h;
+    h.update(text);
+    return h.finish();
+  }
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  bool finished_ = false;
+};
+
+std::string digest_hex(const Digest256& digest);
+
+/// HMAC-SHA256 (RFC 2104).
+Digest256 hmac_sha256(std::span<const std::uint8_t> key,
+                      std::span<const std::uint8_t> message);
+
+/// HKDF-SHA256 expand (RFC 5869); `length` <= 255*32.
+std::vector<std::uint8_t> hkdf_sha256(std::span<const std::uint8_t> ikm,
+                                      std::span<const std::uint8_t> salt,
+                                      std::string_view info,
+                                      std::size_t length);
+
+}  // namespace dmw::crypto

@@ -1,0 +1,66 @@
+// Protocol audit transcript.
+//
+// Every published protocol message is absorbed into a running hash with a
+// domain-separated label. At the end of a run all honest agents must hold the
+// same transcript digest; a mismatch is evidence that some party equivocated
+// on the broadcast channel. (The paper assumes a reliable broadcast; the
+// transcript gives the simulation a cheap way to *check* that assumption.)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "crypto/sha256.hpp"
+
+namespace dmw::crypto {
+
+class Transcript {
+ public:
+  explicit Transcript(std::string_view domain) {
+    append_label("dmw-transcript-v1");
+    append_label(domain);
+  }
+
+  void append_label(std::string_view label) {
+    absorb_length(label.size());
+    hash_.update(label);
+  }
+
+  void append_u64(std::string_view label, std::uint64_t value) {
+    append_label(label);
+    std::uint8_t bytes[8];
+    for (int i = 0; i < 8; ++i)
+      bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
+    absorb_length(8);
+    hash_.update(std::span<const std::uint8_t>(bytes));
+  }
+
+  void append_bytes(std::string_view label,
+                    std::span<const std::uint8_t> bytes) {
+    append_label(label);
+    absorb_length(bytes.size());
+    hash_.update(bytes);
+  }
+
+  /// Finalize a copy of the running state (the transcript stays usable).
+  Digest256 digest() const {
+    Sha256 copy = hash_;
+    return copy.finish();
+  }
+
+  std::string digest_hex() const { return crypto::digest_hex(digest()); }
+
+ private:
+  void absorb_length(std::size_t n) {
+    std::uint8_t bytes[8];
+    for (int i = 0; i < 8; ++i)
+      bytes[i] = static_cast<std::uint8_t>(std::uint64_t{n} >> (8 * i));
+    hash_.update(std::span<const std::uint8_t>(bytes));
+  }
+
+  Sha256 hash_;
+};
+
+}  // namespace dmw::crypto

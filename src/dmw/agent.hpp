@@ -1,0 +1,634 @@
+// The DMW agent state machine (paper §3, Phases II-IV).
+//
+// Each agent owns its secrets (bid polynomials), verifies everything it can
+// observe, and aborts the protocol the moment a check fails — the behaviour
+// the faithfulness proof (Thms. 4, 8) relies on. The runner drives agents
+// through the phase steps in lockstep, mirroring the implicit
+// synchronization point II.4; all communication flows through SimNetwork so
+// traffic statistics are real.
+//
+// Efficiency note (Thm. 12): verifying Eq. (11) for every publisher naively
+// costs O(n^3 log p) per task because Gamma_{i,l} depends on both the
+// verifier's pseudonym and the publisher. We instead aggregate the
+// commitment vectors once per task — Qhat_l = prod_l' Q_{l',l} — after which
+// prod_l Gamma_{i,l} == commitment_eval(Qhat, alpha_i), restoring the
+// claimed O(m n^2 log p) bound. The same aggregate serves Eq. (13) via Rhat.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "crypto/aead.hpp"
+#include "crypto/chacha.hpp"
+#include "crypto/dh.hpp"
+#include "crypto/transcript.hpp"
+#include "dmw/messages.hpp"
+#include "dmw/params.hpp"
+#include "dmw/polycommit.hpp"
+#include "dmw/strategy.hpp"
+#include "net/network.hpp"
+#include "poly/lagrange.hpp"
+#include "support/logging.hpp"
+
+namespace dmw::proto {
+
+/// Resolved auction result for one task, as seen by one agent.
+template <dmw::num::GroupBackend G>
+struct TaskView {
+  // Phase II inputs.
+  std::optional<BidPolynomials<G>> secrets;
+  std::vector<std::optional<ShareBundle<G>>> shares_in;  // by sender
+  std::vector<std::optional<CommitmentVectors<G>>> commitments;  // by agent
+  /// Participation mask: false for agents that posted no commitments and are
+  /// treated as crashed (crash-tolerant mode only; everyone is alive in the
+  /// strict protocol). All honest agents agree on this mask because it is a
+  /// function of the shared bulletin.
+  std::vector<bool> alive;
+
+  // Aggregated commitment vectors (see header comment).
+  std::vector<typename G::Elem> qhat, rhat;
+
+  // Phase III state.
+  std::vector<std::optional<typename G::Elem>> lambda, psi;       // by agent
+  std::vector<std::optional<std::vector<typename G::Scalar>>> disclosures;
+  std::vector<std::optional<typename G::Elem>> lambda_red, psi_red;
+
+  std::optional<mech::Cost> first_price;
+  std::optional<std::size_t> winner;
+  std::optional<mech::Cost> second_price;
+};
+
+template <dmw::num::GroupBackend G>
+class DmwAgent {
+ public:
+  DmwAgent(const PublicParams<G>& params, std::size_t id,
+           std::vector<mech::Cost> true_costs, Strategy<G>& strategy,
+           std::uint64_t secret_seed, bool encrypt_channels = true)
+      : params_(params),
+        id_(id),
+        true_costs_(std::move(true_costs)),
+        strategy_(strategy),
+        rng_(crypto::ChaChaRng::from_seed(secret_seed, id)),
+        transcript_("dmw-session"),
+        tasks_(params.m()),
+        encrypt_(encrypt_channels),
+        dh_(crypto::DhKeyPair<G>::generate(params.group(), rng_)),
+        peer_keys_(params.n()) {
+    DMW_REQUIRE(id_ < params_.n());
+    DMW_REQUIRE(true_costs_.size() == params_.m());
+    for (auto& view : tasks_) {
+      view.shares_in.assign(params_.n(), std::nullopt);
+      view.commitments.assign(params_.n(), std::nullopt);
+      view.alive.assign(params_.n(), true);
+      view.lambda.assign(params_.n(), std::nullopt);
+      view.psi.assign(params_.n(), std::nullopt);
+      view.disclosures.assign(params_.n(), std::nullopt);
+      view.lambda_red.assign(params_.n(), std::nullopt);
+      view.psi_red.assign(params_.n(), std::nullopt);
+    }
+  }
+
+  std::size_t id() const { return id_; }
+  bool aborted() const { return abort_.has_value(); }
+  /// True when a fail-silent strategy stopped this agent without an abort.
+  bool halted() const { return halted_; }
+  /// No further participation: either aborted (with broadcast) or halted.
+  bool stopped() const { return aborted() || halted_; }
+  std::optional<AbortMsg> abort_record() const { return abort_; }
+  const std::vector<mech::Cost>& bids() const { return bids_; }
+  const crypto::Transcript& transcript() const { return transcript_; }
+
+  /// Resolved outcome views (valid only after the corresponding step).
+  const TaskView<G>& task_view(std::size_t task) const {
+    DMW_REQUIRE(task < tasks_.size());
+    return tasks_[task];
+  }
+
+  // ---- Channel setup -------------------------------------------------------
+
+  /// Publish the Diffie-Hellman public key that peers use to seal the
+  /// private-channel traffic ("securely transmits the shares", II.2).
+  void phase0_publish_key(net::SimNetwork& net) {
+    if (stopped() || !encrypt_) return;
+    typename G::Elem public_key = dh_.public_key;
+    if (!strategy_.edit_key_exchange(public_key)) return;  // withheld
+    KeyExchangeMsg<G> msg{public_key};
+    net.publish(static_cast<net::AgentId>(id_),
+                static_cast<std::uint32_t>(MsgKind::kKeyExchange),
+                msg.encode(params_.group()));
+  }
+
+  // ---- Phase II ------------------------------------------------------------
+
+  /// II.1-II.3: choose bids, sample polynomials, distribute shares over the
+  /// private channels and publish commitments.
+  void phase2_bid_and_send(net::SimNetwork& net) {
+    if (stopped()) return;
+    absorb_bulletin(net);  // peers' DH keys
+    bids_ = strategy_.choose_bids(true_costs_, params_.bid_set());
+    DMW_CHECK_MSG(bids_.size() == params_.m(), "strategy returned bad bids");
+    const G& g = params_.group();
+
+    for (std::size_t j = 0; j < params_.m(); ++j) {
+      auto& view = tasks_[j];
+      view.secrets = BidPolynomials<G>::sample(params_, bids_[j], rng_);
+
+      for (std::size_t k = 0; k < params_.n(); ++k) {
+        ShareBundle<G> bundle = ShareBundle<G>::from_polys(
+            g, *view.secrets, params_.pseudonym(k));
+        if (k == id_) {
+          view.shares_in[id_] = bundle;  // my own shares, kept locally
+          continue;
+        }
+        if (!strategy_.edit_share(j, k, bundle)) continue;  // withheld
+        SharesMsg<G> msg{static_cast<std::uint32_t>(j), bundle};
+        std::vector<std::uint8_t> payload = msg.encode(g);
+        if (encrypt_) {
+          // No published key means the peer cannot open anything we send;
+          // skip (a silent peer is handled by the crash/abort logic).
+          if (!peer_keys_[k]) continue;
+          // Wire format: cleartext 4-byte nonce (the task id, one use per
+          // directional key) followed by ciphertext||tag.
+          const auto sealed =
+              crypto::aead_seal(channel_key(k, /*outbound=*/true),
+                                /*nonce=*/j, payload, channel_aad(id_, k));
+          net::Writer wrapper;
+          wrapper.u32(static_cast<std::uint32_t>(j));
+          wrapper.raw(sealed);
+          payload = wrapper.take();
+        }
+        net.send(static_cast<net::AgentId>(id_), static_cast<net::AgentId>(k),
+                 static_cast<std::uint32_t>(MsgKind::kShares),
+                 std::move(payload));
+      }
+
+      CommitmentVectors<G> commitments =
+          CommitmentVectors<G>::commit(params_, *view.secrets);
+      if (!strategy_.edit_commitments(j, commitments)) continue;  // withheld
+      CommitmentsMsg<G> msg{static_cast<std::uint32_t>(j),
+                            std::move(commitments)};
+      net.publish(static_cast<net::AgentId>(id_),
+                  static_cast<std::uint32_t>(MsgKind::kCommitments),
+                  msg.encode(g));
+    }
+  }
+
+  // ---- Phase III -----------------------------------------------------------
+
+  /// III.1: collect shares + commitments, verify Eqs. (7)-(9), and build
+  /// the Qhat/Rhat aggregates.
+  void phase3_collect_and_verify(net::SimNetwork& net) {
+    if (stopped()) return;
+    drain_unicasts(net);
+    absorb_bulletin(net);
+    const G& g = params_.group();
+    const auto& alpha_i = params_.pseudonym(id_);
+
+    for (std::size_t j = 0; j < params_.m(); ++j) {
+      auto& view = tasks_[j];
+      std::size_t alive_count = 0;
+      for (std::size_t k = 0; k < params_.n(); ++k) {
+        if (!view.commitments[k]) {
+          // Crash-tolerant mode: an agent that published nothing is treated
+          // as crashed and excluded from the auction (Open Problem 11); the
+          // strict protocol aborts. An agent that published commitments but
+          // withheld shares is an equivocator, not a crash — abort in both
+          // modes.
+          if (params_.crash_tolerant()) {
+            view.alive[k] = false;
+            view.shares_in[k].reset();  // ignore any stray shares it sent
+            continue;
+          }
+          return abort(net, j, AbortReason::kMissingCommitments);
+        }
+        ++alive_count;
+        if (!view.shares_in[k]) return abort(net, j, AbortReason::kMissingShares);
+        const auto& commitments = *view.commitments[k];
+        if (!commitments.well_formed(params_))
+          return abort(net, j, AbortReason::kBadShareCommitment);
+        const auto& shares = *view.shares_in[k];
+        if (!verify_product_commitment(g, shares, commitments.O, alpha_i))
+          return abort(net, j, AbortReason::kBadShareCommitment);
+        const auto gamma = gamma_value<G>(g, commitments.Q, alpha_i);
+        if (!verify_eh_commitment(g, shares, gamma))
+          return abort(net, j, AbortReason::kBadShareCommitment);
+        const auto phi = phi_value<G>(g, commitments.R, alpha_i);
+        if (!verify_fh_commitment(g, shares, phi))
+          return abort(net, j, AbortReason::kBadShareCommitment);
+      }
+      if (alive_count < params_.quorum() || alive_count < 2)
+        return abort(net, j, AbortReason::kQuorumLost);
+      // Aggregate commitment vectors for Eqs. (11) and (13), over the
+      // participating agents only.
+      const std::size_t sigma = params_.sigma();
+      view.qhat.assign(sigma, g.identity());
+      view.rhat.assign(sigma, g.identity());
+      for (std::size_t k = 0; k < params_.n(); ++k) {
+        if (!view.alive[k]) continue;
+        const auto& commitments = *view.commitments[k];
+        for (std::size_t l = 0; l < sigma; ++l) {
+          view.qhat[l] = g.mul(view.qhat[l], commitments.Q[l]);
+          view.rhat[l] = g.mul(view.rhat[l], commitments.R[l]);
+        }
+      }
+    }
+  }
+
+  /// III.2 (Eq. 10): publish Lambda_i = z1^{E(alpha_i)}, Psi_i = z2^{H(alpha_i)}.
+  void phase3_publish_lambda_psi(net::SimNetwork& net) {
+    if (stopped()) return;
+    const G& g = params_.group();
+    for (std::size_t j = 0; j < params_.m(); ++j) {
+      auto& view = tasks_[j];
+      typename G::Scalar e_sum = g.szero();
+      typename G::Scalar h_sum = g.szero();
+      for (std::size_t k = 0; k < params_.n(); ++k) {
+        if (!view.alive[k]) continue;
+        e_sum = g.sadd(e_sum, view.shares_in[k]->e);
+        h_sum = g.sadd(h_sum, view.shares_in[k]->h);
+      }
+      typename G::Elem lambda = g.pow(g.z1(), e_sum);
+      typename G::Elem psi = g.pow(g.z2(), h_sum);
+      if (!strategy_.edit_lambda_psi(j, lambda, psi)) continue;  // withheld
+      LambdaPsiMsg<G> msg{static_cast<std::uint32_t>(j), lambda, psi};
+      net.publish(static_cast<net::AgentId>(id_),
+                  static_cast<std::uint32_t>(MsgKind::kLambdaPsi),
+                  msg.encode(g));
+    }
+  }
+
+  /// III.2 verification (Eq. 11) + first-price resolution (Eq. 12).
+  void phase3_verify_and_resolve_first_price(net::SimNetwork& net) {
+    if (stopped()) return;
+    absorb_bulletin(net);
+    const G& g = params_.group();
+    for (std::size_t j = 0; j < params_.m(); ++j) {
+      auto& view = tasks_[j];
+      std::vector<typename G::Scalar> points;
+      std::vector<typename G::Elem> lambdas;
+      points.reserve(params_.n());
+      lambdas.reserve(params_.n());
+      for (std::size_t k = 0; k < params_.n(); ++k) {
+        if (!view.alive[k]) continue;  // crashed agents publish nothing
+        if (!view.lambda[k] || !view.psi[k]) {
+          // A participant that fell silent after Phase II: tolerated as a
+          // lost resolution point in crash-tolerant mode, fatal otherwise.
+          if (params_.crash_tolerant()) continue;
+          return abort(net, j, AbortReason::kMissingLambdaPsi);
+        }
+        // Eq. (11): prod_l Gamma_{k,l} == Lambda_k * Psi_k, via the Qhat
+        // aggregate evaluated at alpha_k.
+        const auto expected =
+            commitment_eval<G>(g, view.qhat, params_.pseudonym(k));
+        if (g.mul(*view.lambda[k], *view.psi[k]) != expected)
+          return abort(net, j, AbortReason::kBadLambdaPsi);
+        points.push_back(params_.pseudonym(k));
+        lambdas.push_back(*view.lambda[k]);
+      }
+      // Eq. (12): least s with z1^{E^{(s)}(0)} == 1; degree = s - 1.
+      const auto resolution =
+          poly::resolve_degree_in_exponent(g, points, lambdas);
+      if (!resolution.degree || !params_.degree_is_valid_bid(*resolution.degree))
+        return abort(net, j, AbortReason::kFirstPriceUnresolved);
+      view.first_price = params_.bid_for_degree(*resolution.degree);
+    }
+  }
+
+  /// III.3 disclosure: the first y*+1 agents publish the f-shares they hold.
+  void phase3_disclose(net::SimNetwork& net) {
+    if (stopped()) return;
+    const G& g = params_.group();
+    for (std::size_t j = 0; j < params_.m(); ++j) {
+      auto& view = tasks_[j];
+      // Prescribed disclosers: the first y*+1 participants in pseudonym
+      // order; crash-tolerant runs add c backups so up to c silent
+      // disclosers cannot deadlock winner identification (cf. Thm. 8's
+      // "any of the other properly functioning agents can transmit").
+      const std::size_t needed = *view.first_price + 1 +
+                                 (params_.crash_tolerant() ? params_.c() : 0);
+      bool should_disclose = false;
+      std::size_t alive_rank = 0;
+      for (std::size_t k = 0; k <= id_; ++k) {
+        if (!view.alive[k]) continue;
+        ++alive_rank;
+        if (k == id_) should_disclose = alive_rank <= needed;
+      }
+      std::vector<typename G::Scalar> f_shares;
+      f_shares.reserve(params_.n());
+      for (std::size_t k = 0; k < params_.n(); ++k)
+        f_shares.push_back(view.alive[k] ? view.shares_in[k]->f : g.szero());
+      if (!strategy_.edit_disclosure(j, should_disclose, f_shares)) continue;
+      WinnerSharesMsg<G> msg{static_cast<std::uint32_t>(j),
+                             std::move(f_shares)};
+      net.publish(static_cast<net::AgentId>(id_),
+                  static_cast<std::uint32_t>(MsgKind::kWinnerShares),
+                  msg.encode(g));
+    }
+  }
+
+  /// III.3 winner identification: verify disclosures (Eq. 13), interpolate
+  /// every f at the disclosed points (Eq. 14), pick the winner (smallest
+  /// pseudonym on ties).
+  void phase3_identify_winner(net::SimNetwork& net) {
+    if (stopped()) return;
+    absorb_bulletin(net);
+    const G& g = params_.group();
+    for (std::size_t j = 0; j < params_.m(); ++j) {
+      auto& view = tasks_[j];
+      const std::size_t needed = *view.first_price + 1;
+
+      // Validate each disclosure with Eq. (13) and keep the valid ones.
+      std::vector<std::size_t> valid_disclosers;
+      for (std::size_t k = 0; k < params_.n(); ++k) {
+        if (!view.alive[k] || !view.disclosures[k]) continue;
+        const auto& disclosed = *view.disclosures[k];
+        if (disclosed.size() != params_.n()) {
+          view.disclosures[k].reset();
+          continue;
+        }
+        if (!view.psi[k]) continue;
+        typename G::Scalar f_sum = g.szero();
+        for (std::size_t l = 0; l < params_.n(); ++l) {
+          if (view.alive[l]) f_sum = g.sadd(f_sum, disclosed[l]);
+        }
+        const auto lhs = g.mul(g.pow(g.z1(), f_sum), *view.psi[k]);
+        const auto rhs =
+            commitment_eval<G>(g, view.rhat, params_.pseudonym(k));
+        if (lhs != rhs) return abort(net, j, AbortReason::kBadDisclosure);
+        valid_disclosers.push_back(k);
+        if (valid_disclosers.size() == needed) break;
+      }
+      if (valid_disclosers.size() < needed)
+        return abort(net, j, AbortReason::kMissingDisclosure);
+
+      // Interpolate each agent's f over the disclosed points; the winner's
+      // f (degree y*) vanishes at zero with y*+1 points (Eq. 14).
+      std::vector<typename G::Scalar> points;
+      points.reserve(needed);
+      for (std::size_t k : valid_disclosers)
+        points.push_back(params_.pseudonym(k));
+      std::optional<std::size_t> winner;
+      for (std::size_t candidate = 0; candidate < params_.n(); ++candidate) {
+        if (!view.alive[candidate]) continue;
+        std::vector<typename G::Scalar> values;
+        values.reserve(needed);
+        for (std::size_t k : valid_disclosers)
+          values.push_back((*view.disclosures[k])[candidate]);
+        const auto at_zero =
+            poly::interpolate_at_zero(g, points, values, needed);
+        if (at_zero == g.szero()) {
+          winner = candidate;  // smallest pseudonym first: loop order
+          break;
+        }
+      }
+      if (!winner) return abort(net, j, AbortReason::kNoWinner);
+      view.winner = winner;
+    }
+  }
+
+  /// III.4 (Eq. 15): publish the winner-excluded Lambda/Psi.
+  void phase3_publish_reduced(net::SimNetwork& net) {
+    if (stopped()) return;
+    const G& g = params_.group();
+    for (std::size_t j = 0; j < params_.m(); ++j) {
+      auto& view = tasks_[j];
+      const std::size_t w = *view.winner;
+      // An agent that never published its own Lambda/Psi (e.g. a deviant
+      // strategy suppressed them in a crash-tolerant run) has nothing to
+      // reduce.
+      if (!view.lambda[id_] || !view.psi[id_]) continue;
+      // Lambda_i / z1^{e_*(alpha_i)}, Psi_i / z2^{h_*(alpha_i)}: I know the
+      // winner's shares at my own pseudonym.
+      typename G::Elem lambda = g.mul(
+          *view.lambda[id_], g.inv(g.pow(g.z1(), view.shares_in[w]->e)));
+      typename G::Elem psi = g.mul(
+          *view.psi[id_], g.inv(g.pow(g.z2(), view.shares_in[w]->h)));
+      if (!strategy_.edit_reduced_lambda_psi(j, lambda, psi)) continue;
+      LambdaPsiMsg<G> msg{static_cast<std::uint32_t>(j), lambda, psi};
+      net.publish(static_cast<net::AgentId>(id_),
+                  static_cast<std::uint32_t>(MsgKind::kReducedLambdaPsi),
+                  msg.encode(g));
+    }
+  }
+
+  /// III.4 verification + second-price resolution.
+  void phase3_resolve_second_price(net::SimNetwork& net) {
+    if (stopped()) return;
+    absorb_bulletin(net);
+    const G& g = params_.group();
+    for (std::size_t j = 0; j < params_.m(); ++j) {
+      auto& view = tasks_[j];
+      const std::size_t w = *view.winner;
+      const auto& winner_commits = *view.commitments[w];
+      std::vector<typename G::Scalar> points;
+      std::vector<typename G::Elem> lambdas;
+      points.reserve(params_.n());
+      lambdas.reserve(params_.n());
+      for (std::size_t k = 0; k < params_.n(); ++k) {
+        if (!view.alive[k]) continue;
+        if (!view.lambda_red[k] || !view.psi_red[k]) {
+          if (params_.crash_tolerant()) continue;  // lost point, not fatal
+          return abort(net, j, AbortReason::kBadReducedLambdaPsi);
+        }
+        // Eq. (11) excluding the winner: divide the winner's Q out of the
+        // aggregate before evaluating at alpha_k.
+        const auto& alpha_k = params_.pseudonym(k);
+        const auto full = commitment_eval<G>(g, view.qhat, alpha_k);
+        const auto winner_part =
+            commitment_eval<G>(g, winner_commits.Q, alpha_k);
+        const auto expected = g.mul(full, g.inv(winner_part));
+        if (g.mul(*view.lambda_red[k], *view.psi_red[k]) != expected)
+          return abort(net, j, AbortReason::kBadReducedLambdaPsi);
+        points.push_back(alpha_k);
+        lambdas.push_back(*view.lambda_red[k]);
+      }
+      const auto resolution =
+          poly::resolve_degree_in_exponent(g, points, lambdas);
+      if (!resolution.degree || !params_.degree_is_valid_bid(*resolution.degree))
+        return abort(net, j, AbortReason::kSecondPriceUnresolved);
+      view.second_price = params_.bid_for_degree(*resolution.degree);
+    }
+  }
+
+  // ---- Phase IV ------------------------------------------------------------
+
+  /// IV.1: compute the full payment vector and submit it to the payment
+  /// infrastructure (modeled as a published claim).
+  void phase4_submit_payment_claim(net::SimNetwork& net) {
+    if (stopped()) return;
+    std::vector<std::uint64_t> payments(params_.n(), 0);
+    for (std::size_t j = 0; j < params_.m(); ++j) {
+      const auto& view = tasks_[j];
+      payments[*view.winner] += *view.second_price;
+    }
+    if (!strategy_.edit_payment_claim(payments)) return;  // withheld
+    PaymentClaimMsg msg{std::move(payments)};
+    net.publish(static_cast<net::AgentId>(id_),
+                static_cast<std::uint32_t>(MsgKind::kPaymentClaim),
+                msg.encode());
+  }
+
+ private:
+  void abort(net::SimNetwork& net, std::size_t task, AbortReason reason) {
+    if (aborted() || halted_) return;
+    if (strategy_.fail_silent()) {
+      // A crashed node cannot broadcast complaints: halt quietly.
+      halted_ = true;
+      return;
+    }
+    abort_ = AbortMsg{static_cast<std::uint32_t>(task), reason};
+    DMW_DEBUG() << "agent " << id_ << " aborts on task " << task << ": "
+                << to_string(reason);
+    net.publish(static_cast<net::AgentId>(id_),
+                static_cast<std::uint32_t>(MsgKind::kAbort), abort_->encode());
+  }
+
+  void drain_unicasts(net::SimNetwork& net) {
+    const G& g = params_.group();
+    for (auto& env : net.receive(static_cast<net::AgentId>(id_))) {
+      if (env.kind != static_cast<std::uint32_t>(MsgKind::kShares)) continue;
+      try {
+        std::vector<std::uint8_t> plaintext = std::move(env.payload);
+        if (encrypt_) {
+          if (!peer_keys_[env.from])
+            throw net::DecodeError("sealed message from key-less sender");
+          net::Reader wrapper(plaintext);
+          const std::uint32_t nonce = wrapper.u32();
+          std::vector<std::uint8_t> sealed(
+              plaintext.begin() + 4, plaintext.end());
+          auto opened = crypto::aead_open(
+              channel_key(env.from, /*outbound=*/false), nonce, sealed,
+              channel_aad(env.from, id_));
+          if (!opened) throw net::DecodeError("AEAD authentication failed");
+          plaintext = std::move(*opened);
+        }
+        auto msg = SharesMsg<G>::decode(g, plaintext);
+        if (msg.task >= params_.m()) throw net::DecodeError("bad task id");
+        if (!g.valid_scalar(msg.shares.e) || !g.valid_scalar(msg.shares.f) ||
+            !g.valid_scalar(msg.shares.g) || !g.valid_scalar(msg.shares.h))
+          throw net::DecodeError("share out of range");
+        tasks_[msg.task].shares_in[env.from] = msg.shares;
+      } catch (const net::DecodeError&) {
+        return abort(net, 0, AbortReason::kMalformedMessage);
+      }
+    }
+  }
+
+  void absorb_bulletin(net::SimNetwork& net) {
+    const G& g = params_.group();
+    for (const auto& posting : net.read_bulletin(bulletin_cursor_)) {
+      transcript_.append_u64("from", posting.from);
+      transcript_.append_u64("kind", posting.kind);
+      transcript_.append_bytes("payload", posting.payload);
+      try {
+        switch (static_cast<MsgKind>(posting.kind)) {
+          case MsgKind::kKeyExchange: {
+            auto msg = KeyExchangeMsg<G>::decode(g, posting.payload);
+            if (!g.valid_elem(msg.public_key))
+              throw net::DecodeError("DH key out of range");
+            if (posting.from != id_) peer_keys_[posting.from] = msg.public_key;
+            break;
+          }
+          case MsgKind::kCommitments: {
+            auto msg = CommitmentsMsg<G>::decode(g, posting.payload);
+            if (msg.task >= params_.m()) throw net::DecodeError("task");
+            for (const auto* vec : {&msg.commitments.O, &msg.commitments.Q,
+                                    &msg.commitments.R})
+              for (const auto& e : *vec)
+                if (!g.valid_elem(e))
+                  throw net::DecodeError("commitment out of range");
+            tasks_[msg.task].commitments[posting.from] =
+                std::move(msg.commitments);
+            break;
+          }
+          case MsgKind::kLambdaPsi: {
+            auto msg = LambdaPsiMsg<G>::decode(g, posting.payload);
+            if (msg.task >= params_.m()) throw net::DecodeError("task");
+            if (!g.valid_elem(msg.lambda) || !g.valid_elem(msg.psi))
+              throw net::DecodeError("lambda/psi out of range");
+            tasks_[msg.task].lambda[posting.from] = msg.lambda;
+            tasks_[msg.task].psi[posting.from] = msg.psi;
+            break;
+          }
+          case MsgKind::kWinnerShares: {
+            auto msg = WinnerSharesMsg<G>::decode(g, posting.payload);
+            if (msg.task >= params_.m()) throw net::DecodeError("task");
+            for (const auto& s : msg.f_shares)
+              if (!g.valid_scalar(s))
+                throw net::DecodeError("f-share out of range");
+            tasks_[msg.task].disclosures[posting.from] =
+                std::move(msg.f_shares);
+            break;
+          }
+          case MsgKind::kReducedLambdaPsi: {
+            auto msg = LambdaPsiMsg<G>::decode(g, posting.payload);
+            if (msg.task >= params_.m()) throw net::DecodeError("task");
+            if (!g.valid_elem(msg.lambda) || !g.valid_elem(msg.psi))
+              throw net::DecodeError("lambda/psi out of range");
+            tasks_[msg.task].lambda_red[posting.from] = msg.lambda;
+            tasks_[msg.task].psi_red[posting.from] = msg.psi;
+            break;
+          }
+          default:
+            break;  // abort / payment messages are handled by the runner
+        }
+      } catch (const net::DecodeError&) {
+        return abort(net, 0, AbortReason::kMalformedMessage);
+      }
+    }
+  }
+
+  /// Directional AEAD key for traffic with peer k (outbound: id_ -> k).
+  /// Requires peer_keys_[k]; results are memoized per direction.
+  std::array<std::uint8_t, crypto::kAeadKeyBytes> channel_key(std::size_t k,
+                                                              bool outbound) {
+    DMW_REQUIRE(peer_keys_[k].has_value());
+    auto& cache = outbound ? send_keys_ : recv_keys_;
+    if (cache.empty()) {
+      cache.resize(params_.n());
+      auto& other = outbound ? recv_keys_ : send_keys_;
+      if (other.empty()) other.resize(params_.n());
+    }
+    if (!cache[k]) {
+      const auto shared = crypto::dh_shared_element(
+          params_.group(), dh_.secret, *peer_keys_[k]);
+      cache[k] = outbound ? crypto::derive_channel_key(params_.group(),
+                                                       shared, id_, k)
+                          : crypto::derive_channel_key(params_.group(),
+                                                       shared, k, id_);
+    }
+    return *cache[k];
+  }
+
+  /// AAD binding (sender, receiver, kind) into the seal.
+  static std::vector<std::uint8_t> channel_aad(std::size_t sender,
+                                               std::size_t receiver) {
+    net::Writer w;
+    w.u32(static_cast<std::uint32_t>(sender));
+    w.u32(static_cast<std::uint32_t>(receiver));
+    w.u32(static_cast<std::uint32_t>(MsgKind::kShares));
+    return w.take();
+  }
+
+  const PublicParams<G>& params_;
+  std::size_t id_;
+  std::vector<mech::Cost> true_costs_;
+  Strategy<G>& strategy_;
+  crypto::ChaChaRng rng_;
+  crypto::Transcript transcript_;
+  std::vector<TaskView<G>> tasks_;
+  std::vector<mech::Cost> bids_;
+  std::size_t bulletin_cursor_ = 0;
+  std::optional<AbortMsg> abort_;
+  bool halted_ = false;
+
+  // Private-channel state.
+  bool encrypt_;
+  crypto::DhKeyPair<G> dh_;
+  std::vector<std::optional<typename G::Elem>> peer_keys_;
+  std::vector<std::optional<std::array<std::uint8_t, crypto::kAeadKeyBytes>>>
+      send_keys_, recv_keys_;
+};
+
+}  // namespace dmw::proto

@@ -1,0 +1,63 @@
+#include "dmw/messages.hpp"
+
+#include "dmw/protocol.hpp"
+
+namespace dmw::proto {
+
+const char* to_string(AbortReason reason) {
+  switch (reason) {
+    case AbortReason::kNone:
+      return "none";
+    case AbortReason::kMalformedMessage:
+      return "malformed-message";
+    case AbortReason::kMissingShares:
+      return "missing-shares";
+    case AbortReason::kMissingCommitments:
+      return "missing-commitments";
+    case AbortReason::kBadShareCommitment:
+      return "bad-share-commitment";
+    case AbortReason::kMissingLambdaPsi:
+      return "missing-lambda-psi";
+    case AbortReason::kBadLambdaPsi:
+      return "bad-lambda-psi";
+    case AbortReason::kFirstPriceUnresolved:
+      return "first-price-unresolved";
+    case AbortReason::kMissingDisclosure:
+      return "missing-disclosure";
+    case AbortReason::kBadDisclosure:
+      return "bad-disclosure";
+    case AbortReason::kNoWinner:
+      return "no-winner";
+    case AbortReason::kBadReducedLambdaPsi:
+      return "bad-reduced-lambda-psi";
+    case AbortReason::kSecondPriceUnresolved:
+      return "second-price-unresolved";
+    case AbortReason::kPaymentDisagreement:
+      return "payment-disagreement";
+    case AbortReason::kMissingPaymentClaim:
+      return "missing-payment-claim";
+    case AbortReason::kQuorumLost:
+      return "quorum-lost";
+  }
+  return "?";
+}
+
+const char* to_string(Phase phase) {
+  switch (phase) {
+    case Phase::kBidding:
+      return "II bidding";
+    case Phase::kLambdaPsi:
+      return "III.1-2 lambda/psi";
+    case Phase::kWinner:
+      return "III.3 winner";
+    case Phase::kSecondPrice:
+      return "III.4 second price";
+    case Phase::kPayments:
+      return "IV payments";
+    case Phase::kCount:
+      break;
+  }
+  return "?";
+}
+
+}  // namespace dmw::proto

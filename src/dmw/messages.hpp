@@ -1,0 +1,226 @@
+// Typed protocol messages and their wire codecs.
+//
+// Unicast (private channels): SharesMsg.
+// Published (broadcast bulletin): everything else.
+// The sequence matches Fig. 2 of the paper: shares + commitments (Phase II),
+// Lambda/Psi (III.2), winner disclosures (III.3), reduced Lambda/Psi (III.4),
+// payment claims (Phase IV), plus an abort record.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dmw/polycommit.hpp"
+#include "net/serialize.hpp"
+
+namespace dmw::proto {
+
+enum class MsgKind : std::uint32_t {
+  kKeyExchange = 0,     ///< published: DH public key for the private channels
+  kShares = 1,          ///< unicast: the four per-task shares (II.2)
+  kCommitments = 2,     ///< published: O, Q, R vectors (II.3)
+  kLambdaPsi = 3,       ///< published: Lambda_i, Psi_i (III.2, Eq. 10)
+  kWinnerShares = 4,    ///< published: received f-shares (III.3, Eq. 13)
+  kReducedLambdaPsi = 5,///< published: winner-excluded Lambda/Psi (III.4)
+  kPaymentClaim = 6,    ///< published: full payment vector (IV.1)
+  kAbort = 7,           ///< published: protocol abort with reason
+};
+
+/// Why an agent aborted; mirrored in Outcome for the faithfulness harness.
+enum class AbortReason : std::uint32_t {
+  kNone = 0,
+  kMalformedMessage,       ///< undecodable payload
+  kMissingShares,          ///< private share never arrived (II.4 timeout)
+  kMissingCommitments,     ///< commitment posting never arrived
+  kBadShareCommitment,     ///< Eq. (7)/(8)/(9) failed
+  kMissingLambdaPsi,       ///< Lambda/Psi posting never arrived
+  kBadLambdaPsi,           ///< Eq. (11) failed
+  kFirstPriceUnresolved,   ///< Eq. (12) found no admissible degree
+  kMissingDisclosure,      ///< fewer than y*+1 valid disclosures (III.3)
+  kBadDisclosure,          ///< Eq. (13) failed
+  kNoWinner,               ///< no f-polynomial interpolated to zero
+  kBadReducedLambdaPsi,    ///< Eq. (11)-excluding-winner failed
+  kSecondPriceUnresolved,  ///< second-price resolution failed
+  kPaymentDisagreement,    ///< payment claims not unanimous (IV.1)
+  kMissingPaymentClaim,
+  kQuorumLost,             ///< more than c agents silent (crash-tolerant mode)
+};
+
+const char* to_string(AbortReason reason);
+
+template <dmw::num::GroupBackend G>
+struct KeyExchangeMsg {
+  typename G::Elem public_key{};
+
+  std::vector<std::uint8_t> encode(const G& g) const {
+    net::Writer w;
+    net::write_elem(w, g, public_key);
+    return w.take();
+  }
+
+  static KeyExchangeMsg decode(const G& g,
+                               std::span<const std::uint8_t> bytes) {
+    net::Reader r(bytes);
+    KeyExchangeMsg msg;
+    msg.public_key = net::read_elem(r, g);
+    r.expect_done();
+    return msg;
+  }
+};
+
+template <dmw::num::GroupBackend G>
+struct SharesMsg {
+  std::uint32_t task = 0;
+  ShareBundle<G> shares{};
+
+  std::vector<std::uint8_t> encode(const G& g) const {
+    net::Writer w;
+    w.u32(task);
+    net::write_scalar(w, g, shares.e);
+    net::write_scalar(w, g, shares.f);
+    net::write_scalar(w, g, shares.g);
+    net::write_scalar(w, g, shares.h);
+    return w.take();
+  }
+
+  static SharesMsg decode(const G& g, std::span<const std::uint8_t> bytes) {
+    net::Reader r(bytes);
+    SharesMsg msg;
+    msg.task = r.u32();
+    msg.shares.e = net::read_scalar(r, g);
+    msg.shares.f = net::read_scalar(r, g);
+    msg.shares.g = net::read_scalar(r, g);
+    msg.shares.h = net::read_scalar(r, g);
+    r.expect_done();
+    return msg;
+  }
+};
+
+template <dmw::num::GroupBackend G>
+struct CommitmentsMsg {
+  std::uint32_t task = 0;
+  CommitmentVectors<G> commitments;
+
+  std::vector<std::uint8_t> encode(const G& g) const {
+    net::Writer w;
+    w.u32(task);
+    for (const auto* vec :
+         {&commitments.O, &commitments.Q, &commitments.R}) {
+      w.varint(vec->size());
+      for (const auto& e : *vec) net::write_elem(w, g, e);
+    }
+    return w.take();
+  }
+
+  static CommitmentsMsg decode(const G& g,
+                               std::span<const std::uint8_t> bytes) {
+    net::Reader r(bytes);
+    CommitmentsMsg msg;
+    msg.task = r.u32();
+    for (auto* vec : {&msg.commitments.O, &msg.commitments.Q,
+                      &msg.commitments.R}) {
+      const std::uint64_t len = r.varint();
+      if (len > 4096) throw net::DecodeError("commitment vector too long");
+      vec->reserve(len);
+      for (std::uint64_t i = 0; i < len; ++i)
+        vec->push_back(net::read_elem(r, g));
+    }
+    r.expect_done();
+    return msg;
+  }
+};
+
+template <dmw::num::GroupBackend G>
+struct LambdaPsiMsg {
+  std::uint32_t task = 0;
+  typename G::Elem lambda{};
+  typename G::Elem psi{};
+
+  std::vector<std::uint8_t> encode(const G& g) const {
+    net::Writer w;
+    w.u32(task);
+    net::write_elem(w, g, lambda);
+    net::write_elem(w, g, psi);
+    return w.take();
+  }
+
+  static LambdaPsiMsg decode(const G& g, std::span<const std::uint8_t> bytes) {
+    net::Reader r(bytes);
+    LambdaPsiMsg msg;
+    msg.task = r.u32();
+    msg.lambda = net::read_elem(r, g);
+    msg.psi = net::read_elem(r, g);
+    r.expect_done();
+    return msg;
+  }
+};
+
+/// Agent k disclosing the f-shares it received: f_1(a_k), ..., f_n(a_k).
+template <dmw::num::GroupBackend G>
+struct WinnerSharesMsg {
+  std::uint32_t task = 0;
+  std::vector<typename G::Scalar> f_shares;
+
+  std::vector<std::uint8_t> encode(const G& g) const {
+    net::Writer w;
+    w.u32(task);
+    w.varint(f_shares.size());
+    for (const auto& s : f_shares) net::write_scalar(w, g, s);
+    return w.take();
+  }
+
+  static WinnerSharesMsg decode(const G& g,
+                                std::span<const std::uint8_t> bytes) {
+    net::Reader r(bytes);
+    WinnerSharesMsg msg;
+    msg.task = r.u32();
+    const std::uint64_t len = r.varint();
+    if (len > 4096) throw net::DecodeError("share vector too long");
+    msg.f_shares.reserve(len);
+    for (std::uint64_t i = 0; i < len; ++i)
+      msg.f_shares.push_back(net::read_scalar(r, g));
+    r.expect_done();
+    return msg;
+  }
+};
+
+struct PaymentClaimMsg {
+  std::vector<std::uint64_t> payments;  ///< claimed P_i for every agent
+
+  std::vector<std::uint8_t> encode() const {
+    net::Writer w;
+    w.u64_vec(payments);
+    return w.take();
+  }
+
+  static PaymentClaimMsg decode(std::span<const std::uint8_t> bytes) {
+    net::Reader r(bytes);
+    PaymentClaimMsg msg;
+    msg.payments = r.u64_vec();
+    r.expect_done();
+    return msg;
+  }
+};
+
+struct AbortMsg {
+  std::uint32_t task = 0;
+  AbortReason reason = AbortReason::kNone;
+
+  std::vector<std::uint8_t> encode() const {
+    net::Writer w;
+    w.u32(task);
+    w.u32(static_cast<std::uint32_t>(reason));
+    return w.take();
+  }
+
+  static AbortMsg decode(std::span<const std::uint8_t> bytes) {
+    net::Reader r(bytes);
+    AbortMsg msg;
+    msg.task = r.u32();
+    msg.reason = static_cast<AbortReason>(r.u32());
+    r.expect_done();
+    return msg;
+  }
+};
+
+}  // namespace dmw::proto

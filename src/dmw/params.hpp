@@ -1,0 +1,185 @@
+// DMW public parameters (paper §3, Phase I: Initialization).
+//
+// Published before the run: the Schnorr group (p, q, z1, z2), the maximum
+// number of faulty agents c, the pseudonym set A = {alpha_1 < ... < alpha_n}
+// (distinct nonzero elements of Z_q), and the discrete bid set
+// W = {w_1 < ... < w_k}. The degree bound is sigma = w_k + c + 1; a bid y is
+// encoded as a polynomial of degree tau = sigma - y (small bids -> large
+// degrees), so at least c+1 shares are needed to expose even the weakest
+// bid.
+//
+// Erratum applied (see DESIGN.md): the paper requires w_k < n - c + 1; with
+// the corrected degree-resolution index (deg = s_min - 1) the resolvable
+// bound is w_k <= n - c - 1, which validate() enforces.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/chacha.hpp"
+#include "mech/problem.hpp"
+#include "numeric/group.hpp"
+#include "support/check.hpp"
+
+namespace dmw::proto {
+
+template <dmw::num::GroupBackend G>
+class PublicParams {
+ public:
+  using Scalar = typename G::Scalar;
+
+  /// `pseudonyms` must be strictly increasing (by scalar value) so the
+  /// "smallest pseudonym wins" tie-break (III.3) coincides with agent-index
+  /// order; factories below guarantee this.
+  PublicParams(G group, std::size_t n_agents, std::size_t m_tasks,
+               std::size_t max_faulty, mech::BidSet bid_set,
+               std::vector<Scalar> pseudonyms, bool crash_tolerant = false)
+      : group_(std::move(group)),
+        n_(n_agents),
+        m_(m_tasks),
+        c_(max_faulty),
+        crash_tolerant_(crash_tolerant),
+        bid_set_(std::move(bid_set)),
+        pseudonyms_(std::move(pseudonyms)) {
+    validate();
+  }
+
+  /// Standard construction: W = {1..k_max} with the largest k admissible for
+  /// (n, c), pseudonyms derived deterministically from `seed`.
+  static PublicParams make(G group, std::size_t n_agents, std::size_t m_tasks,
+                           std::size_t max_faulty, std::uint64_t seed) {
+    DMW_REQUIRE_MSG(n_agents >= max_faulty + 2,
+                    "need n >= c + 2 for a non-empty bid set");
+    const auto k_max = static_cast<mech::Cost>(n_agents - max_faulty - 1);
+    return with_bid_set(std::move(group), n_agents, m_tasks, max_faulty,
+                        mech::BidSet::iota(k_max), seed);
+  }
+
+  static PublicParams with_bid_set(G group, std::size_t n_agents,
+                                   std::size_t m_tasks, std::size_t max_faulty,
+                                   mech::BidSet bid_set, std::uint64_t seed,
+                                   bool crash_tolerant = false) {
+    std::vector<Scalar> pseudonyms =
+        derive_pseudonyms(group, n_agents, seed);
+    return PublicParams(std::move(group), n_agents, m_tasks, max_faulty,
+                        std::move(bid_set), std::move(pseudonyms),
+                        crash_tolerant);
+  }
+
+  /// Crash-tolerant construction (paper Open Problem 11): the protocol
+  /// completes as long as at most c agents go silent. Tolerating c missing
+  /// resolution points tightens the bid-set bound to w_k <= n - 2c - 1
+  /// (deg E + 1 <= n - c must remain resolvable), so this mode trades bid
+  /// granularity for availability.
+  static PublicParams make_crash_tolerant(G group, std::size_t n_agents,
+                                          std::size_t m_tasks,
+                                          std::size_t max_faulty,
+                                          std::uint64_t seed) {
+    DMW_REQUIRE_MSG(n_agents >= 2 * max_faulty + 2,
+                    "crash tolerance needs n >= 2c + 2");
+    const auto k_max =
+        static_cast<mech::Cost>(n_agents - 2 * max_faulty - 1);
+    return with_bid_set(std::move(group), n_agents, m_tasks, max_faulty,
+                        mech::BidSet::iota(k_max), seed,
+                        /*crash_tolerant=*/true);
+  }
+
+  const G& group() const { return group_; }
+  std::size_t n() const { return n_; }
+  std::size_t m() const { return m_; }
+  std::size_t c() const { return c_; }
+  /// True when the run must survive up to c silent (crashed) agents
+  /// instead of aborting on the first missing message.
+  bool crash_tolerant() const { return crash_tolerant_; }
+  /// Smallest number of participating agents the protocol can finish with.
+  std::size_t quorum() const { return n_ - (crash_tolerant_ ? c_ : 0); }
+  const mech::BidSet& bid_set() const { return bid_set_; }
+  const std::vector<Scalar>& pseudonyms() const { return pseudonyms_; }
+  const Scalar& pseudonym(std::size_t agent) const {
+    DMW_REQUIRE(agent < n_);
+    return pseudonyms_[agent];
+  }
+
+  /// sigma = w_k + c + 1 (paper II.1): the degree of every masking
+  /// polynomial and of every product polynomial e*f.
+  std::size_t sigma() const { return bid_set_.max() + c_ + 1; }
+
+  /// tau = sigma - y: the degree encoding bid y.
+  std::size_t degree_for_bid(mech::Cost bid) const {
+    DMW_REQUIRE_MSG(bid_set_.contains(bid), "bid not in published set W");
+    return sigma() - bid;
+  }
+
+  /// Inverse map; `degree` must correspond to some bid in W.
+  mech::Cost bid_for_degree(std::size_t degree) const {
+    DMW_REQUIRE(degree < sigma());
+    const auto bid = static_cast<mech::Cost>(sigma() - degree);
+    DMW_REQUIRE_MSG(bid_set_.contains(bid), "degree encodes no bid in W");
+    return bid;
+  }
+
+  bool degree_is_valid_bid(std::size_t degree) const {
+    return degree < sigma() &&
+           bid_set_.contains(static_cast<mech::Cost>(sigma() - degree));
+  }
+
+  std::string describe() const {
+    std::string out = "DMW params: n=" + std::to_string(n_) +
+                      " m=" + std::to_string(m_) + " c=" + std::to_string(c_) +
+                      " sigma=" + std::to_string(sigma()) +
+                      " |W|=" + std::to_string(bid_set_.size()) + "; " +
+                      group_.describe();
+    return out;
+  }
+
+ private:
+  void validate() const {
+    DMW_REQUIRE(n_ >= 2);
+    DMW_REQUIRE(m_ >= 1);
+    DMW_REQUIRE_MSG(c_ < n_, "c must be < n (paper: c < n)");
+    DMW_REQUIRE_MSG(bid_set_.max() + c_ + 1 <= n_,
+                    "w_k <= n - c - 1 required for degree resolution "
+                    "with n shares (DESIGN.md erratum)");
+    if (crash_tolerant_) {
+      DMW_REQUIRE_MSG(bid_set_.max() + 2 * c_ + 1 <= n_,
+                      "crash tolerance requires w_k <= n - 2c - 1 so the "
+                      "degree resolves from n - c surviving points");
+    }
+    DMW_REQUIRE(pseudonyms_.size() == n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      DMW_REQUIRE_MSG(pseudonyms_[i] != group_.szero(),
+                      "pseudonyms must be nonzero");
+      if (i > 0) {
+        DMW_REQUIRE_MSG(pseudonyms_[i - 1] < pseudonyms_[i],
+                        "pseudonyms must be strictly increasing");
+      }
+    }
+  }
+
+  static std::vector<Scalar> derive_pseudonyms(const G& group, std::size_t n,
+                                               std::uint64_t seed) {
+    // Deterministic, collision-free draw from Z_q^*, sorted ascending so the
+    // smallest-pseudonym tie-break equals index order.
+    crypto::ChaChaRng rng =
+        crypto::ChaChaRng::from_seed(seed, /*stream=*/0x70736575646f);
+    std::vector<Scalar> out;
+    out.reserve(n);
+    while (out.size() < n) {
+      Scalar candidate = group.random_nonzero_scalar(rng);
+      if (std::find(out.begin(), out.end(), candidate) == out.end())
+        out.push_back(candidate);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  G group_;
+  std::size_t n_, m_, c_;
+  bool crash_tolerant_ = false;
+  mech::BidSet bid_set_;
+  std::vector<Scalar> pseudonyms_;
+};
+
+}  // namespace dmw::proto

@@ -1,0 +1,52 @@
+// Simulated payment infrastructure (paper §3, Phase IV).
+//
+// "The payment infrastructure issues the payment to A_i if the participating
+// agents agree on P_i; otherwise, no payment is dispensed." The paper leaves
+// the infrastructure itself out of scope; this escrow model implements
+// exactly the agreement rule the mechanism's proofs rely on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace dmw::proto {
+
+class PaymentInfrastructure {
+ public:
+  explicit PaymentInfrastructure(std::size_t n_agents) : n_(n_agents) {}
+
+  /// Record agent `from`'s claimed payment vector.
+  void submit(std::size_t from, std::vector<std::uint64_t> payments) {
+    DMW_REQUIRE(from < n_);
+    DMW_REQUIRE(payments.size() == n_);
+    claims_.emplace_back(from, std::move(payments));
+  }
+
+  std::size_t claims_received() const { return claims_.size(); }
+
+  /// Dispense iff at least `min_claims` agents submitted (default: all of
+  /// them) and every submitted claim is identical. Crash-tolerant runs pass
+  /// the quorum n - c so silent agents cannot block settlement, but a single
+  /// conflicting claim still does.
+  std::optional<std::vector<std::uint64_t>> settle(
+      std::size_t min_claims = std::size_t(-1)) const {
+    if (min_claims == std::size_t(-1)) min_claims = n_;
+    if (claims_.size() < min_claims) return std::nullopt;
+    std::vector<bool> seen(n_, false);
+    for (const auto& [from, payments] : claims_) {
+      if (seen[from]) return std::nullopt;  // duplicate claim
+      seen[from] = true;
+      if (payments != claims_.front().second) return std::nullopt;
+    }
+    return claims_.front().second;
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<std::pair<std::size_t, std::vector<std::uint64_t>>> claims_;
+};
+
+}  // namespace dmw::proto

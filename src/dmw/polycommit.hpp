@@ -1,0 +1,176 @@
+// Per-(agent, task) bid polynomials, shares and commitment vectors
+// (paper §3, Phase II and the verification identities (7)-(9) of Phase III).
+//
+// For a bid y with tau = sigma - y the agent samples (all with zero constant
+// term, uniformly random coefficients, exact degree):
+//     e  of degree tau          (bid encoding)
+//     f  of degree sigma - tau  (winner-identification witness)
+//     g  of degree sigma        (mask for the product commitment O)
+//     h  of degree sigma        (mask shared by the Q and R commitments)
+// and publishes commitment vectors of length sigma:
+//     O_l = z1^{v_l} z2^{c_l}           (v = coefficients of e*f)
+//     Q_l = z1^{a_l} z2^{d_l} (l <= tau),        z2^{d_l} otherwise
+//     R_l = z1^{b_l} z2^{d_l} (l <= sigma-tau),  z2^{d_l} otherwise
+// where a, b, c, d are the coefficients of e, f, g, h respectively.
+// The z2-only entries are indistinguishable from full commitments under DL,
+// so the commitment vectors do not reveal tau (i.e. the bid).
+#pragma once
+
+#include <vector>
+
+#include "dmw/params.hpp"
+#include "numeric/multiexp.hpp"
+#include "poly/polynomial.hpp"
+
+namespace dmw::proto {
+
+/// The secret polynomial bundle of one agent for one task.
+template <dmw::num::GroupBackend G>
+struct BidPolynomials {
+  using Poly = poly::Polynomial<G>;
+
+  mech::Cost bid = 0;
+  std::size_t tau = 0;
+  Poly e, f, g, h;
+
+  template <class Rng>
+  static BidPolynomials sample(const PublicParams<G>& params, mech::Cost bid,
+                               Rng& rng) {
+    const std::size_t sigma = params.sigma();
+    const std::size_t tau = params.degree_for_bid(bid);
+    BidPolynomials out;
+    out.bid = bid;
+    out.tau = tau;
+    out.e = Poly::random_zero_const(params.group(), tau, rng);
+    out.f = Poly::random_zero_const(params.group(), sigma - tau, rng);
+    out.g = Poly::random_zero_const(params.group(), sigma, rng);
+    out.h = Poly::random_zero_const(params.group(), sigma, rng);
+    return out;
+  }
+};
+
+/// The four shares agent i sends privately to agent k (paper II.2):
+/// e_i(alpha_k), f_i(alpha_k), g_i(alpha_k), h_i(alpha_k).
+template <dmw::num::GroupBackend G>
+struct ShareBundle {
+  using Scalar = typename G::Scalar;
+  Scalar e, f, g, h;
+
+  static ShareBundle from_polys(const G& group, const BidPolynomials<G>& polys,
+                                const Scalar& alpha) {
+    return ShareBundle{polys.e.eval(group, alpha), polys.f.eval(group, alpha),
+                       polys.g.eval(group, alpha), polys.h.eval(group, alpha)};
+  }
+};
+
+/// The published commitment vectors O, Q, R (paper II.3), each of length
+/// sigma, index l-1 holding the commitment for power l.
+template <dmw::num::GroupBackend G>
+struct CommitmentVectors {
+  using Elem = typename G::Elem;
+  std::vector<Elem> O, Q, R;
+
+  static CommitmentVectors commit(const PublicParams<G>& params,
+                                  const BidPolynomials<G>& polys) {
+    const G& g = params.group();
+    const std::size_t sigma = params.sigma();
+    const auto product = polys.e.mul(g, polys.f);  // degree exactly sigma
+    CommitmentVectors out;
+    out.O.reserve(sigma);
+    out.Q.reserve(sigma);
+    out.R.reserve(sigma);
+    for (std::size_t l = 1; l <= sigma; ++l) {
+      const auto v_l = product.coeff(g, l);
+      const auto a_l = polys.e.coeff(g, l);
+      const auto b_l = polys.f.coeff(g, l);
+      const auto c_l = polys.g.coeff(g, l);
+      const auto d_l = polys.h.coeff(g, l);
+      out.O.push_back(g.commit(v_l, c_l));
+      // a_l and b_l are zero beyond the polynomial degrees, so commit()
+      // degenerates to the z2-only form exactly where the paper specifies.
+      out.Q.push_back(g.commit(a_l, d_l));
+      out.R.push_back(g.commit(b_l, d_l));
+    }
+    return out;
+  }
+
+  bool well_formed(const PublicParams<G>& params) const {
+    const std::size_t sigma = params.sigma();
+    return O.size() == sigma && Q.size() == sigma && R.size() == sigma;
+  }
+};
+
+/// prod_l C_l^{alpha^l} for a commitment vector C — the right-hand side of
+/// the verification identities (7)-(9). Uses Straus multi-exponentiation:
+/// one shared squaring chain instead of sigma independent ones (see
+/// numeric/multiexp.hpp and the bench_multiexp ablation).
+template <dmw::num::GroupBackend G>
+typename G::Elem commitment_eval(const G& g,
+                                 const std::vector<typename G::Elem>& c,
+                                 const typename G::Scalar& alpha) {
+  std::vector<typename G::Scalar> powers;
+  powers.reserve(c.size());
+  typename G::Scalar power = alpha;  // alpha^l, starting at l=1
+  for (std::size_t idx = 0; idx < c.size(); ++idx) {
+    powers.push_back(power);
+    power = g.smul(power, alpha);
+  }
+  return dmw::num::multi_pow<G>(g, c, powers);
+}
+
+/// Naive variant (independent exponentiations); kept for the ablation
+/// benchmark and as a differential-testing oracle.
+template <dmw::num::GroupBackend G>
+typename G::Elem commitment_eval_naive(const G& g,
+                                       const std::vector<typename G::Elem>& c,
+                                       const typename G::Scalar& alpha) {
+  typename G::Elem acc = g.identity();
+  typename G::Scalar power = alpha;
+  for (std::size_t idx = 0; idx < c.size(); ++idx) {
+    acc = g.mul(acc, g.pow(c[idx], power));
+    power = g.smul(power, alpha);
+  }
+  return acc;
+}
+
+/// Eq. (7): z1^{e(alpha) f(alpha)} z2^{g(alpha)} == prod O_l^{alpha^l}.
+/// Proves deg(e*f) <= sigma with zero coefficients at x^0 and x^1.
+template <dmw::num::GroupBackend G>
+bool verify_product_commitment(const G& g, const ShareBundle<G>& shares,
+                               const std::vector<typename G::Elem>& O,
+                               const typename G::Scalar& alpha) {
+  const auto lhs = g.commit(g.smul(shares.e, shares.f), shares.g);
+  return lhs == commitment_eval(g, O, alpha);
+}
+
+/// Gamma_{i,k} (Eq. (8) RHS): prod Q_{k,l}^{alpha_i^l} = z1^{e_k(a_i)} z2^{h_k(a_i)}.
+template <dmw::num::GroupBackend G>
+typename G::Elem gamma_value(const G& g,
+                             const std::vector<typename G::Elem>& Q,
+                             const typename G::Scalar& alpha) {
+  return commitment_eval(g, Q, alpha);
+}
+
+/// Phi_{i,k} (Eq. (9) RHS): prod R_{k,l}^{alpha_i^l} = z1^{f_k(a_i)} z2^{h_k(a_i)}.
+template <dmw::num::GroupBackend G>
+typename G::Elem phi_value(const G& g,
+                           const std::vector<typename G::Elem>& R,
+                           const typename G::Scalar& alpha) {
+  return commitment_eval(g, R, alpha);
+}
+
+/// Eq. (8): z1^{e(alpha)} z2^{h(alpha)} == Gamma.
+template <dmw::num::GroupBackend G>
+bool verify_eh_commitment(const G& g, const ShareBundle<G>& shares,
+                          const typename G::Elem& gamma) {
+  return g.commit(shares.e, shares.h) == gamma;
+}
+
+/// Eq. (9): z1^{f(alpha)} z2^{h(alpha)} == Phi.
+template <dmw::num::GroupBackend G>
+bool verify_fh_commitment(const G& g, const ShareBundle<G>& shares,
+                          const typename G::Elem& phi) {
+  return g.commit(shares.f, shares.h) == phi;
+}
+
+}  // namespace dmw::proto

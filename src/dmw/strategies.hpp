@@ -1,0 +1,323 @@
+// The deviation catalogue.
+//
+// One strategy class per deviation analyzed in the proofs of Theorem 4
+// (strong algorithm compatibility) and Theorem 8 (voluntary algorithm
+// participation). The faithfulness experiments run each of these as a
+// unilateral deviation against honest opponents and verify the deviant's
+// utility never exceeds its honest utility.
+#pragma once
+
+#include <cstdint>
+
+#include "dmw/strategy.hpp"
+#include "support/rng.hpp"
+
+namespace dmw::proto {
+
+/// Information-revelation deviation: misreport the bid for every task by a
+/// fixed offset within W (over- or under-bidding).
+template <dmw::num::GroupBackend G>
+class MisreportStrategy : public Strategy<G> {
+ public:
+  explicit MisreportStrategy(int index_offset) : offset_(index_offset) {}
+  std::string name() const override {
+    return offset_ > 0 ? "misreport(+" + std::to_string(offset_) + ")"
+                       : "misreport(" + std::to_string(offset_) + ")";
+  }
+
+  std::vector<mech::Cost> choose_bids(const std::vector<mech::Cost>& costs,
+                                      const mech::BidSet& bids) override {
+    std::vector<mech::Cost> out;
+    out.reserve(costs.size());
+    for (mech::Cost c : costs) {
+      const auto idx = static_cast<std::ptrdiff_t>(bids.index_of(c)) + offset_;
+      const auto clamped = std::min<std::ptrdiff_t>(
+          std::max<std::ptrdiff_t>(idx, 0),
+          static_cast<std::ptrdiff_t>(bids.size()) - 1);
+      out.push_back(bids.values()[static_cast<std::size_t>(clamped)]);
+    }
+    return out;
+  }
+
+ private:
+  int offset_;
+};
+
+/// Misreport a single task's bid to a specific value (used by the
+/// exhaustive truthfulness sweep).
+template <dmw::num::GroupBackend G>
+class SingleTaskMisreport : public Strategy<G> {
+ public:
+  SingleTaskMisreport(std::size_t task, mech::Cost bid)
+      : task_(task), bid_(bid) {}
+  std::string name() const override { return "misreport-one-task"; }
+
+  std::vector<mech::Cost> choose_bids(const std::vector<mech::Cost>& costs,
+                                      const mech::BidSet&) override {
+    std::vector<mech::Cost> out = costs;
+    DMW_REQUIRE(task_ < out.size());
+    out[task_] = bid_;
+    return out;
+  }
+
+ private:
+  std::size_t task_;
+  mech::Cost bid_;
+};
+
+/// Computational deviation (Thm. 4): send a corrupted share to one victim.
+/// Detected by the victim's Eq. (7)-(9) checks.
+template <dmw::num::GroupBackend G>
+class CorruptShareStrategy : public Strategy<G> {
+ public:
+  explicit CorruptShareStrategy(std::size_t victim) : victim_(victim) {}
+  std::string name() const override { return "corrupt-share"; }
+
+  bool edit_share(std::size_t, std::size_t recipient,
+                  ShareBundle<G>& shares) override {
+    if (recipient == victim_) shares.e = bump(shares.e);
+    return true;
+  }
+
+ private:
+  static std::uint64_t bump(std::uint64_t v) { return v ^ 1; }
+  template <std::size_t W>
+  static dmw::num::BigUInt<W> bump(dmw::num::BigUInt<W> v) {
+    v.set_limb(0, v.limb(0) ^ 1);
+    return v;
+  }
+  std::size_t victim_;
+};
+
+/// Withhold the share bundle from one victim (Thm. 4: "fails to send the
+/// shares ... an agent not receiving its share will abort").
+template <dmw::num::GroupBackend G>
+class WithholdShareStrategy : public Strategy<G> {
+ public:
+  explicit WithholdShareStrategy(std::size_t victim) : victim_(victim) {}
+  std::string name() const override { return "withhold-share"; }
+
+  bool edit_share(std::size_t, std::size_t recipient,
+                  ShareBundle<G>&) override {
+    return recipient != victim_;
+  }
+
+ private:
+  std::size_t victim_;
+};
+
+/// Publish commitments inconsistent with the distributed shares.
+template <dmw::num::GroupBackend G>
+class InconsistentCommitmentsStrategy : public Strategy<G> {
+ public:
+  std::string name() const override { return "inconsistent-commitments"; }
+
+  bool edit_commitments(std::size_t,
+                        CommitmentVectors<G>& commitments) override {
+    if (!commitments.O.empty())
+      std::swap(commitments.O.front(), commitments.O.back());
+    return true;
+  }
+};
+
+/// Never publish commitments (Thm. 4: "neglects to send the commitments").
+template <dmw::num::GroupBackend G>
+class WithholdCommitmentsStrategy : public Strategy<G> {
+ public:
+  std::string name() const override { return "withhold-commitments"; }
+  bool edit_commitments(std::size_t, CommitmentVectors<G>&) override {
+    return false;
+  }
+};
+
+/// Publish a miscomputed Lambda (Thm. 4: fails Eq. (11)).
+template <dmw::num::GroupBackend G>
+class BadLambdaStrategy : public Strategy<G> {
+ public:
+  std::string name() const override { return "bad-lambda"; }
+  bool edit_lambda_psi(std::size_t, typename G::Elem& lambda,
+                       typename G::Elem&) override {
+    lambda_tweak(lambda);
+    return true;
+  }
+
+ private:
+  static void lambda_tweak(std::uint64_t& v) { v ^= 2; }
+  template <std::size_t W>
+  static void lambda_tweak(dmw::num::BigUInt<W>& v) {
+    v.set_limb(0, v.limb(0) ^ 2);
+  }
+};
+
+/// A *compensated* Lambda/Psi forgery: multiply Lambda by z1^delta and Psi
+/// by z1^{-delta} so Eq. (11) still holds. This is the strongest published-
+/// value attack available without breaking commitments; it corrupts the
+/// degree resolution input and (per Thm. 4's case analysis) either aborts
+/// the run or leaves the resolution unchanged.
+template <dmw::num::GroupBackend G>
+class CompensatedLambdaStrategy : public Strategy<G> {
+ public:
+  explicit CompensatedLambdaStrategy(const G& group, std::uint64_t delta)
+      : group_(group), delta_(delta) {}
+  std::string name() const override { return "compensated-lambda"; }
+
+  bool edit_lambda_psi(std::size_t, typename G::Elem& lambda,
+                       typename G::Elem& psi) override {
+    const auto d = group_.scalar_from_u64(delta_);
+    lambda = group_.mul(lambda, group_.pow(group_.z1(), d));
+    psi = group_.mul(psi, group_.inv(group_.pow(group_.z1(), d)));
+    return true;
+  }
+
+ private:
+  const G& group_;
+  std::uint64_t delta_;
+};
+
+/// Withhold Lambda/Psi entirely.
+template <dmw::num::GroupBackend G>
+class SilentLambdaStrategy : public Strategy<G> {
+ public:
+  std::string name() const override { return "silent-lambda"; }
+  bool edit_lambda_psi(std::size_t, typename G::Elem&,
+                       typename G::Elem&) override {
+    return false;
+  }
+};
+
+/// Refuse to disclose f-shares during winner identification (Thm. 8:
+/// "too few agents disclose ... the protocol deadlocks").
+template <dmw::num::GroupBackend G>
+class WithholdDisclosureStrategy : public Strategy<G> {
+ public:
+  std::string name() const override { return "withhold-disclosure"; }
+  bool edit_disclosure(std::size_t, bool,
+                       std::vector<typename G::Scalar>&) override {
+    return false;
+  }
+};
+
+/// Disclose corrupted f-shares (fails Eq. (13)).
+template <dmw::num::GroupBackend G>
+class CorruptDisclosureStrategy : public Strategy<G> {
+ public:
+  std::string name() const override { return "corrupt-disclosure"; }
+  bool edit_disclosure(std::size_t, bool should_disclose,
+                       std::vector<typename G::Scalar>& f_shares) override {
+    if (should_disclose && !f_shares.empty()) bump(f_shares.front());
+    return should_disclose;
+  }
+
+ private:
+  static void bump(std::uint64_t& v) { v ^= 1; }
+  template <std::size_t W>
+  static void bump(dmw::num::BigUInt<W>& v) {
+    v.set_limb(0, v.limb(0) ^ 1);
+  }
+};
+
+/// Volunteer a disclosure even when not prescribed (Thm. 4: "transmits its
+/// share when not needed, it receives the same amount of utility").
+template <dmw::num::GroupBackend G>
+class EagerDisclosureStrategy : public Strategy<G> {
+ public:
+  std::string name() const override { return "eager-disclosure"; }
+  bool edit_disclosure(std::size_t, bool,
+                       std::vector<typename G::Scalar>&) override {
+    return true;  // always disclose
+  }
+};
+
+/// Publish a miscomputed reduced Lambda (fails the winner-excluded Eq. 11).
+template <dmw::num::GroupBackend G>
+class BadReducedLambdaStrategy : public Strategy<G> {
+ public:
+  std::string name() const override { return "bad-reduced-lambda"; }
+  bool edit_reduced_lambda_psi(std::size_t, typename G::Elem& lambda,
+                               typename G::Elem&) override {
+    bump(lambda);
+    return true;
+  }
+
+ private:
+  static void bump(std::uint64_t& v) { v ^= 2; }
+  template <std::size_t W>
+  static void bump(dmw::num::BigUInt<W>& v) {
+    v.set_limb(0, v.limb(0) ^ 2);
+  }
+};
+
+/// Claim an inflated payment for itself (Phase IV: "the infrastructure will
+/// detect the conflict and will issue no payments").
+template <dmw::num::GroupBackend G>
+class GreedyPaymentStrategy : public Strategy<G> {
+ public:
+  explicit GreedyPaymentStrategy(std::size_t self) : self_(self) {}
+  std::string name() const override { return "greedy-payment"; }
+  bool edit_payment_claim(std::vector<std::uint64_t>& payments) override {
+    payments[self_] += 1000;
+    return true;
+  }
+
+ private:
+  std::size_t self_;
+};
+
+/// Never submit a payment claim.
+template <dmw::num::GroupBackend G>
+class SilentPaymentStrategy : public Strategy<G> {
+ public:
+  std::string name() const override { return "silent-payment"; }
+  bool edit_payment_claim(std::vector<std::uint64_t>&) override {
+    return false;
+  }
+};
+
+/// Crash fault: the agent stops sending anything from a given point on
+/// (it is fail-silent, not Byzantine). Used by the crash-tolerance
+/// experiments for Open Problem 11.
+enum class CrashPoint {
+  kBeforeBidding,    ///< never sends shares or commitments
+  kAfterBidding,     ///< completes Phase II, silent from III on
+  kAfterLambdaPsi,   ///< silent from the disclosure step on
+  kAfterDisclosure,  ///< silent from the reduced Lambda/Psi step on
+  kAfterReduced,     ///< only the payment claim is lost
+};
+
+template <dmw::num::GroupBackend G>
+class CrashStrategy : public Strategy<G> {
+ public:
+  explicit CrashStrategy(CrashPoint when) : when_(when) {}
+  std::string name() const override { return "crash"; }
+  bool fail_silent() const override { return true; }
+
+  bool edit_key_exchange(typename G::Elem&) override {
+    return when_ > CrashPoint::kBeforeBidding;
+  }
+  bool edit_share(std::size_t, std::size_t, ShareBundle<G>&) override {
+    return when_ > CrashPoint::kBeforeBidding;
+  }
+  bool edit_commitments(std::size_t, CommitmentVectors<G>&) override {
+    return when_ > CrashPoint::kBeforeBidding;
+  }
+  bool edit_lambda_psi(std::size_t, typename G::Elem&,
+                       typename G::Elem&) override {
+    return when_ > CrashPoint::kAfterBidding;
+  }
+  bool edit_disclosure(std::size_t, bool should_disclose,
+                       std::vector<typename G::Scalar>&) override {
+    return should_disclose && when_ > CrashPoint::kAfterLambdaPsi;
+  }
+  bool edit_reduced_lambda_psi(std::size_t, typename G::Elem&,
+                               typename G::Elem&) override {
+    return when_ > CrashPoint::kAfterDisclosure;
+  }
+  bool edit_payment_claim(std::vector<std::uint64_t>&) override {
+    return false;  // every crash point precedes settlement
+  }
+
+ private:
+  CrashPoint when_;
+};
+
+}  // namespace dmw::proto

@@ -1,0 +1,104 @@
+// Agent strategies (paper Definitions 6-7).
+//
+// A distributed mechanism's strategy space contains every way an agent can
+// act: what it reveals (bids), what it sends, and what it computes. The
+// suggested strategy chi_suggest is HonestStrategy; the deviation catalogue
+// in strategies.hpp mirrors the cases enumerated in the proofs of Theorems 4
+// and 8 (corrupt shares, inconsistent commitments, withheld messages, bad
+// Lambda/Psi, bad disclosures, bad payment claims, misreported bids).
+//
+// Hooks are "edit points": the honest agent computes the prescribed value
+// and then lets the strategy replace or suppress it. Returning false from a
+// send_* hook withholds the message entirely.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dmw/messages.hpp"
+#include "dmw/polycommit.hpp"
+#include "mech/problem.hpp"
+
+namespace dmw::proto {
+
+template <dmw::num::GroupBackend G>
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  /// Name for reports.
+  virtual std::string name() const { return "honest"; }
+
+  /// Fail-silent strategies (crash faults) never broadcast aborts: a dead
+  /// node cannot complain. When true, a failed local check halts the agent
+  /// quietly instead of terminating the whole protocol.
+  virtual bool fail_silent() const { return false; }
+
+  // ---- information-revelation action (Def. 12) ---------------------------
+
+  /// The bids to submit given the agent's true per-task costs. The honest
+  /// strategy reports the costs themselves (truth-telling).
+  virtual std::vector<mech::Cost> choose_bids(
+      const std::vector<mech::Cost>& true_costs, const mech::BidSet&) {
+    return true_costs;
+  }
+
+  // ---- channel-setup hook --------------------------------------------------
+
+  /// May tamper with the published Diffie-Hellman key; return false to
+  /// withhold it (peers then cannot open this agent's sealed shares).
+  virtual bool edit_key_exchange(typename G::Elem& /*public_key*/) {
+    return true;
+  }
+
+  // ---- Phase II hooks ------------------------------------------------------
+
+  /// May tamper with the share bundle destined for `recipient`; return
+  /// false to withhold it.
+  virtual bool edit_share(std::size_t /*task*/, std::size_t /*recipient*/,
+                          ShareBundle<G>& /*shares*/) {
+    return true;
+  }
+
+  /// May tamper with the commitment vectors; return false to withhold.
+  virtual bool edit_commitments(std::size_t /*task*/,
+                                CommitmentVectors<G>& /*commitments*/) {
+    return true;
+  }
+
+  // ---- Phase III hooks -----------------------------------------------------
+
+  virtual bool edit_lambda_psi(std::size_t /*task*/,
+                               typename G::Elem& /*lambda*/,
+                               typename G::Elem& /*psi*/) {
+    return true;
+  }
+
+  /// Winner-identification disclosure (III.3). `should_disclose` is true
+  /// when the protocol prescribes this agent to disclose; a strategy may
+  /// also volunteer when not required (the paper notes this is harmless).
+  virtual bool edit_disclosure(std::size_t /*task*/, bool should_disclose,
+                               std::vector<typename G::Scalar>& /*f_shares*/) {
+    return should_disclose;
+  }
+
+  virtual bool edit_reduced_lambda_psi(std::size_t /*task*/,
+                                       typename G::Elem& /*lambda*/,
+                                       typename G::Elem& /*psi*/) {
+    return true;
+  }
+
+  // ---- Phase IV hook -------------------------------------------------------
+
+  virtual bool edit_payment_claim(std::vector<std::uint64_t>& /*payments*/) {
+    return true;
+  }
+};
+
+/// The suggested strategy chi_suggest: every hook is the identity.
+template <dmw::num::GroupBackend G>
+class HonestStrategy : public Strategy<G> {};
+
+}  // namespace dmw::proto

@@ -1,0 +1,96 @@
+// Complexity measurement harness (Table 1, Theorems 11 and 12).
+//
+// Runs DMW and centralized MinWork on identical instances, collecting
+//   - point-to-point-equivalent message counts and bytes (Thm. 11),
+//   - modular-operation counts and wall time (Thm. 12),
+// across sweeps of n, m and the prime size log p, then fits power laws so
+// the measured exponents can be compared against the claimed Θ(mn) vs
+// Θ(mn^2) / O(mn^2 log p) shapes.
+#pragma once
+
+#include <vector>
+
+#include "dmw/centralized.hpp"
+#include "dmw/protocol.hpp"
+#include "mech/minwork.hpp"
+#include "numeric/opcount.hpp"
+#include "support/stats.hpp"
+#include "support/stopwatch.hpp"
+
+namespace dmw::exp {
+
+struct CostRow {
+  std::size_t n = 0;
+  std::size_t m = 0;
+  unsigned p_bits = 0;
+
+  // DMW (distributed), point-to-point equivalents.
+  std::uint64_t dmw_messages = 0;
+  std::uint64_t dmw_bytes = 0;
+  std::uint64_t dmw_mod_ops = 0;   ///< modular mul+pow+inv count
+  std::uint64_t dmw_mod_pows = 0;  ///< exponentiations only
+  double dmw_seconds = 0.0;
+
+  // MinWork (centralized).
+  std::uint64_t mw_messages = 0;
+  std::uint64_t mw_bytes = 0;
+  std::uint64_t mw_ops = 0;  ///< bid comparisons/additions
+  double mw_seconds = 0.0;
+};
+
+/// Run both mechanisms once on a fresh uniform instance.
+template <dmw::num::GroupBackend G>
+CostRow measure_costs(const proto::PublicParams<G>& params,
+                      std::uint64_t instance_seed) {
+  Xoshiro256ss rng(instance_seed);
+  const auto instance =
+      mech::make_uniform_instance(params.n(), params.m(), params.bid_set(), rng);
+
+  CostRow row;
+  row.n = params.n();
+  row.m = params.m();
+  row.p_bits = params.group().p_bits();
+
+  {
+    // The paper's cost model (Thms. 11-12) assumes physically private
+    // channels; measure the protocol proper without the optional AEAD
+    // layer. (Encryption overhead is reported separately in EXPERIMENTS.)
+    proto::RunConfig config;
+    config.encrypt_channels = false;
+    dmw::num::OpCountScope ops;
+    Stopwatch timer;
+    const auto outcome = proto::run_honest_dmw(params, instance, config);
+    row.dmw_seconds = timer.seconds();
+    DMW_CHECK_MSG(!outcome.aborted, "honest run aborted during measurement");
+    row.dmw_messages = outcome.traffic.p2p_equivalent_messages;
+    row.dmw_bytes = outcome.traffic.p2p_equivalent_bytes;
+    const auto delta = ops.delta();
+    row.dmw_mod_ops = delta.mul + delta.pow + delta.inv;
+    row.dmw_mod_pows = delta.pow;
+  }
+  {
+    // Measured over the simulated star network (Fig. 1), not hand-counted.
+    Stopwatch timer;
+    const auto outcome =
+        proto::run_centralized_minwork(mech::truthful_bids(instance));
+    row.mw_seconds = timer.seconds();
+    row.mw_messages = outcome.traffic.p2p_equivalent_messages;
+    row.mw_bytes = outcome.traffic.p2p_equivalent_bytes;
+    row.mw_ops = outcome.mechanism.comparisons;
+  }
+  return row;
+}
+
+/// Fit cost ~ C * x^k over a sweep where only one dimension varied.
+struct ScalingFit {
+  double exponent = 0.0;
+  double r_squared = 0.0;
+};
+
+inline ScalingFit fit_scaling(const std::vector<double>& x,
+                              const std::vector<double>& y) {
+  const auto fit = fit_power_law(x, y);
+  return ScalingFit{fit.slope, fit.r_squared};
+}
+
+}  // namespace dmw::exp

@@ -1,0 +1,155 @@
+// Faithfulness and voluntary-participation experiments
+// (paper Theorems 4, 5, 8, 9).
+//
+// For a given instance, run the all-honest baseline, then re-run the
+// protocol once per (deviation, deviator) pair with everyone else honest.
+// DMW is empirically faithful iff no deviation ever yields the deviator more
+// utility than its honest utility; it satisfies strong voluntary
+// participation iff honest agents never end with negative utility no matter
+// what the defectors do.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dmw/protocol.hpp"
+#include "dmw/strategies.hpp"
+
+namespace dmw::exp {
+
+template <dmw::num::GroupBackend G>
+using StrategyFactory = std::function<std::unique_ptr<proto::Strategy<G>>(
+    std::size_t deviator, const G& group)>;
+
+template <dmw::num::GroupBackend G>
+struct NamedDeviation {
+  std::string name;
+  StrategyFactory<G> make;
+};
+
+/// The full catalogue from the Theorem 4 / Theorem 8 case analyses.
+template <dmw::num::GroupBackend G>
+std::vector<NamedDeviation<G>> deviation_catalogue(std::size_t n_agents) {
+  using namespace proto;
+  std::vector<NamedDeviation<G>> out;
+  out.push_back({"misreport(+1)", [](std::size_t, const G&) {
+                   return std::make_unique<MisreportStrategy<G>>(+1);
+                 }});
+  out.push_back({"misreport(-1)", [](std::size_t, const G&) {
+                   return std::make_unique<MisreportStrategy<G>>(-1);
+                 }});
+  out.push_back({"corrupt-share", [n_agents](std::size_t deviator, const G&) {
+                   return std::make_unique<CorruptShareStrategy<G>>(
+                       (deviator + 1) % n_agents);
+                 }});
+  out.push_back({"withhold-share", [n_agents](std::size_t deviator, const G&) {
+                   return std::make_unique<WithholdShareStrategy<G>>(
+                       (deviator + 1) % n_agents);
+                 }});
+  out.push_back({"inconsistent-commitments", [](std::size_t, const G&) {
+                   return std::make_unique<InconsistentCommitmentsStrategy<G>>();
+                 }});
+  out.push_back({"withhold-commitments", [](std::size_t, const G&) {
+                   return std::make_unique<WithholdCommitmentsStrategy<G>>();
+                 }});
+  out.push_back({"bad-lambda", [](std::size_t, const G&) {
+                   return std::make_unique<BadLambdaStrategy<G>>();
+                 }});
+  out.push_back({"compensated-lambda", [](std::size_t, const G& group) {
+                   return std::make_unique<CompensatedLambdaStrategy<G>>(
+                       group, 17);
+                 }});
+  out.push_back({"silent-lambda", [](std::size_t, const G&) {
+                   return std::make_unique<SilentLambdaStrategy<G>>();
+                 }});
+  out.push_back({"withhold-disclosure", [](std::size_t, const G&) {
+                   return std::make_unique<WithholdDisclosureStrategy<G>>();
+                 }});
+  out.push_back({"corrupt-disclosure", [](std::size_t, const G&) {
+                   return std::make_unique<CorruptDisclosureStrategy<G>>();
+                 }});
+  out.push_back({"eager-disclosure", [](std::size_t, const G&) {
+                   return std::make_unique<EagerDisclosureStrategy<G>>();
+                 }});
+  out.push_back({"bad-reduced-lambda", [](std::size_t, const G&) {
+                   return std::make_unique<BadReducedLambdaStrategy<G>>();
+                 }});
+  out.push_back({"greedy-payment", [](std::size_t deviator, const G&) {
+                   return std::make_unique<GreedyPaymentStrategy<G>>(deviator);
+                 }});
+  out.push_back({"silent-payment", [](std::size_t, const G&) {
+                   return std::make_unique<SilentPaymentStrategy<G>>();
+                 }});
+  return out;
+}
+
+struct DeviationResult {
+  std::string strategy;
+  std::size_t deviator = 0;
+  bool aborted = false;
+  proto::AbortReason reason = proto::AbortReason::kNone;
+  std::int64_t honest_utility = 0;   ///< deviator's utility when honest
+  std::int64_t deviant_utility = 0;  ///< deviator's utility when deviating
+  /// Minimum utility over the *honest* agents in the deviant run; strong
+  /// voluntary participation requires this to be >= 0.
+  std::int64_t min_honest_bystander_utility = 0;
+
+  bool gained() const { return deviant_utility > honest_utility; }
+};
+
+struct FaithfulnessReport {
+  bool faithful = true;               ///< no deviation gained
+  bool strong_voluntary = true;       ///< no honest bystander lost
+  std::vector<DeviationResult> results;
+  proto::Outcome honest_outcome;
+};
+
+/// Run the whole deviation suite on one instance.
+template <dmw::num::GroupBackend G>
+FaithfulnessReport run_faithfulness_suite(
+    const proto::PublicParams<G>& params,
+    const mech::SchedulingInstance& instance,
+    proto::RunConfig config = proto::RunConfig{}) {
+  FaithfulnessReport report;
+  report.honest_outcome = proto::run_honest_dmw(params, instance, config);
+  DMW_CHECK_MSG(!report.honest_outcome.aborted,
+                "honest baseline must not abort");
+
+  const auto catalogue = deviation_catalogue<G>(params.n());
+  for (const auto& deviation : catalogue) {
+    for (std::size_t deviator = 0; deviator < params.n(); ++deviator) {
+      auto deviant_strategy = deviation.make(deviator, params.group());
+      proto::HonestStrategy<G> honest;
+      std::vector<proto::Strategy<G>*> strategies(params.n(), &honest);
+      strategies[deviator] = deviant_strategy.get();
+      proto::ProtocolRunner<G> runner(params, instance, std::move(strategies),
+                                      config);
+      const auto outcome = runner.run();
+
+      DeviationResult result;
+      result.strategy = deviation.name;
+      result.deviator = deviator;
+      result.aborted = outcome.aborted;
+      if (outcome.abort_record) result.reason = outcome.abort_record->reason;
+      result.honest_utility =
+          report.honest_outcome.utility(instance, deviator);
+      result.deviant_utility = outcome.utility(instance, deviator);
+      result.min_honest_bystander_utility = 0;
+      for (std::size_t i = 0; i < params.n(); ++i) {
+        if (i == deviator) continue;
+        result.min_honest_bystander_utility =
+            std::min(result.min_honest_bystander_utility,
+                     outcome.utility(instance, i));
+      }
+      if (result.gained()) report.faithful = false;
+      if (result.min_honest_bystander_utility < 0)
+        report.strong_voluntary = false;
+      report.results.push_back(std::move(result));
+    }
+  }
+  return report;
+}
+
+}  // namespace dmw::exp

@@ -1,0 +1,166 @@
+// Privacy experiments (paper Theorem 10).
+//
+// A coalition of curious-but-passive agents pools everything it legitimately
+// holds after a completed run:
+//   - its members' private shares of every other agent's polynomials, and
+//   - the public bulletin (commitments, Lambda/Psi, winner disclosures).
+// and tries to recover a losing agent's bid.
+//
+// Attack 1 ("e-attack", the one Theorem 10 addresses): resolve the degree of
+// the target's e polynomial from the coalition's e-shares. The bid encoding
+// pads degrees by c+1, so a coalition of size <= c+1 can never resolve even
+// the weakest bid; success requires |C| >= sigma - y + 1 points.
+//
+// Attack 2 ("f-attack", a leak the paper does not account for): the winner-
+// identification phase publicly discloses y*+1 points of *every* agent's f
+// polynomial, whose degree equals the bid directly (no c padding). A
+// coalition holding a few extra f-shares can resolve low losing bids. The
+// privacy bench quantifies this gap; see EXPERIMENTS.md.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dmw/protocol.hpp"
+#include "poly/lagrange.hpp"
+
+namespace dmw::exp {
+
+struct PrivacyAttackResult {
+  std::size_t coalition_size = 0;
+  std::size_t target = 0;
+  std::size_t task = 0;
+  mech::Cost true_bid = 0;
+  std::optional<mech::Cost> e_attack_guess;  ///< nullopt: unresolved
+  std::optional<mech::Cost> f_attack_guess;
+  bool e_attack_succeeded() const {
+    return e_attack_guess && *e_attack_guess == true_bid;
+  }
+  bool f_attack_succeeded() const {
+    return f_attack_guess && *f_attack_guess == true_bid;
+  }
+};
+
+/// Run both attacks for one (coalition, target, task) triple. The runner
+/// must have completed a non-aborted honest run; the coalition is the first
+/// `coalition_size` agents excluding the target (losers attack each other in
+/// the worst case for privacy).
+template <dmw::num::GroupBackend G>
+PrivacyAttackResult attack_bid_privacy(
+    const proto::ProtocolRunner<G>& runner,
+    const proto::PublicParams<G>& params, std::size_t coalition_size,
+    std::size_t target, std::size_t task) {
+  DMW_REQUIRE(coalition_size >= 1 && coalition_size < params.n());
+  DMW_REQUIRE(target < params.n());
+  const G& g = params.group();
+
+  PrivacyAttackResult result;
+  result.coalition_size = coalition_size;
+  result.target = target;
+  result.task = task;
+  result.true_bid = runner.agent(target).bids()[task];
+
+  // Coalition membership: first `coalition_size` agents skipping the target.
+  std::vector<std::size_t> coalition;
+  for (std::size_t i = 0; i < params.n() && coalition.size() < coalition_size;
+       ++i) {
+    if (i != target) coalition.push_back(i);
+  }
+
+  // ---- e-attack: pooled e-shares of the target ---------------------------
+  {
+    std::vector<typename G::Scalar> points, values;
+    for (std::size_t member : coalition) {
+      const auto& view = runner.agent(member).task_view(task);
+      DMW_CHECK(view.shares_in[target].has_value());
+      points.push_back(params.pseudonym(member));
+      values.push_back(view.shares_in[target]->e);
+    }
+    const auto resolution = poly::resolve_degree(g, points, values);
+    if (resolution.degree && params.degree_is_valid_bid(*resolution.degree))
+      result.e_attack_guess = params.bid_for_degree(*resolution.degree);
+  }
+
+  // ---- f-attack: public winner-phase disclosures + coalition f-shares ----
+  {
+    // Points disclosed publicly during III.3 (first y*+1 agents), plus the
+    // coalition's own f-shares of the target.
+    std::vector<typename G::Scalar> points, values;
+    std::vector<bool> used(params.n(), false);
+    const auto& reference_view = runner.agent(0).task_view(task);
+    if (reference_view.first_price) {
+      const std::size_t disclosed = *reference_view.first_price + 1;
+      for (std::size_t k = 0; k < disclosed && k < params.n(); ++k) {
+        const auto& view = runner.agent(0).task_view(task);
+        if (view.disclosures[k]) {
+          points.push_back(params.pseudonym(k));
+          values.push_back((*view.disclosures[k])[target]);
+          used[k] = true;
+        }
+      }
+    }
+    for (std::size_t member : coalition) {
+      if (used[member]) continue;
+      const auto& view = runner.agent(member).task_view(task);
+      points.push_back(params.pseudonym(member));
+      values.push_back(view.shares_in[target]->f);
+      used[member] = true;
+    }
+    const auto resolution = poly::resolve_degree(g, points, values);
+    // f's degree IS the bid (deg f = sigma - tau = y).
+    if (resolution.degree &&
+        params.bid_set().contains(static_cast<mech::Cost>(*resolution.degree)))
+      result.f_attack_guess = static_cast<mech::Cost>(*resolution.degree);
+  }
+
+  return result;
+}
+
+struct PrivacySweepRow {
+  std::size_t coalition_size = 0;
+  std::size_t trials = 0;
+  std::size_t e_successes = 0;
+  std::size_t f_successes = 0;
+  double e_rate() const {
+    return trials ? static_cast<double>(e_successes) / trials : 0.0;
+  }
+  double f_rate() const {
+    return trials ? static_cast<double>(f_successes) / trials : 0.0;
+  }
+};
+
+/// Sweep coalition sizes 1..max_coalition against every losing agent on
+/// every task of a fresh honest run.
+template <dmw::num::GroupBackend G>
+std::vector<PrivacySweepRow> privacy_sweep(
+    const proto::PublicParams<G>& params,
+    const mech::SchedulingInstance& instance, std::size_t max_coalition,
+    proto::RunConfig config = proto::RunConfig{}) {
+  proto::HonestStrategy<G> honest;
+  std::vector<proto::Strategy<G>*> strategies(params.n(), &honest);
+  proto::ProtocolRunner<G> runner(params, instance, std::move(strategies),
+                                  config);
+  const auto outcome = runner.run();
+  DMW_CHECK_MSG(!outcome.aborted, "privacy sweep needs a clean run");
+
+  std::vector<PrivacySweepRow> rows;
+  for (std::size_t size = 1; size <= max_coalition; ++size) {
+    PrivacySweepRow row;
+    row.coalition_size = size;
+    for (std::size_t task = 0; task < params.m(); ++task) {
+      const std::size_t winner = outcome.schedule.agent_for(task);
+      for (std::size_t target = 0; target < params.n(); ++target) {
+        if (target == winner) continue;  // losers are the privacy subjects
+        const auto attack =
+            attack_bid_privacy(runner, params, size, target, task);
+        ++row.trials;
+        if (attack.e_attack_succeeded()) ++row.e_successes;
+        if (attack.f_attack_succeeded()) ++row.f_successes;
+      }
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace dmw::exp

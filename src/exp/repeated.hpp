@@ -1,0 +1,196 @@
+// Repeated-execution experiments (paper, Remark after Theorem 10).
+//
+// "The knowledge of first and second-highest bid can be exploited only if
+// the same set of jobs is scheduled repeatedly using repeated executions of
+// DMW." This harness quantifies both sides of that remark:
+//
+//   1. *Unilateral* adaptive bidding based on the revealed prices gains
+//      nothing: second-price auctions are strategyproof round by round, so
+//      a lone price-learner can at best match truth-telling.
+//
+//   2. A *coalition* (the repeat winner plus the agent it learned to be the
+//      price-setter) can exploit the revelations: once the winner knows who
+//      sets its price, the accomplice inflates its bid to the top of W and
+//      the winner's payment — extracted from the payment infrastructure —
+//      rises every round. This is the concrete risk the remark warns about.
+//
+// Rounds use the centralized MinWork auctions; DMW computes the identical
+// outcome (established by the protocol tests), and the information used by
+// the adaptive bidders is exactly what DMW reveals: the winner, the first
+// price and the second price of each task.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mech/minwork.hpp"
+
+namespace dmw::exp {
+
+/// What one round reveals about one task (DMW's intrinsic disclosures).
+struct RevealedAuction {
+  std::size_t winner = 0;
+  mech::Cost first_price = 0;
+  mech::Cost second_price = 0;
+};
+
+using RoundHistory = std::vector<std::vector<RevealedAuction>>;  // [round][task]
+
+/// A bidding policy for repeated play: maps the public history to the next
+/// round's bid vector for one agent.
+class BiddingPolicy {
+ public:
+  virtual ~BiddingPolicy() = default;
+  virtual std::string name() const = 0;
+  virtual std::vector<mech::Cost> next_bids(
+      const std::vector<mech::Cost>& true_costs, const mech::BidSet& bids,
+      std::size_t self, const RoundHistory& history) = 0;
+};
+
+/// Truth-telling every round (the suggested strategy).
+class TruthfulPolicy : public BiddingPolicy {
+ public:
+  std::string name() const override { return "truthful"; }
+  std::vector<mech::Cost> next_bids(const std::vector<mech::Cost>& costs,
+                                    const mech::BidSet&, std::size_t,
+                                    const RoundHistory&) override {
+    return costs;
+  }
+};
+
+/// Shade upward toward the revealed second price on tasks won last round
+/// (the classic "can I charge more?" probe).
+class ShadeToSecondPricePolicy : public BiddingPolicy {
+ public:
+  std::string name() const override { return "shade-to-second-price"; }
+  std::vector<mech::Cost> next_bids(const std::vector<mech::Cost>& costs,
+                                    const mech::BidSet& bids, std::size_t self,
+                                    const RoundHistory& history) override {
+    std::vector<mech::Cost> out = costs;
+    if (history.empty()) return out;
+    const auto& last = history.back();
+    for (std::size_t j = 0; j < out.size(); ++j) {
+      if (last[j].winner == self)
+        out[j] = std::max(costs[j], bids.round_up(last[j].second_price));
+    }
+    return out;
+  }
+};
+
+/// Undercut the revealed first price on tasks lost last round, ignoring own
+/// costs (the "steal the job" probe; may win at a loss).
+class UndercutFirstPricePolicy : public BiddingPolicy {
+ public:
+  std::string name() const override { return "undercut-first-price"; }
+  std::vector<mech::Cost> next_bids(const std::vector<mech::Cost>& costs,
+                                    const mech::BidSet& bids, std::size_t self,
+                                    const RoundHistory& history) override {
+    std::vector<mech::Cost> out = costs;
+    if (history.empty()) return out;
+    const auto& last = history.back();
+    for (std::size_t j = 0; j < out.size(); ++j) {
+      if (last[j].winner != self && last[j].first_price > bids.min()) {
+        // Bid one step below the revealed winning price.
+        const std::size_t idx = bids.index_of(last[j].first_price);
+        out[j] = bids.values()[idx - 1];
+      }
+    }
+    return out;
+  }
+};
+
+/// Price-fixing accomplice: on tasks where its partner won and it was the
+/// revealed price-setter (its bid equals the second price), it jumps to the
+/// top of W so the partner's next payment is maximal.
+class AccomplicePolicy : public BiddingPolicy {
+ public:
+  explicit AccomplicePolicy(std::size_t partner) : partner_(partner) {}
+  std::string name() const override { return "price-fixing-accomplice"; }
+  std::vector<mech::Cost> next_bids(const std::vector<mech::Cost>& costs,
+                                    const mech::BidSet& bids, std::size_t,
+                                    const RoundHistory& history) override {
+    std::vector<mech::Cost> out = costs;
+    if (history.empty()) return out;
+    const auto& last = history.back();
+    for (std::size_t j = 0; j < out.size(); ++j) {
+      if (last[j].winner == partner_ && costs[j] == last[j].second_price)
+        out[j] = bids.max();
+    }
+    return out;
+  }
+
+ private:
+  std::size_t partner_;
+};
+
+struct RepeatedResult {
+  std::string policy;
+  std::size_t agent = 0;
+  std::int64_t adaptive_total = 0;   ///< cumulative utility with the policy
+  std::int64_t truthful_total = 0;   ///< cumulative utility if truthful
+  std::int64_t coalition_adaptive = 0;  ///< with a partner, if applicable
+  std::int64_t coalition_truthful = 0;
+};
+
+/// Run `rounds` repeated executions with one adaptive agent (and optionally
+/// a coalition partner also playing a policy); everyone else is truthful.
+inline RepeatedResult run_repeated(
+    const mech::SchedulingInstance& instance, const mech::BidSet& bids,
+    std::size_t adaptive_agent, BiddingPolicy& policy, std::size_t rounds,
+    std::size_t partner = std::size_t(-1),
+    BiddingPolicy* partner_policy = nullptr) {
+  instance.validate();
+  RepeatedResult result;
+  result.policy = policy.name();
+  result.agent = adaptive_agent;
+
+  TruthfulPolicy truthful;
+  RoundHistory adaptive_history, truthful_history;
+
+  auto play_round = [&](RoundHistory& history, bool adaptive) {
+    mech::BidMatrix round_bids = mech::truthful_bids(instance);
+    if (adaptive) {
+      round_bids[adaptive_agent] = policy.next_bids(
+          instance.cost[adaptive_agent], bids, adaptive_agent, history);
+      if (partner_policy != nullptr) {
+        round_bids[partner] = partner_policy->next_bids(
+            instance.cost[partner], bids, partner, history);
+      }
+    }
+    const auto outcome = mech::run_minwork(round_bids);
+    std::vector<RevealedAuction> revealed;
+    for (const auto& auction : outcome.auctions) {
+      revealed.push_back(RevealedAuction{auction.winner, auction.first_price,
+                                         auction.second_price});
+    }
+    history.push_back(std::move(revealed));
+    return outcome;
+  };
+
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const auto adaptive_outcome = play_round(adaptive_history, true);
+    const auto truthful_outcome = play_round(truthful_history, false);
+    result.adaptive_total += mech::utility(
+        instance, adaptive_outcome.schedule, adaptive_agent,
+        adaptive_outcome.payments[adaptive_agent]);
+    result.truthful_total += mech::utility(
+        instance, truthful_outcome.schedule, adaptive_agent,
+        truthful_outcome.payments[adaptive_agent]);
+    if (partner != std::size_t(-1)) {
+      result.coalition_adaptive +=
+          mech::utility(instance, adaptive_outcome.schedule, adaptive_agent,
+                        adaptive_outcome.payments[adaptive_agent]) +
+          mech::utility(instance, adaptive_outcome.schedule, partner,
+                        adaptive_outcome.payments[partner]);
+      result.coalition_truthful +=
+          mech::utility(instance, truthful_outcome.schedule, adaptive_agent,
+                        truthful_outcome.payments[adaptive_agent]) +
+          mech::utility(instance, truthful_outcome.schedule, partner,
+                        truthful_outcome.payments[partner]);
+    }
+  }
+  return result;
+}
+
+}  // namespace dmw::exp

@@ -1,0 +1,65 @@
+// Fixed-width console table printer for the bench binaries.
+#pragma once
+
+#include <concepts>
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace dmw::exp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  static std::string num(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  template <class T>
+    requires std::integral<T>
+  static std::string num(T v) {
+    return std::to_string(v);
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      widths[c] = headers_[c].size();
+    for (const auto& r : rows_)
+      for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c)
+        widths[c] = std::max(widths[c], r[c].size());
+
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      os << "|";
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        const std::string& cell = c < cells.size() ? cells[c] : "";
+        os << " " << std::setw(static_cast<int>(widths[c])) << cell << " |";
+      }
+      os << "\n";
+    };
+    print_row(headers_);
+    os << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      os << std::string(widths[c] + 2, '-') << "|";
+    os << "\n";
+    for (const auto& r : rows_) print_row(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dmw::exp

@@ -1,0 +1,163 @@
+#include "mech/opt.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dmw::mech {
+
+namespace {
+
+struct BnbState {
+  const SchedulingInstance* instance;
+  std::vector<std::size_t> order;        // tasks, hardest first
+  std::vector<std::uint64_t> loads;
+  std::vector<std::size_t> assignment;   // by original task index
+  std::vector<std::size_t> best_assignment;
+  std::uint64_t best = 0;                // current upper bound (exclusive)
+  std::uint64_t nodes = 0;
+  std::vector<Cost> min_cost;            // cheapest machine per task
+  std::vector<std::uint64_t> suffix_min_sum;  // sum of min costs from depth d
+  std::vector<Cost> suffix_min_max;           // max of min costs from depth d
+  std::uint64_t assigned_sum = 0;
+};
+
+void bnb(BnbState& state, std::size_t depth) {
+  ++state.nodes;
+  const auto& instance = *state.instance;
+  if (depth == instance.m) {
+    const std::uint64_t makespan =
+        *std::max_element(state.loads.begin(), state.loads.end());
+    if (makespan < state.best) {
+      state.best = makespan;
+      state.best_assignment = state.assignment;
+    }
+    return;
+  }
+  const std::uint64_t current_max =
+      *std::max_element(state.loads.begin(), state.loads.end());
+  // Lower bounds: (1) the current maximum never decreases; (2) each
+  // remaining task costs at least its global minimum somewhere, so the
+  // average load is bounded below; (3) the hardest remaining task's
+  // cheapest placement bounds the final makespan.
+  const std::uint64_t average_bound =
+      (state.assigned_sum + state.suffix_min_sum[depth] +
+       static_cast<std::uint64_t>(instance.n) - 1) /
+      static_cast<std::uint64_t>(instance.n);
+  const std::uint64_t lower_bound =
+      std::max({current_max, average_bound,
+                static_cast<std::uint64_t>(state.suffix_min_max[depth])});
+  if (lower_bound >= state.best) return;
+
+  const std::size_t task = state.order[depth];
+  for (std::size_t i = 0; i < instance.n; ++i) {
+    const Cost cost = instance.at(i, task);
+    const std::uint64_t new_load = state.loads[i] + cost;
+    if (new_load >= state.best) continue;
+    state.loads[i] = new_load;
+    state.assigned_sum += cost;
+    state.assignment[task] = i;
+    bnb(state, depth + 1);
+    state.loads[i] = new_load - cost;
+    state.assigned_sum -= cost;
+  }
+}
+
+OptResult greedy_in_order(const SchedulingInstance& instance,
+                          const std::vector<std::size_t>& order) {
+  std::vector<std::uint64_t> loads(instance.n, 0);
+  std::vector<std::size_t> assignment(instance.m, 0);
+  for (std::size_t task : order) {
+    std::size_t best_agent = 0;
+    std::uint64_t best_finish = loads[0] + instance.at(0, task);
+    for (std::size_t i = 1; i < instance.n; ++i) {
+      const std::uint64_t finish = loads[i] + instance.at(i, task);
+      if (finish < best_finish) {
+        best_finish = finish;
+        best_agent = i;
+      }
+    }
+    loads[best_agent] = best_finish;
+    assignment[task] = best_agent;
+  }
+  OptResult out;
+  out.schedule = Schedule(std::move(assignment));
+  out.makespan = out.schedule.makespan(instance);
+  return out;
+}
+
+std::vector<Cost> min_cost_per_task(const SchedulingInstance& instance) {
+  std::vector<Cost> out(instance.m);
+  for (std::size_t j = 0; j < instance.m; ++j) {
+    Cost best = instance.at(0, j);
+    for (std::size_t i = 1; i < instance.n; ++i)
+      best = std::min(best, instance.at(i, j));
+    out[j] = best;
+  }
+  return out;
+}
+
+}  // namespace
+
+OptResult optimal_makespan(const SchedulingInstance& instance) {
+  instance.validate();
+  // Seed the bound with the better of the two heuristics so pruning bites
+  // from the first node.
+  OptResult seed = greedy_makespan(instance);
+  const OptResult lpt_seed = lpt_makespan(instance);
+  if (lpt_seed.makespan < seed.makespan) seed = lpt_seed;
+
+  BnbState state;
+  state.instance = &instance;
+  state.min_cost = min_cost_per_task(instance);
+  state.order.resize(instance.m);
+  std::iota(state.order.begin(), state.order.end(), std::size_t{0});
+  // Hardest-first ordering makes early bounds tight.
+  std::stable_sort(state.order.begin(), state.order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return state.min_cost[a] > state.min_cost[b];
+                   });
+  state.suffix_min_sum.assign(instance.m + 1, 0);
+  state.suffix_min_max.assign(instance.m + 1, 0);
+  for (std::size_t d = instance.m; d-- > 0;) {
+    const Cost c = state.min_cost[state.order[d]];
+    state.suffix_min_sum[d] = state.suffix_min_sum[d + 1] + c;
+    state.suffix_min_max[d] = std::max(state.suffix_min_max[d + 1], c);
+  }
+  state.loads.assign(instance.n, 0);
+  state.assignment.assign(instance.m, 0);
+  state.best = seed.makespan + 1;  // strict-improvement bound
+  bnb(state, 0);
+
+  OptResult out;
+  out.nodes_explored = state.nodes;
+  if (state.best_assignment.empty()) {
+    // The heuristic seed was already optimal.
+    out.schedule = seed.schedule;
+    out.makespan = seed.makespan;
+  } else {
+    out.schedule = Schedule(state.best_assignment);
+    out.makespan = state.best;
+  }
+  return out;
+}
+
+OptResult greedy_makespan(const SchedulingInstance& instance) {
+  instance.validate();
+  std::vector<std::size_t> order(instance.m);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  return greedy_in_order(instance, order);
+}
+
+OptResult lpt_makespan(const SchedulingInstance& instance) {
+  instance.validate();
+  std::vector<std::size_t> order(instance.m);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  const auto min_cost = min_cost_per_task(instance);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return min_cost[a] > min_cost[b];
+                   });
+  return greedy_in_order(instance, order);
+}
+
+}  // namespace dmw::mech

@@ -1,0 +1,34 @@
+// Exact and heuristic makespan baselines.
+//
+// MinWork minimizes total work and is only an n-approximation for the
+// makespan (paper §2.2); the approximation bench (A-approx in DESIGN.md)
+// needs the true optimum and standard heuristics to compare against.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "mech/problem.hpp"
+#include "mech/schedule.hpp"
+
+namespace dmw::mech {
+
+struct OptResult {
+  Schedule schedule;
+  std::uint64_t makespan = 0;
+  std::uint64_t nodes_explored = 0;  ///< branch-and-bound search effort
+};
+
+/// Exact minimum makespan via depth-first branch-and-bound over task
+/// assignments. Exponential in m; intended for m <= ~12 at small n.
+OptResult optimal_makespan(const SchedulingInstance& instance);
+
+/// Greedy list scheduling: assign each task (in index order) to the machine
+/// whose completion time after the assignment is smallest.
+OptResult greedy_makespan(const SchedulingInstance& instance);
+
+/// LPT-style variant: order tasks by decreasing minimum cost before the
+/// greedy pass; classic heuristic for makespan scheduling.
+OptResult lpt_makespan(const SchedulingInstance& instance);
+
+}  // namespace dmw::mech

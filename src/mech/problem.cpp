@@ -1,0 +1,202 @@
+#include "mech/problem.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace dmw::mech {
+
+BidSet::BidSet(std::vector<Cost> values) : values_(std::move(values)) {
+  DMW_REQUIRE_MSG(!values_.empty(), "bid set must be non-empty");
+  DMW_REQUIRE_MSG(values_.front() > 0, "bids must be positive (paper: 0 < w1)");
+  for (std::size_t i = 1; i < values_.size(); ++i) {
+    DMW_REQUIRE_MSG(values_[i] > values_[i - 1],
+                    "bid set must be strictly increasing");
+  }
+}
+
+BidSet BidSet::iota(Cost k) {
+  DMW_REQUIRE(k >= 1);
+  std::vector<Cost> v(k);
+  std::iota(v.begin(), v.end(), Cost{1});
+  return BidSet(std::move(v));
+}
+
+bool BidSet::contains(Cost v) const {
+  return std::binary_search(values_.begin(), values_.end(), v);
+}
+
+std::size_t BidSet::index_of(Cost v) const {
+  const auto it = std::lower_bound(values_.begin(), values_.end(), v);
+  DMW_REQUIRE_MSG(it != values_.end() && *it == v, "value not in bid set");
+  return static_cast<std::size_t>(it - values_.begin());
+}
+
+Cost BidSet::round_up(Cost v) const {
+  const auto it = std::lower_bound(values_.begin(), values_.end(), v);
+  return it == values_.end() ? values_.back() : *it;
+}
+
+void SchedulingInstance::validate() const {
+  DMW_REQUIRE(n >= 1 && m >= 1);
+  DMW_REQUIRE(cost.size() == n);
+  for (const auto& row : cost) {
+    DMW_REQUIRE(row.size() == m);
+    for (Cost c : row) DMW_REQUIRE_MSG(c > 0, "costs must be positive");
+  }
+}
+
+std::string SchedulingInstance::describe() const {
+  std::ostringstream os;
+  os << "instance n=" << n << " m=" << m << "\n";
+  for (std::size_t i = 0; i < n; ++i) {
+    os << "  A" << (i + 1) << ":";
+    for (std::size_t j = 0; j < m; ++j) os << " " << cost[i][j];
+    os << "\n";
+  }
+  return os.str();
+}
+
+BidMatrix truthful_bids(const SchedulingInstance& instance) {
+  return instance.cost;
+}
+
+SchedulingInstance make_uniform_instance(std::size_t n, std::size_t m,
+                                         const BidSet& bids,
+                                         dmw::Xoshiro256ss& rng) {
+  SchedulingInstance instance;
+  instance.n = n;
+  instance.m = m;
+  instance.cost.assign(n, std::vector<Cost>(m));
+  for (auto& row : instance.cost)
+    for (auto& c : row)
+      c = bids.values()[rng.below(bids.size())];
+  instance.validate();
+  return instance;
+}
+
+SchedulingInstance make_machine_correlated_instance(std::size_t n,
+                                                    std::size_t m,
+                                                    const BidSet& bids,
+                                                    dmw::Xoshiro256ss& rng) {
+  SchedulingInstance instance;
+  instance.n = n;
+  instance.m = m;
+  instance.cost.assign(n, std::vector<Cost>(m));
+  const std::size_t k = bids.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Speed class shifts the machine's band within W; bands are at least
+    // two values wide and overlap, so per-task winners vary across
+    // machines instead of collapsing onto one globally-fastest machine.
+    const std::size_t band = rng.below(3);  // 0 fast, 1 medium, 2 slow
+    const std::size_t lo = band * k / 4;
+    const std::size_t width = std::max<std::size_t>(2, (k + 1) / 2);
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::size_t idx = std::min(k - 1, lo + rng.below(width));
+      instance.cost[i][j] = bids.values()[idx];
+    }
+  }
+  instance.validate();
+  return instance;
+}
+
+SchedulingInstance make_task_correlated_instance(std::size_t n, std::size_t m,
+                                                 const BidSet& bids,
+                                                 dmw::Xoshiro256ss& rng) {
+  SchedulingInstance instance;
+  instance.n = n;
+  instance.m = m;
+  instance.cost.assign(n, std::vector<Cost>(m));
+  const std::size_t k = bids.size();
+  for (std::size_t j = 0; j < m; ++j) {
+    const std::size_t base = rng.below(k);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Perturb the intrinsic size by at most one index either way.
+      const std::size_t jitter = rng.below(3);  // 0,1,2 -> -1,0,+1
+      std::size_t idx = base;
+      if (jitter == 0 && idx > 0) --idx;
+      if (jitter == 2 && idx + 1 < k) ++idx;
+      instance.cost[i][j] = bids.values()[idx];
+    }
+  }
+  instance.validate();
+  return instance;
+}
+
+SchedulingInstance make_zipf_instance(std::size_t n, std::size_t m,
+                                      const BidSet& bids,
+                                      dmw::Xoshiro256ss& rng) {
+  SchedulingInstance instance;
+  instance.n = n;
+  instance.m = m;
+  instance.cost.assign(n, std::vector<Cost>(m));
+  const std::size_t k = bids.size();
+  // Zipf over the k size classes: P(class c) ~ 1/(c+1).
+  std::vector<double> cumulative(k);
+  double total = 0;
+  for (std::size_t c = 0; c < k; ++c) {
+    total += 1.0 / static_cast<double>(c + 1);
+    cumulative[c] = total;
+  }
+  for (std::size_t j = 0; j < m; ++j) {
+    const double u = rng.real() * total;
+    std::size_t base = k - 1;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (u <= cumulative[c]) {
+        base = c;
+        break;
+      }
+    }
+    // Zipf classes are light-first; map class 0 to the SMALL end of W.
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t jitter = rng.below(3);  // -1, 0, +1 index
+      std::size_t idx = base;
+      if (jitter == 0 && idx > 0) --idx;
+      if (jitter == 2 && idx + 1 < k) ++idx;
+      instance.cost[i][j] = bids.values()[idx];
+    }
+  }
+  instance.validate();
+  return instance;
+}
+
+SchedulingInstance make_bimodal_instance(std::size_t n, std::size_t m,
+                                         const BidSet& bids,
+                                         double heavy_fraction,
+                                         dmw::Xoshiro256ss& rng) {
+  DMW_REQUIRE(heavy_fraction >= 0.0 && heavy_fraction <= 1.0);
+  SchedulingInstance instance;
+  instance.n = n;
+  instance.m = m;
+  instance.cost.assign(n, std::vector<Cost>(m));
+  const std::size_t k = bids.size();
+  const std::size_t light_band = std::max<std::size_t>(1, k / 3);
+  for (std::size_t j = 0; j < m; ++j) {
+    const bool heavy = rng.chance(heavy_fraction);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t idx = heavy
+                                  ? k - 1 - rng.below(light_band)
+                                  : rng.below(light_band);
+      instance.cost[i][j] = bids.values()[idx];
+    }
+  }
+  instance.validate();
+  return instance;
+}
+
+SchedulingInstance make_minwork_worst_case(std::size_t n, std::size_t m,
+                                           const BidSet& bids) {
+  SchedulingInstance instance;
+  instance.n = n;
+  instance.m = m;
+  // Agent 1 is marginally cheaper on every task, so MinWork assigns it
+  // everything; the optimum spreads tasks across all machines.
+  const Cost cheap = bids.min();
+  const Cost dear = bids.size() >= 2 ? bids.values()[1] : bids.min();
+  instance.cost.assign(n, std::vector<Cost>(m, dear));
+  for (std::size_t j = 0; j < m; ++j) instance.cost[0][j] = cheap;
+  instance.validate();
+  return instance;
+}
+
+}  // namespace dmw::mech

@@ -1,0 +1,107 @@
+// Scheduling on unrelated machines (paper §2.1).
+//
+// m independent tasks, n agents (machines); agent i processes task j in
+// t_i^j time units. DMW requires discrete bids drawn from a published set
+// W = {w_1 < ... < w_k} with 0 < w_1 and w_k bounded by the agent count
+// (§3 Notation), so instances carry costs that are *values in W*.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace dmw::mech {
+
+using Cost = std::uint32_t;
+
+/// The published discrete bid set W.
+class BidSet {
+ public:
+  /// Values must be strictly increasing and positive.
+  explicit BidSet(std::vector<Cost> values);
+
+  /// The canonical choice {1, 2, ..., k}.
+  static BidSet iota(Cost k);
+
+  const std::vector<Cost>& values() const { return values_; }
+  std::size_t size() const { return values_.size(); }
+  Cost min() const { return values_.front(); }
+  Cost max() const { return values_.back(); }
+  bool contains(Cost v) const;
+
+  /// Index of value v in the set; v must be a member.
+  std::size_t index_of(Cost v) const;
+
+  /// Smallest member >= v, clamped to max().
+  Cost round_up(Cost v) const;
+
+ private:
+  std::vector<Cost> values_;
+};
+
+/// A problem instance: the true types t_i^j.
+struct SchedulingInstance {
+  std::size_t n = 0;  ///< agents (machines)
+  std::size_t m = 0;  ///< tasks
+  /// cost[i][j] = t_i^j, the true time for agent i to run task j.
+  std::vector<std::vector<Cost>> cost;
+
+  Cost at(std::size_t agent, std::size_t task) const {
+    DMW_REQUIRE(agent < n && task < m);
+    return cost[agent][task];
+  }
+
+  void validate() const;
+  std::string describe() const;
+};
+
+/// A full bid matrix y_i^j (possibly != the true types).
+using BidMatrix = std::vector<std::vector<Cost>>;
+
+/// Bids equal to the true types (the truthful report).
+BidMatrix truthful_bids(const SchedulingInstance& instance);
+
+// ---- workload generators ---------------------------------------------------
+
+/// Uniform: every t_i^j drawn independently and uniformly from W.
+SchedulingInstance make_uniform_instance(std::size_t n, std::size_t m,
+                                         const BidSet& bids,
+                                         dmw::Xoshiro256ss& rng);
+
+/// Machine-correlated: each machine has a speed class; fast machines draw
+/// from the low end of W. Models heterogeneous clusters.
+SchedulingInstance make_machine_correlated_instance(std::size_t n,
+                                                    std::size_t m,
+                                                    const BidSet& bids,
+                                                    dmw::Xoshiro256ss& rng);
+
+/// Task-correlated: each task has an intrinsic size; all machines see it
+/// shifted by +-1 index in W. Models mostly-uniform hardware.
+SchedulingInstance make_task_correlated_instance(std::size_t n, std::size_t m,
+                                                 const BidSet& bids,
+                                                 dmw::Xoshiro256ss& rng);
+
+/// Adversarial for MinWork's approximation ratio: every agent quotes the
+/// same cost for every task, so MinWork piles all tasks on one machine while
+/// OPT spreads them (drives the makespan ratio toward n).
+SchedulingInstance make_minwork_worst_case(std::size_t n, std::size_t m,
+                                           const BidSet& bids);
+
+/// Zipf-distributed task sizes (exponent ~1): a few heavy tasks, a long
+/// tail of light ones — the classic shape of batch-queue traces. Machines
+/// perturb the intrinsic size by at most one index of W.
+SchedulingInstance make_zipf_instance(std::size_t n, std::size_t m,
+                                      const BidSet& bids,
+                                      dmw::Xoshiro256ss& rng);
+
+/// Bimodal tasks: a `heavy_fraction` of tasks drawn from the top of W, the
+/// rest from the bottom. Models mixed interactive/batch workloads.
+SchedulingInstance make_bimodal_instance(std::size_t n, std::size_t m,
+                                         const BidSet& bids,
+                                         double heavy_fraction,
+                                         dmw::Xoshiro256ss& rng);
+
+}  // namespace dmw::mech

@@ -1,0 +1,113 @@
+// Scheduling on RELATED machines — the paper's named future-work direction
+// ("designing distributed versions of the centralized mechanism for
+// scheduling on related machines").
+//
+// In the related model each machine has a single private parameter, its
+// processing rate r_i (time per unit of work); task j has public size p_j
+// and costs r_i * p_j on machine i. Related machines are therefore the
+// rank-one special case of the unrelated model, and DMW applies directly
+// once the cost products are discretized into the published bid set W.
+//
+// With unit-size tasks the embedding is exact (cost == rate, no rounding)
+// and DMW inherits truthfulness verbatim; with general sizes the rounding
+// into W can perturb incentives by up to one bid step — quantified by
+// tests/test_related.cpp and discussed in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mech/minwork.hpp"
+#include "mech/problem.hpp"
+
+namespace dmw::mech {
+
+struct RelatedInstance {
+  /// Public task sizes (units of work).
+  std::vector<std::uint32_t> sizes;
+  /// Private per-agent rates: time per unit of work, values in W.
+  std::vector<Cost> rates;
+
+  std::size_t n() const { return rates.size(); }
+  std::size_t m() const { return sizes.size(); }
+
+  void validate() const {
+    DMW_REQUIRE(n() >= 2 && m() >= 1);
+    for (auto s : sizes) DMW_REQUIRE_MSG(s > 0, "task sizes must be positive");
+    for (auto r : rates) DMW_REQUIRE_MSG(r > 0, "rates must be positive");
+  }
+};
+
+/// Embed a related instance into the unrelated model:
+/// cost[i][j] = round_up_W(rate_i * size_j).
+/// `exact` (when non-null) is set to true iff no rounding occurred, i.e.
+/// every product already lies in W — then all truthfulness guarantees carry
+/// over exactly.
+inline SchedulingInstance to_unrelated(const RelatedInstance& related,
+                                       const BidSet& bids,
+                                       bool* exact = nullptr) {
+  related.validate();
+  SchedulingInstance instance;
+  instance.n = related.n();
+  instance.m = related.m();
+  instance.cost.assign(instance.n, std::vector<Cost>(instance.m));
+  bool all_exact = true;
+  for (std::size_t i = 0; i < instance.n; ++i) {
+    for (std::size_t j = 0; j < instance.m; ++j) {
+      const std::uint64_t product =
+          static_cast<std::uint64_t>(related.rates[i]) * related.sizes[j];
+      DMW_REQUIRE_MSG(product <= bids.max(),
+                      "cost product exceeds the published bid set");
+      const Cost rounded = bids.round_up(static_cast<Cost>(product));
+      if (rounded != product) all_exact = false;
+      instance.cost[i][j] = rounded;
+    }
+  }
+  if (exact != nullptr) *exact = all_exact;
+  return instance;
+}
+
+/// Unit-size related instance: every task has size 1, so the unrelated
+/// embedding is exact and cost columns are identical (the adversarial shape
+/// that drives MinWork's approximation ratio toward n).
+inline RelatedInstance make_unit_related(std::vector<Cost> rates,
+                                         std::size_t m_tasks) {
+  RelatedInstance related;
+  related.rates = std::move(rates);
+  related.sizes.assign(m_tasks, 1);
+  related.validate();
+  return related;
+}
+
+/// Centralized MinWork on a related instance (via the embedding).
+inline MinWorkOutcome run_related_minwork(const RelatedInstance& related,
+                                          const BidSet& bids) {
+  return run_minwork(to_unrelated(related, bids));
+}
+
+/// Lower bound on the optimal related-machines makespan:
+/// total work / fastest rate spread over machines, and the largest single
+/// task on the fastest machine.
+inline double related_makespan_lower_bound(const RelatedInstance& related) {
+  related.validate();
+  double inv_rate_sum = 0;
+  Cost fastest = related.rates[0];
+  for (Cost r : related.rates) {
+    inv_rate_sum += 1.0 / static_cast<double>(r);
+    fastest = std::min(fastest, r);
+  }
+  std::uint64_t total = 0;
+  std::uint32_t largest = 0;
+  for (auto s : related.sizes) {
+    total += s;
+    largest = std::max(largest, s);
+  }
+  // Work split proportionally to speed cannot beat total / sum(1/r); and
+  // the largest task must run somewhere, at best on the fastest machine.
+  const double balanced = static_cast<double>(total) / inv_rate_sum;
+  const double single =
+      static_cast<double>(largest) * static_cast<double>(fastest);
+  return std::max(single, balanced);
+}
+
+}  // namespace dmw::mech

@@ -1,0 +1,68 @@
+#include "mech/schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dmw::mech {
+
+std::vector<std::size_t> Schedule::tasks_for(std::size_t agent) const {
+  std::vector<std::size_t> out;
+  for (std::size_t j = 0; j < task_to_agent_.size(); ++j)
+    if (task_to_agent_[j] == agent) out.push_back(j);
+  return out;
+}
+
+std::uint64_t Schedule::load(const SchedulingInstance& instance,
+                             std::size_t agent) const {
+  DMW_REQUIRE(agent < instance.n);
+  std::uint64_t total = 0;
+  for (std::size_t j = 0; j < task_to_agent_.size(); ++j)
+    if (task_to_agent_[j] == agent) total += instance.at(agent, j);
+  return total;
+}
+
+std::uint64_t Schedule::makespan(const SchedulingInstance& instance) const {
+  std::uint64_t best = 0;
+  for (std::size_t i = 0; i < instance.n; ++i)
+    best = std::max(best, load(instance, i));
+  return best;
+}
+
+std::uint64_t Schedule::total_work(const SchedulingInstance& instance) const {
+  std::uint64_t total = 0;
+  for (std::size_t j = 0; j < task_to_agent_.size(); ++j)
+    total += instance.at(task_to_agent_[j], j);
+  return total;
+}
+
+void Schedule::validate(const SchedulingInstance& instance) const {
+  DMW_REQUIRE_MSG(task_to_agent_.size() == instance.m,
+                  "schedule covers wrong task count");
+  for (std::size_t a : task_to_agent_)
+    DMW_REQUIRE_MSG(a < instance.n, "task assigned to unknown agent");
+}
+
+std::string Schedule::describe() const {
+  std::ostringstream os;
+  os << "{";
+  for (std::size_t j = 0; j < task_to_agent_.size(); ++j) {
+    if (j) os << ", ";
+    os << "T" << (j + 1) << "->A" << (task_to_agent_[j] + 1);
+  }
+  os << "}";
+  return os.str();
+}
+
+std::int64_t valuation(const SchedulingInstance& instance,
+                       const Schedule& schedule, std::size_t agent) {
+  return -static_cast<std::int64_t>(schedule.load(instance, agent));
+}
+
+std::int64_t utility(const SchedulingInstance& instance,
+                     const Schedule& schedule, std::size_t agent,
+                     std::uint64_t payment) {
+  return static_cast<std::int64_t>(payment) +
+         valuation(instance, schedule, agent);
+}
+
+}  // namespace dmw::mech

@@ -1,0 +1,59 @@
+// Schedules and objectives (paper §2.1, §2.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mech/problem.hpp"
+
+namespace dmw::mech {
+
+/// A schedule is a partition of task indices across agents; we store the
+/// inverse map (task -> agent) which is always a valid partition.
+class Schedule {
+ public:
+  Schedule() = default;
+  explicit Schedule(std::vector<std::size_t> task_to_agent)
+      : task_to_agent_(std::move(task_to_agent)) {}
+
+  std::size_t tasks() const { return task_to_agent_.size(); }
+  std::size_t agent_for(std::size_t task) const {
+    DMW_REQUIRE(task < task_to_agent_.size());
+    return task_to_agent_[task];
+  }
+
+  /// S_i: the tasks assigned to `agent`.
+  std::vector<std::size_t> tasks_for(std::size_t agent) const;
+
+  /// Completion time of `agent` under true types.
+  std::uint64_t load(const SchedulingInstance& instance,
+                     std::size_t agent) const;
+
+  /// C_max = max_i sum_{j in S_i} t_i^j.
+  std::uint64_t makespan(const SchedulingInstance& instance) const;
+
+  /// Total work = sum over all tasks of the assigned agent's true cost
+  /// (the quantity MinWork actually minimizes).
+  std::uint64_t total_work(const SchedulingInstance& instance) const;
+
+  void validate(const SchedulingInstance& instance) const;
+  std::string describe() const;
+
+  friend bool operator==(const Schedule&, const Schedule&) = default;
+
+ private:
+  std::vector<std::size_t> task_to_agent_;
+};
+
+/// Agent valuation V_i(S, t_i) = -sum_{j in S_i} t_i^j (Def. 2).
+std::int64_t valuation(const SchedulingInstance& instance,
+                       const Schedule& schedule, std::size_t agent);
+
+/// Utility U_i = P_i + V_i (Def. 2, item 4).
+std::int64_t utility(const SchedulingInstance& instance,
+                     const Schedule& schedule, std::size_t agent,
+                     std::uint64_t payment);
+
+}  // namespace dmw::mech

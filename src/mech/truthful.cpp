@@ -1,0 +1,79 @@
+#include "mech/truthful.hpp"
+
+#include <algorithm>
+
+namespace dmw::mech {
+
+std::int64_t minwork_utility(const SchedulingInstance& instance,
+                             const BidMatrix& bids, std::size_t agent) {
+  const MinWorkOutcome outcome = run_minwork(bids);
+  return utility(instance, outcome.schedule, agent, outcome.payments[agent]);
+}
+
+TruthfulnessReport check_truthfulness(const SchedulingInstance& instance,
+                                      const BidSet& bids,
+                                      const UtilityFn& utility_of,
+                                      std::size_t joint_samples,
+                                      dmw::Xoshiro256ss& rng) {
+  instance.validate();
+  TruthfulnessReport report;
+  const BidMatrix truthful = truthful_bids(instance);
+
+  for (std::size_t agent = 0; agent < instance.n; ++agent) {
+    const std::int64_t base = utility_of(truthful, agent);
+    if (base < 0) report.voluntary = false;
+
+    // Exhaustive single-task misreports.
+    for (std::size_t task = 0; task < instance.m; ++task) {
+      for (Cost w : bids.values()) {
+        if (w == truthful[agent][task]) continue;
+        BidMatrix deviant = truthful;
+        deviant[agent][task] = w;
+        const std::int64_t u = utility_of(deviant, agent);
+        ++report.deviations_tried;
+        const std::int64_t gain = u - base;
+        report.max_gain = std::max(report.max_gain, gain);
+        if (gain > 0) {
+          report.truthful = false;
+          report.violations.push_back(
+              DeviationRecord{agent, task, w, base, u});
+        }
+      }
+    }
+
+    // Random joint misreports.
+    for (std::size_t s = 0; s < joint_samples; ++s) {
+      BidMatrix deviant = truthful;
+      bool changed = false;
+      for (std::size_t task = 0; task < instance.m; ++task) {
+        const Cost w = bids.values()[rng.below(bids.size())];
+        if (w != truthful[agent][task]) changed = true;
+        deviant[agent][task] = w;
+      }
+      if (!changed) continue;
+      const std::int64_t u = utility_of(deviant, agent);
+      ++report.deviations_tried;
+      const std::int64_t gain = u - base;
+      report.max_gain = std::max(report.max_gain, gain);
+      if (gain > 0) {
+        report.truthful = false;
+        report.violations.push_back(
+            DeviationRecord{agent, instance.m, 0, base, u});
+      }
+    }
+  }
+  return report;
+}
+
+TruthfulnessReport check_minwork_truthfulness(
+    const SchedulingInstance& instance, const BidSet& bids,
+    std::size_t joint_samples, dmw::Xoshiro256ss& rng) {
+  return check_truthfulness(
+      instance, bids,
+      [&](const BidMatrix& b, std::size_t agent) {
+        return minwork_utility(instance, b, agent);
+      },
+      joint_samples, rng);
+}
+
+}  // namespace dmw::mech

@@ -1,0 +1,60 @@
+// Empirical truthfulness and voluntary-participation checking
+// (paper Definitions 3 and 4, Theorem 2).
+//
+// MinWork's utility is additive across tasks and the per-task auctions are
+// independent, so a mechanism-wide profitable misreport exists iff a
+// single-task profitable misreport exists; the checker sweeps every agent,
+// every task and every alternative bid in W exhaustively, and additionally
+// samples random joint (multi-task) misreports as a belt-and-braces check.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mech/minwork.hpp"
+#include "mech/problem.hpp"
+#include "support/rng.hpp"
+
+namespace dmw::mech {
+
+/// Utility of `agent` under true types when the mechanism ran on `bids`.
+std::int64_t minwork_utility(const SchedulingInstance& instance,
+                             const BidMatrix& bids, std::size_t agent);
+
+struct DeviationRecord {
+  std::size_t agent = 0;
+  std::size_t task = 0;     ///< meaningful for single-task deviations
+  Cost reported = 0;        ///< the misreported bid
+  std::int64_t truthful_utility = 0;
+  std::int64_t deviant_utility = 0;
+  std::int64_t gain() const { return deviant_utility - truthful_utility; }
+};
+
+struct TruthfulnessReport {
+  bool truthful = true;              ///< no deviation gained
+  bool voluntary = true;             ///< truthful utility >= 0 for all agents
+  std::size_t deviations_tried = 0;
+  std::int64_t max_gain = 0;         ///< best gain over all deviations (<= 0)
+  std::vector<DeviationRecord> violations;  ///< deviations with gain > 0
+};
+
+/// Exhaustive single-task misreports for all agents plus `joint_samples`
+/// random whole-vector misreports per agent.
+TruthfulnessReport check_minwork_truthfulness(
+    const SchedulingInstance& instance, const BidSet& bids,
+    std::size_t joint_samples, dmw::Xoshiro256ss& rng);
+
+/// Generic variant used to test any mechanism that maps a bid matrix to
+/// per-agent utilities under fixed true types (used end-to-end on DMW).
+using UtilityFn =
+    std::function<std::int64_t(const BidMatrix& bids, std::size_t agent)>;
+
+TruthfulnessReport check_truthfulness(const SchedulingInstance& instance,
+                                      const BidSet& bids,
+                                      const UtilityFn& utility_of,
+                                      std::size_t joint_samples,
+                                      dmw::Xoshiro256ss& rng);
+
+}  // namespace dmw::mech

@@ -1,0 +1,28 @@
+#include "mech/vickrey.hpp"
+
+namespace dmw::mech {
+
+VickreyOutcome run_vickrey(const std::vector<Cost>& bids) {
+  DMW_REQUIRE_MSG(bids.size() >= 2, "Vickrey auction needs >= 2 bidders");
+  VickreyOutcome out;
+  out.winner = 0;
+  out.first_price = bids[0];
+  for (std::size_t i = 1; i < bids.size(); ++i) {
+    if (bids[i] < out.first_price) {
+      out.first_price = bids[i];
+      out.winner = i;
+    }
+  }
+  bool have_second = false;
+  for (std::size_t i = 0; i < bids.size(); ++i) {
+    if (i == out.winner) continue;
+    if (!have_second || bids[i] < out.second_price) {
+      out.second_price = bids[i];
+      have_second = true;
+    }
+    if (bids[i] == out.first_price) out.tie = true;
+  }
+  return out;
+}
+
+}  // namespace dmw::mech

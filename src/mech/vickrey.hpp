@@ -1,0 +1,27 @@
+// Sealed-bid Vickrey (second-price) auction on a vector of bids.
+//
+// MinWork "can be viewed as running a set of parallel and independent
+// Vickrey auctions, one for each task" (paper §2.2); this is that auction.
+// DMW uses the deterministic smallest-pseudonym tie-break (III.3), which we
+// mirror here as smallest-index so the centralized and distributed outcomes
+// are comparable.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mech/problem.hpp"
+
+namespace dmw::mech {
+
+struct VickreyOutcome {
+  std::size_t winner = 0;   ///< lowest bidder (smallest index on ties)
+  Cost first_price = 0;     ///< the winning (lowest) bid
+  Cost second_price = 0;    ///< lowest bid among the others = winner's payment
+  bool tie = false;         ///< more than one bidder at first_price
+};
+
+/// Requires at least two bidders (a second price must exist).
+VickreyOutcome run_vickrey(const std::vector<Cost>& bids);
+
+}  // namespace dmw::mech

@@ -1,0 +1,104 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+namespace dmw::net {
+
+SimNetwork::SimNetwork(std::size_t n_agents)
+    : n_(n_agents), inboxes_(n_agents), per_agent_(n_agents) {
+  DMW_REQUIRE(n_agents >= 1);
+}
+
+void SimNetwork::send(AgentId from, AgentId to, std::uint32_t kind,
+                      std::vector<std::uint8_t> payload) {
+  DMW_REQUIRE(from < n_ && to < n_);
+  Envelope env{from, to, kind, std::move(payload)};
+
+  const std::size_t size = env.wire_size();
+  totals_.unicast_messages += 1;
+  totals_.unicast_bytes += size;
+  totals_.p2p_equivalent_messages += 1;
+  totals_.p2p_equivalent_bytes += size;
+  per_agent_[from].unicast_messages += 1;
+  per_agent_[from].unicast_bytes += size;
+  per_agent_[from].p2p_equivalent_messages += 1;
+  per_agent_[from].p2p_equivalent_bytes += size;
+
+  std::uint64_t deliver_round = round_ + 1;
+  if (injector_) {
+    const FaultAction action = injector_(env);
+    if (action.drop) return;
+    deliver_round += action.extra_delay_rounds;
+    if (action.replace_payload) env.payload = *action.replace_payload;
+  }
+  inboxes_[to].push_back(Pending{std::move(env), deliver_round});
+}
+
+void SimNetwork::publish(AgentId from, std::uint32_t kind,
+                         std::vector<std::uint8_t> payload) {
+  DMW_REQUIRE(from < n_);
+  Posting posting{from, kind, std::move(payload), round_ + 1};
+
+  const std::size_t size = posting.wire_size();
+  const std::uint64_t fanout = n_ > 1 ? n_ - 1 : 1;
+  totals_.broadcast_messages += 1;
+  totals_.broadcast_bytes += size;
+  totals_.p2p_equivalent_messages += fanout;
+  totals_.p2p_equivalent_bytes += fanout * size;
+  per_agent_[from].broadcast_messages += 1;
+  per_agent_[from].broadcast_bytes += size;
+  per_agent_[from].p2p_equivalent_messages += fanout;
+  per_agent_[from].p2p_equivalent_bytes += fanout * size;
+
+  pending_postings_.push_back(std::move(posting));
+}
+
+std::vector<Envelope> SimNetwork::receive(AgentId to) {
+  DMW_REQUIRE(to < n_);
+  std::vector<Envelope> out;
+  auto& inbox = inboxes_[to];
+  // Stable extraction preserving arrival order among deliverable messages.
+  std::deque<Pending> keep;
+  for (auto& pending : inbox) {
+    if (pending.deliver_round <= round_) {
+      out.push_back(std::move(pending.env));
+    } else {
+      keep.push_back(std::move(pending));
+    }
+  }
+  inbox = std::move(keep);
+  return out;
+}
+
+std::vector<Posting> SimNetwork::read_bulletin(std::size_t& cursor) const {
+  std::vector<Posting> out;
+  for (; cursor < bulletin_.size(); ++cursor) out.push_back(bulletin_[cursor]);
+  return out;
+}
+
+void SimNetwork::advance_round() {
+  ++round_;
+  auto it = std::stable_partition(
+      pending_postings_.begin(), pending_postings_.end(),
+      [&](const Posting& posting) { return posting.round > round_; });
+  for (auto moved = it; moved != pending_postings_.end(); ++moved)
+    bulletin_.push_back(std::move(*moved));
+  pending_postings_.erase(it, pending_postings_.end());
+}
+
+std::size_t SimNetwork::in_flight() const {
+  std::size_t count = pending_postings_.size();
+  for (const auto& inbox : inboxes_) {
+    for (const auto& pending : inbox) {
+      if (pending.deliver_round > round_) ++count;
+    }
+  }
+  return count;
+}
+
+void SimNetwork::reset_stats() {
+  totals_ = TrafficStats{};
+  for (auto& s : per_agent_) s = TrafficStats{};
+}
+
+}  // namespace dmw::net

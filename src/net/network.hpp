@@ -1,0 +1,147 @@
+// Simulated network: private point-to-point channels plus a broadcast
+// bulletin.
+//
+// The paper assumes "a communication infrastructure composed of a broadcast
+// channel and of private channels among the agents" (§3) and, for the cost
+// accounting, "no explicit broadcast facilities ... implemented using
+// point-to-point message transmissions" (Thm. 11). SimNetwork models exactly
+// that: unicast queues with round-based delivery, and a publish operation
+// that is billed as n-1 unicasts.
+//
+// Delivery is deterministic. Fault injection (drop/corrupt/delay) is a hook
+// on each channel, used by the robustness tests.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace dmw::net {
+
+using AgentId = std::uint32_t;  ///< dense agent index 0..n-1
+
+/// A sealed unicast envelope.
+struct Envelope {
+  AgentId from = 0;
+  AgentId to = 0;
+  std::uint32_t kind = 0;  ///< protocol-defined message kind tag
+  std::vector<std::uint8_t> payload;
+
+  /// Wire size charged to the traffic statistics: fixed header + payload.
+  std::size_t wire_size() const { return 12 + payload.size(); }
+};
+
+/// A published (broadcast) record. Readable by everyone including observers.
+struct Posting {
+  AgentId from = 0;
+  std::uint32_t kind = 0;
+  std::vector<std::uint8_t> payload;
+  std::uint64_t round = 0;  ///< round in which it became visible
+
+  std::size_t wire_size() const { return 12 + payload.size(); }
+};
+
+/// Per-agent and aggregate traffic statistics.
+struct TrafficStats {
+  std::uint64_t unicast_messages = 0;
+  std::uint64_t unicast_bytes = 0;
+  std::uint64_t broadcast_messages = 0;  ///< publish operations
+  std::uint64_t broadcast_bytes = 0;     ///< payload bytes published
+  /// Point-to-point equivalents (each publish billed as n-1 unicasts).
+  std::uint64_t p2p_equivalent_messages = 0;
+  std::uint64_t p2p_equivalent_bytes = 0;
+
+  TrafficStats& operator+=(const TrafficStats& o) {
+    unicast_messages += o.unicast_messages;
+    unicast_bytes += o.unicast_bytes;
+    broadcast_messages += o.broadcast_messages;
+    broadcast_bytes += o.broadcast_bytes;
+    p2p_equivalent_messages += o.p2p_equivalent_messages;
+    p2p_equivalent_bytes += o.p2p_equivalent_bytes;
+    return *this;
+  }
+};
+
+/// Fault-injection decision for one in-flight envelope.
+struct FaultAction {
+  bool drop = false;
+  std::uint32_t extra_delay_rounds = 0;
+  /// If set, replaces the payload (models corruption).
+  std::optional<std::vector<std::uint8_t>> replace_payload;
+};
+
+using FaultInjector = std::function<FaultAction(const Envelope&)>;
+
+/// Round-synchronous simulated network.
+///
+/// Messages sent during round r are visible to receivers from round r+1
+/// (plus any injected delay). advance_round() moves the clock.
+class SimNetwork {
+ public:
+  explicit SimNetwork(std::size_t n_agents);
+
+  std::size_t agent_count() const { return n_; }
+  std::uint64_t round() const { return round_; }
+
+  /// Private channel send (Phase II share distribution).
+  void send(AgentId from, AgentId to, std::uint32_t kind,
+            std::vector<std::uint8_t> payload);
+
+  /// Broadcast publish (commitments, Λ/Ψ, disclosures). Billed as n-1
+  /// unicasts in the point-to-point-equivalent statistics.
+  void publish(AgentId from, std::uint32_t kind,
+               std::vector<std::uint8_t> payload);
+
+  /// Drain the unicast messages addressed to `to` that are deliverable in
+  /// the current round.
+  std::vector<Envelope> receive(AgentId to);
+
+  /// All postings visible in the current round (index into the global log).
+  /// Callers track their own read cursor.
+  const std::vector<Posting>& bulletin() const { return bulletin_; }
+
+  /// Postings from `cursor` onward that are already visible; advances cursor.
+  std::vector<Posting> read_bulletin(std::size_t& cursor) const;
+
+  void advance_round();
+
+  /// Number of messages/postings still in flight (sent but not yet
+  /// visible). The protocol runner advances rounds until the network is
+  /// idle, so injected delivery delays cost extra rounds instead of
+  /// spuriously aborting the (round-synchronized) protocol.
+  std::size_t in_flight() const;
+
+  void set_fault_injector(FaultInjector injector) {
+    injector_ = std::move(injector);
+  }
+
+  const TrafficStats& stats() const { return totals_; }
+  const TrafficStats& stats_for(AgentId a) const {
+    DMW_REQUIRE(a < n_);
+    return per_agent_[a];
+  }
+  void reset_stats();
+
+ private:
+  struct Pending {
+    Envelope env;
+    std::uint64_t deliver_round;
+  };
+
+  std::size_t n_;
+  std::uint64_t round_ = 0;
+  std::vector<std::deque<Pending>> inboxes_;  // per recipient
+  std::vector<Posting> bulletin_;          // visible postings
+  std::vector<Posting> pending_postings_;  // visible once round_ >= .round
+  FaultInjector injector_;
+  TrafficStats totals_;
+  std::vector<TrafficStats> per_agent_;
+};
+
+}  // namespace dmw::net

@@ -1,0 +1,206 @@
+// Binary wire format.
+//
+// Every protocol message is serialized to bytes before entering the
+// simulated network, so the communication-cost measurements (Table 1,
+// Theorem 11) count real encoded sizes, not in-memory object counts.
+// Little-endian fixed-width integers plus LEB128 varints for lengths.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "numeric/biguint.hpp"
+#include "numeric/group.hpp"
+#include "support/check.hpp"
+
+namespace dmw::net {
+
+class Writer {
+ public:
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+  std::size_t size() const { return bytes_.size(); }
+
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  /// LEB128 variable-length unsigned integer.
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      bytes_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    bytes_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void raw(std::span<const std::uint8_t> data) {
+    bytes_.insert(bytes_.end(), data.begin(), data.end());
+  }
+
+  void blob(std::span<const std::uint8_t> data) {
+    varint(data.size());
+    raw(data);
+  }
+
+  void str(std::string_view s) {
+    varint(s.size());
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+
+  template <std::size_t W>
+  void big(const dmw::num::BigUInt<W>& v) {
+    for (std::size_t i = 0; i < W; ++i) u64(v.limb(i));
+  }
+
+  void u64_vec(const std::vector<std::uint64_t>& v) {
+    varint(v.size());
+    for (auto x : v) u64(x);
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Thrown on malformed input (truncated buffer, bad varint, trailing bytes).
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool done() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{data_[pos_++]} << (8 * i);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{data_[pos_++]} << (8 * i);
+    return v;
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      need(1);
+      const std::uint8_t b = data_[pos_++];
+      if (shift == 63 && (b & 0x7e) != 0)
+        throw DecodeError("varint overflows 64 bits");
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+      if (shift >= 64) throw DecodeError("varint too long");
+    }
+  }
+
+  std::vector<std::uint8_t> blob() {
+    const std::uint64_t n = varint();
+    need(n);
+    std::vector<std::uint8_t> out(data_.begin() + static_cast<long>(pos_),
+                                  data_.begin() + static_cast<long>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  std::string str() {
+    const std::uint64_t n = varint();
+    need(n);
+    std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return out;
+  }
+
+  template <std::size_t W>
+  dmw::num::BigUInt<W> big() {
+    dmw::num::BigUInt<W> v;
+    for (std::size_t i = 0; i < W; ++i) v.set_limb(i, u64());
+    return v;
+  }
+
+  std::vector<std::uint64_t> u64_vec() {
+    const std::uint64_t n = varint();
+    if (n > remaining() / 8) throw DecodeError("u64 vector length too large");
+    std::vector<std::uint64_t> out;
+    out.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) out.push_back(u64());
+    return out;
+  }
+
+  void expect_done() const {
+    if (!done()) throw DecodeError("trailing bytes after message");
+  }
+
+ private:
+  void need(std::uint64_t n) const {
+    if (remaining() < n) throw DecodeError("buffer underrun");
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+// Group-parameterized scalar/element codecs: Group64 uses raw u64, GroupBig
+// uses fixed-width limb dumps. Overload on the group type.
+inline void write_scalar(Writer& w, const dmw::num::Group64&,
+                         dmw::num::Group64::Scalar s) {
+  w.u64(s);
+}
+inline void write_elem(Writer& w, const dmw::num::Group64&,
+                       dmw::num::Group64::Elem e) {
+  w.u64(e);
+}
+inline dmw::num::Group64::Scalar read_scalar(Reader& r,
+                                             const dmw::num::Group64&) {
+  return r.u64();
+}
+inline dmw::num::Group64::Elem read_elem(Reader& r, const dmw::num::Group64&) {
+  return r.u64();
+}
+
+template <std::size_t W>
+void write_scalar(Writer& w, const dmw::num::GroupBig<W>&,
+                  const dmw::num::BigUInt<W>& s) {
+  w.big(s);
+}
+template <std::size_t W>
+void write_elem(Writer& w, const dmw::num::GroupBig<W>&,
+                const dmw::num::BigUInt<W>& e) {
+  w.big(e);
+}
+template <std::size_t W>
+dmw::num::BigUInt<W> read_scalar(Reader& r, const dmw::num::GroupBig<W>&) {
+  return r.template big<W>();
+}
+template <std::size_t W>
+dmw::num::BigUInt<W> read_elem(Reader& r, const dmw::num::GroupBig<W>&) {
+  return r.template big<W>();
+}
+
+}  // namespace dmw::net

@@ -1,0 +1,107 @@
+#include "numeric/biguint.hpp"
+
+#include <vector>
+
+namespace dmw::num {
+
+namespace {
+
+// Single-limb divisor fast path: classic schoolbook division.
+void divmod_by_limb(const u64* u, std::size_t un, u64 v, u64* q, u64* r) {
+  u128 rem = 0;
+  for (std::size_t i = un; i-- > 0;) {
+    const u128 cur = (rem << 64) | u[i];
+    q[i] = static_cast<u64>(cur / v);
+    rem = cur % v;
+  }
+  r[0] = static_cast<u64>(rem);
+}
+
+}  // namespace
+
+void divmod_limbs(const u64* u, std::size_t un, const u64* v, std::size_t vn,
+                  u64* q, u64* r) {
+  DMW_REQUIRE(vn >= 1);
+  DMW_REQUIRE(v[vn - 1] != 0);
+  DMW_REQUIRE(un >= vn);
+
+  if (vn == 1) {
+    divmod_by_limb(u, un, v[0], q, r);
+    return;
+  }
+
+  // Knuth TAOCP vol. 2, 4.3.1, Algorithm D, with 64-bit limbs.
+  // D1: normalize so the divisor's top bit is set.
+  const unsigned shift = static_cast<unsigned>(__builtin_clzll(v[vn - 1]));
+  std::vector<u64> vn_norm(vn);
+  for (std::size_t i = vn; i-- > 1;) {
+    vn_norm[i] = shift == 0 ? v[i]
+                            : (v[i] << shift) | (v[i - 1] >> (64 - shift));
+  }
+  vn_norm[0] = v[0] << shift;
+
+  std::vector<u64> un_norm(un + 1);
+  un_norm[un] = shift == 0 ? 0 : (u[un - 1] >> (64 - shift));
+  for (std::size_t i = un; i-- > 1;) {
+    un_norm[i] = shift == 0 ? u[i]
+                            : (u[i] << shift) | (u[i - 1] >> (64 - shift));
+  }
+  un_norm[0] = u[0] << shift;
+
+  const u64 vtop = vn_norm[vn - 1];
+  const u64 vsecond = vn_norm[vn - 2];
+
+  // D2..D7: main loop over quotient digits.
+  for (std::size_t j = un - vn + 1; j-- > 0;) {
+    // D3: estimate qhat from the top two dividend limbs.
+    const u128 numer =
+        (static_cast<u128>(un_norm[j + vn]) << 64) | un_norm[j + vn - 1];
+    u128 qhat = numer / vtop;
+    u128 rhat = numer % vtop;
+    const u128 kBase = static_cast<u128>(1) << 64;
+    while (qhat >= kBase ||
+           qhat * vsecond > ((rhat << 64) | un_norm[j + vn - 2])) {
+      --qhat;
+      rhat += vtop;
+      if (rhat >= kBase) break;
+    }
+
+    // D4: multiply and subtract u[j..j+vn] -= qhat * v.
+    u128 borrow = 0;
+    u128 carry = 0;
+    for (std::size_t i = 0; i < vn; ++i) {
+      const u128 product = qhat * vn_norm[i] + carry;
+      carry = product >> 64;
+      const u128 sub = static_cast<u128>(un_norm[j + i]) -
+                       static_cast<u64>(product) - borrow;
+      un_norm[j + i] = static_cast<u64>(sub);
+      borrow = (sub >> 64) & 1;
+    }
+    const u128 subtop = static_cast<u128>(un_norm[j + vn]) - carry - borrow;
+    un_norm[j + vn] = static_cast<u64>(subtop);
+
+    u64 qdigit = static_cast<u64>(qhat);
+    // D5/D6: qhat was at most one too large; add back if we went negative.
+    if ((subtop >> 64) & 1) {
+      --qdigit;
+      u64 add_carry = 0;
+      for (std::size_t i = 0; i < vn; ++i) {
+        const u128 sum =
+            static_cast<u128>(un_norm[j + i]) + vn_norm[i] + add_carry;
+        un_norm[j + i] = static_cast<u64>(sum);
+        add_carry = static_cast<u64>(sum >> 64);
+      }
+      un_norm[j + vn] += add_carry;
+    }
+    q[j] = qdigit;
+  }
+
+  // D8: denormalize the remainder.
+  for (std::size_t i = 0; i < vn; ++i) {
+    r[i] = shift == 0
+               ? un_norm[i]
+               : (un_norm[i] >> shift) | (un_norm[i + 1] << (64 - shift));
+  }
+}
+
+}  // namespace dmw::num

@@ -1,0 +1,77 @@
+#include "numeric/group.hpp"
+
+#include <sstream>
+
+namespace dmw::num {
+
+Group64::Group64(u64 p, u64 q, u64 z1, u64 z2)
+    : p_(p), q_(q), z1_(z1), z2_(z2) {
+  DMW_REQUIRE_MSG(p_ >= 5 && p_ < (u64{1} << 63), "p must fit in 63 bits");
+  DMW_REQUIRE_MSG(is_prime_u64(p_), "p must be prime");
+  DMW_REQUIRE_MSG(is_prime_u64(q_), "q must be prime");
+  DMW_REQUIRE_MSG((p_ - 1) % q_ == 0, "q must divide p-1");
+  DMW_REQUIRE(z1_ != z2_);
+  DMW_REQUIRE_MSG(in_subgroup(z1_) && z1_ != 1, "bad generator z1");
+  DMW_REQUIRE_MSG(in_subgroup(z2_) && z2_ != 1, "bad generator z2");
+}
+
+Group64 Group64::generate(unsigned p_bits, unsigned q_bits,
+                          dmw::Xoshiro256ss& rng) {
+  DMW_REQUIRE(q_bits >= 2 && q_bits < p_bits && p_bits <= 63);
+  const unsigned k_bits = p_bits - q_bits;
+  for (;;) {
+    // A fresh q per batch: when the cofactor space {2^(k_bits-1)..2^k_bits}
+    // is small, a given q may admit no prime p = k*q + 1 at all, so retrying
+    // k alone could loop forever.
+    const u64 q = random_prime_u64(q_bits, rng);
+    u64 p = 0;
+    for (int attempt = 0; attempt < 512 && p == 0; ++attempt) {
+      u64 k = rng.next();
+      if (k_bits < 64) k &= (u64{1} << k_bits) - 1;
+      k |= u64{1} << (k_bits - 1);
+      const u128 p_wide = static_cast<u128>(k) * q + 1;
+      if (p_wide >= (u128{1} << 63)) continue;
+      const u64 candidate = static_cast<u64>(p_wide);
+      if (64 - static_cast<unsigned>(__builtin_clzll(candidate)) != p_bits)
+        continue;
+      if (is_prime_u64(candidate)) p = candidate;
+    }
+    if (p == 0) continue;
+    const u64 exponent = (p - 1) / q;
+    auto gen = [&]() -> u64 {
+      for (;;) {
+        const u64 h = 2 + rng.below(p - 3);
+        const u64 z = mod_pow(h, exponent, p);
+        if (z != 1) return z;
+      }
+    };
+    const u64 z1 = gen();
+    for (;;) {
+      const u64 z2 = gen();
+      if (z2 != z1) return Group64(p, q, z1, z2);
+    }
+  }
+}
+
+const Group64& Group64::test_group() {
+  // Deterministically generated once (seed 42, 61-bit p / 40-bit q) and
+  // frozen here so every test and bench agrees on the fixture.
+  static const Group64 group = [] {
+    dmw::Xoshiro256ss rng(42);
+    return generate(/*p_bits=*/61, /*q_bits=*/40, rng);
+  }();
+  return group;
+}
+
+unsigned Group64::p_bits() const {
+  return 64 - static_cast<unsigned>(__builtin_clzll(p_));
+}
+
+std::string Group64::describe() const {
+  std::ostringstream os;
+  os << "Group64: p=" << p_ << " (" << p_bits() << " bits), q=" << q_
+     << ", z1=" << z1_ << ", z2=" << z2_;
+  return os.str();
+}
+
+}  // namespace dmw::num

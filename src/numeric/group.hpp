@@ -1,0 +1,255 @@
+// Schnorr groups: the prime-order subgroup of Z_p^* used by DMW.
+//
+// DMW's public parameters (paper §3, "Notation") are primes p, q with
+// q | p - 1 and two distinct generators z1, z2 of the order-q subgroup.
+// Polynomial shares and all Lagrange arithmetic live in the *exponent* field
+// Z_q; commitments and the published Λ/Ψ values live in the subgroup of
+// Z_p^*.
+//
+// Two interchangeable backends implement the same GroupTraits shape:
+//   - Group64:   p up to 63 bits, u64/__int128 arithmetic (simulation default)
+//   - GroupBig:  BigUInt<W> with Montgomery arithmetic (cryptographic scale)
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "numeric/biguint.hpp"
+#include "numeric/modarith.hpp"
+#include "numeric/mont.hpp"
+#include "numeric/primality.hpp"
+#include "support/rng.hpp"
+
+namespace dmw::num {
+
+/// Requirements on a group backend used by the DMW protocol.
+template <class G>
+concept GroupBackend = requires(const G g, typename G::Elem e,
+                                typename G::Scalar s, dmw::Xoshiro256ss rng,
+                                u64 v, const std::vector<std::uint8_t> bytes,
+                                std::size_t pos) {
+  typename G::Elem;
+  typename G::Scalar;
+  { g.identity() } -> std::same_as<typename G::Elem>;
+  { g.is_identity(e) } -> std::same_as<bool>;
+  { g.mul(e, e) } -> std::same_as<typename G::Elem>;
+  { g.inv(e) } -> std::same_as<typename G::Elem>;
+  { g.pow(e, s) } -> std::same_as<typename G::Elem>;
+  { g.z1() } -> std::same_as<typename G::Elem>;
+  { g.z2() } -> std::same_as<typename G::Elem>;
+  { g.commit(s, s) } -> std::same_as<typename G::Elem>;
+  { g.szero() } -> std::same_as<typename G::Scalar>;
+  { g.sone() } -> std::same_as<typename G::Scalar>;
+  { g.sadd(s, s) } -> std::same_as<typename G::Scalar>;
+  { g.ssub(s, s) } -> std::same_as<typename G::Scalar>;
+  { g.smul(s, s) } -> std::same_as<typename G::Scalar>;
+  { g.sneg(s) } -> std::same_as<typename G::Scalar>;
+  { g.sinv(s) } -> std::same_as<typename G::Scalar>;
+  { g.scalar_from_u64(v) } -> std::same_as<typename G::Scalar>;
+  { g.random_scalar(rng) } -> std::same_as<typename G::Scalar>;
+  { g.valid_elem(e) } -> std::same_as<bool>;
+  { g.valid_scalar(s) } -> std::same_as<bool>;
+  { g.scalar_bytes() } -> std::same_as<std::size_t>;
+  { g.elem_bytes() } -> std::same_as<std::size_t>;
+};
+
+/// 64-bit backend. p is at most 63 bits so modular addition cannot overflow.
+class Group64 {
+ public:
+  using Elem = u64;
+  using Scalar = u64;
+
+  /// Constructs from published parameters; validates the group structure.
+  Group64(u64 p, u64 q, u64 z1, u64 z2);
+
+  /// Generate fresh parameters: a `p_bits`-bit prime p = r*q + 1 with a
+  /// `q_bits`-bit prime q, and two distinct order-q generators.
+  static Group64 generate(unsigned p_bits, unsigned q_bits,
+                          dmw::Xoshiro256ss& rng);
+
+  /// A fixed, precomputed 61-bit group used as the default test fixture.
+  static const Group64& test_group();
+
+  u64 p() const { return p_; }
+  u64 q() const { return q_; }
+  Elem z1() const { return z1_; }
+  Elem z2() const { return z2_; }
+  unsigned p_bits() const;
+
+  // Group operations (mod p).
+  Elem identity() const { return 1; }
+  bool is_identity(Elem e) const { return e == 1; }
+  Elem mul(Elem a, Elem b) const { return mod_mul(a, b, p_); }
+  Elem inv(Elem a) const { return mod_inv(a, p_); }
+  Elem pow(Elem base, Scalar e) const { return mod_pow(base, e, p_); }
+  Elem commit(Scalar a, Scalar b) const {
+    return mul(pow(z1_, a), pow(z2_, b));
+  }
+
+  // Scalar field operations (mod q).
+  Scalar szero() const { return 0; }
+  Scalar sone() const { return 1; }
+  Scalar sadd(Scalar a, Scalar b) const { return mod_add(a, b, q_); }
+  Scalar ssub(Scalar a, Scalar b) const { return mod_sub(a, b, q_); }
+  Scalar smul(Scalar a, Scalar b) const { return mod_mul(a, b, q_); }
+  Scalar sneg(Scalar a) const { return mod_neg(a, q_); }
+  Scalar sinv(Scalar a) const { return mod_inv(a, q_); }
+  Scalar scalar_from_u64(u64 v) const { return v % q_; }
+  template <class Rng>
+  Scalar random_scalar(Rng& rng) const {
+    return rng.below(q_);
+  }
+  template <class Rng>
+  Scalar random_nonzero_scalar(Rng& rng) const {
+    return 1 + rng.below(q_ - 1);
+  }
+
+  /// True iff e is in the order-q subgroup (e^q == 1).
+  bool in_subgroup(Elem e) const { return e != 0 && pow(e, q_) == 1; }
+
+  /// Wire-format validation: an element must be a unit of Z_p (full subgroup
+  /// membership costs an exponentiation; the protocol's algebraic checks
+  /// catch non-members), a scalar must be < q.
+  bool valid_elem(Elem e) const { return e >= 1 && e < p_; }
+  bool valid_scalar(Scalar s) const { return s < q_; }
+
+  // Wire encoding sizes (net layer).
+  std::size_t scalar_bytes() const { return 8; }
+  std::size_t elem_bytes() const { return 8; }
+
+  std::string describe() const;
+
+ private:
+  u64 p_, q_, z1_, z2_;
+};
+
+/// BigUInt backend with Montgomery arithmetic modulo p.
+template <std::size_t W>
+class GroupBig {
+ public:
+  using Elem = BigUInt<W>;
+  using Scalar = BigUInt<W>;
+
+  GroupBig(const Elem& p, const Scalar& q, const Elem& z1, const Elem& z2)
+      : p_(p), q_(q), z1_(z1), z2_(z2), mont_(p) {
+    DMW_REQUIRE_MSG(mod(p_ - Elem::one(), q_).is_zero(), "q must divide p-1");
+    DMW_REQUIRE(z1_ != z2_);
+    DMW_REQUIRE_MSG(in_subgroup(z1_) && !is_identity(z1_), "bad generator z1");
+    DMW_REQUIRE_MSG(in_subgroup(z2_) && !is_identity(z2_), "bad generator z2");
+  }
+
+  static GroupBig generate(unsigned p_bits, unsigned q_bits,
+                           dmw::Xoshiro256ss& rng) {
+    DMW_REQUIRE(q_bits >= 2 && q_bits < p_bits && p_bits <= Elem::kBits - 1);
+    for (;;) {
+      // A fresh q per batch (see Group64::generate): small cofactor spaces
+      // may contain no prime p = k*q + 1 for an unlucky q.
+      const Scalar q = random_prime<W>(q_bits, rng);
+      BigUInt<W> p;
+      bool found = false;
+      for (int attempt = 0; attempt < 512 && !found; ++attempt) {
+        BigUInt<W> k =
+            random_below(BigUInt<W>::one() << (p_bits - q_bits), rng);
+        k.set_bit(p_bits - q_bits - 1, true);
+        BigUInt<W> candidate = k * q;
+        candidate.add_with_carry(BigUInt<W>::one());
+        if (candidate.bit_length() != p_bits) continue;
+        if (!is_probable_prime(candidate, rng)) continue;
+        p = candidate;
+        found = true;
+      }
+      if (!found) continue;
+      // Generators: h^((p-1)/q) for random h, rejected if identity.
+      const BigUInt<W> exponent = divmod(p - Elem::one(), q).quotient;
+      const Montgomery<W> mont(p);
+      auto gen = [&]() -> Elem {
+        for (;;) {
+          Elem h = random_below(p, rng);
+          if (h <= Elem::one()) continue;
+          Elem z = mont.pow(h, exponent);
+          if (z != Elem::one()) return z;
+        }
+      };
+      const Elem z1 = gen();
+      for (;;) {
+        const Elem z2 = gen();
+        if (z2 != z1) return GroupBig(p, q, z1, z2);
+      }
+    }
+  }
+
+  const Elem& p() const { return p_; }
+  const Scalar& q() const { return q_; }
+  Elem z1() const { return z1_; }
+  Elem z2() const { return z2_; }
+  unsigned p_bits() const { return p_.bit_length(); }
+
+  Elem identity() const { return Elem::one(); }
+  bool is_identity(const Elem& e) const { return e == Elem::one(); }
+  Elem mul(const Elem& a, const Elem& b) const { return mod_mul(a, b, p_); }
+  Elem inv(const Elem& a) const { return mod_inv(a, p_); }
+  Elem pow(const Elem& base, const Scalar& e) const {
+    return mont_.pow(base, e);
+  }
+  Elem commit(const Scalar& a, const Scalar& b) const {
+    return mul(pow(z1_, a), pow(z2_, b));
+  }
+
+  Scalar szero() const { return Scalar::zero(); }
+  Scalar sone() const { return Scalar::one(); }
+  Scalar sadd(const Scalar& a, const Scalar& b) const {
+    return mod_add(a, b, q_);
+  }
+  Scalar ssub(const Scalar& a, const Scalar& b) const {
+    return mod_sub(a, b, q_);
+  }
+  Scalar smul(const Scalar& a, const Scalar& b) const {
+    return mod_mul(a, b, q_);
+  }
+  Scalar sneg(const Scalar& a) const { return mod_neg(a, q_); }
+  Scalar sinv(const Scalar& a) const { return mod_inv(a, q_); }
+  Scalar scalar_from_u64(u64 v) const { return mod(BigUInt<W>(v), q_); }
+  template <class Rng>
+  Scalar random_scalar(Rng& rng) const {
+    return random_below(q_, rng);
+  }
+  template <class Rng>
+  Scalar random_nonzero_scalar(Rng& rng) const {
+    for (;;) {
+      Scalar s = random_below(q_, rng);
+      if (!s.is_zero()) return s;
+    }
+  }
+
+  bool in_subgroup(const Elem& e) const {
+    return !e.is_zero() && pow(e, q_) == Elem::one();
+  }
+
+  bool valid_elem(const Elem& e) const {
+    return !e.is_zero() && e < p_;
+  }
+  bool valid_scalar(const Scalar& s) const { return s < q_; }
+
+  std::size_t scalar_bytes() const { return 8 * W; }
+  std::size_t elem_bytes() const { return 8 * W; }
+
+  std::string describe() const {
+    return "GroupBig<" + std::to_string(W) + ">: p=0x" + p_.to_hex() +
+           " q=0x" + q_.to_hex();
+  }
+
+ private:
+  Elem p_;
+  Scalar q_;
+  Elem z1_, z2_;
+  Montgomery<W> mont_;
+};
+
+using Group256 = GroupBig<4>;
+
+static_assert(GroupBackend<Group64>);
+static_assert(GroupBackend<Group256>);
+
+}  // namespace dmw::num

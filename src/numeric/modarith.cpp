@@ -1,0 +1,55 @@
+#include "numeric/modarith.hpp"
+
+namespace dmw::num {
+
+u64 mod_pow(u64 a, u64 e, u64 m) {
+  DMW_REQUIRE(m > 0);
+  ++op_counts().pow;
+  a %= m;
+  u64 result = 1 % m;
+  while (e != 0) {
+    if (e & 1) result = static_cast<u64>(static_cast<u128>(result) * a % m);
+    a = static_cast<u64>(static_cast<u128>(a) * a % m);
+    e >>= 1;
+  }
+  return result;
+}
+
+u64 mod_inv(u64 a, u64 m) {
+  DMW_REQUIRE(m > 1);
+  ++op_counts().inv;
+  // Extended Euclid with signed 128-bit intermediates (coefficients are
+  // bounded by m but the update term q*t1 can reach 2m, which would overflow
+  // int64 for moduli near 2^63).
+  __int128 t0 = 0, t1 = 1;
+  u64 r0 = m, r1 = a % m;
+  DMW_REQUIRE_MSG(r1 != 0, "mod_inv: zero operand");
+  while (r1 != 0) {
+    const u64 q = r0 / r1;
+    const u64 r2 = r0 % r1;
+    const __int128 t2 = t0 - static_cast<__int128>(q) * t1;
+    r0 = r1;
+    r1 = r2;
+    t0 = t1;
+    t1 = t2;
+  }
+  DMW_CHECK_MSG(r0 == 1, "mod_inv: operand not invertible");
+  return t0 >= 0 ? static_cast<u64>(t0)
+                 : m - static_cast<u64>(-t0);
+}
+
+u64 gcd_u64(u64 a, u64 b) {
+  while (b != 0) {
+    const u64 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+OpCounts& op_counts() {
+  static OpCounts counts;
+  return counts;
+}
+
+}  // namespace dmw::num

@@ -1,0 +1,136 @@
+// Modular arithmetic.
+//
+// Two tiers:
+//   - 64-bit: operations modulo primes up to 63 bits using 128-bit
+//     intermediates; this is the default simulation backend (Group64).
+//   - BigUInt<W>: generic-width operations used by the cryptographic-scale
+//     backend (Group256) and by prime/group generation.
+// All functions are pure; instrumented variants bump the op_counts()
+// counters used for complexity validation.
+#pragma once
+
+#include <cstdint>
+
+#include "numeric/biguint.hpp"
+#include "numeric/opcount.hpp"
+#include "support/check.hpp"
+
+namespace dmw::num {
+
+// ---------------------------------------------------------------------------
+// 64-bit tier
+// ---------------------------------------------------------------------------
+
+inline u64 mod_add(u64 a, u64 b, u64 m) {
+  DMW_REQUIRE(a < m && b < m);
+  ++op_counts().add;
+  const u64 s = a + b;  // cannot overflow for m < 2^63
+  return s >= m ? s - m : s;
+}
+
+inline u64 mod_sub(u64 a, u64 b, u64 m) {
+  DMW_REQUIRE(a < m && b < m);
+  ++op_counts().add;
+  return a >= b ? a - b : a + (m - b);
+}
+
+inline u64 mod_neg(u64 a, u64 m) {
+  DMW_REQUIRE(a < m);
+  return a == 0 ? 0 : m - a;
+}
+
+inline u64 mod_mul(u64 a, u64 b, u64 m) {
+  DMW_REQUIRE(a < m && b < m);
+  ++op_counts().mul;
+  return static_cast<u64>(static_cast<u128>(a) * b % m);
+}
+
+/// Right-to-left binary exponentiation: a^e mod m.
+u64 mod_pow(u64 a, u64 e, u64 m);
+
+/// Modular inverse via the extended Euclidean algorithm.
+/// Requires gcd(a, m) == 1.
+u64 mod_inv(u64 a, u64 m);
+
+/// Greatest common divisor.
+u64 gcd_u64(u64 a, u64 b);
+
+// ---------------------------------------------------------------------------
+// BigUInt tier
+// ---------------------------------------------------------------------------
+
+template <std::size_t W>
+BigUInt<W> mod_add(const BigUInt<W>& a, const BigUInt<W>& b,
+                   const BigUInt<W>& m) {
+  DMW_REQUIRE(a < m && b < m);
+  ++op_counts().add;
+  BigUInt<W> s = a;
+  const u64 carry = s.add_with_carry(b);
+  if (carry != 0 || s >= m) s.sub_with_borrow(m);
+  return s;
+}
+
+template <std::size_t W>
+BigUInt<W> mod_sub(const BigUInt<W>& a, const BigUInt<W>& b,
+                   const BigUInt<W>& m) {
+  DMW_REQUIRE(a < m && b < m);
+  ++op_counts().add;
+  BigUInt<W> s = a;
+  if (s.sub_with_borrow(b) != 0) s.add_with_carry(m);
+  return s;
+}
+
+template <std::size_t W>
+BigUInt<W> mod_neg(const BigUInt<W>& a, const BigUInt<W>& m) {
+  if (a.is_zero()) return a;
+  return m - a;
+}
+
+template <std::size_t W>
+BigUInt<W> mod_mul(const BigUInt<W>& a, const BigUInt<W>& b,
+                   const BigUInt<W>& m) {
+  DMW_REQUIRE(a < m && b < m);
+  ++op_counts().mul;
+  const BigUInt<2 * W> prod = mul_wide(a, b);
+  return mod(prod, m);
+}
+
+template <std::size_t W>
+BigUInt<W> mod_pow(BigUInt<W> a, BigUInt<W> e, const BigUInt<W>& m) {
+  DMW_REQUIRE(!m.is_zero());
+  ++op_counts().pow;
+  BigUInt<W> result = mod(BigUInt<W>::one(), m);
+  a = mod(a, m);
+  const unsigned bits = e.bit_length();
+  for (unsigned i = 0; i < bits; ++i) {
+    if (e.bit(i)) result = mod(mul_wide(result, a), m);
+    a = mod(mul_wide(a, a), m);
+  }
+  return result;
+}
+
+/// Extended Euclid over BigUInt; requires gcd(a, m) == 1 and m > 1.
+template <std::size_t W>
+BigUInt<W> mod_inv(const BigUInt<W>& a, const BigUInt<W>& m) {
+  DMW_REQUIRE(!a.is_zero());
+  ++op_counts().inv;
+  // Iterative extended Euclid with signed bookkeeping done via parity:
+  // track x such that a*x ≡ r (mod m) where the xs may go "negative";
+  // represent negative values as m - |x|.
+  BigUInt<W> r0 = m, r1 = mod(a, m);
+  BigUInt<W> x0 = BigUInt<W>::zero(), x1 = BigUInt<W>::one();
+  while (!r1.is_zero()) {
+    const auto dm = divmod(r0, r1);
+    const BigUInt<W> qx1 = mod(mul_wide(mod(dm.quotient, m), x1), m);
+    BigUInt<W> x2 = x0;
+    if (x2.sub_with_borrow(qx1) != 0) x2.add_with_carry(m);
+    r0 = r1;
+    r1 = dm.remainder;
+    x0 = x1;
+    x1 = x2;
+  }
+  DMW_CHECK_MSG(r0 == BigUInt<W>::one(), "mod_inv: operand not invertible");
+  return x0;
+}
+
+}  // namespace dmw::num

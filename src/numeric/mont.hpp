@@ -1,0 +1,110 @@
+// Montgomery multiplication context for odd BigUInt moduli.
+//
+// Used by the cryptographic-scale group backend (Group256): exponentiation in
+// the Schnorr group dominates DMW's computation, and plain divmod-based
+// reduction would make the 256-bit backend needlessly slow.
+#pragma once
+
+#include "numeric/biguint.hpp"
+#include "numeric/modarith.hpp"
+
+namespace dmw::num {
+
+template <std::size_t W>
+class Montgomery {
+ public:
+  /// Requires an odd modulus > 1.
+  explicit Montgomery(const BigUInt<W>& modulus) : n_(modulus) {
+    DMW_REQUIRE_MSG(modulus.is_odd(), "Montgomery modulus must be odd");
+    DMW_REQUIRE(modulus > BigUInt<W>::one());
+    // n' = -n^{-1} mod 2^64 via Newton iteration on the low limb.
+    u64 inv = 1;
+    const u64 n0 = modulus.limb(0);
+    for (int i = 0; i < 6; ++i) inv *= 2 - n0 * inv;  // 64-bit wraparound
+    ninv_ = ~inv + 1;  // negate mod 2^64
+    // R mod n where R = 2^{64W}: max_value() is R - 1, so add one modularly.
+    const BigUInt<W> r_mod_n =
+        mod_add(mod(BigUInt<W>::max_value(), n_), BigUInt<W>::one(), n_);
+    // R^2 mod n by doubling R mod n a further 64W times.
+    r2_ = r_mod_n;
+    for (std::size_t i = 0; i < 64 * W; ++i) r2_ = mod_add(r2_, r2_, n_);
+    one_mont_ = r_mod_n;
+  }
+
+  const BigUInt<W>& modulus() const { return n_; }
+
+  /// Convert into the Montgomery domain: x -> x * R mod n.
+  BigUInt<W> to_mont(const BigUInt<W>& x) const { return redc_mul(x, r2_); }
+
+  /// Convert out of the Montgomery domain: x~ -> x~ * R^{-1} mod n.
+  BigUInt<W> from_mont(const BigUInt<W>& x) const {
+    return redc_mul(x, BigUInt<W>::one());
+  }
+
+  /// Montgomery product of two values already in the domain.
+  BigUInt<W> mul(const BigUInt<W>& a, const BigUInt<W>& b) const {
+    ++op_counts().mul;
+    return redc_mul(a, b);
+  }
+
+  /// a^e mod n for a in *normal* form; result in normal form.
+  BigUInt<W> pow(const BigUInt<W>& base, const BigUInt<W>& exponent) const {
+    ++op_counts().pow;
+    BigUInt<W> acc = one_mont_;
+    BigUInt<W> b = to_mont(mod(base, n_));
+    const unsigned bits = exponent.bit_length();
+    for (unsigned i = 0; i < bits; ++i) {
+      if (exponent.bit(i)) acc = redc_mul(acc, b);
+      b = redc_mul(b, b);
+    }
+    return from_mont(acc);
+  }
+
+ private:
+  /// CIOS Montgomery multiplication: returns a*b*R^{-1} mod n.
+  BigUInt<W> redc_mul(const BigUInt<W>& a, const BigUInt<W>& b) const {
+    // t has W+2 limbs conceptually; we keep W limbs plus two carry limbs.
+    std::array<u64, W + 2> t{};
+    for (std::size_t i = 0; i < W; ++i) {
+      // t += a[i] * b
+      u64 carry = 0;
+      for (std::size_t j = 0; j < W; ++j) {
+        const u128 cur =
+            static_cast<u128>(a.limb(i)) * b.limb(j) + t[j] + carry;
+        t[j] = static_cast<u64>(cur);
+        carry = static_cast<u64>(cur >> 64);
+      }
+      u128 cur = static_cast<u128>(t[W]) + carry;
+      t[W] = static_cast<u64>(cur);
+      t[W + 1] += static_cast<u64>(cur >> 64);
+
+      // m = t[0] * n' mod 2^64; t += m * n; t >>= 64
+      const u64 m = t[0] * ninv_;
+      carry = 0;
+      {
+        const u128 first = static_cast<u128>(m) * n_.limb(0) + t[0];
+        carry = static_cast<u64>(first >> 64);
+      }
+      for (std::size_t j = 1; j < W; ++j) {
+        const u128 cur2 = static_cast<u128>(m) * n_.limb(j) + t[j] + carry;
+        t[j - 1] = static_cast<u64>(cur2);
+        carry = static_cast<u64>(cur2 >> 64);
+      }
+      cur = static_cast<u128>(t[W]) + carry;
+      t[W - 1] = static_cast<u64>(cur);
+      t[W] = t[W + 1] + static_cast<u64>(cur >> 64);
+      t[W + 1] = 0;
+    }
+    BigUInt<W> r;
+    for (std::size_t i = 0; i < W; ++i) r.set_limb(i, t[i]);
+    if (t[W] != 0 || r >= n_) r.sub_with_borrow(n_);
+    return r;
+  }
+
+  BigUInt<W> n_;
+  u64 ninv_ = 0;        ///< -n^{-1} mod 2^64
+  BigUInt<W> r2_;       ///< R^2 mod n
+  BigUInt<W> one_mont_; ///< R mod n (Montgomery form of 1)
+};
+
+}  // namespace dmw::num

@@ -1,0 +1,49 @@
+// Modular-operation counters.
+//
+// Theorem 12 bounds DMW's computational cost by counting modular
+// multiplications and exponentiations. The benchmark harness validates the
+// claimed O(m n^2 log p) shape with these counters rather than wall time
+// alone, which makes the fit independent of machine noise.
+#pragma once
+
+#include <cstdint>
+
+namespace dmw::num {
+
+struct OpCounts {
+  std::uint64_t mul = 0;   ///< modular multiplications
+  std::uint64_t pow = 0;   ///< modular exponentiations
+  std::uint64_t inv = 0;   ///< modular inverses
+  std::uint64_t add = 0;   ///< modular additions/subtractions
+
+  OpCounts& operator+=(const OpCounts& o) {
+    mul += o.mul;
+    pow += o.pow;
+    inv += o.inv;
+    add += o.add;
+    return *this;
+  }
+  friend OpCounts operator-(OpCounts a, const OpCounts& b) {
+    a.mul -= b.mul;
+    a.pow -= b.pow;
+    a.inv -= b.inv;
+    a.add -= b.add;
+    return a;
+  }
+  std::uint64_t total() const { return mul + pow + inv + add; }
+};
+
+/// Process-wide counters (the simulator is single-threaded).
+OpCounts& op_counts();
+
+/// RAII scope that measures the ops executed within it.
+class OpCountScope {
+ public:
+  OpCountScope() : start_(op_counts()) {}
+  OpCounts delta() const { return op_counts() - start_; }
+
+ private:
+  OpCounts start_;
+};
+
+}  // namespace dmw::num

@@ -1,0 +1,128 @@
+#include "numeric/primality.hpp"
+
+#include <array>
+
+#include "numeric/modarith.hpp"
+#include "numeric/mont.hpp"
+
+namespace dmw::num {
+
+namespace {
+
+constexpr std::array<u64, 12> kDeterministicWitnesses = {
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37};
+
+constexpr std::array<u64, 54> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+// One Miller-Rabin round for u64: n-1 = d * 2^s with d odd.
+bool miller_rabin_round_u64(u64 n, u64 d, int s, u64 a) {
+  u64 x = mod_pow(a % n, d, n);
+  if (x == 1 || x == n - 1) return true;
+  for (int i = 1; i < s; ++i) {
+    x = mod_mul(x, x, n);
+    if (x == n - 1) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_prime_u64(u64 n) {
+  if (n < 2) return false;
+  for (u64 p : kSmallPrimes) {
+    if (n == p) return true;
+    if (n % p == 0) return false;
+  }
+  u64 d = n - 1;
+  int s = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++s;
+  }
+  // This witness set is deterministic for all n < 3.3 * 10^24, which covers
+  // the full 64-bit range (Sorenson & Webster).
+  for (u64 a : kDeterministicWitnesses) {
+    if (a % n == 0) continue;
+    if (!miller_rabin_round_u64(n, d, s, a)) return false;
+  }
+  return true;
+}
+
+u64 random_prime_u64(unsigned bits, dmw::Xoshiro256ss& rng) {
+  DMW_REQUIRE(bits >= 2 && bits <= 63);
+  for (;;) {
+    u64 candidate = rng.next();
+    if (bits < 64) candidate &= (u64{1} << bits) - 1;
+    candidate |= u64{1} << (bits - 1);  // exact bit length
+    candidate |= 1;                     // odd
+    if (is_prime_u64(candidate)) return candidate;
+  }
+}
+
+template <std::size_t W>
+bool is_probable_prime(const BigUInt<W>& n, dmw::Xoshiro256ss& rng,
+                       int rounds) {
+  if (n.fits_u64()) return is_prime_u64(n.to_u64());
+  for (u64 p : kSmallPrimes) {
+    if (mod(n, BigUInt<W>(p)).is_zero()) return false;
+  }
+  if (!n.is_odd()) return false;
+
+  BigUInt<W> n_minus_1 = n;
+  n_minus_1.sub_with_borrow(BigUInt<W>::one());
+  BigUInt<W> d = n_minus_1;
+  int s = 0;
+  while (!d.is_odd()) {
+    d = d >> 1;
+    ++s;
+  }
+  const Montgomery<W> mont(n);
+  const BigUInt<W> two(2);
+  // Bases in [2, n-2].
+  BigUInt<W> base_bound = n_minus_1;
+  base_bound.sub_with_borrow(two);
+  for (int round = 0; round < rounds; ++round) {
+    BigUInt<W> a = random_below(base_bound, rng);
+    a.add_with_carry(two);
+    BigUInt<W> x = mont.pow(a, d);
+    if (x == BigUInt<W>::one() || x == n_minus_1) continue;
+    bool composite = true;
+    for (int i = 1; i < s; ++i) {
+      x = mont.from_mont(mont.mul(mont.to_mont(x), mont.to_mont(x)));
+      if (x == n_minus_1) {
+        composite = false;
+        break;
+      }
+      if (x == BigUInt<W>::one()) break;
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+template <std::size_t W>
+BigUInt<W> random_prime(unsigned bits, dmw::Xoshiro256ss& rng, int rounds) {
+  DMW_REQUIRE(bits >= 2 && bits <= BigUInt<W>::kBits);
+  for (;;) {
+    BigUInt<W> candidate;
+    for (std::size_t i = 0; i * 64 < bits; ++i) candidate.set_limb(i, rng.next());
+    for (unsigned b = bits; b < BigUInt<W>::kBits; ++b)
+      candidate.set_bit(b, false);
+    candidate.set_bit(bits - 1, true);
+    candidate.set_bit(0, true);
+    if (is_probable_prime(candidate, rng, rounds)) return candidate;
+  }
+}
+
+template bool is_probable_prime<2>(const BigUInt<2>&, dmw::Xoshiro256ss&, int);
+template bool is_probable_prime<4>(const BigUInt<4>&, dmw::Xoshiro256ss&, int);
+template bool is_probable_prime<8>(const BigUInt<8>&, dmw::Xoshiro256ss&, int);
+template BigUInt<2> random_prime<2>(unsigned, dmw::Xoshiro256ss&, int);
+template BigUInt<4> random_prime<4>(unsigned, dmw::Xoshiro256ss&, int);
+template BigUInt<8> random_prime<8>(unsigned, dmw::Xoshiro256ss&, int);
+
+}  // namespace dmw::num

@@ -1,0 +1,46 @@
+// Primality testing and prime generation.
+//
+// 64-bit: deterministic Miller-Rabin with the known-complete witness set for
+// the full 64-bit range. BigUInt: probabilistic Miller-Rabin with a caller-
+// chosen round count (error <= 4^-rounds) after small-prime trial division.
+#pragma once
+
+#include <cstdint>
+
+#include "numeric/biguint.hpp"
+#include "support/rng.hpp"
+
+namespace dmw::num {
+
+/// Deterministic primality for any 64-bit integer.
+bool is_prime_u64(u64 n);
+
+/// Random prime with exactly `bits` significant bits, 2 <= bits <= 63.
+u64 random_prime_u64(unsigned bits, dmw::Xoshiro256ss& rng);
+
+/// Uniform random value in [0, bound) with rejection sampling. Works with
+/// any generator exposing a 64-bit next() (Xoshiro256ss, crypto::ChaChaRng).
+template <std::size_t W, class Rng>
+BigUInt<W> random_below(const BigUInt<W>& bound, Rng& rng) {
+  DMW_REQUIRE(!bound.is_zero());
+  const unsigned bits = bound.bit_length();
+  for (;;) {
+    BigUInt<W> r;
+    for (std::size_t i = 0; i * 64 < bits; ++i) r.set_limb(i, rng.next());
+    // Mask off bits above the bound's bit length.
+    for (unsigned b = bits; b < BigUInt<W>::kBits; ++b) r.set_bit(b, false);
+    if (r < bound) return r;
+  }
+}
+
+/// Probabilistic Miller-Rabin for BigUInt (after trial division by small
+/// primes). `rounds` random bases; error probability <= 4^-rounds.
+template <std::size_t W>
+bool is_probable_prime(const BigUInt<W>& n, dmw::Xoshiro256ss& rng,
+                       int rounds = 32);
+
+/// Random probable prime with exactly `bits` significant bits.
+template <std::size_t W>
+BigUInt<W> random_prime(unsigned bits, dmw::Xoshiro256ss& rng, int rounds = 32);
+
+}  // namespace dmw::num

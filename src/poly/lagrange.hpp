@@ -1,0 +1,172 @@
+// Lagrange interpolation at zero and the paper's §2.4 degree-resolution
+// procedure, in both the scalar domain (Z_q) and the exponent domain (group
+// elements, Eq. (12)).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "numeric/group.hpp"
+#include "support/check.hpp"
+
+namespace dmw::poly {
+
+/// Lagrange basis evaluated at zero for the first s points:
+/// rho_k = prod_{i != k, i < s} alpha_i / (alpha_i - alpha_k)  (paper Eq. 12).
+/// All points must be distinct and nonzero.
+template <dmw::num::GroupBackend G>
+std::vector<typename G::Scalar> lagrange_basis_at_zero(
+    const G& g, const std::vector<typename G::Scalar>& points,
+    std::size_t s) {
+  DMW_REQUIRE(s >= 1 && s <= points.size());
+  std::vector<typename G::Scalar> rho(s);
+  for (std::size_t k = 0; k < s; ++k) {
+    typename G::Scalar num = g.sone();
+    typename G::Scalar den = g.sone();
+    for (std::size_t i = 0; i < s; ++i) {
+      if (i == k) continue;
+      num = g.smul(num, points[i]);
+      den = g.smul(den, g.ssub(points[i], points[k]));
+    }
+    rho[k] = g.smul(num, g.sinv(den));
+  }
+  return rho;
+}
+
+/// Value at zero of the unique degree-(s-1) polynomial through the first s
+/// (point, value) pairs.
+template <dmw::num::GroupBackend G>
+typename G::Scalar interpolate_at_zero(
+    const G& g, const std::vector<typename G::Scalar>& points,
+    const std::vector<typename G::Scalar>& values, std::size_t s) {
+  DMW_REQUIRE(points.size() >= s && values.size() >= s);
+  const auto rho = lagrange_basis_at_zero(g, points, s);
+  typename G::Scalar acc = g.szero();
+  for (std::size_t k = 0; k < s; ++k)
+    acc = g.sadd(acc, g.smul(values[k], rho[k]));
+  return acc;
+}
+
+/// The paper's efficient Θ(s^2) algorithm for f^{(s)}(0) exactly as printed
+/// in §2.4 (steps 1-3). Note: as printed it computes (-1)^{s-1} times the
+/// Lagrange value at zero; the sign is irrelevant for the zero test used by
+/// degree resolution. Exposed for fidelity and tested against
+/// interpolate_at_zero.
+template <dmw::num::GroupBackend G>
+typename G::Scalar paper_interpolation_at_zero(
+    const G& g, const std::vector<typename G::Scalar>& points,
+    const std::vector<typename G::Scalar>& values, std::size_t s) {
+  DMW_REQUIRE(points.size() >= s && values.size() >= s);
+  // Step 1: psi_k = f(alpha_k) / prod_{i != k} (alpha_k - alpha_i).
+  std::vector<typename G::Scalar> psi(s);
+  for (std::size_t k = 0; k < s; ++k) {
+    typename G::Scalar den = g.sone();
+    for (std::size_t i = 0; i < s; ++i) {
+      if (i == k) continue;
+      den = g.smul(den, g.ssub(points[k], points[i]));
+    }
+    psi[k] = g.smul(values[k], g.sinv(den));
+  }
+  // Step 2: phi(0) = prod_k alpha_k.
+  typename G::Scalar phi = g.sone();
+  for (std::size_t k = 0; k < s; ++k) phi = g.smul(phi, points[k]);
+  // Step 3: f^{(s)}(0) = phi(0) * sum_k psi_k / alpha_k.
+  typename G::Scalar acc = g.szero();
+  for (std::size_t k = 0; k < s; ++k)
+    acc = g.sadd(acc, g.smul(psi[k], g.sinv(points[k])));
+  return g.smul(phi, acc);
+}
+
+/// Result of a degree-resolution scan.
+struct DegreeResolution {
+  /// Resolved degree (least s with a vanishing interpolation, minus one).
+  /// nullopt when no s <= points.size() vanishes, i.e. the degree is at
+  /// least points.size() or the polynomial has a nonzero constant term.
+  std::optional<std::size_t> degree;
+  /// Number of interpolation probes performed (complexity accounting).
+  std::size_t probes = 0;
+};
+
+/// Scalar-domain degree resolution for a polynomial with known-zero constant
+/// term, given its values at the (distinct, nonzero) points.
+///
+/// Erratum vs the paper: §2.4 claims the least s with f^{(s)}(0) = f(0)
+/// equals the degree d; in fact d+1 points are required, so the resolved
+/// degree is s_min - 1 (see DESIGN.md). False early vanishing occurs with
+/// probability 1/q per probe for random coefficients.
+template <dmw::num::GroupBackend G>
+DegreeResolution resolve_degree(const G& g,
+                                const std::vector<typename G::Scalar>& points,
+                                const std::vector<typename G::Scalar>& values) {
+  DMW_REQUIRE(points.size() == values.size());
+  DegreeResolution out;
+  // Incremental Lagrange basis: adding point alpha_s multiplies each
+  // existing rho_k by alpha_s / (alpha_s - alpha_k), keeping the whole scan
+  // Θ(s^2) instead of the Θ(s^3) of recomputing each probe from scratch
+  // (mirrors resolve_degree_in_exponent; equivalence is tested).
+  std::vector<typename G::Scalar> rho;
+  for (std::size_t s = 1; s <= points.size(); ++s) {
+    const auto& alpha_new = points[s - 1];
+    typename G::Scalar rho_new = g.sone();
+    for (std::size_t k = 0; k + 1 < s; ++k) {
+      const auto& alpha_k = points[k];
+      rho[k] = g.smul(rho[k],
+                      g.smul(alpha_new, g.sinv(g.ssub(alpha_new, alpha_k))));
+      rho_new = g.smul(rho_new,
+                       g.smul(alpha_k, g.sinv(g.ssub(alpha_k, alpha_new))));
+    }
+    rho.push_back(rho_new);
+
+    ++out.probes;
+    typename G::Scalar acc = g.szero();
+    for (std::size_t k = 0; k < s; ++k)
+      acc = g.sadd(acc, g.smul(values[k], rho[k]));
+    if (acc == g.szero()) {
+      out.degree = s - 1;
+      return out;
+    }
+  }
+  return out;
+}
+
+/// Exponent-domain degree resolution (paper Eq. (12)): given group elements
+/// Lambda_k = z^{E(alpha_k)}, find the least s with
+///   prod_{k<s} Lambda_k^{rho_k} == identity,
+/// i.e. z^{E-interpolated-at-0} == 1, and return s-1 as the degree of E.
+///
+/// The rho basis is maintained incrementally across s (each new point
+/// multiplies every existing rho_k by alpha_s/(alpha_s - alpha_k)), keeping
+/// the scalar work Θ(s^2) overall as in the paper's §2.4 algorithm.
+template <dmw::num::GroupBackend G>
+DegreeResolution resolve_degree_in_exponent(
+    const G& g, const std::vector<typename G::Scalar>& points,
+    const std::vector<typename G::Elem>& lambdas) {
+  DMW_REQUIRE(points.size() == lambdas.size());
+  DegreeResolution out;
+  std::vector<typename G::Scalar> rho;  // basis for current s
+  for (std::size_t s = 1; s <= points.size(); ++s) {
+    // Extend the basis from s-1 to s points.
+    const auto& alpha_new = points[s - 1];
+    typename G::Scalar rho_new = g.sone();
+    for (std::size_t k = 0; k + 1 < s; ++k) {
+      const auto& alpha_k = points[k];
+      rho[k] = g.smul(rho[k], g.smul(alpha_new,
+                                     g.sinv(g.ssub(alpha_new, alpha_k))));
+      rho_new = g.smul(rho_new,
+                       g.smul(alpha_k, g.sinv(g.ssub(alpha_k, alpha_new))));
+    }
+    rho.push_back(rho_new);
+
+    ++out.probes;
+    typename G::Elem acc = g.identity();
+    for (std::size_t k = 0; k < s; ++k)
+      acc = g.mul(acc, g.pow(lambdas[k], rho[k]));
+    if (g.is_identity(acc)) {
+      out.degree = s - 1;
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace dmw::poly

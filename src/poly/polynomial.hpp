@@ -1,0 +1,130 @@
+// Dense polynomials over the exponent field Z_q of a group backend.
+//
+// DMW encodes a bid y in the *degree* of a random polynomial (paper §2.4 and
+// §3 Phase II): small bids become large degrees. Coefficients are sampled
+// uniformly from Z_q, the constant term is forced to zero (sums in Eq. (3)
+// start at l = 1) and the leading coefficient is forced nonzero so the degree
+// is exact.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "numeric/group.hpp"
+#include "support/check.hpp"
+
+namespace dmw::poly {
+
+template <dmw::num::GroupBackend G>
+class Polynomial {
+ public:
+  using Scalar = typename G::Scalar;
+
+  Polynomial() = default;
+
+  /// Coefficients in ascending power order: coeffs[i] multiplies x^i.
+  explicit Polynomial(std::vector<Scalar> coeffs)
+      : coeffs_(std::move(coeffs)) {}
+
+  static Polynomial zero() { return Polynomial(); }
+
+  /// Uniformly random polynomial of *exact* degree `degree` with zero
+  /// constant term: f(x) = a_1 x + ... + a_degree x^degree, a_degree != 0.
+  template <class Rng>
+  static Polynomial random_zero_const(const G& g, std::size_t degree,
+                                      Rng& rng) {
+    DMW_REQUIRE_MSG(degree >= 1, "degree-0 polynomial cannot hide anything");
+    std::vector<Scalar> coeffs(degree + 1, g.szero());
+    for (std::size_t i = 1; i < degree; ++i) coeffs[i] = g.random_scalar(rng);
+    coeffs[degree] = g.random_nonzero_scalar(rng);
+    return Polynomial(std::move(coeffs));
+  }
+
+  const std::vector<Scalar>& coeffs() const { return coeffs_; }
+
+  /// Coefficient of x^i (zero beyond the stored range).
+  Scalar coeff(const G& g, std::size_t i) const {
+    return i < coeffs_.size() ? coeffs_[i] : g.szero();
+  }
+
+  bool is_zero(const G& g) const {
+    for (const auto& c : coeffs_)
+      if (c != g.szero()) return false;
+    return true;
+  }
+
+  /// Degree, with deg(0) represented as std::nullopt.
+  std::optional<std::size_t> degree(const G& g) const {
+    for (std::size_t i = coeffs_.size(); i-- > 0;) {
+      if (coeffs_[i] != g.szero()) return i;
+    }
+    return std::nullopt;
+  }
+
+  /// Horner evaluation at x (paper Phase II computes all n shares this way).
+  Scalar eval(const G& g, const Scalar& x) const {
+    Scalar acc = g.szero();
+    for (std::size_t i = coeffs_.size(); i-- > 0;) {
+      acc = g.sadd(g.smul(acc, x), coeffs_[i]);
+    }
+    return acc;
+  }
+
+  /// Shares at a whole pseudonym vector.
+  std::vector<Scalar> eval_all(const G& g,
+                               const std::vector<Scalar>& points) const {
+    std::vector<Scalar> out;
+    out.reserve(points.size());
+    for (const auto& x : points) out.push_back(eval(g, x));
+    return out;
+  }
+
+  Polynomial add(const G& g, const Polynomial& other) const {
+    std::vector<Scalar> out(std::max(coeffs_.size(), other.coeffs_.size()),
+                            g.szero());
+    for (std::size_t i = 0; i < out.size(); ++i)
+      out[i] = g.sadd(coeff(g, i), other.coeff(g, i));
+    return Polynomial(std::move(out));
+  }
+
+  Polynomial sub(const G& g, const Polynomial& other) const {
+    std::vector<Scalar> out(std::max(coeffs_.size(), other.coeffs_.size()),
+                            g.szero());
+    for (std::size_t i = 0; i < out.size(); ++i)
+      out[i] = g.ssub(coeff(g, i), other.coeff(g, i));
+    return Polynomial(std::move(out));
+  }
+
+  /// Schoolbook product (degrees in DMW are at most n, so O(deg^2) is fine
+  /// and matches the paper's cost accounting).
+  Polynomial mul(const G& g, const Polynomial& other) const {
+    if (coeffs_.empty() || other.coeffs_.empty()) return Polynomial();
+    std::vector<Scalar> out(coeffs_.size() + other.coeffs_.size() - 1,
+                            g.szero());
+    for (std::size_t i = 0; i < coeffs_.size(); ++i) {
+      if (coeffs_[i] == g.szero()) continue;
+      for (std::size_t j = 0; j < other.coeffs_.size(); ++j) {
+        out[i + j] = g.sadd(out[i + j], g.smul(coeffs_[i], other.coeffs_[j]));
+      }
+    }
+    return Polynomial(std::move(out));
+  }
+
+  Polynomial scale(const G& g, const Scalar& k) const {
+    std::vector<Scalar> out = coeffs_;
+    for (auto& c : out) c = g.smul(c, k);
+    return Polynomial(std::move(out));
+  }
+
+  friend bool operator==(const Polynomial& a, const Polynomial& b) {
+    // Compare with trailing-zero normalization left to the caller; protocol
+    // code always constructs exact-degree polynomials.
+    return a.coeffs_ == b.coeffs_;
+  }
+
+ private:
+  std::vector<Scalar> coeffs_;
+};
+
+}  // namespace dmw::poly

@@ -1,0 +1,90 @@
+// Standard Shamir secret sharing (free-term encoding), for contrast with
+// DMW's degree encoding.
+//
+// The paper is explicit about the difference (§3): Kikuchi-style auctions
+// encode the secret "in the degree of the polynomial. This is different
+// from the standard secret sharing protocols [35], in which the information
+// is encoded in the free term". This module implements the standard scheme
+// so the trade-off is demonstrable in code and tests:
+//
+//   - Shamir shares are additively homomorphic in the *secret*:
+//     reconstructing summed shares yields the sum of secrets — useless for
+//     computing a minimum.
+//   - Degree-encoded shares are "max-homomorphic" in the encoding:
+//     summing shares yields a polynomial whose degree is the max of the
+//     degrees — exactly the min-bid computation DMW needs (bids are encoded
+//     inversely).
+#pragma once
+
+#include <vector>
+
+#include "numeric/group.hpp"
+#include "poly/lagrange.hpp"
+#include "poly/polynomial.hpp"
+#include "support/check.hpp"
+
+namespace dmw::poly {
+
+/// A (threshold, n) Shamir sharing of a scalar secret.
+template <dmw::num::GroupBackend G>
+class ShamirSharing {
+ public:
+  using Scalar = typename G::Scalar;
+
+  /// Split `secret` into shares at the given distinct nonzero points;
+  /// any `threshold` shares reconstruct, fewer reveal nothing.
+  template <class Rng>
+  static ShamirSharing split(const G& g, const Scalar& secret,
+                             std::size_t threshold,
+                             const std::vector<Scalar>& points, Rng& rng) {
+    DMW_REQUIRE_MSG(threshold >= 1, "threshold must be at least 1");
+    DMW_REQUIRE_MSG(points.size() >= threshold,
+                    "need at least `threshold` share points");
+    // f(x) = secret + a_1 x + ... + a_{t-1} x^{t-1}.
+    std::vector<Scalar> coeffs(threshold, g.szero());
+    coeffs[0] = secret;
+    for (std::size_t i = 1; i < threshold; ++i)
+      coeffs[i] = g.random_scalar(rng);
+    const Polynomial<G> f(coeffs);
+
+    ShamirSharing sharing;
+    sharing.threshold_ = threshold;
+    sharing.points_ = points;
+    sharing.shares_ = f.eval_all(g, points);
+    return sharing;
+  }
+
+  std::size_t threshold() const { return threshold_; }
+  const std::vector<Scalar>& points() const { return points_; }
+  const std::vector<Scalar>& shares() const { return shares_; }
+
+  /// Reconstruct from the first `count` shares (>= threshold required):
+  /// Lagrange interpolation at zero recovers the free term.
+  Scalar reconstruct(const G& g, std::size_t count) const {
+    DMW_REQUIRE_MSG(count >= threshold_,
+                    "not enough shares to reconstruct");
+    DMW_REQUIRE(count <= shares_.size());
+    return interpolate_at_zero(g, points_, shares_, count);
+  }
+
+  /// Share-wise sum: reconstructing the result yields the sum of the
+  /// secrets (the additive homomorphism Shamir offers and DMW cannot use).
+  static ShamirSharing add(const G& g, const ShamirSharing& a,
+                           const ShamirSharing& b) {
+    DMW_REQUIRE(a.points_ == b.points_);
+    ShamirSharing out;
+    out.threshold_ = std::max(a.threshold_, b.threshold_);
+    out.points_ = a.points_;
+    out.shares_.reserve(a.shares_.size());
+    for (std::size_t i = 0; i < a.shares_.size(); ++i)
+      out.shares_.push_back(g.sadd(a.shares_[i], b.shares_[i]));
+    return out;
+  }
+
+ private:
+  std::size_t threshold_ = 0;
+  std::vector<Scalar> points_;
+  std::vector<Scalar> shares_;
+};
+
+}  // namespace dmw::poly

@@ -1,0 +1,63 @@
+// Checked-precondition and invariant machinery.
+//
+// All library invariants are enforced with DMW_CHECK / DMW_REQUIRE, which
+// throw (never abort) so protocol code can translate internal violations
+// into protocol aborts and tests can assert on them.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace dmw {
+
+/// Thrown when a DMW_CHECK / DMW_REQUIRE condition fails.
+class CheckError : public std::logic_error {
+ public:
+  CheckError(const std::string& expr, const std::string& msg,
+             std::source_location loc)
+      : std::logic_error(format(expr, msg, loc)) {}
+
+ private:
+  static std::string format(const std::string& expr, const std::string& msg,
+                            std::source_location loc) {
+    std::string out = "check failed: ";
+    out += expr;
+    if (!msg.empty()) {
+      out += " (";
+      out += msg;
+      out += ")";
+    }
+    out += " at ";
+    out += loc.file_name();
+    out += ":";
+    out += std::to_string(loc.line());
+    return out;
+  }
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(
+    const char* expr, const std::string& msg,
+    std::source_location loc = std::source_location::current()) {
+  throw CheckError(expr, msg, loc);
+}
+}  // namespace detail
+
+}  // namespace dmw
+
+/// Invariant check: active in all build types.
+#define DMW_CHECK(cond)                                \
+  do {                                                 \
+    if (!(cond)) ::dmw::detail::check_failed(#cond, ""); \
+  } while (0)
+
+/// Invariant check with an explanatory message.
+#define DMW_CHECK_MSG(cond, msg)                          \
+  do {                                                    \
+    if (!(cond)) ::dmw::detail::check_failed(#cond, (msg)); \
+  } while (0)
+
+/// Precondition check on public API arguments.
+#define DMW_REQUIRE(cond) DMW_CHECK(cond)
+#define DMW_REQUIRE_MSG(cond, msg) DMW_CHECK_MSG(cond, (msg))

@@ -1,0 +1,90 @@
+// Tiny command-line flag parser for the tools/ binaries.
+//
+// Supports --name=value, --name value, and boolean --name. Unknown flags
+// are errors (typos should not silently change an experiment). Positional
+// arguments are collected in order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace dmw {
+
+class Flags {
+ public:
+  /// Parse argv. `known` lists every accepted flag name (without dashes);
+  /// names ending in '!' denote boolean flags that take no value.
+  Flags(int argc, const char* const* argv,
+        const std::vector<std::string>& known) {
+    std::map<std::string, bool> is_bool;
+    for (const auto& name : known) {
+      if (!name.empty() && name.back() == '!') {
+        is_bool[name.substr(0, name.size() - 1)] = true;
+      } else {
+        is_bool[name] = false;
+      }
+    }
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(arg));
+        continue;
+      }
+      arg = arg.substr(2);
+      std::string name = arg, value;
+      bool has_value = false;
+      if (const auto eq = arg.find('='); eq != std::string::npos) {
+        name = arg.substr(0, eq);
+        value = arg.substr(eq + 1);
+        has_value = true;
+      }
+      const auto it = is_bool.find(name);
+      DMW_REQUIRE_MSG(it != is_bool.end(), "unknown flag --" + name);
+      if (it->second) {
+        DMW_REQUIRE_MSG(!has_value, "flag --" + name + " takes no value");
+        values_[name] = "true";
+      } else {
+        if (!has_value) {
+          DMW_REQUIRE_MSG(i + 1 < argc, "flag --" + name + " needs a value");
+          value = argv[++i];
+        }
+        values_[name] = value;
+      }
+    }
+  }
+
+  bool has(const std::string& name) const { return values_.count(name) > 0; }
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  std::uint64_t get_u64(const std::string& name, std::uint64_t fallback) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    std::size_t consumed = 0;
+    const std::uint64_t parsed = std::stoull(it->second, &consumed);
+    DMW_REQUIRE_MSG(consumed == it->second.size(),
+                    "flag --" + name + " is not an integer");
+    return parsed;
+  }
+
+  bool get_bool(const std::string& name) const {
+    return get_string(name, "false") == "true";
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dmw

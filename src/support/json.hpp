@@ -1,0 +1,158 @@
+// Minimal JSON writer (no parser needed): the CLI tools emit machine-
+// readable run reports for downstream analysis.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace dmw {
+
+/// Streaming JSON writer with nesting validation.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    prefix();
+    out_ << '{';
+    stack_.push_back(Frame::kObject);
+    first_ = true;
+    return *this;
+  }
+
+  JsonWriter& end_object() {
+    DMW_REQUIRE_MSG(!stack_.empty() && stack_.back() == Frame::kObject,
+                    "unbalanced end_object");
+    stack_.pop_back();
+    out_ << '}';
+    first_ = false;
+    return *this;
+  }
+
+  JsonWriter& begin_array(std::string_view key = {}) {
+    if (!key.empty()) this->key(key);
+    prefix();
+    out_ << '[';
+    stack_.push_back(Frame::kArray);
+    first_ = true;
+    return *this;
+  }
+
+  JsonWriter& end_array() {
+    DMW_REQUIRE_MSG(!stack_.empty() && stack_.back() == Frame::kArray,
+                    "unbalanced end_array");
+    stack_.pop_back();
+    out_ << ']';
+    first_ = false;
+    return *this;
+  }
+
+  JsonWriter& key(std::string_view name) {
+    DMW_REQUIRE_MSG(!stack_.empty() && stack_.back() == Frame::kObject,
+                    "key outside object");
+    DMW_REQUIRE_MSG(!pending_key_, "two keys in a row");
+    prefix();
+    write_string(name);
+    out_ << ':';
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    prefix();
+    write_string(v);
+    first_ = false;
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v) {
+    prefix();
+    out_ << (v ? "true" : "false");
+    first_ = false;
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    prefix();
+    out_ << v;
+    first_ = false;
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    prefix();
+    out_ << v;
+    first_ = false;
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    prefix();
+    out_ << v;
+    first_ = false;
+    return *this;
+  }
+
+  template <class T>
+  JsonWriter& field(std::string_view name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  std::string str() const {
+    DMW_REQUIRE_MSG(stack_.empty(), "unterminated JSON document");
+    return out_.str();
+  }
+
+ private:
+  enum class Frame { kObject, kArray };
+
+  void prefix() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (!first_ && !stack_.empty()) out_ << ',';
+    first_ = false;
+  }
+
+  void write_string(std::string_view s) {
+    out_ << '"';
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out_ << "\\\"";
+          break;
+        case '\\':
+          out_ << "\\\\";
+          break;
+        case '\n':
+          out_ << "\\n";
+          break;
+        case '\t':
+          out_ << "\\t";
+          break;
+        case '\r':
+          out_ << "\\r";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+            out_ << buffer;
+          } else {
+            out_ << c;
+          }
+      }
+    }
+    out_ << '"';
+  }
+
+  std::ostringstream out_;
+  std::vector<Frame> stack_;
+  bool first_ = true;
+  bool pending_key_ = false;
+};
+
+}  // namespace dmw

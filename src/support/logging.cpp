@@ -1,0 +1,47 @@
+#include "support/logging.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace dmw {
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, const std::string& message) {
+    std::fprintf(stderr, "[%s] %s\n", to_string(level), message.c_str());
+  };
+}
+
+Logger::Sink Logger::set_sink(Sink sink) {
+  std::swap(sink, sink_);
+  return sink;
+}
+
+void Logger::log(LogLevel level, const std::string& message) {
+  if (!enabled(level)) return;
+  if (sink_) sink_(level, message);
+}
+
+}  // namespace dmw

@@ -1,0 +1,72 @@
+// Minimal leveled logger.
+//
+// The protocol simulator is chatty at Debug level (per-message traces); tests
+// and benches run at Warn. The logger is a process-wide singleton with a
+// swappable sink so tests can capture output.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace dmw {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+const char* to_string(LogLevel level);
+
+/// Process-wide logger. Thread-compatible (the simulator is single-threaded).
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Replace the output sink; returns the previous one.
+  Sink set_sink(Sink sink);
+
+  void log(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+namespace detail {
+/// Stream-style log statement builder; emits on destruction.
+class LogStatement {
+ public:
+  explicit LogStatement(LogLevel level) : level_(level) {}
+  ~LogStatement() { Logger::instance().log(level_, stream_.str()); }
+  LogStatement(const LogStatement&) = delete;
+  LogStatement& operator=(const LogStatement&) = delete;
+
+  template <class T>
+  LogStatement& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace dmw
+
+#define DMW_LOG(level)                                   \
+  if (!::dmw::Logger::instance().enabled(level)) {       \
+  } else                                                 \
+    ::dmw::detail::LogStatement(level)
+
+#define DMW_TRACE() DMW_LOG(::dmw::LogLevel::kTrace)
+#define DMW_DEBUG() DMW_LOG(::dmw::LogLevel::kDebug)
+#define DMW_INFO() DMW_LOG(::dmw::LogLevel::kInfo)
+#define DMW_WARN() DMW_LOG(::dmw::LogLevel::kWarn)
+#define DMW_ERROR() DMW_LOG(::dmw::LogLevel::kError)

@@ -1,0 +1,6 @@
+#include "support/rng.hpp"
+
+// All generator logic is header-inline; this translation unit exists so the
+// library has a stable archive member and a place for future out-of-line
+// helpers.
+namespace dmw {}

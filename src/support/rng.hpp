@@ -1,0 +1,126 @@
+// Deterministic pseudo-random number generators used throughout the
+// simulation.
+//
+// Every source of randomness in this repository is seeded explicitly so that
+// protocol runs, experiments and benches are exactly reproducible. Two
+// generators are provided:
+//   - SplitMix64: used for seeding and cheap stream splitting.
+//   - Xoshiro256ss (xoshiro256**): the general-purpose workhorse.
+// The cryptographic-strength deterministic generator (ChaCha20-based) lives in
+// crypto/; protocol polynomial sampling uses that one.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace dmw {
+
+/// SplitMix64 — tiny, fast generator whose main role is turning one 64-bit
+/// seed into many well-distributed seeds for other generators.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t operator()() { return next(); }
+
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — fast, high-quality 64-bit PRNG (Blackman & Vigna).
+/// Satisfies std::uniform_random_bit_generator.
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256ss(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  std::uint64_t operator()() { return next(); }
+
+  /// Unbiased integer in [0, bound) via Lemire-style rejection.
+  std::uint64_t below(std::uint64_t bound) {
+    DMW_REQUIRE(bound > 0);
+    // Rejection sampling on the top of the range to remove modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Unbiased integer in [lo, hi] (inclusive).
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {
+    DMW_REQUIRE(lo <= hi);
+    if (lo == 0 && hi == max()) return next();
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Real number in [0, 1).
+  double real() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return real() < p; }
+
+  /// Derive an independent child generator (for stream splitting).
+  Xoshiro256ss split() { return Xoshiro256ss(next() ^ 0xa5a5a5a5a5a5a5a5ULL); }
+
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Fisher-Yates shuffle with the repository RNG (std::shuffle's result is
+/// implementation-defined; this one is stable across platforms).
+template <class Vec>
+void deterministic_shuffle(Vec& v, Xoshiro256ss& rng) {
+  if (v.empty()) return;
+  for (std::size_t i = v.size() - 1; i > 0; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.below(i + 1));
+    using std::swap;
+    swap(v[i], v[j]);
+  }
+}
+
+}  // namespace dmw

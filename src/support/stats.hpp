@@ -1,0 +1,52 @@
+// Descriptive statistics and least-squares fitting.
+//
+// The benchmark harness validates the paper's asymptotic claims (Table 1,
+// Theorems 11 and 12) by fitting measured cost against problem size on a
+// log-log scale; the fitted slope is the empirical scaling exponent.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dmw {
+
+/// Streaming summary statistics (Welford's online algorithm).
+class Summary {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double total() const { return total_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double total_ = 0.0;
+};
+
+/// Result of an ordinary least-squares line fit y = slope*x + intercept.
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Fit a straight line through (x, y) pairs. Requires >= 2 points.
+LineFit fit_line(std::span<const double> x, std::span<const double> y);
+
+/// Fit y = C * x^k by regressing log y on log x; returns k as `slope` and
+/// log C as `intercept`. All inputs must be positive.
+LineFit fit_power_law(std::span<const double> x, std::span<const double> y);
+
+/// Percentile of a sample (linear interpolation), p in [0, 100].
+double percentile(std::vector<double> values, double p);
+
+}  // namespace dmw

@@ -1,0 +1,234 @@
+// BigUInt<W>: construction, comparison, arithmetic, shifts, division and
+// string codecs, cross-checked against native 128-bit arithmetic.
+#include <gtest/gtest.h>
+
+#include "numeric/biguint.hpp"
+#include "support/rng.hpp"
+
+namespace dmw::num {
+namespace {
+
+using dmw::Xoshiro256ss;
+
+TEST(BigUInt, DefaultIsZero) {
+  U256 v;
+  EXPECT_TRUE(v.is_zero());
+  EXPECT_EQ(v.bit_length(), 0u);
+  EXPECT_EQ(v.to_hex(), "0");
+  EXPECT_EQ(v.to_dec(), "0");
+}
+
+TEST(BigUInt, FromU64RoundTrip) {
+  const U256 v(0xdeadbeefcafebabeULL);
+  EXPECT_TRUE(v.fits_u64());
+  EXPECT_EQ(v.to_u64(), 0xdeadbeefcafebabeULL);
+  EXPECT_EQ(v.to_hex(), "deadbeefcafebabe");
+}
+
+TEST(BigUInt, HexRoundTrip) {
+  const std::string hex = "1fffffffffffffffffffffffffffffffffffffffff";
+  const U256 v = U256::from_hex(hex);
+  EXPECT_EQ(v.to_hex(), hex);
+}
+
+TEST(BigUInt, HexRejectsBadDigit) {
+  EXPECT_THROW(U256::from_hex("12g4"), CheckError);
+  EXPECT_THROW(U256::from_hex(""), CheckError);
+}
+
+TEST(BigUInt, DecString) {
+  EXPECT_EQ(U256(1234567890123456789ULL).to_dec(), "1234567890123456789");
+  // 2^64 = 18446744073709551616
+  U256 v(1);
+  v = v << 64;
+  EXPECT_EQ(v.to_dec(), "18446744073709551616");
+}
+
+TEST(BigUInt, ComparisonOrdering) {
+  const U256 a(5), b(7);
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_EQ(a, U256(5));
+  U256 high;
+  high.set_limb(3, 1);
+  EXPECT_GT(high, b);
+}
+
+TEST(BigUInt, AdditionCarriesAcrossLimbs) {
+  U256 a;
+  a.set_limb(0, ~u64{0});
+  a.set_limb(1, ~u64{0});
+  const U256 sum = a + U256(1);
+  EXPECT_EQ(sum.limb(0), 0u);
+  EXPECT_EQ(sum.limb(1), 0u);
+  EXPECT_EQ(sum.limb(2), 1u);
+}
+
+TEST(BigUInt, SubtractionBorrows) {
+  U256 a;
+  a.set_limb(2, 1);  // 2^128
+  const U256 diff = a - U256(1);
+  EXPECT_EQ(diff.limb(0), ~u64{0});
+  EXPECT_EQ(diff.limb(1), ~u64{0});
+  EXPECT_EQ(diff.limb(2), 0u);
+}
+
+TEST(BigUInt, AddSubInverse) {
+  Xoshiro256ss rng(1);
+  for (int i = 0; i < 200; ++i) {
+    U256 a, b;
+    for (int l = 0; l < 4; ++l) {
+      a.set_limb(l, rng.next());
+      b.set_limb(l, rng.next());
+    }
+    EXPECT_EQ((a + b) - b, a);
+  }
+}
+
+TEST(BigUInt, WrapAroundAtMax) {
+  const U256 max = U256::max_value();
+  EXPECT_TRUE((max + U256(1)).is_zero());
+  EXPECT_EQ(U256::zero() - U256(1), max);
+}
+
+TEST(BigUInt, MulWideMatchesNativeOn64BitOperands) {
+  Xoshiro256ss rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const u64 a = rng.next(), b = rng.next();
+    const auto wide = mul_wide(U128(a), U128(b));
+    const u128 expected = static_cast<u128>(a) * b;
+    EXPECT_EQ(wide.limb(0), static_cast<u64>(expected));
+    EXPECT_EQ(wide.limb(1), static_cast<u64>(expected >> 64));
+    EXPECT_EQ(wide.limb(2), 0u);
+    EXPECT_EQ(wide.limb(3), 0u);
+  }
+}
+
+TEST(BigUInt, TruncatingMulMatchesWideLowLimbs) {
+  Xoshiro256ss rng(3);
+  for (int i = 0; i < 100; ++i) {
+    U256 a, b;
+    for (int l = 0; l < 4; ++l) {
+      a.set_limb(l, rng.next());
+      b.set_limb(l, rng.next());
+    }
+    const auto narrow = a * b;
+    const auto wide = mul_wide(a, b);
+    for (int l = 0; l < 4; ++l) EXPECT_EQ(narrow.limb(l), wide.limb(l));
+  }
+}
+
+TEST(BigUInt, ShiftsRoundTrip) {
+  Xoshiro256ss rng(4);
+  for (unsigned s : {1u, 7u, 63u, 64u, 65u, 127u, 128u, 200u, 255u}) {
+    U256 v;
+    v.set_limb(0, rng.next());
+    // Keep the round trip lossless: drop bits that the left shift would
+    // push past the 256-bit width.
+    for (unsigned b = 256 - s; b < 256; ++b) v.set_bit(b, false);
+    const U256 shifted = v << s;
+    EXPECT_EQ(shifted >> s, v) << "shift " << s;
+  }
+}
+
+TEST(BigUInt, ShiftByZeroIsIdentity) {
+  const U256 v(0x1234);
+  EXPECT_EQ(v << 0, v);
+  EXPECT_EQ(v >> 0, v);
+}
+
+TEST(BigUInt, BitAccessors) {
+  U256 v;
+  v.set_bit(0, true);
+  v.set_bit(100, true);
+  EXPECT_TRUE(v.bit(0));
+  EXPECT_TRUE(v.bit(100));
+  EXPECT_FALSE(v.bit(99));
+  EXPECT_EQ(v.bit_length(), 101u);
+  v.set_bit(100, false);
+  EXPECT_EQ(v.bit_length(), 1u);
+}
+
+TEST(BigUInt, DivModMatchesNativeOnSmallOperands) {
+  Xoshiro256ss rng(5);
+  for (int i = 0; i < 300; ++i) {
+    const u128 a = (static_cast<u128>(rng.next()) << 64) | rng.next();
+    u128 b = (static_cast<u128>(rng.below(1u << 20)) << 64) | rng.next();
+    if (b == 0) b = 1;
+    U128 big_a, big_b;
+    big_a.set_limb(0, static_cast<u64>(a));
+    big_a.set_limb(1, static_cast<u64>(a >> 64));
+    big_b.set_limb(0, static_cast<u64>(b));
+    big_b.set_limb(1, static_cast<u64>(b >> 64));
+    const auto dm = divmod(big_a, big_b);
+    const u128 q = a / b, r = a % b;
+    EXPECT_EQ(dm.quotient.limb(0), static_cast<u64>(q));
+    EXPECT_EQ(dm.quotient.limb(1), static_cast<u64>(q >> 64));
+    EXPECT_EQ(dm.remainder.limb(0), static_cast<u64>(r));
+    EXPECT_EQ(dm.remainder.limb(1), static_cast<u64>(r >> 64));
+  }
+}
+
+TEST(BigUInt, DivModReconstructsDividend) {
+  Xoshiro256ss rng(6);
+  for (int i = 0; i < 300; ++i) {
+    U256 a, b;
+    const int b_limbs = 1 + static_cast<int>(rng.below(4));
+    for (int l = 0; l < 4; ++l) a.set_limb(l, rng.next());
+    for (int l = 0; l < b_limbs; ++l) b.set_limb(l, rng.next());
+    if (b.is_zero()) b = U256(1);
+    const auto dm = divmod(a, b);
+    EXPECT_LT(dm.remainder, b);
+    // a == q*b + r (mod 2^256; the product cannot overflow since q*b <= a).
+    EXPECT_EQ(dm.quotient * b + dm.remainder, a);
+  }
+}
+
+TEST(BigUInt, DivModByOneAndSelf) {
+  U256 a = U256::from_hex("123456789abcdef0123456789abcdef0");
+  auto by_one = divmod(a, U256(1));
+  EXPECT_EQ(by_one.quotient, a);
+  EXPECT_TRUE(by_one.remainder.is_zero());
+  auto by_self = divmod(a, a);
+  EXPECT_EQ(by_self.quotient, U256(1));
+  EXPECT_TRUE(by_self.remainder.is_zero());
+}
+
+TEST(BigUInt, DivModSmallByLarge) {
+  const auto dm = divmod(U256(5), U256::from_hex("ffffffffffffffffff"));
+  EXPECT_TRUE(dm.quotient.is_zero());
+  EXPECT_EQ(dm.remainder, U256(5));
+}
+
+TEST(BigUInt, DivByZeroThrows) {
+  EXPECT_THROW(divmod(U256(5), U256::zero()), CheckError);
+}
+
+TEST(BigUInt, KnuthD6AddBackCase) {
+  // A crafted case that exercises the rare "add back" branch of Algorithm D:
+  // dividend = 2^192 - 1, divisor = 2^128 - 2^64 (qhat over-estimates).
+  U256 a;
+  a.set_limb(0, ~u64{0});
+  a.set_limb(1, ~u64{0});
+  a.set_limb(2, ~u64{0});
+  U256 b;
+  b.set_limb(1, ~u64{0});  // 2^128 - 2^64
+  const auto dm = divmod(a, b);
+  EXPECT_EQ(dm.quotient * b + dm.remainder, a);
+  EXPECT_LT(dm.remainder, b);
+}
+
+TEST(BigUInt, ResizedPreservesLowLimbs) {
+  U256 v;
+  v.set_limb(0, 11);
+  v.set_limb(3, 22);
+  const auto wide = v.resized<8>();
+  EXPECT_EQ(wide.limb(0), 11u);
+  EXPECT_EQ(wide.limb(3), 22u);
+  EXPECT_EQ(wide.limb(7), 0u);
+  const auto narrow = v.resized<2>();
+  EXPECT_EQ(narrow.limb(0), 11u);  // truncates the high limbs
+}
+
+}  // namespace
+}  // namespace dmw::num

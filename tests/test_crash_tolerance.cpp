@@ -1,0 +1,218 @@
+// Crash-fault tolerance (paper Open Problem 11): "as long as the number of
+// agents obeying the protocol remains above a threshold, the mechanism is
+// computable". In crash-tolerant mode a run must survive up to c
+// fail-silent agents at ANY phase boundary and still produce the MinWork
+// outcome over the agents that actually bid; the strict protocol aborts on
+// the first missing message.
+#include <gtest/gtest.h>
+
+#include "dmw/protocol.hpp"
+#include "dmw/strategies.hpp"
+#include "mech/minwork.hpp"
+
+namespace dmw::proto {
+namespace {
+
+using num::Group64;
+
+const Group64& grp() { return Group64::test_group(); }
+
+struct Setup {
+  PublicParams<Group64> params;
+  mech::SchedulingInstance instance;
+
+  static Setup tolerant(std::size_t n, std::size_t m, std::size_t c,
+                        std::uint64_t seed) {
+    auto params =
+        PublicParams<Group64>::make_crash_tolerant(grp(), n, m, c, seed);
+    Xoshiro256ss rng(seed + 1);
+    auto instance =
+        mech::make_uniform_instance(n, m, params.bid_set(), rng);
+    return Setup{std::move(params), std::move(instance)};
+  }
+
+  Outcome run_with_crashes(const std::vector<std::size_t>& who,
+                           CrashPoint when) {
+    HonestStrategy<Group64> honest;
+    CrashStrategy<Group64> crash(when);
+    std::vector<Strategy<Group64>*> strategies(params.n(), &honest);
+    for (std::size_t agent : who) strategies[agent] = &crash;
+    ProtocolRunner<Group64> runner(params, instance, strategies);
+    return runner.run();
+  }
+};
+
+TEST(CrashTolerance, ParamsValidation) {
+  // w_k <= n - 2c - 1: n=8, c=2 admits W = {1..3}.
+  const auto params =
+      PublicParams<Group64>::make_crash_tolerant(grp(), 8, 1, 2, 1);
+  EXPECT_TRUE(params.crash_tolerant());
+  EXPECT_EQ(params.bid_set().max(), 3u);
+  EXPECT_EQ(params.quorum(), 6u);
+  EXPECT_THROW(PublicParams<Group64>::make_crash_tolerant(grp(), 5, 1, 2, 1),
+               CheckError);
+  // Strict params keep quorum == n.
+  const auto strict = PublicParams<Group64>::make(grp(), 8, 1, 2, 1);
+  EXPECT_FALSE(strict.crash_tolerant());
+  EXPECT_EQ(strict.quorum(), 8u);
+}
+
+TEST(CrashTolerance, NoCrashesBehavesLikeStrict) {
+  auto setup = Setup::tolerant(8, 2, 2, 10);
+  const auto outcome = setup.run_with_crashes({}, CrashPoint::kBeforeBidding);
+  ASSERT_FALSE(outcome.aborted);
+  const auto central = mech::run_minwork(setup.instance);
+  EXPECT_EQ(outcome.schedule, central.schedule);
+  EXPECT_EQ(outcome.payments, central.payments);
+}
+
+class CrashPointSweep : public ::testing::TestWithParam<CrashPoint> {};
+
+TEST_P(CrashPointSweep, OneCrashSurvives) {
+  auto setup = Setup::tolerant(8, 2, 2, 11);
+  const std::size_t crashed = 3;
+  const auto outcome = setup.run_with_crashes({crashed}, GetParam());
+  ASSERT_FALSE(outcome.aborted)
+      << "crash point " << static_cast<int>(GetParam()) << " aborted with "
+      << to_string(outcome.abort_record->reason);
+
+  if (GetParam() == CrashPoint::kBeforeBidding) {
+    // The crashed agent never bid: the outcome is MinWork over the rest.
+    for (std::size_t j = 0; j < setup.instance.m; ++j)
+      EXPECT_NE(outcome.schedule.agent_for(j), crashed);
+    // Compare against MinWork on the surviving bid matrix.
+    mech::BidMatrix survivors;
+    std::vector<std::size_t> index_map;
+    for (std::size_t i = 0; i < setup.instance.n; ++i) {
+      if (i == crashed) continue;
+      survivors.push_back(setup.instance.cost[i]);
+      index_map.push_back(i);
+    }
+    const auto central = mech::run_minwork(survivors);
+    for (std::size_t j = 0; j < setup.instance.m; ++j) {
+      EXPECT_EQ(outcome.schedule.agent_for(j),
+                index_map[central.schedule.agent_for(j)]);
+      EXPECT_EQ(outcome.second_prices[j], central.auctions[j].second_price);
+    }
+  } else {
+    // The crashed agent's Phase II bid still participates: the outcome is
+    // plain MinWork over everyone.
+    const auto central = mech::run_minwork(setup.instance);
+    EXPECT_EQ(outcome.schedule, central.schedule);
+    EXPECT_EQ(outcome.payments, central.payments);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Points, CrashPointSweep,
+                         ::testing::Values(CrashPoint::kBeforeBidding,
+                                           CrashPoint::kAfterBidding,
+                                           CrashPoint::kAfterLambdaPsi,
+                                           CrashPoint::kAfterDisclosure,
+                                           CrashPoint::kAfterReduced));
+
+TEST(CrashTolerance, TwoCrashesAtDifferentPointsSurvive) {
+  auto setup = Setup::tolerant(9, 2, 2, 12);
+  HonestStrategy<Group64> honest;
+  CrashStrategy<Group64> early(CrashPoint::kBeforeBidding);
+  CrashStrategy<Group64> late(CrashPoint::kAfterLambdaPsi);
+  std::vector<Strategy<Group64>*> strategies(9, &honest);
+  strategies[1] = &early;
+  strategies[6] = &late;
+  ProtocolRunner<Group64> runner(setup.params, setup.instance, strategies);
+  const auto outcome = runner.run();
+  ASSERT_FALSE(outcome.aborted)
+      << to_string(outcome.abort_record->reason);
+  for (std::size_t j = 0; j < setup.instance.m; ++j)
+    EXPECT_NE(outcome.schedule.agent_for(j), 1u);
+}
+
+TEST(CrashTolerance, MoreThanCPreBiddingCrashesLoseQuorum) {
+  auto setup = Setup::tolerant(8, 1, 2, 13);
+  const auto outcome =
+      setup.run_with_crashes({1, 4, 6}, CrashPoint::kBeforeBidding);
+  ASSERT_TRUE(outcome.aborted);
+  EXPECT_EQ(outcome.abort_record->reason, AbortReason::kQuorumLost);
+}
+
+TEST(CrashTolerance, StrictModeStillAbortsOnAnyCrash) {
+  const auto params = PublicParams<Group64>::make(grp(), 8, 1, 2, 14);
+  Xoshiro256ss rng(15);
+  const auto instance =
+      mech::make_uniform_instance(8, 1, params.bid_set(), rng);
+  HonestStrategy<Group64> honest;
+  CrashStrategy<Group64> crash(CrashPoint::kBeforeBidding);
+  std::vector<Strategy<Group64>*> strategies(8, &honest);
+  strategies[2] = &crash;
+  ProtocolRunner<Group64> runner(params, instance, strategies);
+  const auto outcome = runner.run();
+  ASSERT_TRUE(outcome.aborted);
+  EXPECT_EQ(outcome.abort_record->reason, AbortReason::kMissingCommitments);
+}
+
+TEST(CrashTolerance, CrashedWinnerStaysAllocated) {
+  // A bidder that crashes right after Phase II can still win: its bid is
+  // committed and the auction proceeds without its cooperation. (A real
+  // deployment would claw the task back at the SLA layer; the mechanism
+  // itself completes.)
+  auto params = PublicParams<Group64>::make_crash_tolerant(grp(), 8, 1, 2, 16);
+  mech::SchedulingInstance instance{
+      8, 1, {{3}, {3}, {1}, {3}, {2}, {3}, {3}, {3}}};
+  HonestStrategy<Group64> honest;
+  CrashStrategy<Group64> crash(CrashPoint::kAfterBidding);
+  std::vector<Strategy<Group64>*> strategies(8, &honest);
+  strategies[2] = &crash;  // the cheapest agent crashes after bidding
+  ProtocolRunner<Group64> runner(params, instance, strategies);
+  const auto outcome = runner.run();
+  ASSERT_FALSE(outcome.aborted)
+      << to_string(outcome.abort_record->reason);
+  EXPECT_EQ(outcome.schedule.agent_for(0), 2u);
+  EXPECT_EQ(outcome.second_prices[0], 2u);
+}
+
+TEST(CrashTolerance, DeviationDetectionStillWorks) {
+  // Crash tolerance must not weaken cheating detection: equivocation
+  // (commitments posted, shares withheld) and bad commitments still abort.
+  auto setup = Setup::tolerant(8, 1, 2, 17);
+  {
+    HonestStrategy<Group64> honest;
+    WithholdShareStrategy<Group64> equivocator(/*victim=*/4);
+    std::vector<Strategy<Group64>*> strategies(8, &honest);
+    strategies[1] = &equivocator;
+    ProtocolRunner<Group64> runner(setup.params, setup.instance, strategies);
+    const auto outcome = runner.run();
+    ASSERT_TRUE(outcome.aborted);
+    EXPECT_EQ(outcome.abort_record->reason, AbortReason::kMissingShares);
+  }
+  {
+    HonestStrategy<Group64> honest;
+    InconsistentCommitmentsStrategy<Group64> cheat;
+    std::vector<Strategy<Group64>*> strategies(8, &honest);
+    strategies[5] = &cheat;
+    ProtocolRunner<Group64> runner(setup.params, setup.instance, strategies);
+    const auto outcome = runner.run();
+    ASSERT_TRUE(outcome.aborted);
+    EXPECT_EQ(outcome.abort_record->reason, AbortReason::kBadShareCommitment);
+  }
+}
+
+TEST(CrashTolerance, FaithfulnessHoldsInTolerantMode) {
+  // Deviants must still never profit when the protocol is lenient about
+  // silence: silence now yields a completed run in which the silent agent
+  // simply keeps (at most) its honest allocation.
+  auto setup = Setup::tolerant(7, 2, 1, 18);
+  const auto honest_outcome = run_honest_dmw(setup.params, setup.instance);
+  ASSERT_FALSE(honest_outcome.aborted);
+  for (auto when :
+       {CrashPoint::kBeforeBidding, CrashPoint::kAfterBidding,
+        CrashPoint::kAfterLambdaPsi, CrashPoint::kAfterReduced}) {
+    for (std::size_t who = 0; who < setup.params.n(); ++who) {
+      const auto outcome = setup.run_with_crashes({who}, when);
+      EXPECT_LE(outcome.utility(setup.instance, who),
+                honest_outcome.utility(setup.instance, who))
+          << "crash point " << static_cast<int>(when) << " agent " << who;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dmw::proto

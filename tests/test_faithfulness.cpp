@@ -1,0 +1,124 @@
+// The paper's headline properties, verified empirically end-to-end:
+//   Theorem 5  — DMW is faithful (no unilateral deviation profits).
+//   Theorem 9  — strong voluntary participation (honest agents never lose).
+//   Theorem 2 lifted — DMW as a mechanism is truthful in its bids.
+#include <gtest/gtest.h>
+
+#include "exp/faithfulness.hpp"
+#include "mech/truthful.hpp"
+
+namespace dmw::exp {
+namespace {
+
+using num::Group64;
+using proto::PublicParams;
+
+const Group64& grp() { return Group64::test_group(); }
+
+TEST(Faithfulness, FullDeviationSuiteOnSmallInstance) {
+  const auto params = PublicParams<Group64>::make(grp(), 5, 2, 1, 70);
+  Xoshiro256ss rng(71);
+  const auto instance =
+      mech::make_uniform_instance(5, 2, params.bid_set(), rng);
+
+  const auto report = run_faithfulness_suite(params, instance);
+  EXPECT_TRUE(report.faithful);
+  EXPECT_TRUE(report.strong_voluntary);
+  // 15 deviations x 5 positions.
+  EXPECT_EQ(report.results.size(), 15u * 5u);
+  for (const auto& result : report.results) {
+    EXPECT_LE(result.deviant_utility, result.honest_utility)
+        << result.strategy << " by agent " << result.deviator;
+    EXPECT_GE(result.min_honest_bystander_utility, 0)
+        << result.strategy << " by agent " << result.deviator;
+  }
+}
+
+TEST(Faithfulness, HonestBaselineHasNonNegativeUtilities) {
+  const auto params = PublicParams<Group64>::make(grp(), 6, 3, 2, 72);
+  Xoshiro256ss rng(73);
+  const auto instance =
+      mech::make_uniform_instance(6, 3, params.bid_set(), rng);
+  const auto outcome = proto::run_honest_dmw(params, instance);
+  ASSERT_FALSE(outcome.aborted);
+  for (std::size_t i = 0; i < 6; ++i)
+    EXPECT_GE(outcome.utility(instance, i), 0) << "agent " << i;
+}
+
+TEST(Faithfulness, DetectionDeviationsAllAbort) {
+  const auto params = PublicParams<Group64>::make(grp(), 4, 1, 1, 74);
+  Xoshiro256ss rng(75);
+  const auto instance =
+      mech::make_uniform_instance(4, 1, params.bid_set(), rng);
+  const auto report = run_faithfulness_suite(params, instance);
+  // Every "hard" computational deviation must be caught.
+  for (const auto& result : report.results) {
+    if (result.strategy == "withhold-commitments" ||
+        result.strategy == "silent-lambda" ||
+        result.strategy == "inconsistent-commitments" ||
+        result.strategy == "greedy-payment" ||
+        result.strategy == "silent-payment") {
+      EXPECT_TRUE(result.aborted) << result.strategy;
+      EXPECT_EQ(result.deviant_utility, 0) << result.strategy;
+    }
+    if (result.strategy == "eager-disclosure" ||
+        result.strategy.rfind("misreport", 0) == 0) {
+      EXPECT_FALSE(result.aborted) << result.strategy;
+    }
+  }
+}
+
+TEST(Faithfulness, DmwEndToEndTruthfulness) {
+  // Definition 3 applied to the whole distributed mechanism: exhaustive
+  // per-task misreports through the real protocol (not the centralized
+  // shortcut). m=1 keeps the run count tractable.
+  const auto params = PublicParams<Group64>::make(grp(), 4, 1, 1, 76);
+  Xoshiro256ss rng(77);
+  const auto instance =
+      mech::make_uniform_instance(4, 1, params.bid_set(), rng);
+
+  const auto dmw_utility = [&](const mech::BidMatrix& bids,
+                               std::size_t agent) -> std::int64_t {
+    // Run DMW where each agent's strategy reports the given bid row.
+    std::vector<std::unique_ptr<proto::Strategy<Group64>>> owned;
+    std::vector<proto::Strategy<Group64>*> strategies;
+    for (std::size_t i = 0; i < params.n(); ++i) {
+      owned.push_back(std::make_unique<proto::SingleTaskMisreport<Group64>>(
+          0, bids[i][0]));
+      strategies.push_back(owned.back().get());
+    }
+    proto::ProtocolRunner<Group64> runner(params, instance, strategies);
+    return runner.run().utility(instance, agent);
+  };
+
+  Xoshiro256ss check_rng(78);
+  const auto report = mech::check_truthfulness(instance, params.bid_set(),
+                                               dmw_utility, 0, check_rng);
+  EXPECT_TRUE(report.truthful) << "max gain " << report.max_gain;
+  EXPECT_TRUE(report.voluntary);
+}
+
+TEST(Faithfulness, VoluntaryParticipationUnderRandomOpponentDeviation) {
+  // Theorem 9: whatever a defector does, honest agents end >= 0.
+  const auto params = PublicParams<Group64>::make(grp(), 5, 2, 1, 79);
+  Xoshiro256ss rng(80);
+  const auto instance =
+      mech::make_uniform_instance(5, 2, params.bid_set(), rng);
+  const auto catalogue = deviation_catalogue<Group64>(params.n());
+  for (const auto& deviation : catalogue) {
+    auto deviant = deviation.make(3, params.group());
+    proto::HonestStrategy<Group64> honest;
+    std::vector<proto::Strategy<Group64>*> strategies(params.n(), &honest);
+    strategies[3] = deviant.get();
+    proto::ProtocolRunner<Group64> runner(params, instance, strategies);
+    const auto outcome = runner.run();
+    for (std::size_t i = 0; i < params.n(); ++i) {
+      if (i == 3) continue;
+      EXPECT_GE(outcome.utility(instance, i), 0)
+          << deviation.name << " harmed honest agent " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dmw::exp

@@ -1,0 +1,111 @@
+// Flags parser and JSON writer (tool substrate).
+#include <gtest/gtest.h>
+
+#include "support/flags.hpp"
+#include "support/json.hpp"
+
+namespace dmw {
+namespace {
+
+Flags parse(std::vector<const char*> argv,
+            const std::vector<std::string>& known) {
+  argv.insert(argv.begin(), "prog");
+  return Flags(static_cast<int>(argv.size()), argv.data(), known);
+}
+
+TEST(Flags, EqualsAndSpaceSyntax) {
+  const auto flags = parse({"--n=8", "--seed", "42"}, {"n", "seed"});
+  EXPECT_EQ(flags.get_u64("n", 0), 8u);
+  EXPECT_EQ(flags.get_u64("seed", 0), 42u);
+  EXPECT_TRUE(flags.has("n"));
+  EXPECT_FALSE(flags.has("m"));
+}
+
+TEST(Flags, DefaultsApplyWhenAbsent) {
+  const auto flags = parse({}, {"n"});
+  EXPECT_EQ(flags.get_u64("n", 6), 6u);
+  EXPECT_EQ(flags.get_string("n", "x"), "x");
+  EXPECT_FALSE(flags.get_bool("n"));
+}
+
+TEST(Flags, BooleanFlags) {
+  const auto flags = parse({"--json"}, {"json!", "other!"});
+  EXPECT_TRUE(flags.get_bool("json"));
+  EXPECT_FALSE(flags.get_bool("other"));
+}
+
+TEST(Flags, UnknownFlagRejected) {
+  EXPECT_THROW(parse({"--bogus=1"}, {"n"}), CheckError);
+}
+
+TEST(Flags, BooleanFlagWithValueRejected) {
+  EXPECT_THROW(parse({"--json=yes"}, {"json!"}), CheckError);
+}
+
+TEST(Flags, MissingValueRejected) {
+  EXPECT_THROW(parse({"--n"}, {"n"}), CheckError);
+}
+
+TEST(Flags, NonIntegerRejected) {
+  const auto flags = parse({"--n=abc"}, {"n"});
+  EXPECT_THROW(flags.get_u64("n", 0), std::exception);
+}
+
+TEST(Flags, PositionalCollected) {
+  const auto flags = parse({"alpha", "--n=2", "beta"}, {"n"});
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST(Json, FlatObject) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("name", "dmw");
+  w.field("n", std::uint64_t{8});
+  w.field("ok", true);
+  w.field("delta", std::int64_t{-3});
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"name":"dmw","n":8,"ok":true,"delta":-3})");
+}
+
+TEST(Json, NestedArrays) {
+  JsonWriter w;
+  w.begin_object();
+  w.begin_array("xs");
+  w.value(std::uint64_t{1});
+  w.value(std::uint64_t{2});
+  w.end_array();
+  w.key("inner");
+  w.begin_object();
+  w.field("k", "v");
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"xs":[1,2],"inner":{"k":"v"}})");
+}
+
+TEST(Json, StringEscaping) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("s", "a\"b\\c\nd");
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"s\":\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(Json, UnbalancedDocumentRejected) {
+  JsonWriter w;
+  w.begin_object();
+  EXPECT_THROW(w.str(), CheckError);
+  w.end_object();
+  EXPECT_NO_THROW(w.str());
+  EXPECT_THROW(w.end_object(), CheckError);
+}
+
+TEST(Json, KeyOutsideObjectRejected) {
+  JsonWriter w;
+  w.begin_array();
+  EXPECT_THROW(w.key("x"), CheckError);
+  w.end_array();
+}
+
+}  // namespace
+}  // namespace dmw

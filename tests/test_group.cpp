@@ -1,0 +1,132 @@
+// Schnorr group backends: structure validation, subgroup membership,
+// commitment algebra, and cross-backend consistency.
+#include <gtest/gtest.h>
+
+#include "numeric/group.hpp"
+
+namespace dmw::num {
+namespace {
+
+using dmw::Xoshiro256ss;
+
+TEST(Group64, TestGroupStructure) {
+  const Group64& g = Group64::test_group();
+  EXPECT_TRUE(is_prime_u64(g.p()));
+  EXPECT_TRUE(is_prime_u64(g.q()));
+  EXPECT_EQ((g.p() - 1) % g.q(), 0u);
+  EXPECT_EQ(g.p_bits(), 61u);
+  EXPECT_NE(g.z1(), g.z2());
+  EXPECT_TRUE(g.in_subgroup(g.z1()));
+  EXPECT_TRUE(g.in_subgroup(g.z2()));
+}
+
+TEST(Group64, GenerateProducesValidGroups) {
+  Xoshiro256ss rng(41);
+  for (auto [pb, qb] : {std::pair{24u, 16u}, {33u, 24u}, {47u, 32u}}) {
+    const Group64 g = Group64::generate(pb, qb, rng);
+    EXPECT_EQ(g.p_bits(), pb);
+    EXPECT_EQ((g.p() - 1) % g.q(), 0u);
+    EXPECT_EQ(g.pow(g.z1(), g.q()), 1u);
+    EXPECT_EQ(g.pow(g.z2(), g.q()), 1u);
+  }
+}
+
+TEST(Group64, ConstructorRejectsBadParameters) {
+  const Group64& g = Group64::test_group();
+  EXPECT_THROW(Group64(g.p() + 2, g.q(), g.z1(), g.z2()), CheckError);
+  EXPECT_THROW(Group64(g.p(), g.q() + 2, g.z1(), g.z2()), CheckError);
+  EXPECT_THROW(Group64(g.p(), g.q(), g.z1(), g.z1()), CheckError);
+  EXPECT_THROW(Group64(g.p(), g.q(), 1, g.z2()), CheckError);
+}
+
+TEST(Group64, GroupAxioms) {
+  const Group64& g = Group64::test_group();
+  Xoshiro256ss rng(42);
+  for (int i = 0; i < 50; ++i) {
+    const auto a = g.pow(g.z1(), g.random_scalar(rng));
+    const auto b = g.pow(g.z1(), g.random_scalar(rng));
+    const auto c = g.pow(g.z2(), g.random_scalar(rng));
+    EXPECT_EQ(g.mul(a, g.identity()), a);
+    EXPECT_EQ(g.mul(a, g.inv(a)), g.identity());
+    EXPECT_EQ(g.mul(g.mul(a, b), c), g.mul(a, g.mul(b, c)));
+    EXPECT_EQ(g.mul(a, b), g.mul(b, a));
+  }
+}
+
+TEST(Group64, PowHomomorphism) {
+  const Group64& g = Group64::test_group();
+  Xoshiro256ss rng(43);
+  for (int i = 0; i < 50; ++i) {
+    const auto x = g.random_scalar(rng);
+    const auto y = g.random_scalar(rng);
+    EXPECT_EQ(g.pow(g.z1(), g.sadd(x, y)),
+              g.mul(g.pow(g.z1(), x), g.pow(g.z1(), y)));
+    EXPECT_EQ(g.pow(g.pow(g.z1(), x), y), g.pow(g.z1(), g.smul(x, y)));
+  }
+}
+
+TEST(Group64, CommitmentIsBindingUnderDistinctOpenings) {
+  const Group64& g = Group64::test_group();
+  Xoshiro256ss rng(44);
+  // Same (a, b) -> same commitment; different a with same b -> different.
+  for (int i = 0; i < 50; ++i) {
+    const auto a = g.random_scalar(rng), b = g.random_scalar(rng);
+    EXPECT_EQ(g.commit(a, b), g.commit(a, b));
+    const auto a2 = g.sadd(a, g.sone());
+    EXPECT_NE(g.commit(a, b), g.commit(a2, b));
+  }
+}
+
+TEST(Group64, ScalarFieldAxioms) {
+  const Group64& g = Group64::test_group();
+  Xoshiro256ss rng(45);
+  for (int i = 0; i < 50; ++i) {
+    const auto a = g.random_scalar(rng);
+    const auto b = g.random_nonzero_scalar(rng);
+    EXPECT_EQ(g.sadd(a, g.sneg(a)), g.szero());
+    EXPECT_EQ(g.smul(b, g.sinv(b)), g.sone());
+    EXPECT_EQ(g.ssub(a, a), g.szero());
+  }
+}
+
+TEST(Group64, Validation) {
+  const Group64& g = Group64::test_group();
+  EXPECT_FALSE(g.valid_elem(0));
+  EXPECT_TRUE(g.valid_elem(1));
+  EXPECT_TRUE(g.valid_elem(g.p() - 1));
+  EXPECT_FALSE(g.valid_elem(g.p()));
+  EXPECT_TRUE(g.valid_scalar(0));
+  EXPECT_FALSE(g.valid_scalar(g.q()));
+}
+
+TEST(Group256, GenerateAndVerifyStructure) {
+  Xoshiro256ss rng(46);
+  const Group256 g = Group256::generate(96, 64, rng);
+  EXPECT_EQ(g.p_bits(), 96u);
+  EXPECT_TRUE(mod(g.p() - U256(1), g.q()).is_zero());
+  EXPECT_TRUE(g.in_subgroup(g.z1()));
+  EXPECT_TRUE(g.in_subgroup(g.z2()));
+  EXPECT_NE(g.z1(), g.z2());
+}
+
+TEST(Group256, HomomorphismAndInverse) {
+  Xoshiro256ss rng(47);
+  const Group256 g = Group256::generate(96, 64, rng);
+  for (int i = 0; i < 10; ++i) {
+    const auto x = g.random_scalar(rng), y = g.random_scalar(rng);
+    EXPECT_EQ(g.pow(g.z1(), g.sadd(x, y)),
+              g.mul(g.pow(g.z1(), x), g.pow(g.z1(), y)));
+    const auto e = g.pow(g.z2(), x);
+    EXPECT_EQ(g.mul(e, g.inv(e)), g.identity());
+  }
+}
+
+TEST(Group256, CommitMatchesManualComputation) {
+  Xoshiro256ss rng(48);
+  const Group256 g = Group256::generate(96, 64, rng);
+  const auto a = g.random_scalar(rng), b = g.random_scalar(rng);
+  EXPECT_EQ(g.commit(a, b), g.mul(g.pow(g.z1(), a), g.pow(g.z2(), b)));
+}
+
+}  // namespace
+}  // namespace dmw::num

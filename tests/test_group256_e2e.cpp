@@ -1,0 +1,79 @@
+// The protocol is generic over the group backend: run it end-to-end on the
+// 256-bit Montgomery backend and on a freshly generated 64-bit group, and
+// check both against centralized MinWork.
+#include <gtest/gtest.h>
+
+#include "dmw/protocol.hpp"
+#include "dmw/strategies.hpp"
+#include "mech/minwork.hpp"
+
+namespace dmw::proto {
+namespace {
+
+TEST(CrossBackend, Group256HonestRunMatchesMinWork) {
+  Xoshiro256ss group_rng(7);
+  // Cryptographically small but structurally real: 128-bit p, 80-bit q.
+  const auto group = num::Group256::generate(128, 80, group_rng);
+  const auto params = PublicParams<num::Group256>::make(group, 4, 2, 1, 5);
+  Xoshiro256ss rng(8);
+  const auto instance =
+      mech::make_uniform_instance(4, 2, params.bid_set(), rng);
+
+  const auto outcome = run_honest_dmw(params, instance);
+  ASSERT_FALSE(outcome.aborted)
+      << to_string(outcome.abort_record->reason);
+  const auto central = mech::run_minwork(instance);
+  EXPECT_EQ(outcome.schedule, central.schedule);
+  EXPECT_EQ(outcome.payments, central.payments);
+  EXPECT_TRUE(outcome.transcripts_consistent);
+}
+
+TEST(CrossBackend, Group256DetectsCorruptShare) {
+  Xoshiro256ss group_rng(9);
+  const auto group = num::Group256::generate(128, 80, group_rng);
+  const auto params = PublicParams<num::Group256>::make(group, 4, 1, 1, 6);
+  Xoshiro256ss rng(10);
+  const auto instance =
+      mech::make_uniform_instance(4, 1, params.bid_set(), rng);
+
+  CorruptShareStrategy<num::Group256> deviant(2);
+  HonestStrategy<num::Group256> honest;
+  std::vector<Strategy<num::Group256>*> strategies(4, &honest);
+  strategies[0] = &deviant;
+  ProtocolRunner<num::Group256> runner(params, instance, strategies);
+  const auto outcome = runner.run();
+  EXPECT_TRUE(outcome.aborted);
+}
+
+TEST(CrossBackend, FreshGroup64MatchesTestGroupOutcome) {
+  // The outcome must be independent of which valid group was published.
+  Xoshiro256ss group_rng(11);
+  const auto fresh = num::Group64::generate(47, 32, group_rng);
+  mech::SchedulingInstance instance{4, 2, {{1, 2}, {2, 2}, {1, 1}, {2, 1}}};
+
+  const auto params_fresh = PublicParams<num::Group64>::make(fresh, 4, 2, 1, 5);
+  const auto params_std =
+      PublicParams<num::Group64>::make(num::Group64::test_group(), 4, 2, 1, 5);
+  const auto a = run_honest_dmw(params_fresh, instance);
+  const auto b = run_honest_dmw(params_std, instance);
+  ASSERT_FALSE(a.aborted);
+  ASSERT_FALSE(b.aborted);
+  EXPECT_EQ(a.schedule, b.schedule);
+  EXPECT_EQ(a.payments, b.payments);
+}
+
+TEST(CrossBackend, SmallQGroupStillResolves) {
+  // A 20-bit q leaves ~1e-6 false-resolution probability per probe; a
+  // single run must still be overwhelmingly likely to succeed.
+  Xoshiro256ss group_rng(12);
+  const auto group = num::Group64::generate(29, 20, group_rng);
+  const auto params = PublicParams<num::Group64>::make(group, 5, 2, 1, 13);
+  Xoshiro256ss rng(14);
+  const auto instance =
+      mech::make_uniform_instance(5, 2, params.bid_set(), rng);
+  const auto outcome = run_honest_dmw(params, instance);
+  EXPECT_FALSE(outcome.aborted);
+}
+
+}  // namespace
+}  // namespace dmw::proto

@@ -1,0 +1,199 @@
+// Lagrange interpolation at zero and degree resolution, in both the scalar
+// and exponent domains (paper §2.4 and Eq. (12)). Includes parameterized
+// sweeps over the encoded degree — the core primitive of DMW's bid encoding.
+#include <gtest/gtest.h>
+
+#include "poly/lagrange.hpp"
+#include "poly/polynomial.hpp"
+#include "support/rng.hpp"
+
+namespace dmw::poly {
+namespace {
+
+using dmw::Xoshiro256ss;
+using dmw::num::Group64;
+using Poly = Polynomial<Group64>;
+
+const Group64& grp() { return Group64::test_group(); }
+
+std::vector<std::uint64_t> distinct_points(const Group64& g, std::size_t n,
+                                           Xoshiro256ss& rng) {
+  std::vector<std::uint64_t> points;
+  while (points.size() < n) {
+    const auto candidate = g.random_nonzero_scalar(rng);
+    if (std::find(points.begin(), points.end(), candidate) == points.end())
+      points.push_back(candidate);
+  }
+  return points;
+}
+
+TEST(Lagrange, BasisSumsToOne) {
+  // The Lagrange basis at any evaluation point sums to 1 (interpolating the
+  // constant-1 polynomial).
+  const Group64& g = grp();
+  Xoshiro256ss rng(60);
+  const auto points = distinct_points(g, 6, rng);
+  const auto rho = lagrange_basis_at_zero(g, points, 6);
+  std::uint64_t sum = 0;
+  for (const auto& r : rho) sum = g.sadd(sum, r);
+  EXPECT_EQ(sum, g.sone());
+}
+
+TEST(Lagrange, InterpolationRecoversValueAtZero) {
+  const Group64& g = grp();
+  Xoshiro256ss rng(61);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t deg = 1 + rng.below(8);
+    // Random polynomial WITH nonzero constant term.
+    std::vector<std::uint64_t> coeffs(deg + 1);
+    for (auto& c : coeffs) c = g.random_scalar(rng);
+    coeffs[0] = g.random_nonzero_scalar(rng);
+    const Poly p(coeffs);
+    const auto points = distinct_points(g, deg + 1, rng);
+    const auto values = p.eval_all(g, points);
+    EXPECT_EQ(interpolate_at_zero(g, points, values, deg + 1), coeffs[0]);
+  }
+}
+
+TEST(Lagrange, PaperAlgorithmMatchesStandardUpToSign) {
+  // The printed §2.4 algorithm computes (-1)^{s-1} * L(0).
+  const Group64& g = grp();
+  Xoshiro256ss rng(62);
+  for (std::size_t s = 1; s <= 9; ++s) {
+    const auto points = distinct_points(g, s, rng);
+    std::vector<std::uint64_t> values(s);
+    for (auto& v : values) v = g.random_scalar(rng);
+    const auto standard = interpolate_at_zero(g, points, values, s);
+    const auto paper = paper_interpolation_at_zero(g, points, values, s);
+    if (s % 2 == 1) {
+      EXPECT_EQ(paper, standard) << "s=" << s;
+    } else {
+      EXPECT_EQ(paper, g.sneg(standard)) << "s=" << s;
+    }
+  }
+}
+
+TEST(Lagrange, PaperAlgorithmZeroTestAgrees) {
+  // Sign aside, the zero test (all DMW uses) is identical.
+  const Group64& g = grp();
+  Xoshiro256ss rng(63);
+  const std::size_t deg = 4;
+  const Poly p = Poly::random_zero_const(g, deg, rng);
+  const auto points = distinct_points(g, deg + 2, rng);
+  const auto values = p.eval_all(g, points);
+  for (std::size_t s = 1; s <= deg + 2; ++s) {
+    const bool std_zero = interpolate_at_zero(g, points, values, s) == 0;
+    const bool paper_zero = paper_interpolation_at_zero(g, points, values, s) == 0;
+    EXPECT_EQ(std_zero, paper_zero) << "s=" << s;
+    EXPECT_EQ(std_zero, s >= deg + 1) << "s=" << s;
+  }
+}
+
+// Parameterized sweep: resolution must recover every encodable degree.
+class DegreeResolutionSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DegreeResolutionSweep, ScalarDomainRecoversDegree) {
+  const Group64& g = grp();
+  const std::size_t deg = GetParam();
+  Xoshiro256ss rng(100 + deg);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Poly p = Poly::random_zero_const(g, deg, rng);
+    const auto points = distinct_points(g, deg + 3, rng);
+    const auto values = p.eval_all(g, points);
+    const auto res = resolve_degree(g, points, values);
+    ASSERT_TRUE(res.degree.has_value());
+    EXPECT_EQ(*res.degree, deg);
+    // Erratum check (DESIGN.md): s_min = deg + 1 probes, not deg.
+    EXPECT_EQ(res.probes, deg + 1);
+  }
+}
+
+TEST_P(DegreeResolutionSweep, ExponentDomainRecoversDegree) {
+  const Group64& g = grp();
+  const std::size_t deg = GetParam();
+  Xoshiro256ss rng(200 + deg);
+  const Poly p = Poly::random_zero_const(g, deg, rng);
+  const auto points = distinct_points(g, deg + 3, rng);
+  std::vector<std::uint64_t> lambdas;
+  for (const auto& x : points)
+    lambdas.push_back(g.pow(g.z1(), p.eval(g, x)));
+  const auto res = resolve_degree_in_exponent(g, points, lambdas);
+  ASSERT_TRUE(res.degree.has_value());
+  EXPECT_EQ(*res.degree, deg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, DegreeResolutionSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 8, 10, 12, 16));
+
+TEST(DegreeResolution, SumOfPolynomialsResolvesToMaxDegree) {
+  // The DMW property: deg(sum of e_i) = max deg(e_i), i.e. the minimum bid.
+  const Group64& g = grp();
+  Xoshiro256ss rng(64);
+  const Poly a = Poly::random_zero_const(g, 3, rng);
+  const Poly b = Poly::random_zero_const(g, 7, rng);
+  const Poly c = Poly::random_zero_const(g, 5, rng);
+  const Poly sum = a.add(g, b).add(g, c);
+  const auto points = distinct_points(g, 10, rng);
+  const auto res = resolve_degree(g, points, sum.eval_all(g, points));
+  ASSERT_TRUE(res.degree.has_value());
+  EXPECT_EQ(*res.degree, 7u);
+}
+
+TEST(DegreeResolution, UnresolvableWhenTooFewPoints) {
+  const Group64& g = grp();
+  Xoshiro256ss rng(65);
+  const Poly p = Poly::random_zero_const(g, 8, rng);
+  const auto points = distinct_points(g, 5, rng);  // 5 < deg+1
+  const auto res = resolve_degree(g, points, p.eval_all(g, points));
+  EXPECT_FALSE(res.degree.has_value());
+  EXPECT_EQ(res.probes, 5u);
+}
+
+TEST(DegreeResolution, ZeroPolynomialResolvesToDegreeZero) {
+  const Group64& g = grp();
+  Xoshiro256ss rng(66);
+  const auto points = distinct_points(g, 4, rng);
+  const std::vector<std::uint64_t> values(4, 0);
+  const auto res = resolve_degree(g, points, values);
+  ASSERT_TRUE(res.degree.has_value());
+  EXPECT_EQ(*res.degree, 0u);
+}
+
+TEST(DegreeResolution, ExponentDomainUnresolvable) {
+  const Group64& g = grp();
+  Xoshiro256ss rng(67);
+  const Poly p = Poly::random_zero_const(g, 6, rng);
+  const auto points = distinct_points(g, 4, rng);
+  std::vector<std::uint64_t> lambdas;
+  for (const auto& x : points) lambdas.push_back(g.pow(g.z1(), p.eval(g, x)));
+  EXPECT_FALSE(resolve_degree_in_exponent(g, points, lambdas).degree);
+}
+
+TEST(DegreeResolution, HidingBelowThreshold) {
+  // With s <= deg points, the interpolated value at zero is (w.h.p.) a
+  // nonzero "random" field element: nothing about the degree leaks. This is
+  // the information-hiding property Theorem 10 builds on.
+  const Group64& g = grp();
+  Xoshiro256ss rng(68);
+  int zero_hits = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const Poly p = Poly::random_zero_const(g, 6, rng);
+    const auto points = distinct_points(g, 6, rng);  // exactly deg points
+    const auto v = interpolate_at_zero(g, points, p.eval_all(g, points), 6);
+    if (v == 0) ++zero_hits;
+  }
+  EXPECT_EQ(zero_hits, 0);  // probability ~200/2^40 of a false hit
+}
+
+TEST(Lagrange, RejectsMismatchedInput) {
+  const Group64& g = grp();
+  const std::vector<std::uint64_t> points{1, 2, 3};
+  const std::vector<std::uint64_t> values{4, 5};
+  EXPECT_THROW(resolve_degree(g, points, values), dmw::CheckError);
+  EXPECT_THROW(interpolate_at_zero(g, points, values, 3), dmw::CheckError);
+  EXPECT_THROW(lagrange_basis_at_zero(g, points, 0), dmw::CheckError);
+  EXPECT_THROW(lagrange_basis_at_zero(g, points, 4), dmw::CheckError);
+}
+
+}  // namespace
+}  // namespace dmw::poly

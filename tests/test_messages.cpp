@@ -1,0 +1,123 @@
+// Protocol message codecs: round trips on both group backends and
+// rejection of malformed payloads.
+#include <gtest/gtest.h>
+
+#include "crypto/chacha.hpp"
+#include "dmw/messages.hpp"
+
+namespace dmw::proto {
+namespace {
+
+using num::Group64;
+
+const Group64& grp() { return Group64::test_group(); }
+
+TEST(Messages, SharesRoundTrip) {
+  const Group64& g = grp();
+  SharesMsg<Group64> msg{3, ShareBundle<Group64>{11, 22, 33, 44}};
+  const auto bytes = msg.encode(g);
+  const auto decoded = SharesMsg<Group64>::decode(g, bytes);
+  EXPECT_EQ(decoded.task, 3u);
+  EXPECT_EQ(decoded.shares.e, 11u);
+  EXPECT_EQ(decoded.shares.f, 22u);
+  EXPECT_EQ(decoded.shares.g, 33u);
+  EXPECT_EQ(decoded.shares.h, 44u);
+}
+
+TEST(Messages, SharesRejectTruncation) {
+  const Group64& g = grp();
+  SharesMsg<Group64> msg{0, ShareBundle<Group64>{1, 2, 3, 4}};
+  auto bytes = msg.encode(g);
+  bytes.pop_back();
+  EXPECT_THROW(SharesMsg<Group64>::decode(g, bytes), net::DecodeError);
+}
+
+TEST(Messages, SharesRejectTrailingBytes) {
+  const Group64& g = grp();
+  SharesMsg<Group64> msg{0, ShareBundle<Group64>{1, 2, 3, 4}};
+  auto bytes = msg.encode(g);
+  bytes.push_back(0);
+  EXPECT_THROW(SharesMsg<Group64>::decode(g, bytes), net::DecodeError);
+}
+
+TEST(Messages, CommitmentsRoundTrip) {
+  const Group64& g = grp();
+  auto rng = crypto::ChaChaRng::from_seed(10);
+  const auto params = PublicParams<Group64>::make(g, 6, 2, 1, 1);
+  const auto polys = BidPolynomials<Group64>::sample(params, 2, rng);
+  CommitmentsMsg<Group64> msg{
+      1, CommitmentVectors<Group64>::commit(params, polys)};
+  const auto decoded =
+      CommitmentsMsg<Group64>::decode(g, msg.encode(g));
+  EXPECT_EQ(decoded.task, 1u);
+  EXPECT_EQ(decoded.commitments.O, msg.commitments.O);
+  EXPECT_EQ(decoded.commitments.Q, msg.commitments.Q);
+  EXPECT_EQ(decoded.commitments.R, msg.commitments.R);
+}
+
+TEST(Messages, CommitmentsRejectLengthBomb) {
+  const Group64& g = grp();
+  net::Writer w;
+  w.u32(0);
+  w.varint(100000);  // absurd vector length
+  EXPECT_THROW(CommitmentsMsg<Group64>::decode(g, w.bytes()),
+               net::DecodeError);
+}
+
+TEST(Messages, LambdaPsiRoundTrip) {
+  const Group64& g = grp();
+  LambdaPsiMsg<Group64> msg{7, g.z1(), g.z2()};
+  const auto decoded = LambdaPsiMsg<Group64>::decode(g, msg.encode(g));
+  EXPECT_EQ(decoded.task, 7u);
+  EXPECT_EQ(decoded.lambda, g.z1());
+  EXPECT_EQ(decoded.psi, g.z2());
+}
+
+TEST(Messages, WinnerSharesRoundTrip) {
+  const Group64& g = grp();
+  WinnerSharesMsg<Group64> msg{2, {5, 6, 7, 8, 9}};
+  const auto decoded = WinnerSharesMsg<Group64>::decode(g, msg.encode(g));
+  EXPECT_EQ(decoded.task, 2u);
+  EXPECT_EQ(decoded.f_shares, msg.f_shares);
+}
+
+TEST(Messages, PaymentClaimRoundTrip) {
+  PaymentClaimMsg msg{{0, 5, 0, 12}};
+  const auto decoded = PaymentClaimMsg::decode(msg.encode());
+  EXPECT_EQ(decoded.payments, msg.payments);
+}
+
+TEST(Messages, AbortRoundTrip) {
+  AbortMsg msg{4, AbortReason::kBadLambdaPsi};
+  const auto decoded = AbortMsg::decode(msg.encode());
+  EXPECT_EQ(decoded.task, 4u);
+  EXPECT_EQ(decoded.reason, AbortReason::kBadLambdaPsi);
+}
+
+TEST(Messages, AbortReasonNames) {
+  EXPECT_STREQ(to_string(AbortReason::kBadShareCommitment),
+               "bad-share-commitment");
+  EXPECT_STREQ(to_string(AbortReason::kPaymentDisagreement),
+               "payment-disagreement");
+  EXPECT_STREQ(to_string(AbortReason::kNone), "none");
+}
+
+TEST(Messages, Group256RoundTrip) {
+  Xoshiro256ss rng(11);
+  const auto g = num::Group256::generate(96, 64, rng);
+  SharesMsg<num::Group256> msg{
+      1, ShareBundle<num::Group256>{g.scalar_from_u64(10), g.scalar_from_u64(20),
+                                    g.scalar_from_u64(30),
+                                    g.scalar_from_u64(40)}};
+  const auto decoded = SharesMsg<num::Group256>::decode(g, msg.encode(g));
+  EXPECT_EQ(decoded.shares.e, g.scalar_from_u64(10));
+  EXPECT_EQ(decoded.shares.h, g.scalar_from_u64(40));
+
+  LambdaPsiMsg<num::Group256> lp{0, g.z1(), g.z2()};
+  const auto lp2 = LambdaPsiMsg<num::Group256>::decode(g, lp.encode(g));
+  EXPECT_EQ(lp2.lambda, g.z1());
+  EXPECT_EQ(lp2.psi, g.z2());
+}
+
+}  // namespace
+}  // namespace dmw::proto

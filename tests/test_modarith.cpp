@@ -1,0 +1,196 @@
+// Modular arithmetic, both tiers, plus the Montgomery context and the
+// operation counters.
+#include <gtest/gtest.h>
+
+#include "numeric/modarith.hpp"
+#include "numeric/mont.hpp"
+#include "numeric/primality.hpp"
+#include "support/rng.hpp"
+
+namespace dmw::num {
+namespace {
+
+using dmw::Xoshiro256ss;
+
+constexpr u64 kPrime61 = 2305843009213693951ULL;  // 2^61 - 1 (Mersenne)
+
+TEST(ModArith64, AddSubNeg) {
+  const u64 m = 97;
+  EXPECT_EQ(mod_add(50, 60, m), 13u);
+  EXPECT_EQ(mod_sub(10, 20, m), 87u);
+  EXPECT_EQ(mod_neg(0, m), 0u);
+  EXPECT_EQ(mod_neg(1, m), 96u);
+}
+
+TEST(ModArith64, MulMatchesNative) {
+  Xoshiro256ss rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const u64 a = rng.below(kPrime61), b = rng.below(kPrime61);
+    EXPECT_EQ(mod_mul(a, b, kPrime61),
+              static_cast<u64>(static_cast<u128>(a) * b % kPrime61));
+  }
+}
+
+TEST(ModArith64, PowMatchesRepeatedMul) {
+  const u64 m = 1000003;
+  u64 acc = 1;
+  for (u64 e = 0; e < 40; ++e) {
+    EXPECT_EQ(mod_pow(7, e, m), acc);
+    acc = mod_mul(acc, 7 % m, m);
+  }
+}
+
+TEST(ModArith64, FermatLittleTheorem) {
+  Xoshiro256ss rng(12);
+  for (int i = 0; i < 50; ++i) {
+    const u64 a = 1 + rng.below(kPrime61 - 1);
+    EXPECT_EQ(mod_pow(a, kPrime61 - 1, kPrime61), 1u);
+  }
+}
+
+TEST(ModArith64, PowEdgeCases) {
+  EXPECT_EQ(mod_pow(0, 0, 7), 1u);  // 0^0 := 1 (mod-exp convention)
+  EXPECT_EQ(mod_pow(5, 0, 7), 1u);
+  EXPECT_EQ(mod_pow(0, 5, 7), 0u);
+  EXPECT_EQ(mod_pow(5, 1, 1), 0u);  // everything is 0 mod 1
+}
+
+TEST(ModArith64, InverseIsInverse) {
+  Xoshiro256ss rng(13);
+  for (int i = 0; i < 200; ++i) {
+    const u64 a = 1 + rng.below(kPrime61 - 1);
+    const u64 inv = mod_inv(a, kPrime61);
+    EXPECT_EQ(mod_mul(a, inv, kPrime61), 1u);
+  }
+}
+
+TEST(ModArith64, InverseNearM63Boundary) {
+  // Exercise the 128-bit bookkeeping in extended Euclid with a large prime.
+  const u64 p = 9223372036854775783ULL;  // largest prime < 2^63
+  for (u64 a : {u64{2}, u64{3}, p - 1, p - 2, u64{123456789}}) {
+    EXPECT_EQ(mod_mul(a % p, mod_inv(a % p, p), p), 1u);
+  }
+}
+
+TEST(ModArith64, InverseOfNonUnitThrows) {
+  EXPECT_THROW(mod_inv(6, 9), CheckError);   // gcd 3
+  EXPECT_THROW(mod_inv(0, 97), CheckError);  // zero
+}
+
+TEST(ModArith64, Gcd) {
+  EXPECT_EQ(gcd_u64(12, 18), 6u);
+  EXPECT_EQ(gcd_u64(17, 5), 1u);
+  EXPECT_EQ(gcd_u64(0, 7), 7u);
+  EXPECT_EQ(gcd_u64(7, 0), 7u);
+}
+
+TEST(ModArithBig, MatchesU64TierOnSmallValues) {
+  Xoshiro256ss rng(14);
+  const u64 m = 1000000007ULL;
+  const U256 big_m(m);
+  for (int i = 0; i < 200; ++i) {
+    const u64 a = rng.below(m), b = rng.below(m);
+    EXPECT_EQ(mod_add(U256(a), U256(b), big_m).to_u64(), mod_add(a, b, m));
+    EXPECT_EQ(mod_sub(U256(a), U256(b), big_m).to_u64(), mod_sub(a, b, m));
+    EXPECT_EQ(mod_mul(U256(a), U256(b), big_m).to_u64(), mod_mul(a, b, m));
+  }
+}
+
+TEST(ModArithBig, PowMatchesU64Tier) {
+  Xoshiro256ss rng(15);
+  const u64 m = kPrime61;
+  const U256 big_m(m);
+  for (int i = 0; i < 50; ++i) {
+    const u64 a = rng.below(m), e = rng.next();
+    EXPECT_EQ(mod_pow(U256(a), U256(e), big_m).to_u64(), mod_pow(a, e, m));
+  }
+}
+
+TEST(ModArithBig, InverseIsInverse256Bit) {
+  Xoshiro256ss rng(16);
+  const U256 p = random_prime<4>(200, rng);
+  for (int i = 0; i < 30; ++i) {
+    U256 a = random_below(p, rng);
+    if (a.is_zero()) a = U256(7);
+    const U256 inv = mod_inv(a, p);
+    EXPECT_EQ(mod_mul(a, inv, p), U256(1));
+  }
+}
+
+TEST(ModArithBig, NegIsAdditiveInverse) {
+  Xoshiro256ss rng(17);
+  const U256 m = U256::from_hex("ffffffffffffffffffffffffffffff61");
+  for (int i = 0; i < 50; ++i) {
+    const U256 a = random_below(m, rng);
+    EXPECT_TRUE(mod_add(a, mod_neg(a, m), m).is_zero());
+  }
+}
+
+TEST(Montgomery, RequiresOddModulus) {
+  EXPECT_THROW(Montgomery<4>(U256(10)), CheckError);
+  EXPECT_THROW(Montgomery<4>(U256(1)), CheckError);
+}
+
+TEST(Montgomery, RoundTripThroughDomain) {
+  Xoshiro256ss rng(18);
+  const U256 p = random_prime<4>(250, rng);
+  const Montgomery<4> mont(p);
+  for (int i = 0; i < 100; ++i) {
+    const U256 x = random_below(p, rng);
+    EXPECT_EQ(mont.from_mont(mont.to_mont(x)), x);
+  }
+}
+
+TEST(Montgomery, MulMatchesPlainModMul) {
+  Xoshiro256ss rng(19);
+  const U256 p = random_prime<4>(250, rng);
+  const Montgomery<4> mont(p);
+  for (int i = 0; i < 100; ++i) {
+    const U256 a = random_below(p, rng), b = random_below(p, rng);
+    const U256 via_mont =
+        mont.from_mont(mont.mul(mont.to_mont(a), mont.to_mont(b)));
+    EXPECT_EQ(via_mont, mod_mul(a, b, p));
+  }
+}
+
+TEST(Montgomery, PowMatchesPlainModPow) {
+  Xoshiro256ss rng(20);
+  const U256 p = random_prime<4>(200, rng);
+  const Montgomery<4> mont(p);
+  for (int i = 0; i < 30; ++i) {
+    const U256 a = random_below(p, rng);
+    const U256 e = random_below(p, rng);
+    EXPECT_EQ(mont.pow(a, e), mod_pow(a, e, p));
+  }
+}
+
+TEST(Montgomery, FermatOnBigPrime) {
+  Xoshiro256ss rng(21);
+  const U256 p = random_prime<4>(220, rng);
+  const Montgomery<4> mont(p);
+  U256 p_minus_1 = p;
+  p_minus_1.sub_with_borrow(U256(1));
+  for (int i = 0; i < 10; ++i) {
+    U256 a = random_below(p, rng);
+    if (a.is_zero()) a = U256(2);
+    EXPECT_EQ(mont.pow(a, p_minus_1), U256(1)) << "iteration " << i;
+  }
+}
+
+TEST(OpCounters, ScopesMeasureDeltas) {
+  OpCountScope outer;
+  mod_mul(3, 4, 97);
+  {
+    OpCountScope inner;
+    mod_pow(3, 1000, 97);
+    mod_inv(5, 97);
+    const auto d = inner.delta();
+    EXPECT_EQ(d.pow, 1u);
+    EXPECT_EQ(d.inv, 1u);
+    EXPECT_EQ(d.mul, 0u);
+  }
+  EXPECT_GE(outer.delta().total(), 3u);
+}
+
+}  // namespace
+}  // namespace dmw::num

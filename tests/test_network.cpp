@@ -1,0 +1,163 @@
+// SimNetwork: round-based delivery, bulletin visibility, traffic accounting
+// (including the n-1 unicast billing of broadcasts), fault injection.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+
+namespace dmw::net {
+namespace {
+
+std::vector<std::uint8_t> payload(std::size_t n) {
+  return std::vector<std::uint8_t>(n, 0x5a);
+}
+
+TEST(SimNetwork, UnicastDeliveredNextRound) {
+  SimNetwork net(3);
+  net.send(0, 1, 7, payload(4));
+  EXPECT_TRUE(net.receive(1).empty());  // not yet visible in round 0
+  net.advance_round();
+  auto inbox = net.receive(1);
+  ASSERT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(inbox[0].from, 0u);
+  EXPECT_EQ(inbox[0].kind, 7u);
+  EXPECT_EQ(inbox[0].payload, payload(4));
+  EXPECT_TRUE(net.receive(1).empty());  // drained
+}
+
+TEST(SimNetwork, UnicastIsPrivate) {
+  SimNetwork net(3);
+  net.send(0, 1, 1, payload(1));
+  net.advance_round();
+  EXPECT_TRUE(net.receive(2).empty());
+  EXPECT_EQ(net.receive(1).size(), 1u);
+}
+
+TEST(SimNetwork, FifoOrderPreserved) {
+  SimNetwork net(2);
+  for (std::uint32_t k = 0; k < 5; ++k) net.send(0, 1, k, payload(1));
+  net.advance_round();
+  const auto inbox = net.receive(1);
+  ASSERT_EQ(inbox.size(), 5u);
+  for (std::uint32_t k = 0; k < 5; ++k) EXPECT_EQ(inbox[k].kind, k);
+}
+
+TEST(SimNetwork, BulletinVisibleNextRoundToAll) {
+  SimNetwork net(4);
+  net.publish(2, 9, payload(3));
+  std::size_t cursor = 0;
+  EXPECT_TRUE(net.read_bulletin(cursor).empty());
+  net.advance_round();
+  const auto postings = net.read_bulletin(cursor);
+  ASSERT_EQ(postings.size(), 1u);
+  EXPECT_EQ(postings[0].from, 2u);
+  EXPECT_EQ(postings[0].kind, 9u);
+  // Cursor advanced; re-reading yields nothing new.
+  EXPECT_TRUE(net.read_bulletin(cursor).empty());
+  // A fresh cursor sees history.
+  std::size_t cursor2 = 0;
+  EXPECT_EQ(net.read_bulletin(cursor2).size(), 1u);
+}
+
+TEST(SimNetwork, TrafficAccounting) {
+  SimNetwork net(5);
+  net.send(0, 1, 1, payload(8));
+  EXPECT_EQ(net.stats().unicast_messages, 1u);
+  EXPECT_EQ(net.stats().unicast_bytes, 12u + 8u);
+  EXPECT_EQ(net.stats().p2p_equivalent_messages, 1u);
+
+  net.publish(0, 2, payload(10));
+  EXPECT_EQ(net.stats().broadcast_messages, 1u);
+  // Broadcast billed as n-1 = 4 unicasts.
+  EXPECT_EQ(net.stats().p2p_equivalent_messages, 1u + 4u);
+  EXPECT_EQ(net.stats().p2p_equivalent_bytes, 20u + 4u * 22u);
+
+  EXPECT_EQ(net.stats_for(0).unicast_messages, 1u);
+  EXPECT_EQ(net.stats_for(0).broadcast_messages, 1u);
+  EXPECT_EQ(net.stats_for(1).unicast_messages, 0u);
+}
+
+TEST(SimNetwork, ResetStats) {
+  SimNetwork net(2);
+  net.send(0, 1, 1, payload(1));
+  net.reset_stats();
+  EXPECT_EQ(net.stats().unicast_messages, 0u);
+  EXPECT_EQ(net.stats_for(0).unicast_messages, 0u);
+}
+
+TEST(SimNetwork, FaultInjectionDrop) {
+  SimNetwork net(2);
+  net.set_fault_injector([](const Envelope&) {
+    FaultAction a;
+    a.drop = true;
+    return a;
+  });
+  net.send(0, 1, 1, payload(1));
+  net.advance_round();
+  EXPECT_TRUE(net.receive(1).empty());
+  // Dropped messages are still counted as sent (the sender paid for them).
+  EXPECT_EQ(net.stats().unicast_messages, 1u);
+}
+
+TEST(SimNetwork, FaultInjectionDelay) {
+  SimNetwork net(2);
+  net.set_fault_injector([](const Envelope&) {
+    FaultAction a;
+    a.extra_delay_rounds = 2;
+    return a;
+  });
+  net.send(0, 1, 1, payload(1));
+  net.advance_round();
+  EXPECT_TRUE(net.receive(1).empty());
+  net.advance_round();
+  EXPECT_TRUE(net.receive(1).empty());
+  net.advance_round();
+  EXPECT_EQ(net.receive(1).size(), 1u);
+}
+
+TEST(SimNetwork, FaultInjectionCorrupt) {
+  SimNetwork net(2);
+  net.set_fault_injector([](const Envelope&) {
+    FaultAction a;
+    a.replace_payload = std::vector<std::uint8_t>{9, 9, 9};
+    return a;
+  });
+  net.send(0, 1, 1, payload(5));
+  net.advance_round();
+  const auto inbox = net.receive(1);
+  ASSERT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(inbox[0].payload, (std::vector<std::uint8_t>{9, 9, 9}));
+}
+
+TEST(SimNetwork, SelectiveFaultInjection) {
+  SimNetwork net(3);
+  net.set_fault_injector([](const Envelope& env) {
+    FaultAction a;
+    a.drop = (env.to == 2);
+    return a;
+  });
+  net.send(0, 1, 1, payload(1));
+  net.send(0, 2, 1, payload(1));
+  net.advance_round();
+  EXPECT_EQ(net.receive(1).size(), 1u);
+  EXPECT_TRUE(net.receive(2).empty());
+}
+
+TEST(SimNetwork, InvalidAgentIdsRejected) {
+  SimNetwork net(2);
+  EXPECT_THROW(net.send(0, 5, 1, payload(1)), dmw::CheckError);
+  EXPECT_THROW(net.send(5, 0, 1, payload(1)), dmw::CheckError);
+  EXPECT_THROW(net.publish(5, 1, payload(1)), dmw::CheckError);
+  EXPECT_THROW(net.receive(9), dmw::CheckError);
+  EXPECT_THROW(net.stats_for(9), dmw::CheckError);
+}
+
+TEST(SimNetwork, RoundCounterAdvances) {
+  SimNetwork net(1);
+  EXPECT_EQ(net.round(), 0u);
+  net.advance_round();
+  net.advance_round();
+  EXPECT_EQ(net.round(), 2u);
+}
+
+}  // namespace
+}  // namespace dmw::net

@@ -1,0 +1,79 @@
+// Exact branch-and-bound optimum and the greedy/LPT baselines.
+#include <gtest/gtest.h>
+
+#include "mech/opt.hpp"
+
+namespace dmw::mech {
+namespace {
+
+std::uint64_t brute_force_makespan(const SchedulingInstance& instance) {
+  std::uint64_t best = ~std::uint64_t{0};
+  std::size_t combos = 1;
+  for (std::size_t j = 0; j < instance.m; ++j) combos *= instance.n;
+  for (std::size_t code = 0; code < combos; ++code) {
+    std::size_t c = code;
+    std::vector<std::size_t> assign(instance.m);
+    for (auto& a : assign) {
+      a = c % instance.n;
+      c /= instance.n;
+    }
+    best = std::min(best, Schedule(assign).makespan(instance));
+  }
+  return best;
+}
+
+class OptRandomSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptRandomSweep, BnbMatchesBruteForce) {
+  Xoshiro256ss rng(GetParam());
+  const std::size_t n = 2 + rng.below(3);   // 2..4 agents
+  const std::size_t m = 2 + rng.below(5);   // 2..6 tasks
+  const auto instance = make_uniform_instance(n, m, BidSet::iota(5), rng);
+  const auto opt = optimal_makespan(instance);
+  opt.schedule.validate(instance);
+  EXPECT_EQ(opt.makespan, brute_force_makespan(instance));
+  EXPECT_EQ(opt.schedule.makespan(instance), opt.makespan);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptRandomSweep,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(Opt, SingleTaskGoesToCheapestMachine) {
+  SchedulingInstance instance{3, 1, {{5}, {2}, {9}}};
+  const auto opt = optimal_makespan(instance);
+  EXPECT_EQ(opt.makespan, 2u);
+  EXPECT_EQ(opt.schedule.agent_for(0), 1u);
+}
+
+TEST(Opt, GreedyIsUpperBoundOnOpt) {
+  Xoshiro256ss rng(90);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto instance = make_uniform_instance(3, 6, BidSet::iota(4), rng);
+    const auto opt = optimal_makespan(instance);
+    const auto greedy = greedy_makespan(instance);
+    const auto lpt = lpt_makespan(instance);
+    EXPECT_GE(greedy.makespan, opt.makespan);
+    EXPECT_GE(lpt.makespan, opt.makespan);
+    greedy.schedule.validate(instance);
+    lpt.schedule.validate(instance);
+  }
+}
+
+TEST(Opt, PruningExploresFewerNodesThanExhaustive) {
+  Xoshiro256ss rng(91);
+  const auto instance = make_uniform_instance(4, 8, BidSet::iota(4), rng);
+  const auto opt = optimal_makespan(instance);
+  std::uint64_t exhaustive = 1;
+  for (std::size_t j = 0; j <= instance.m; ++j) exhaustive *= instance.n;
+  EXPECT_LT(opt.nodes_explored, exhaustive);
+}
+
+TEST(Opt, WorstCaseInstanceSpreadsLoad) {
+  const auto instance = make_minwork_worst_case(4, 4, BidSet::iota(2));
+  const auto opt = optimal_makespan(instance);
+  // One task per machine: makespan = the slow cost (2).
+  EXPECT_EQ(opt.makespan, 2u);
+}
+
+}  // namespace
+}  // namespace dmw::mech

@@ -1,0 +1,54 @@
+// Payment infrastructure escrow (paper Phase IV agreement rule).
+#include <gtest/gtest.h>
+
+#include "dmw/payment.hpp"
+
+namespace dmw::proto {
+namespace {
+
+TEST(PaymentInfra, UnanimousClaimsSettle) {
+  PaymentInfrastructure infra(3);
+  const std::vector<std::uint64_t> claim{4, 0, 9};
+  infra.submit(0, claim);
+  infra.submit(1, claim);
+  infra.submit(2, claim);
+  const auto settled = infra.settle();
+  ASSERT_TRUE(settled.has_value());
+  EXPECT_EQ(*settled, claim);
+}
+
+TEST(PaymentInfra, MissingClaimBlocksSettlement) {
+  PaymentInfrastructure infra(3);
+  infra.submit(0, {1, 2, 3});
+  infra.submit(1, {1, 2, 3});
+  EXPECT_FALSE(infra.settle().has_value());
+  EXPECT_EQ(infra.claims_received(), 2u);
+}
+
+TEST(PaymentInfra, ConflictingClaimBlocksSettlement) {
+  PaymentInfrastructure infra(2);
+  infra.submit(0, {5, 5});
+  infra.submit(1, {5, 6});
+  EXPECT_FALSE(infra.settle().has_value());
+}
+
+TEST(PaymentInfra, DuplicateClaimantBlocksSettlement) {
+  PaymentInfrastructure infra(2);
+  infra.submit(0, {5, 5});
+  infra.submit(0, {5, 5});
+  EXPECT_FALSE(infra.settle().has_value());
+}
+
+TEST(PaymentInfra, RejectsMalformedSubmissions) {
+  PaymentInfrastructure infra(2);
+  EXPECT_THROW(infra.submit(5, {1, 2}), CheckError);     // unknown agent
+  EXPECT_THROW(infra.submit(0, {1, 2, 3}), CheckError);  // wrong vector size
+}
+
+TEST(PaymentInfra, EmptyNeverSettles) {
+  PaymentInfrastructure infra(1);
+  EXPECT_FALSE(infra.settle().has_value());
+}
+
+}  // namespace
+}  // namespace dmw::proto

@@ -1,0 +1,139 @@
+// Polynomials over Z_q: evaluation, arithmetic, random sampling invariants.
+#include <gtest/gtest.h>
+
+#include "poly/polynomial.hpp"
+#include "support/rng.hpp"
+
+namespace dmw::poly {
+namespace {
+
+using dmw::Xoshiro256ss;
+using dmw::num::Group64;
+using Poly = Polynomial<Group64>;
+
+const Group64& grp() { return Group64::test_group(); }
+
+TEST(Polynomial, ZeroProperties) {
+  const Poly z = Poly::zero();
+  EXPECT_TRUE(z.is_zero(grp()));
+  EXPECT_FALSE(z.degree(grp()).has_value());
+  EXPECT_EQ(z.eval(grp(), 5), 0u);
+}
+
+TEST(Polynomial, EvalMatchesNaivePowerSum) {
+  const Group64& g = grp();
+  Xoshiro256ss rng(50);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t deg = 1 + rng.below(10);
+    std::vector<std::uint64_t> coeffs(deg + 1);
+    for (auto& c : coeffs) c = g.random_scalar(rng);
+    const Poly p(coeffs);
+    const auto x = g.random_scalar(rng);
+    // Naive sum c_i * x^i via repeated pow.
+    std::uint64_t expected = 0;
+    std::uint64_t xp = 1;
+    for (std::size_t i = 0; i <= deg; ++i) {
+      expected = g.sadd(expected, g.smul(coeffs[i], xp));
+      xp = g.smul(xp, x);
+    }
+    EXPECT_EQ(p.eval(g, x), expected);
+  }
+}
+
+TEST(Polynomial, EvalAtZeroIsConstantTerm) {
+  const Poly p({7, 3, 9});
+  EXPECT_EQ(p.eval(grp(), 0), 7u);
+}
+
+TEST(Polynomial, DegreeIgnoresTrailingZeros) {
+  const Poly p({1, 2, 0, 0});
+  EXPECT_EQ(p.degree(grp()), 1u);
+}
+
+TEST(Polynomial, RandomZeroConstHasExactShape) {
+  const Group64& g = grp();
+  Xoshiro256ss rng(51);
+  for (std::size_t deg = 1; deg <= 12; ++deg) {
+    const Poly p = Poly::random_zero_const(g, deg, rng);
+    EXPECT_EQ(p.degree(g), deg);
+    EXPECT_EQ(p.coeff(g, 0), g.szero());
+    EXPECT_EQ(p.eval(g, 0), g.szero());
+    EXPECT_NE(p.coeff(g, deg), g.szero());
+  }
+}
+
+TEST(Polynomial, RandomZeroConstDegreeZeroRejected) {
+  Xoshiro256ss rng(52);
+  EXPECT_THROW(Poly::random_zero_const(grp(), 0, rng), dmw::CheckError);
+}
+
+TEST(Polynomial, AdditionIsPointwise) {
+  const Group64& g = grp();
+  Xoshiro256ss rng(53);
+  const Poly a = Poly::random_zero_const(g, 5, rng);
+  const Poly b = Poly::random_zero_const(g, 8, rng);
+  const Poly sum = a.add(g, b);
+  for (int i = 0; i < 20; ++i) {
+    const auto x = g.random_scalar(rng);
+    EXPECT_EQ(sum.eval(g, x), g.sadd(a.eval(g, x), b.eval(g, x)));
+  }
+}
+
+TEST(Polynomial, SubtractionInvertsAddition) {
+  const Group64& g = grp();
+  Xoshiro256ss rng(54);
+  const Poly a = Poly::random_zero_const(g, 6, rng);
+  const Poly b = Poly::random_zero_const(g, 4, rng);
+  const Poly diff = a.add(g, b).sub(g, b);
+  for (int i = 0; i < 10; ++i) {
+    const auto x = g.random_scalar(rng);
+    EXPECT_EQ(diff.eval(g, x), a.eval(g, x));
+  }
+}
+
+TEST(Polynomial, MultiplicationIsPointwiseAndDegreeAdds) {
+  const Group64& g = grp();
+  Xoshiro256ss rng(55);
+  const Poly a = Poly::random_zero_const(g, 3, rng);
+  const Poly b = Poly::random_zero_const(g, 4, rng);
+  const Poly prod = a.mul(g, b);
+  EXPECT_EQ(prod.degree(g), 7u);
+  // Zero constant terms make the product vanish to order 2.
+  EXPECT_EQ(prod.coeff(g, 0), g.szero());
+  EXPECT_EQ(prod.coeff(g, 1), g.szero());
+  for (int i = 0; i < 20; ++i) {
+    const auto x = g.random_scalar(rng);
+    EXPECT_EQ(prod.eval(g, x), g.smul(a.eval(g, x), b.eval(g, x)));
+  }
+}
+
+TEST(Polynomial, MulByZeroIsZero) {
+  const Group64& g = grp();
+  Xoshiro256ss rng(56);
+  const Poly a = Poly::random_zero_const(g, 3, rng);
+  EXPECT_TRUE(a.mul(g, Poly::zero()).is_zero(g));
+}
+
+TEST(Polynomial, ScaleIsScalarMultiple) {
+  const Group64& g = grp();
+  Xoshiro256ss rng(57);
+  const Poly a = Poly::random_zero_const(g, 5, rng);
+  const auto k = g.random_nonzero_scalar(rng);
+  const Poly scaled = a.scale(g, k);
+  const auto x = g.random_scalar(rng);
+  EXPECT_EQ(scaled.eval(g, x), g.smul(k, a.eval(g, x)));
+}
+
+TEST(Polynomial, EvalAllMatchesEval) {
+  const Group64& g = grp();
+  Xoshiro256ss rng(58);
+  const Poly a = Poly::random_zero_const(g, 4, rng);
+  const std::vector<std::uint64_t> points{1, 2, 3, 4, 5};
+  const auto values = a.eval_all(g, points);
+  ASSERT_EQ(values.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i)
+    EXPECT_EQ(values[i], a.eval(g, points[i]));
+}
+
+}  // namespace
+}  // namespace dmw::poly

@@ -1,0 +1,178 @@
+// Bid polynomials, shares and commitments: the Phase II objects and the
+// verification identities (7)-(9) they must satisfy.
+#include <gtest/gtest.h>
+
+#include "crypto/chacha.hpp"
+#include "dmw/polycommit.hpp"
+
+namespace dmw::proto {
+namespace {
+
+using num::Group64;
+
+const Group64& grp() { return Group64::test_group(); }
+
+PublicParams<Group64> params8() {
+  return PublicParams<Group64>::make(grp(), 8, 1, 2, 7);
+}
+
+TEST(BidPolynomials, DegreesEncodeTheBid) {
+  const auto params = params8();
+  auto rng = crypto::ChaChaRng::from_seed(1);
+  for (mech::Cost bid : params.bid_set().values()) {
+    const auto polys = BidPolynomials<Group64>::sample(params, bid, rng);
+    const Group64& g = params.group();
+    EXPECT_EQ(polys.bid, bid);
+    EXPECT_EQ(polys.tau, params.sigma() - bid);
+    EXPECT_EQ(polys.e.degree(g), polys.tau);
+    EXPECT_EQ(polys.f.degree(g), params.sigma() - polys.tau);
+    EXPECT_EQ(polys.g.degree(g), params.sigma());
+    EXPECT_EQ(polys.h.degree(g), params.sigma());
+    // All constant terms are zero (paper Eq. (3)-(4) sums start at l=1).
+    for (const auto* p : {&polys.e, &polys.f, &polys.g, &polys.h})
+      EXPECT_EQ(p->coeff(g, 0), g.szero());
+  }
+}
+
+TEST(BidPolynomials, ProductHasDegreeSigmaAndNoLinearTerm) {
+  const auto params = params8();
+  auto rng = crypto::ChaChaRng::from_seed(2);
+  const Group64& g = params.group();
+  for (mech::Cost bid : params.bid_set().values()) {
+    const auto polys = BidPolynomials<Group64>::sample(params, bid, rng);
+    const auto product = polys.e.mul(g, polys.f);
+    EXPECT_EQ(product.degree(g), params.sigma());
+    EXPECT_EQ(product.coeff(g, 0), g.szero());
+    EXPECT_EQ(product.coeff(g, 1), g.szero());  // paper: v_1 = 0
+  }
+}
+
+TEST(Shares, FromPolysEvaluatesAtPseudonym) {
+  const auto params = params8();
+  auto rng = crypto::ChaChaRng::from_seed(3);
+  const Group64& g = params.group();
+  const auto polys = BidPolynomials<Group64>::sample(params, 2, rng);
+  const auto alpha = params.pseudonym(3);
+  const auto bundle = ShareBundle<Group64>::from_polys(g, polys, alpha);
+  EXPECT_EQ(bundle.e, polys.e.eval(g, alpha));
+  EXPECT_EQ(bundle.f, polys.f.eval(g, alpha));
+  EXPECT_EQ(bundle.g, polys.g.eval(g, alpha));
+  EXPECT_EQ(bundle.h, polys.h.eval(g, alpha));
+}
+
+TEST(Commitments, WellFormedShape) {
+  const auto params = params8();
+  auto rng = crypto::ChaChaRng::from_seed(4);
+  const auto polys = BidPolynomials<Group64>::sample(params, 3, rng);
+  const auto commitments = CommitmentVectors<Group64>::commit(params, polys);
+  EXPECT_TRUE(commitments.well_formed(params));
+  EXPECT_EQ(commitments.O.size(), params.sigma());
+}
+
+TEST(Commitments, HonestSharesVerifyAtEveryPseudonym) {
+  const auto params = params8();
+  auto rng = crypto::ChaChaRng::from_seed(5);
+  const Group64& g = params.group();
+  for (mech::Cost bid : {1u, 3u, 5u}) {
+    const auto polys = BidPolynomials<Group64>::sample(params, bid, rng);
+    const auto commitments = CommitmentVectors<Group64>::commit(params, polys);
+    for (std::size_t k = 0; k < params.n(); ++k) {
+      const auto alpha = params.pseudonym(k);
+      const auto bundle = ShareBundle<Group64>::from_polys(g, polys, alpha);
+      EXPECT_TRUE(
+          verify_product_commitment(g, bundle, commitments.O, alpha));
+      EXPECT_TRUE(verify_eh_commitment(
+          g, bundle, gamma_value<Group64>(g, commitments.Q, alpha)));
+      EXPECT_TRUE(verify_fh_commitment(
+          g, bundle, phi_value<Group64>(g, commitments.R, alpha)));
+    }
+  }
+}
+
+TEST(Commitments, TamperedSharesFailVerification) {
+  const auto params = params8();
+  auto rng = crypto::ChaChaRng::from_seed(6);
+  const Group64& g = params.group();
+  const auto polys = BidPolynomials<Group64>::sample(params, 2, rng);
+  const auto commitments = CommitmentVectors<Group64>::commit(params, polys);
+  const auto alpha = params.pseudonym(1);
+  auto bundle = ShareBundle<Group64>::from_polys(g, polys, alpha);
+
+  auto tampered = bundle;
+  tampered.e = g.sadd(tampered.e, g.sone());
+  EXPECT_FALSE(verify_product_commitment(g, tampered, commitments.O, alpha));
+  EXPECT_FALSE(verify_eh_commitment(
+      g, tampered, gamma_value<Group64>(g, commitments.Q, alpha)));
+
+  tampered = bundle;
+  tampered.f = g.sadd(tampered.f, g.sone());
+  EXPECT_FALSE(verify_fh_commitment(
+      g, tampered, phi_value<Group64>(g, commitments.R, alpha)));
+
+  tampered = bundle;
+  tampered.h = g.sadd(tampered.h, g.sone());
+  EXPECT_FALSE(verify_eh_commitment(
+      g, tampered, gamma_value<Group64>(g, commitments.Q, alpha)));
+}
+
+TEST(Commitments, TamperedCommitmentVectorFailsVerification) {
+  const auto params = params8();
+  auto rng = crypto::ChaChaRng::from_seed(7);
+  const Group64& g = params.group();
+  const auto polys = BidPolynomials<Group64>::sample(params, 2, rng);
+  auto commitments = CommitmentVectors<Group64>::commit(params, polys);
+  std::swap(commitments.O.front(), commitments.O.back());
+  const auto alpha = params.pseudonym(2);
+  const auto bundle = ShareBundle<Group64>::from_polys(g, polys, alpha);
+  EXPECT_FALSE(verify_product_commitment(g, bundle, commitments.O, alpha));
+}
+
+TEST(Commitments, DifferentBidsSameShapeCommitments) {
+  // The commitment vectors must not reveal tau: all bids produce vectors of
+  // identical length with full-looking entries (z2-only commitments are
+  // indistinguishable without the DL).
+  const auto params = params8();
+  auto rng = crypto::ChaChaRng::from_seed(8);
+  const auto lo = CommitmentVectors<Group64>::commit(
+      params, BidPolynomials<Group64>::sample(params, params.bid_set().min(), rng));
+  const auto hi = CommitmentVectors<Group64>::commit(
+      params, BidPolynomials<Group64>::sample(params, params.bid_set().max(), rng));
+  EXPECT_EQ(lo.Q.size(), hi.Q.size());
+  EXPECT_EQ(lo.R.size(), hi.R.size());
+  for (const auto& q : lo.Q) EXPECT_NE(q, params.group().identity());
+}
+
+TEST(CommitmentEval, EmptyVectorIsIdentity) {
+  const Group64& g = grp();
+  EXPECT_EQ(commitment_eval<Group64>(g, {}, 5), g.identity());
+}
+
+TEST(Commitments, SumStructureMatchesLambdaPsi) {
+  // z1^{sum e_i(alpha)} * z2^{sum h_i(alpha)} must equal the product of the
+  // per-agent Gamma values — the algebra behind Eq. (11).
+  const auto params = params8();
+  auto rng = crypto::ChaChaRng::from_seed(9);
+  const Group64& g = params.group();
+  std::vector<BidPolynomials<Group64>> all;
+  std::vector<CommitmentVectors<Group64>> commits;
+  for (std::size_t i = 0; i < params.n(); ++i) {
+    all.push_back(BidPolynomials<Group64>::sample(
+        params, params.bid_set().values()[i % params.bid_set().size()], rng));
+    commits.push_back(CommitmentVectors<Group64>::commit(params, all.back()));
+  }
+  for (std::size_t k = 0; k < params.n(); ++k) {
+    const auto alpha = params.pseudonym(k);
+    std::uint64_t e_sum = g.szero(), h_sum = g.szero();
+    auto gamma_prod = g.identity();
+    for (std::size_t i = 0; i < params.n(); ++i) {
+      e_sum = g.sadd(e_sum, all[i].e.eval(g, alpha));
+      h_sum = g.sadd(h_sum, all[i].h.eval(g, alpha));
+      gamma_prod =
+          g.mul(gamma_prod, gamma_value<Group64>(g, commits[i].Q, alpha));
+    }
+    EXPECT_EQ(g.mul(g.pow(g.z1(), e_sum), g.pow(g.z2(), h_sum)), gamma_prod);
+  }
+}
+
+}  // namespace
+}  // namespace dmw::proto

@@ -1,0 +1,112 @@
+// Primality testing and prime generation.
+#include <gtest/gtest.h>
+
+#include "numeric/primality.hpp"
+#include "numeric/modarith.hpp"
+
+namespace dmw::num {
+namespace {
+
+using dmw::Xoshiro256ss;
+
+TEST(PrimalityU64, SmallValues) {
+  EXPECT_FALSE(is_prime_u64(0));
+  EXPECT_FALSE(is_prime_u64(1));
+  EXPECT_TRUE(is_prime_u64(2));
+  EXPECT_TRUE(is_prime_u64(3));
+  EXPECT_FALSE(is_prime_u64(4));
+  EXPECT_TRUE(is_prime_u64(5));
+  EXPECT_FALSE(is_prime_u64(9));
+  EXPECT_TRUE(is_prime_u64(97));
+  EXPECT_FALSE(is_prime_u64(91));  // 7 * 13
+}
+
+TEST(PrimalityU64, SieveCrossCheckTo10000) {
+  // Sieve of Eratosthenes as an independent oracle.
+  const int limit = 10000;
+  std::vector<bool> composite(limit + 1, false);
+  for (int p = 2; p * p <= limit; ++p) {
+    if (composite[p]) continue;
+    for (int q = p * p; q <= limit; q += p) composite[q] = true;
+  }
+  for (int v = 2; v <= limit; ++v) {
+    EXPECT_EQ(is_prime_u64(static_cast<u64>(v)), !composite[v]) << v;
+  }
+}
+
+TEST(PrimalityU64, CarmichaelNumbersRejected) {
+  // Carmichael numbers fool Fermat tests but not Miller-Rabin.
+  for (u64 c : {561ULL, 1105ULL, 1729ULL, 2465ULL, 2821ULL, 6601ULL,
+                825265ULL, 321197185ULL}) {
+    EXPECT_FALSE(is_prime_u64(c)) << c;
+  }
+}
+
+TEST(PrimalityU64, KnownLargePrimes) {
+  EXPECT_TRUE(is_prime_u64(2305843009213693951ULL));   // 2^61 - 1
+  EXPECT_TRUE(is_prime_u64(18446744073709551557ULL));  // largest u64 prime
+  EXPECT_FALSE(is_prime_u64(18446744073709551555ULL));
+  EXPECT_FALSE(is_prime_u64((1ULL << 62) - 1));  // composite Mersenne
+}
+
+TEST(PrimalityU64, StrongPseudoprimesToSmallBases) {
+  // 3215031751 is a strong pseudoprime to bases 2, 3, 5, 7 simultaneously.
+  EXPECT_FALSE(is_prime_u64(3215031751ULL));
+  // 3825123056546413051 is a strong pseudoprime to bases 2..23.
+  EXPECT_FALSE(is_prime_u64(3825123056546413051ULL));
+}
+
+TEST(PrimalityU64, RandomPrimeHasExactBitLength) {
+  Xoshiro256ss rng(31);
+  for (unsigned bits : {8u, 16u, 31u, 40u, 61u, 63u}) {
+    const u64 p = random_prime_u64(bits, rng);
+    EXPECT_TRUE(is_prime_u64(p));
+    EXPECT_EQ(64 - static_cast<unsigned>(__builtin_clzll(p)), bits);
+  }
+}
+
+TEST(PrimalityBig, AgreesWithU64TierOnSmallInputs) {
+  Xoshiro256ss rng(32);
+  for (int i = 0; i < 200; ++i) {
+    const u64 v = rng.below(1u << 20);
+    EXPECT_EQ(is_probable_prime(U256(v), rng), is_prime_u64(v)) << v;
+  }
+}
+
+TEST(PrimalityBig, DetectsCompositeProductOfPrimes) {
+  Xoshiro256ss rng(33);
+  const U256 p = random_prime<4>(100, rng);
+  const U256 q = random_prime<4>(100, rng);
+  EXPECT_FALSE(is_probable_prime(p * q, rng));
+}
+
+TEST(PrimalityBig, RandomPrimeBitLengths) {
+  Xoshiro256ss rng(34);
+  for (unsigned bits : {80u, 128u, 200u}) {
+    const U256 p = random_prime<4>(bits, rng);
+    EXPECT_EQ(p.bit_length(), bits);
+    EXPECT_TRUE(p.is_odd());
+    EXPECT_TRUE(is_probable_prime(p, rng));
+  }
+}
+
+TEST(RandomBelow, StaysInRangeAndHitsLowValues) {
+  Xoshiro256ss rng(35);
+  const U256 bound(10);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 2000; ++i) {
+    const U256 r = random_below(bound, rng);
+    ASSERT_LT(r, bound);
+    ++hits[r.to_u64()];
+  }
+  for (int h : hits) EXPECT_GT(h, 100);  // roughly uniform
+}
+
+TEST(RandomBelow, LargeBound) {
+  Xoshiro256ss rng(36);
+  const U256 bound = U256::from_hex("100000000000000000000000000000000");
+  for (int i = 0; i < 50; ++i) EXPECT_LT(random_below(bound, rng), bound);
+}
+
+}  // namespace
+}  // namespace dmw::num

@@ -1,0 +1,153 @@
+// Privacy (paper Theorem 10): losing bids stay hidden from small
+// coalitions. The e-attack threshold must be exactly sigma - y + 1 shares;
+// the f-attack documents the winner-phase disclosure leak (EXPERIMENTS.md).
+#include <gtest/gtest.h>
+
+#include "exp/privacy.hpp"
+
+namespace dmw::exp {
+namespace {
+
+using num::Group64;
+using proto::PublicParams;
+
+const Group64& grp() { return Group64::test_group(); }
+
+struct PrivacyFixture {
+  PublicParams<Group64> params;
+  mech::SchedulingInstance instance;
+  std::unique_ptr<proto::ProtocolRunner<Group64>> runner;
+  proto::Outcome outcome;
+  proto::HonestStrategy<Group64> honest;
+
+  explicit PrivacyFixture(mech::SchedulingInstance inst, std::uint64_t seed)
+      : params(PublicParams<Group64>::make(grp(), inst.n, inst.m, 2, seed)),
+        instance(std::move(inst)) {
+    std::vector<proto::Strategy<Group64>*> strategies(params.n(), &honest);
+    runner = std::make_unique<proto::ProtocolRunner<Group64>>(
+        params, instance, strategies);
+    outcome = runner->run();
+  }
+};
+
+TEST(Privacy, EAttackThresholdIsExactlySigmaMinusBidPlusOne) {
+  // n=9, c=2 -> W={1..6}, sigma=9. Agent bids: winner bids 1, targets bid
+  // 3 and 6. e-degree of bid y is 9-y; resolution needs 9-y+1 shares.
+  mech::SchedulingInstance instance{
+      9, 1, {{1}, {3}, {6}, {6}, {6}, {6}, {6}, {6}, {6}}};
+  PrivacyFixture fx(instance, 90);
+  ASSERT_FALSE(fx.outcome.aborted);
+
+  struct Case {
+    std::size_t target;
+    mech::Cost bid;
+  };
+  for (const Case c : {Case{1, 3}, Case{2, 6}}) {
+    const std::size_t threshold = fx.params.sigma() - c.bid + 1;
+    for (std::size_t size = 1; size < fx.params.n(); ++size) {
+      const auto attack =
+          attack_bid_privacy(*fx.runner, fx.params, size, c.target, 0);
+      EXPECT_EQ(attack.true_bid, c.bid);
+      if (size >= threshold) {
+        EXPECT_TRUE(attack.e_attack_succeeded())
+            << "size " << size << " target " << c.target;
+      } else {
+        EXPECT_FALSE(attack.e_attack_succeeded())
+            << "size " << size << " target " << c.target;
+      }
+    }
+  }
+}
+
+TEST(Privacy, LowerBidsNeedMoreColluders) {
+  // Theorem 10's remark: the number of colluders needed is inversely
+  // related to the bid value. Verify monotonicity of the threshold.
+  mech::SchedulingInstance instance{
+      9, 1, {{1}, {2}, {4}, {6}, {6}, {6}, {6}, {6}, {6}}};
+  PrivacyFixture fx(instance, 91);
+  ASSERT_FALSE(fx.outcome.aborted);
+
+  auto min_coalition_to_crack = [&](std::size_t target) -> std::size_t {
+    for (std::size_t size = 1; size < fx.params.n(); ++size) {
+      if (attack_bid_privacy(*fx.runner, fx.params, size, target, 0)
+              .e_attack_succeeded())
+        return size;
+    }
+    return fx.params.n();
+  };
+  // Targets 1 (bid 2), 2 (bid 4), 3 (bid 6): lower bid -> larger threshold.
+  EXPECT_GT(min_coalition_to_crack(1), min_coalition_to_crack(2));
+  EXPECT_GT(min_coalition_to_crack(2), min_coalition_to_crack(3));
+}
+
+TEST(Privacy, CoalitionWithinCPlusOneLearnsNothing) {
+  // The paper's design goal: with at most c (here even c+1) colluders, no
+  // losing bid is ever recovered via the e-encoding.
+  Xoshiro256ss rng(92);
+  const auto params = PublicParams<Group64>::make(grp(), 8, 2, 2, 93);
+  const auto instance =
+      mech::make_uniform_instance(8, 2, params.bid_set(), rng);
+  const auto rows = privacy_sweep(params, instance, params.c() + 1);
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.e_successes, 0u)
+        << "coalition of " << row.coalition_size << " cracked a bid";
+    EXPECT_GT(row.trials, 0u);
+  }
+}
+
+TEST(Privacy, SweepRatesAreMonotoneInCoalitionSize) {
+  Xoshiro256ss rng(94);
+  const auto params = PublicParams<Group64>::make(grp(), 8, 2, 2, 95);
+  const auto instance =
+      mech::make_uniform_instance(8, 2, params.bid_set(), rng);
+  const auto rows = privacy_sweep(params, instance, params.n() - 1);
+  for (std::size_t i = 1; i < rows.size(); ++i)
+    EXPECT_GE(rows[i].e_rate(), rows[i - 1].e_rate());
+  // A full-size coalition (everyone but the target) resolves every bid
+  // whose threshold is within reach: with n-1 = sigma - 1 shares only bids
+  // y >= 2 are crackable; uniform instances usually contain some bid-1
+  // losers, so the top rate is high but need not be 1.
+  EXPECT_GT(rows.back().e_rate(), 0.5);
+}
+
+TEST(Privacy, FAttackLeaksTieLosersBidViaPublicDisclosures) {
+  // A loser tied with the winner has deg f = y*; the y*+1 public
+  // winner-identification points alone resolve it — a leak the paper's
+  // privacy theorem does not cover (see EXPERIMENTS.md). Coalition size 1
+  // holds no extra f-share of use; the public data suffices.
+  mech::SchedulingInstance instance{
+      8, 1, {{2}, {2}, {5}, {5}, {5}, {5}, {5}, {5}}};
+  PrivacyFixture fx(instance, 96);
+  ASSERT_FALSE(fx.outcome.aborted);
+  // Agent 1 ties the winner (agent 0) with bid 2 and loses the tie-break.
+  const auto attack = attack_bid_privacy(*fx.runner, fx.params, 1, 1, 0);
+  EXPECT_TRUE(attack.f_attack_succeeded());
+}
+
+TEST(Privacy, FAttackNeedsEnoughPointsForHighBids) {
+  // A loser far above y* is still protected from small coalitions even via
+  // the f channel: y+1 points are needed but only y*+1 are public.
+  mech::SchedulingInstance instance{
+      9, 1, {{1}, {6}, {6}, {6}, {6}, {6}, {6}, {6}, {6}}};
+  PrivacyFixture fx(instance, 97);
+  ASSERT_FALSE(fx.outcome.aborted);
+  // y* = 1 -> 2 public points; target bid 6 needs 7 points. A coalition of
+  // 3 adds at most 3 more distinct points: still unresolved.
+  const auto attack = attack_bid_privacy(*fx.runner, fx.params, 3, 1, 0);
+  EXPECT_FALSE(attack.f_attack_succeeded());
+}
+
+TEST(Privacy, WinnerBidIsPublicByDesign) {
+  // The first price is intrinsic disclosure (paper Remark after Thm. 10).
+  Xoshiro256ss rng(98);
+  const auto params = PublicParams<Group64>::make(grp(), 6, 1, 1, 99);
+  const auto instance =
+      mech::make_uniform_instance(6, 1, params.bid_set(), rng);
+  const auto outcome = proto::run_honest_dmw(params, instance);
+  ASSERT_FALSE(outcome.aborted);
+  const std::size_t winner = outcome.schedule.agent_for(0);
+  EXPECT_EQ(outcome.first_prices[0], instance.cost[winner][0]);
+}
+
+}  // namespace
+}  // namespace dmw::exp

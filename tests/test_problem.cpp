@@ -1,0 +1,169 @@
+// Scheduling instances, bid sets and workload generators.
+#include <gtest/gtest.h>
+
+#include "mech/problem.hpp"
+
+namespace dmw::mech {
+namespace {
+
+TEST(BidSet, IotaShape) {
+  const BidSet w = BidSet::iota(5);
+  EXPECT_EQ(w.size(), 5u);
+  EXPECT_EQ(w.min(), 1u);
+  EXPECT_EQ(w.max(), 5u);
+  for (Cost v = 1; v <= 5; ++v) EXPECT_TRUE(w.contains(v));
+  EXPECT_FALSE(w.contains(0));
+  EXPECT_FALSE(w.contains(6));
+}
+
+TEST(BidSet, CustomValues) {
+  const BidSet w({2, 5, 9});
+  EXPECT_EQ(w.index_of(5), 1u);
+  EXPECT_EQ(w.round_up(3), 5u);
+  EXPECT_EQ(w.round_up(2), 2u);
+  EXPECT_EQ(w.round_up(100), 9u);
+  EXPECT_THROW(w.index_of(3), CheckError);
+}
+
+TEST(BidSet, RejectsInvalid) {
+  EXPECT_THROW(BidSet({}), CheckError);
+  EXPECT_THROW(BidSet({0, 1}), CheckError);          // zero bid
+  EXPECT_THROW(BidSet({3, 3}), CheckError);          // not increasing
+  EXPECT_THROW(BidSet({5, 2}), CheckError);          // decreasing
+  EXPECT_THROW(BidSet::iota(0), CheckError);
+}
+
+TEST(Instance, ValidateCatchesShapeErrors) {
+  SchedulingInstance bad;
+  bad.n = 2;
+  bad.m = 2;
+  bad.cost = {{1, 2}};  // one row missing
+  EXPECT_THROW(bad.validate(), CheckError);
+  bad.cost = {{1, 2}, {3, 0}};  // zero cost
+  EXPECT_THROW(bad.validate(), CheckError);
+  bad.cost = {{1, 2}, {3, 4}};
+  EXPECT_NO_THROW(bad.validate());
+}
+
+TEST(Instance, AtIsBoundsChecked) {
+  SchedulingInstance instance{2, 1, {{3}, {4}}};
+  EXPECT_EQ(instance.at(1, 0), 4u);
+  EXPECT_THROW(instance.at(2, 0), CheckError);
+  EXPECT_THROW(instance.at(0, 1), CheckError);
+}
+
+TEST(Instance, DescribeContainsAllCosts) {
+  SchedulingInstance instance{2, 2, {{1, 2}, {3, 4}}};
+  const std::string text = instance.describe();
+  EXPECT_NE(text.find("n=2"), std::string::npos);
+  EXPECT_NE(text.find("A2: 3 4"), std::string::npos);
+}
+
+TEST(Generators, UniformDrawsFromBidSet) {
+  Xoshiro256ss rng(70);
+  const BidSet w = BidSet::iota(4);
+  const auto instance = make_uniform_instance(6, 5, w, rng);
+  EXPECT_EQ(instance.n, 6u);
+  EXPECT_EQ(instance.m, 5u);
+  for (const auto& row : instance.cost)
+    for (Cost c : row) EXPECT_TRUE(w.contains(c));
+}
+
+TEST(Generators, UniformCoversWholeBidSet) {
+  Xoshiro256ss rng(71);
+  const BidSet w = BidSet::iota(3);
+  std::vector<bool> seen(4, false);
+  const auto instance = make_uniform_instance(8, 8, w, rng);
+  for (const auto& row : instance.cost)
+    for (Cost c : row) seen[c] = true;
+  EXPECT_TRUE(seen[1] && seen[2] && seen[3]);
+}
+
+TEST(Generators, MachineCorrelatedStaysInBidSet) {
+  Xoshiro256ss rng(72);
+  const BidSet w = BidSet::iota(6);
+  const auto instance = make_machine_correlated_instance(9, 7, w, rng);
+  for (const auto& row : instance.cost)
+    for (Cost c : row) EXPECT_TRUE(w.contains(c));
+}
+
+TEST(Generators, TaskCorrelatedJitterIsBounded) {
+  Xoshiro256ss rng(73);
+  const BidSet w = BidSet::iota(8);
+  const auto instance = make_task_correlated_instance(10, 6, w, rng);
+  for (std::size_t j = 0; j < instance.m; ++j) {
+    Cost lo = instance.cost[0][j], hi = lo;
+    for (std::size_t i = 1; i < instance.n; ++i) {
+      lo = std::min(lo, instance.cost[i][j]);
+      hi = std::max(hi, instance.cost[i][j]);
+    }
+    // +-1 index jitter around a common base -> spread of at most 2 indices.
+    EXPECT_LE(w.index_of(hi) - w.index_of(lo), 2u);
+  }
+}
+
+TEST(Generators, WorstCaseFavorsAgentZeroEverywhere) {
+  const BidSet w = BidSet::iota(4);
+  const auto instance = make_minwork_worst_case(5, 6, w);
+  for (std::size_t j = 0; j < instance.m; ++j) {
+    for (std::size_t i = 1; i < instance.n; ++i)
+      EXPECT_GT(instance.cost[i][j], instance.cost[0][j]);
+  }
+}
+
+TEST(Generators, ZipfFavorsLightTasks) {
+  Xoshiro256ss rng(75);
+  const BidSet w = BidSet::iota(6);
+  const auto instance = make_zipf_instance(6, 400, w, rng);
+  instance.validate();
+  // Count tasks whose (row-0) size class is in the lightest third vs the
+  // heaviest third: the Zipf skew must be visible.
+  std::size_t light = 0, heavy = 0;
+  for (std::size_t j = 0; j < instance.m; ++j) {
+    if (instance.cost[0][j] <= 2) ++light;
+    if (instance.cost[0][j] >= 5) ++heavy;
+  }
+  EXPECT_GT(light, 2 * heavy);
+}
+
+TEST(Generators, ZipfStaysInBidSet) {
+  Xoshiro256ss rng(76);
+  const BidSet w({2, 3, 5, 8});
+  const auto instance = make_zipf_instance(4, 30, w, rng);
+  for (const auto& row : instance.cost)
+    for (Cost c : row) EXPECT_TRUE(w.contains(c));
+}
+
+TEST(Generators, BimodalSeparatesModes) {
+  Xoshiro256ss rng(77);
+  const BidSet w = BidSet::iota(9);
+  const auto instance = make_bimodal_instance(5, 300, w, 0.3, rng);
+  instance.validate();
+  std::size_t heavy = 0, light = 0, middle = 0;
+  for (std::size_t j = 0; j < instance.m; ++j) {
+    const Cost c = instance.cost[0][j];
+    if (c >= 7) ++heavy;
+    else if (c <= 3) ++light;
+    else ++middle;
+  }
+  EXPECT_EQ(middle, 0u);          // nothing lands between the modes
+  EXPECT_GT(light, heavy);        // 70/30 split
+  EXPECT_GT(heavy, instance.m / 6);
+}
+
+TEST(Generators, BimodalFractionBounds) {
+  Xoshiro256ss rng(78);
+  const BidSet w = BidSet::iota(4);
+  EXPECT_NO_THROW(make_bimodal_instance(3, 5, w, 0.0, rng));
+  EXPECT_NO_THROW(make_bimodal_instance(3, 5, w, 1.0, rng));
+  EXPECT_THROW(make_bimodal_instance(3, 5, w, 1.5, rng), CheckError);
+}
+
+TEST(Generators, TruthfulBidsEqualCosts) {
+  Xoshiro256ss rng(74);
+  const auto instance = make_uniform_instance(4, 3, BidSet::iota(3), rng);
+  EXPECT_EQ(truthful_bids(instance), instance.cost);
+}
+
+}  // namespace
+}  // namespace dmw::mech

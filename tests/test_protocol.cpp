@@ -1,0 +1,237 @@
+// End-to-end protocol runs across (n, m, c) configurations: DMW must
+// reproduce the centralized MinWork outcome, complete without abort, keep a
+// consistent broadcast transcript, and exhibit the claimed traffic shape.
+#include <gtest/gtest.h>
+
+#include "dmw/protocol.hpp"
+#include "mech/minwork.hpp"
+
+namespace dmw::proto {
+namespace {
+
+using num::Group64;
+
+const Group64& grp() { return Group64::test_group(); }
+
+struct Config {
+  std::size_t n, m, c;
+  std::uint64_t seed;
+};
+
+class ProtocolSweep : public ::testing::TestWithParam<Config> {};
+
+TEST_P(ProtocolSweep, HonestRunEqualsCentralizedMinWork) {
+  const auto [n, m, c, seed] = GetParam();
+  const auto params = PublicParams<Group64>::make(grp(), n, m, c, seed);
+  Xoshiro256ss rng(seed * 31 + 1);
+  const auto instance = mech::make_uniform_instance(n, m, params.bid_set(), rng);
+
+  const auto outcome = run_honest_dmw(params, instance);
+  ASSERT_FALSE(outcome.aborted)
+      << to_string(outcome.abort_record->reason);
+
+  const auto central = mech::run_minwork(instance);
+  EXPECT_EQ(outcome.schedule, central.schedule);
+  EXPECT_EQ(outcome.payments, central.payments);
+  for (std::size_t j = 0; j < m; ++j) {
+    EXPECT_EQ(outcome.first_prices[j], central.auctions[j].first_price);
+    EXPECT_EQ(outcome.second_prices[j], central.auctions[j].second_price);
+  }
+  EXPECT_TRUE(outcome.transcripts_consistent);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ProtocolSweep,
+    ::testing::Values(Config{3, 1, 1, 1}, Config{4, 1, 1, 2},
+                      Config{4, 3, 1, 3}, Config{5, 2, 2, 4},
+                      Config{6, 4, 1, 5}, Config{6, 1, 3, 6},
+                      Config{8, 2, 2, 7}, Config{8, 5, 4, 8},
+                      Config{10, 3, 2, 9}, Config{12, 2, 3, 10},
+                      Config{3, 6, 1, 11}, Config{16, 2, 4, 12}));
+
+TEST(Protocol, ManyRandomInstancesAgreeWithMinWork) {
+  const auto params = PublicParams<Group64>::make(grp(), 6, 2, 1, 99);
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    Xoshiro256ss rng(seed);
+    const auto instance =
+        mech::make_uniform_instance(6, 2, params.bid_set(), rng);
+    RunConfig config;
+    config.secret_seed = seed * 1000 + 7;
+    const auto outcome = run_honest_dmw(params, instance, config);
+    ASSERT_FALSE(outcome.aborted) << "seed " << seed;
+    const auto central = mech::run_minwork(instance);
+    EXPECT_EQ(outcome.schedule, central.schedule) << "seed " << seed;
+    EXPECT_EQ(outcome.payments, central.payments) << "seed " << seed;
+  }
+}
+
+TEST(Protocol, AllAgentsAgreeOnResolvedPrices) {
+  const auto params = PublicParams<Group64>::make(grp(), 7, 3, 2, 21);
+  Xoshiro256ss rng(22);
+  const auto instance =
+      mech::make_uniform_instance(7, 3, params.bid_set(), rng);
+  HonestStrategy<Group64> honest;
+  std::vector<Strategy<Group64>*> strategies(7, &honest);
+  ProtocolRunner<Group64> runner(params, instance, strategies);
+  const auto outcome = runner.run();
+  ASSERT_FALSE(outcome.aborted);
+  for (std::size_t i = 0; i < 7; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      const auto& view = runner.agent(i).task_view(j);
+      EXPECT_EQ(*view.first_price, outcome.first_prices[j]);
+      EXPECT_EQ(*view.second_price, outcome.second_prices[j]);
+      EXPECT_EQ(*view.winner, outcome.schedule.agent_for(j));
+    }
+  }
+}
+
+TEST(Protocol, TieBreakGoesToSmallestPseudonym) {
+  // All agents quote the same cost: agent 0 (smallest pseudonym) wins, and
+  // the second price equals the first.
+  const auto params = PublicParams<Group64>::make(grp(), 5, 1, 1, 30);
+  mech::SchedulingInstance instance{5, 1, {{2}, {2}, {2}, {2}, {2}}};
+  const auto outcome = run_honest_dmw(params, instance);
+  ASSERT_FALSE(outcome.aborted);
+  EXPECT_EQ(outcome.schedule.agent_for(0), 0u);
+  EXPECT_EQ(outcome.first_prices[0], 2u);
+  EXPECT_EQ(outcome.second_prices[0], 2u);
+  EXPECT_EQ(outcome.payments[0], 2u);
+}
+
+TEST(Protocol, ExtremeBidsResolve) {
+  // Lowest and highest admissible bids in one auction.
+  const auto params = PublicParams<Group64>::make(grp(), 6, 1, 1, 31);
+  const auto w_min = params.bid_set().min();
+  const auto w_max = params.bid_set().max();
+  mech::SchedulingInstance instance{
+      6, 1, {{w_max}, {w_min}, {w_max}, {w_max}, {w_max}, {w_max}}};
+  const auto outcome = run_honest_dmw(params, instance);
+  ASSERT_FALSE(outcome.aborted);
+  EXPECT_EQ(outcome.schedule.agent_for(0), 1u);
+  EXPECT_EQ(outcome.first_prices[0], w_min);
+  EXPECT_EQ(outcome.second_prices[0], w_max);
+}
+
+TEST(Protocol, UtilitiesAreVickreyRents) {
+  const auto params = PublicParams<Group64>::make(grp(), 6, 1, 1, 32);
+  mech::SchedulingInstance instance{6, 1, {{1}, {3}, {4}, {4}, {4}, {4}}};
+  const auto outcome = run_honest_dmw(params, instance);
+  ASSERT_FALSE(outcome.aborted);
+  // Winner's utility = second price - own cost = 3 - 1 = 2; losers get 0.
+  EXPECT_EQ(outcome.utility(instance, 0), 2);
+  for (std::size_t i = 1; i < 6; ++i)
+    EXPECT_EQ(outcome.utility(instance, i), 0);
+}
+
+TEST(Protocol, TrafficShapeMatchesTheorem11) {
+  // Phase II unicasts: exactly m * n * (n-1) share messages.
+  const std::size_t n = 8, m = 3;
+  const auto params = PublicParams<Group64>::make(grp(), n, m, 2, 33);
+  Xoshiro256ss rng(34);
+  const auto instance = mech::make_uniform_instance(n, m, params.bid_set(), rng);
+  const auto outcome = run_honest_dmw(params, instance);
+  ASSERT_FALSE(outcome.aborted);
+  EXPECT_EQ(outcome.traffic.unicast_messages, m * n * (n - 1));
+  // Published messages per task: n commitments + n lambda/psi + (y*+1)
+  // disclosures + n reduced + n payment claims (per run, not per task).
+  EXPECT_GE(outcome.traffic.broadcast_messages, m * (3 * n) + n);
+  // p2p-equivalents dominate: every publish costs n-1.
+  EXPECT_EQ(outcome.traffic.p2p_equivalent_messages,
+            outcome.traffic.unicast_messages +
+                outcome.traffic.broadcast_messages * (n - 1));
+}
+
+TEST(Protocol, PhaseBreakdownCoversAllTraffic) {
+  const auto params = PublicParams<Group64>::make(grp(), 6, 2, 1, 35);
+  Xoshiro256ss rng(36);
+  const auto instance = mech::make_uniform_instance(6, 2, params.bid_set(), rng);
+  const auto outcome = run_honest_dmw(params, instance);
+  ASSERT_FALSE(outcome.aborted);
+  std::uint64_t sum = 0;
+  for (const auto& phase : outcome.phases)
+    sum += phase.stats.p2p_equivalent_messages;
+  EXPECT_EQ(sum, outcome.traffic.p2p_equivalent_messages);
+  // Bidding dominates unicast traffic; it must be nonzero.
+  EXPECT_GT(outcome.phases[0].stats.unicast_messages, 0u);
+  EXPECT_GT(outcome.rounds, 4u);
+}
+
+TEST(Protocol, RunnerValidatesConfiguration) {
+  const auto params = PublicParams<Group64>::make(grp(), 4, 2, 1, 37);
+  Xoshiro256ss rng(38);
+  const auto instance = mech::make_uniform_instance(4, 2, params.bid_set(), rng);
+  HonestStrategy<Group64> honest;
+
+  // Wrong agent count.
+  std::vector<Strategy<Group64>*> too_few(3, &honest);
+  EXPECT_THROW(ProtocolRunner<Group64>(params, instance, too_few), CheckError);
+
+  // Instance shape mismatch.
+  const auto other =
+      mech::make_uniform_instance(5, 2, params.bid_set(), rng);
+  std::vector<Strategy<Group64>*> four(4, &honest);
+  EXPECT_THROW(ProtocolRunner<Group64>(params, other, four), CheckError);
+
+  // Null strategy.
+  std::vector<Strategy<Group64>*> with_null(4, &honest);
+  with_null[2] = nullptr;
+  EXPECT_THROW(ProtocolRunner<Group64>(params, instance, with_null),
+               CheckError);
+}
+
+TEST(Protocol, DifferentSecretSeedsSameOutcome) {
+  // The outcome is a function of bids only; polynomial randomness must not
+  // change allocations or payments.
+  const auto params = PublicParams<Group64>::make(grp(), 5, 2, 1, 39);
+  Xoshiro256ss rng(40);
+  const auto instance = mech::make_uniform_instance(5, 2, params.bid_set(), rng);
+  RunConfig c1, c2;
+  c1.secret_seed = 111;
+  c2.secret_seed = 222;
+  const auto o1 = run_honest_dmw(params, instance, c1);
+  const auto o2 = run_honest_dmw(params, instance, c2);
+  ASSERT_FALSE(o1.aborted);
+  ASSERT_FALSE(o2.aborted);
+  EXPECT_EQ(o1.schedule, o2.schedule);
+  EXPECT_EQ(o1.payments, o2.payments);
+}
+
+TEST(Protocol, NetworkMessageLossCausesCleanAbort) {
+  // Drop every private share to agent 2: it cannot verify Phase II and the
+  // protocol must abort (missing shares), not crash or misallocate.
+  const auto params = PublicParams<Group64>::make(grp(), 5, 1, 1, 41);
+  Xoshiro256ss rng(42);
+  const auto instance = mech::make_uniform_instance(5, 1, params.bid_set(), rng);
+  HonestStrategy<Group64> honest;
+  std::vector<Strategy<Group64>*> strategies(5, &honest);
+  ProtocolRunner<Group64> runner(params, instance, strategies);
+  runner.network().set_fault_injector([](const net::Envelope& env) {
+    net::FaultAction a;
+    a.drop = (env.to == 2);
+    return a;
+  });
+  const auto outcome = runner.run();
+  EXPECT_TRUE(outcome.aborted);
+  ASSERT_TRUE(outcome.abort_record.has_value());
+  EXPECT_EQ(outcome.abort_record->reason, AbortReason::kMissingShares);
+  EXPECT_EQ(outcome.aborting_agent, 2u);
+}
+
+TEST(Protocol, CorruptedWireBytesCauseAbortNotCrash) {
+  const auto params = PublicParams<Group64>::make(grp(), 4, 1, 1, 43);
+  Xoshiro256ss rng(44);
+  const auto instance = mech::make_uniform_instance(4, 1, params.bid_set(), rng);
+  HonestStrategy<Group64> honest;
+  std::vector<Strategy<Group64>*> strategies(4, &honest);
+  ProtocolRunner<Group64> runner(params, instance, strategies);
+  runner.network().set_fault_injector([](const net::Envelope& env) {
+    net::FaultAction a;
+    if (env.to == 1) a.replace_payload = std::vector<std::uint8_t>{1, 2, 3};
+    return a;
+  });
+  const auto outcome = runner.run();
+  EXPECT_TRUE(outcome.aborted);
+}
+
+}  // namespace
+}  // namespace dmw::proto

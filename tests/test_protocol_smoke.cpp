@@ -1,0 +1,40 @@
+// End-to-end smoke tests: an all-honest DMW run must terminate without
+// abort and reproduce the centralized MinWork outcome exactly.
+#include <gtest/gtest.h>
+
+#include "dmw/protocol.hpp"
+#include "mech/minwork.hpp"
+
+namespace dmw {
+namespace {
+
+using num::Group64;
+using proto::PublicParams;
+
+TEST(ProtocolSmoke, HonestRunMatchesMinWork) {
+  const Group64& group = Group64::test_group();
+  const std::size_t n = 6, m = 3, c = 1;
+  auto params = PublicParams<Group64>::make(group, n, m, c, /*seed=*/7);
+
+  Xoshiro256ss rng(123);
+  auto instance = mech::make_uniform_instance(n, m, params.bid_set(), rng);
+
+  const auto outcome = proto::run_honest_dmw(params, instance);
+  ASSERT_FALSE(outcome.aborted)
+      << "abort reason: "
+      << proto::to_string(outcome.abort_record
+                              ? outcome.abort_record->reason
+                              : proto::AbortReason::kNone);
+
+  const auto central = mech::run_minwork(instance);
+  EXPECT_EQ(outcome.schedule, central.schedule);
+  EXPECT_EQ(outcome.payments, central.payments);
+  for (std::size_t j = 0; j < m; ++j) {
+    EXPECT_EQ(outcome.first_prices[j], central.auctions[j].first_price);
+    EXPECT_EQ(outcome.second_prices[j], central.auctions[j].second_price);
+  }
+  EXPECT_TRUE(outcome.transcripts_consistent);
+}
+
+}  // namespace
+}  // namespace dmw

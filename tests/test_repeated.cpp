@@ -1,0 +1,95 @@
+// Repeated executions (paper Remark after Thm. 10): unilateral price
+// learning gains nothing; a price-fixing coalition exploits the revealed
+// winner/second-price information.
+#include <gtest/gtest.h>
+
+#include "exp/repeated.hpp"
+
+namespace dmw::exp {
+namespace {
+
+mech::SchedulingInstance demo_instance() {
+  // One task where agent 0 wins with cost 1 and agent 1 sets the price (3),
+  // plus a second task with a different structure.
+  return mech::SchedulingInstance{4, 2, {{1, 4}, {3, 2}, {4, 3}, {4, 4}}};
+}
+
+TEST(Repeated, UnilateralShadingGainsNothing) {
+  const auto instance = demo_instance();
+  const mech::BidSet bids = mech::BidSet::iota(4);
+  ShadeToSecondPricePolicy policy;
+  for (std::size_t agent = 0; agent < instance.n; ++agent) {
+    const auto result = run_repeated(instance, bids, agent, policy, 10);
+    EXPECT_LE(result.adaptive_total, result.truthful_total)
+        << "agent " << agent;
+  }
+}
+
+TEST(Repeated, UnilateralUndercuttingNeverBeatsTruth) {
+  const auto instance = demo_instance();
+  const mech::BidSet bids = mech::BidSet::iota(4);
+  UndercutFirstPricePolicy policy;
+  for (std::size_t agent = 0; agent < instance.n; ++agent) {
+    const auto result = run_repeated(instance, bids, agent, policy, 10);
+    EXPECT_LE(result.adaptive_total, result.truthful_total)
+        << "agent " << agent;
+  }
+}
+
+TEST(Repeated, RandomInstancesUnilateralRobustness) {
+  Xoshiro256ss rng(404);
+  const mech::BidSet bids = mech::BidSet::iota(5);
+  ShadeToSecondPricePolicy shade;
+  UndercutFirstPricePolicy undercut;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto instance = mech::make_uniform_instance(5, 3, bids, rng);
+    for (BiddingPolicy* policy :
+         std::initializer_list<BiddingPolicy*>{&shade, &undercut}) {
+      for (std::size_t agent = 0; agent < instance.n; ++agent) {
+        const auto result = run_repeated(instance, bids, agent, *policy, 6);
+        EXPECT_LE(result.adaptive_total, result.truthful_total)
+            << policy->name() << " agent " << agent << " trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(Repeated, PriceFixingCoalitionProfits) {
+  // The exploit the paper's remark warns about: agent 1 learns (from the
+  // revealed prices) that it sets agent 0's payment on task 0 and jumps to
+  // max(W); agent 0's payment rises from 3 to 4 every subsequent round.
+  const auto instance = demo_instance();
+  const mech::BidSet bids = mech::BidSet::iota(4);
+  TruthfulPolicy winner_policy;  // the winner keeps bidding truthfully
+  AccomplicePolicy accomplice(/*partner=*/0);
+  const auto result = run_repeated(instance, bids, /*adaptive_agent=*/0,
+                                   winner_policy, 10, /*partner=*/1,
+                                   &accomplice);
+  EXPECT_GT(result.coalition_adaptive, result.coalition_truthful);
+}
+
+TEST(Repeated, CoalitionGainGrowsWithRounds) {
+  const auto instance = demo_instance();
+  const mech::BidSet bids = mech::BidSet::iota(4);
+  TruthfulPolicy winner_policy;
+  AccomplicePolicy accomplice(0);
+  const auto short_run =
+      run_repeated(instance, bids, 0, winner_policy, 3, 1, &accomplice);
+  const auto long_run =
+      run_repeated(instance, bids, 0, winner_policy, 12, 1, &accomplice);
+  const auto short_gain =
+      short_run.coalition_adaptive - short_run.coalition_truthful;
+  const auto long_gain =
+      long_run.coalition_adaptive - long_run.coalition_truthful;
+  EXPECT_GT(long_gain, short_gain);
+}
+
+TEST(Repeated, PolicyNames) {
+  EXPECT_EQ(TruthfulPolicy().name(), "truthful");
+  EXPECT_EQ(ShadeToSecondPricePolicy().name(), "shade-to-second-price");
+  EXPECT_EQ(UndercutFirstPricePolicy().name(), "undercut-first-price");
+  EXPECT_EQ(AccomplicePolicy(0).name(), "price-fixing-accomplice");
+}
+
+}  // namespace
+}  // namespace dmw::exp

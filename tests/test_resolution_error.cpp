@@ -1,0 +1,98 @@
+// Statistical test of §2.4's false-resolution probability: on a small-q
+// group the measured false-vanish rate must match 1/q within generous
+// binomial confidence bounds (and must be exactly 0 when probing with
+// enough points).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "poly/lagrange.hpp"
+#include "poly/polynomial.hpp"
+
+namespace dmw::poly {
+namespace {
+
+using dmw::Xoshiro256ss;
+using dmw::num::Group64;
+using Poly = Polynomial<Group64>;
+
+std::vector<std::uint64_t> distinct_points(const Group64& g, std::size_t n,
+                                           Xoshiro256ss& rng) {
+  std::vector<std::uint64_t> points;
+  while (points.size() < n) {
+    const auto candidate = g.random_nonzero_scalar(rng);
+    if (std::find(points.begin(), points.end(), candidate) == points.end())
+      points.push_back(candidate);
+  }
+  return points;
+}
+
+TEST(ResolutionError, RateMatchesOneOverQAtTwoShort) {
+  // Probing with s = d-1 points: the interpolation residue is a uniform
+  // random field element, so it vanishes with probability 1/q (§2.4).
+  Xoshiro256ss group_rng(555);
+  const Group64 g = Group64::generate(14, 8, group_rng);  // q in [128, 255]
+  const double predicted = 1.0 / static_cast<double>(g.q());
+
+  Xoshiro256ss rng(556);
+  const std::size_t trials = 60000;
+  const std::size_t degree = 5;
+  std::size_t hits = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const Poly p = Poly::random_zero_const(g, degree, rng);
+    const auto points = distinct_points(g, degree - 1, rng);
+    if (interpolate_at_zero(g, points, p.eval_all(g, points), degree - 1) ==
+        0)
+      ++hits;
+  }
+  const double expected_hits = predicted * static_cast<double>(trials);
+  const double sigma = std::sqrt(expected_hits);
+  EXPECT_GT(hits, 0u) << "q=" << g.q();
+  EXPECT_NEAR(static_cast<double>(hits), expected_hits, 6 * sigma)
+      << "q=" << g.q();
+}
+
+TEST(ResolutionError, ImpossibleExactlyOneShort) {
+  // Refinement over the paper: with s = d points the probe value equals
+  // a_d * prod(alpha_k), and a_d != 0 by exact-degree sampling — a false
+  // resolution one point short can never happen, at any q.
+  Xoshiro256ss group_rng(560);
+  const Group64 g = Group64::generate(14, 8, group_rng);  // tiny q
+  Xoshiro256ss rng(561);
+  for (int t = 0; t < 20000; ++t) {
+    const std::size_t degree = 2 + rng.below(5);
+    const Poly p = Poly::random_zero_const(g, degree, rng);
+    const auto points = distinct_points(g, degree, rng);
+    ASSERT_NE(interpolate_at_zero(g, points, p.eval_all(g, points), degree),
+              0u);
+  }
+}
+
+TEST(ResolutionError, NeverFalseWithEnoughPoints) {
+  Xoshiro256ss group_rng(557);
+  const Group64 g = Group64::generate(14, 8, group_rng);
+  Xoshiro256ss rng(558);
+  for (int t = 0; t < 2000; ++t) {
+    const std::size_t degree = 2 + rng.below(5);
+    const Poly p = Poly::random_zero_const(g, degree, rng);
+    const auto points = distinct_points(g, degree + 1, rng);
+    // With degree+1 points the interpolation is exact: always vanishes.
+    EXPECT_EQ(interpolate_at_zero(g, points, p.eval_all(g, points),
+                                  degree + 1),
+              0u);
+  }
+}
+
+TEST(ResolutionError, ProductionGroupNeverFalselyResolves) {
+  // q ~ 2^40: the 1/q event at s = d-1 is ~1e-12 per probe.
+  const Group64& g = Group64::test_group();
+  Xoshiro256ss rng(559);
+  for (int t = 0; t < 500; ++t) {
+    const Poly p = Poly::random_zero_const(g, 7, rng);
+    const auto points = distinct_points(g, 6, rng);
+    EXPECT_NE(interpolate_at_zero(g, points, p.eval_all(g, points), 6), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace dmw::poly

@@ -1,0 +1,81 @@
+// Schedules, objectives, valuations and utilities.
+#include <gtest/gtest.h>
+
+#include "mech/schedule.hpp"
+
+namespace dmw::mech {
+namespace {
+
+SchedulingInstance demo() {
+  //        T1 T2 T3
+  // A1:     1  4  2
+  // A2:     3  1  5
+  return SchedulingInstance{2, 3, {{1, 4, 2}, {3, 1, 5}}};
+}
+
+TEST(Schedule, TasksForPartitionsAllTasks) {
+  const Schedule s({0, 1, 0});
+  EXPECT_EQ(s.tasks_for(0), (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(s.tasks_for(1), (std::vector<std::size_t>{1}));
+}
+
+TEST(Schedule, LoadsAndMakespan) {
+  const auto instance = demo();
+  const Schedule s({0, 1, 0});
+  EXPECT_EQ(s.load(instance, 0), 3u);  // 1 + 2
+  EXPECT_EQ(s.load(instance, 1), 1u);
+  EXPECT_EQ(s.makespan(instance), 3u);
+  EXPECT_EQ(s.total_work(instance), 4u);
+}
+
+TEST(Schedule, AllOnOneMachine) {
+  const auto instance = demo();
+  const Schedule s({1, 1, 1});
+  EXPECT_EQ(s.load(instance, 0), 0u);
+  EXPECT_EQ(s.load(instance, 1), 9u);
+  EXPECT_EQ(s.makespan(instance), 9u);
+}
+
+TEST(Schedule, ValidateChecksShape) {
+  const auto instance = demo();
+  Schedule wrong_size({0, 1});
+  EXPECT_THROW(wrong_size.validate(instance), CheckError);
+  Schedule bad_agent({0, 1, 5});
+  EXPECT_THROW(bad_agent.validate(instance), CheckError);
+  Schedule ok({0, 1, 0});
+  EXPECT_NO_THROW(ok.validate(instance));
+}
+
+TEST(Schedule, DescribeIsHumanReadable) {
+  const Schedule s({0, 1});
+  EXPECT_EQ(s.describe(), "{T1->A1, T2->A2}");
+}
+
+TEST(Schedule, EqualityIsStructural) {
+  EXPECT_EQ(Schedule({0, 1}), Schedule({0, 1}));
+  EXPECT_NE(Schedule({0, 1}), Schedule({1, 0}));
+}
+
+TEST(Utility, ValuationIsNegativeLoad) {
+  const auto instance = demo();
+  const Schedule s({0, 1, 0});
+  EXPECT_EQ(valuation(instance, s, 0), -3);
+  EXPECT_EQ(valuation(instance, s, 1), -1);
+}
+
+TEST(Utility, UtilityIsPaymentPlusValuation) {
+  const auto instance = demo();
+  const Schedule s({0, 1, 0});
+  EXPECT_EQ(utility(instance, s, 0, 7), 4);
+  EXPECT_EQ(utility(instance, s, 1, 0), -1);
+  EXPECT_EQ(utility(instance, s, 1, 1), 0);
+}
+
+TEST(Schedule, AgentForIsBoundsChecked) {
+  const Schedule s({0, 1});
+  EXPECT_EQ(s.agent_for(1), 1u);
+  EXPECT_THROW(s.agent_for(2), CheckError);
+}
+
+}  // namespace
+}  // namespace dmw::mech

@@ -1,0 +1,131 @@
+// Wire-format writer/reader: round-trips, varint edge cases and decode
+// failure modes.
+#include <gtest/gtest.h>
+
+#include "net/serialize.hpp"
+#include "numeric/group.hpp"
+
+namespace dmw::net {
+namespace {
+
+TEST(Serialize, FixedWidthRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, VarintRoundTripBoundaries) {
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  16383,
+                                  16384,
+                                  (1ULL << 32) - 1,
+                                  1ULL << 32,
+                                  ~std::uint64_t{0}};
+  Writer w;
+  for (auto v : values) w.varint(v);
+  Reader r(w.bytes());
+  for (auto v : values) EXPECT_EQ(r.varint(), v);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, VarintEncodingIsMinimalForSmallValues) {
+  Writer w;
+  w.varint(5);
+  EXPECT_EQ(w.size(), 1u);
+  Writer w2;
+  w2.varint(128);
+  EXPECT_EQ(w2.size(), 2u);
+}
+
+TEST(Serialize, StringsAndBlobs) {
+  Writer w;
+  w.str("hello");
+  w.str("");
+  const std::vector<std::uint8_t> blob{1, 2, 3};
+  w.blob(blob);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.blob(), blob);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, U64Vector) {
+  Writer w;
+  w.u64_vec({10, 20, 30});
+  w.u64_vec({});
+  Reader r(w.bytes());
+  EXPECT_EQ(r.u64_vec(), (std::vector<std::uint64_t>{10, 20, 30}));
+  EXPECT_EQ(r.u64_vec(), std::vector<std::uint64_t>{});
+}
+
+TEST(Serialize, BigUIntRoundTrip) {
+  const auto v = dmw::num::U256::from_hex("123456789abcdef0fedcba9876543210");
+  Writer w;
+  w.big(v);
+  EXPECT_EQ(w.size(), 32u);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.big<4>(), v);
+}
+
+TEST(Serialize, UnderrunThrows) {
+  Writer w;
+  w.u32(1);
+  Reader r(w.bytes());
+  EXPECT_THROW(r.u64(), DecodeError);
+}
+
+TEST(Serialize, TrailingBytesDetected) {
+  Writer w;
+  w.u8(1);
+  w.u8(2);
+  Reader r(w.bytes());
+  r.u8();
+  EXPECT_THROW(r.expect_done(), DecodeError);
+  r.u8();
+  EXPECT_NO_THROW(r.expect_done());
+}
+
+TEST(Serialize, OverlongVarintRejected) {
+  // 11 continuation bytes cannot encode a u64.
+  std::vector<std::uint8_t> bad(11, 0x80);
+  Reader r(bad);
+  EXPECT_THROW(r.varint(), DecodeError);
+}
+
+TEST(Serialize, VarintOverflowRejected) {
+  // 10 bytes whose top bits overflow 64 bits.
+  std::vector<std::uint8_t> bad = {0xff, 0xff, 0xff, 0xff, 0xff,
+                                   0xff, 0xff, 0xff, 0xff, 0x7f};
+  Reader r(bad);
+  EXPECT_THROW(r.varint(), DecodeError);
+}
+
+TEST(Serialize, U64VecLengthBombRejected) {
+  Writer w;
+  w.varint(1ULL << 40);  // claims ~10^12 entries
+  Reader r(w.bytes());
+  EXPECT_THROW(r.u64_vec(), DecodeError);
+}
+
+TEST(Serialize, GroupCodecsRoundTrip64) {
+  const auto& g = dmw::num::Group64::test_group();
+  Writer w;
+  write_scalar(w, g, 12345u);
+  write_elem(w, g, g.z1());
+  Reader r(w.bytes());
+  EXPECT_EQ(read_scalar(r, g), 12345u);
+  EXPECT_EQ(read_elem(r, g), g.z1());
+}
+
+}  // namespace
+}  // namespace dmw::net

@@ -1,0 +1,122 @@
+// Shamir free-term sharing, and the contrast with DMW's degree encoding
+// that the paper calls out in §3.
+#include <gtest/gtest.h>
+
+#include "crypto/chacha.hpp"
+#include "poly/shamir.hpp"
+
+namespace dmw::poly {
+namespace {
+
+using num::Group64;
+using Sharing = ShamirSharing<Group64>;
+
+const Group64& grp() { return Group64::test_group(); }
+
+std::vector<std::uint64_t> points_for(const Group64& g, std::size_t n,
+                                      std::uint64_t seed) {
+  Xoshiro256ss rng(seed);
+  std::vector<std::uint64_t> points;
+  while (points.size() < n) {
+    const auto candidate = g.random_nonzero_scalar(rng);
+    if (std::find(points.begin(), points.end(), candidate) == points.end())
+      points.push_back(candidate);
+  }
+  return points;
+}
+
+TEST(Shamir, SplitReconstructRoundTrip) {
+  const Group64& g = grp();
+  auto rng = crypto::ChaChaRng::from_seed(1);
+  const auto points = points_for(g, 7, 2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto secret = g.random_scalar(rng);
+    const auto sharing = Sharing::split(g, secret, 4, points, rng);
+    for (std::size_t count = 4; count <= 7; ++count)
+      EXPECT_EQ(sharing.reconstruct(g, count), secret);
+  }
+}
+
+TEST(Shamir, BelowThresholdRefuses) {
+  const Group64& g = grp();
+  auto rng = crypto::ChaChaRng::from_seed(3);
+  const auto points = points_for(g, 5, 4);
+  const auto sharing = Sharing::split(g, 42, 3, points, rng);
+  EXPECT_THROW(sharing.reconstruct(g, 2), CheckError);
+}
+
+TEST(Shamir, BelowThresholdSharesAreUninformative) {
+  // With t-1 shares, every candidate secret is equally consistent: the
+  // interpolation through t-1 points plus any hypothesized secret at zero
+  // is a valid polynomial. Spot-check: two different secrets can produce
+  // the *same* t-1 shares under different randomness.
+  const Group64& g = grp();
+  const auto points = points_for(g, 4, 5);
+  // Directly: the t-1 interpolation of the real shares is (w.h.p.) NOT the
+  // secret — partial shares do not leak it.
+  auto rng = crypto::ChaChaRng::from_seed(6);
+  int leaks = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto secret = g.random_scalar(rng);
+    const auto sharing = Sharing::split(g, secret, 3, points, rng);
+    const auto guess =
+        interpolate_at_zero(g, sharing.points(), sharing.shares(), 2);
+    if (guess == secret) ++leaks;
+  }
+  EXPECT_EQ(leaks, 0);
+}
+
+TEST(Shamir, AdditiveHomomorphism) {
+  const Group64& g = grp();
+  auto rng = crypto::ChaChaRng::from_seed(7);
+  const auto points = points_for(g, 6, 8);
+  const std::uint64_t s1 = 111, s2 = 222;
+  const auto a = Sharing::split(g, s1, 3, points, rng);
+  const auto b = Sharing::split(g, s2, 3, points, rng);
+  const auto sum = Sharing::add(g, a, b);
+  EXPECT_EQ(sum.reconstruct(g, 3), g.sadd(s1, s2));
+}
+
+TEST(Shamir, ThresholdOneIsPlainReplication) {
+  const Group64& g = grp();
+  auto rng = crypto::ChaChaRng::from_seed(9);
+  const auto points = points_for(g, 3, 10);
+  const auto sharing = Sharing::split(g, 77, 1, points, rng);
+  for (const auto& share : sharing.shares()) EXPECT_EQ(share, 77u);
+}
+
+TEST(Shamir, ContrastWithDegreeEncoding) {
+  // The paper's design rationale, executable: summing FREE-TERM sharings
+  // yields the SUM of the secrets (useless for a minimum), while summing
+  // DEGREE-encoded sharings yields the MAX of the degrees (which is how
+  // DMW computes the minimum bid, bids being encoded inversely).
+  const Group64& g = grp();
+  auto rng = crypto::ChaChaRng::from_seed(11);
+  const auto points = points_for(g, 10, 12);
+
+  // Free-term encoding of "bids" 2 and 5.
+  const auto shamir_a = Sharing::split(g, 2, 4, points, rng);
+  const auto shamir_b = Sharing::split(g, 5, 4, points, rng);
+  const auto shamir_sum = Sharing::add(g, shamir_a, shamir_b);
+  EXPECT_EQ(shamir_sum.reconstruct(g, 4), 7u);  // 2+5: not min, not max
+
+  // Degree encoding of the same bids (degree = bid here for clarity).
+  const auto deg_a = Polynomial<Group64>::random_zero_const(g, 2, rng);
+  const auto deg_b = Polynomial<Group64>::random_zero_const(g, 5, rng);
+  const auto sum = deg_a.add(g, deg_b);
+  const auto resolution =
+      resolve_degree(g, points, sum.eval_all(g, points));
+  ASSERT_TRUE(resolution.degree.has_value());
+  EXPECT_EQ(*resolution.degree, 5u);  // max of the encoded values
+}
+
+TEST(Shamir, RejectsBadArguments) {
+  const Group64& g = grp();
+  auto rng = crypto::ChaChaRng::from_seed(13);
+  const auto points = points_for(g, 3, 14);
+  EXPECT_THROW(Sharing::split(g, 1, 0, points, rng), CheckError);
+  EXPECT_THROW(Sharing::split(g, 1, 4, points, rng), CheckError);
+}
+
+}  // namespace
+}  // namespace dmw::poly

@@ -1,0 +1,190 @@
+// Deviation detection: each strategy from the Theorem 4 / Theorem 8 case
+// analyses must be caught (protocol abort) or provably harmless.
+#include <gtest/gtest.h>
+
+#include "dmw/protocol.hpp"
+#include "dmw/strategies.hpp"
+#include "mech/minwork.hpp"
+
+namespace dmw::proto {
+namespace {
+
+using num::Group64;
+
+const Group64& grp() { return Group64::test_group(); }
+
+struct Fixture {
+  PublicParams<Group64> params;
+  mech::SchedulingInstance instance;
+
+  static Fixture make(std::uint64_t seed = 50) {
+    auto params = PublicParams<Group64>::make(grp(), 6, 2, 1, seed);
+    Xoshiro256ss rng(seed + 1);
+    auto instance =
+        mech::make_uniform_instance(6, 2, params.bid_set(), rng);
+    return Fixture{std::move(params), std::move(instance)};
+  }
+
+  Outcome run_with_deviant(Strategy<Group64>& deviant, std::size_t who) {
+    HonestStrategy<Group64> honest;
+    std::vector<Strategy<Group64>*> strategies(params.n(), &honest);
+    strategies[who] = &deviant;
+    ProtocolRunner<Group64> runner(params, instance, strategies);
+    return runner.run();
+  }
+};
+
+TEST(Deviations, CorruptShareDetectedByVictim) {
+  auto fx = Fixture::make();
+  CorruptShareStrategy<Group64> deviant(/*victim=*/3);
+  const auto outcome = fx.run_with_deviant(deviant, 1);
+  ASSERT_TRUE(outcome.aborted);
+  EXPECT_EQ(outcome.aborting_agent, 3u);
+  // Either the algebraic check fails or the tweak left the scalar range.
+  EXPECT_TRUE(outcome.abort_record->reason == AbortReason::kBadShareCommitment ||
+              outcome.abort_record->reason == AbortReason::kMalformedMessage);
+}
+
+TEST(Deviations, WithheldShareDetectedByVictim) {
+  auto fx = Fixture::make(51);
+  WithholdShareStrategy<Group64> deviant(/*victim=*/2);
+  const auto outcome = fx.run_with_deviant(deviant, 4);
+  ASSERT_TRUE(outcome.aborted);
+  EXPECT_EQ(outcome.aborting_agent, 2u);
+  EXPECT_EQ(outcome.abort_record->reason, AbortReason::kMissingShares);
+}
+
+TEST(Deviations, InconsistentCommitmentsDetectedByEveryone) {
+  auto fx = Fixture::make(52);
+  InconsistentCommitmentsStrategy<Group64> deviant;
+  const auto outcome = fx.run_with_deviant(deviant, 0);
+  ASSERT_TRUE(outcome.aborted);
+  EXPECT_EQ(outcome.abort_record->reason, AbortReason::kBadShareCommitment);
+}
+
+TEST(Deviations, WithheldCommitmentsAbort) {
+  auto fx = Fixture::make(53);
+  WithholdCommitmentsStrategy<Group64> deviant;
+  const auto outcome = fx.run_with_deviant(deviant, 5);
+  ASSERT_TRUE(outcome.aborted);
+  EXPECT_EQ(outcome.abort_record->reason, AbortReason::kMissingCommitments);
+}
+
+TEST(Deviations, BadLambdaFailsEq11) {
+  auto fx = Fixture::make(54);
+  BadLambdaStrategy<Group64> deviant;
+  const auto outcome = fx.run_with_deviant(deviant, 2);
+  ASSERT_TRUE(outcome.aborted);
+  EXPECT_TRUE(outcome.abort_record->reason == AbortReason::kBadLambdaPsi ||
+              outcome.abort_record->reason == AbortReason::kMalformedMessage);
+}
+
+TEST(Deviations, CompensatedLambdaStillHarmless) {
+  // The forgery passes Eq. (11) but corrupts the resolution input; the
+  // paper's case analysis (Thm. 4) says this either aborts or leaves the
+  // outcome unchanged. Either way the deviant must not profit.
+  auto fx = Fixture::make(55);
+  CompensatedLambdaStrategy<Group64> deviant(fx.params.group(), 17);
+  const auto honest_outcome = run_honest_dmw(fx.params, fx.instance);
+  const auto outcome = fx.run_with_deviant(deviant, 1);
+  if (outcome.aborted) {
+    EXPECT_EQ(outcome.utility(fx.instance, 1), 0);
+  } else {
+    EXPECT_LE(outcome.utility(fx.instance, 1),
+              honest_outcome.utility(fx.instance, 1));
+  }
+}
+
+TEST(Deviations, SilentLambdaAborts) {
+  auto fx = Fixture::make(56);
+  SilentLambdaStrategy<Group64> deviant;
+  const auto outcome = fx.run_with_deviant(deviant, 3);
+  ASSERT_TRUE(outcome.aborted);
+  EXPECT_EQ(outcome.abort_record->reason, AbortReason::kMissingLambdaPsi);
+}
+
+TEST(Deviations, WithheldDisclosureAbortsWhenPrescribed) {
+  // Make the deviant agent 0 so it is always among the prescribed
+  // disclosers (y* + 1 >= 2 agents disclose, and indices start at 0).
+  auto fx = Fixture::make(57);
+  WithholdDisclosureStrategy<Group64> deviant;
+  const auto outcome = fx.run_with_deviant(deviant, 0);
+  ASSERT_TRUE(outcome.aborted);
+  EXPECT_EQ(outcome.abort_record->reason, AbortReason::kMissingDisclosure);
+}
+
+TEST(Deviations, CorruptDisclosureFailsEq13) {
+  auto fx = Fixture::make(58);
+  CorruptDisclosureStrategy<Group64> deviant;
+  const auto outcome = fx.run_with_deviant(deviant, 0);
+  ASSERT_TRUE(outcome.aborted);
+  EXPECT_TRUE(outcome.abort_record->reason == AbortReason::kBadDisclosure ||
+              outcome.abort_record->reason == AbortReason::kMalformedMessage);
+}
+
+TEST(Deviations, EagerDisclosureIsHarmless) {
+  // Thm. 4: volunteering extra shares does not change the outcome.
+  auto fx = Fixture::make(59);
+  EagerDisclosureStrategy<Group64> deviant;
+  const auto honest_outcome = run_honest_dmw(fx.params, fx.instance);
+  const auto outcome = fx.run_with_deviant(deviant, 5);
+  ASSERT_FALSE(outcome.aborted);
+  EXPECT_EQ(outcome.schedule, honest_outcome.schedule);
+  EXPECT_EQ(outcome.payments, honest_outcome.payments);
+}
+
+TEST(Deviations, BadReducedLambdaFailsExcludedEq11) {
+  auto fx = Fixture::make(60);
+  BadReducedLambdaStrategy<Group64> deviant;
+  const auto outcome = fx.run_with_deviant(deviant, 4);
+  ASSERT_TRUE(outcome.aborted);
+  EXPECT_TRUE(
+      outcome.abort_record->reason == AbortReason::kBadReducedLambdaPsi ||
+      outcome.abort_record->reason == AbortReason::kMalformedMessage);
+}
+
+TEST(Deviations, GreedyPaymentClaimBlocksSettlement) {
+  auto fx = Fixture::make(61);
+  GreedyPaymentStrategy<Group64> deviant(2);
+  const auto outcome = fx.run_with_deviant(deviant, 2);
+  ASSERT_TRUE(outcome.aborted);
+  EXPECT_EQ(outcome.abort_record->reason, AbortReason::kPaymentDisagreement);
+  // Nobody is paid: the greedy claim earned the deviant nothing.
+  EXPECT_EQ(outcome.utility(fx.instance, 2), 0);
+}
+
+TEST(Deviations, SilentPaymentClaimBlocksSettlement) {
+  auto fx = Fixture::make(62);
+  SilentPaymentStrategy<Group64> deviant;
+  const auto outcome = fx.run_with_deviant(deviant, 1);
+  ASSERT_TRUE(outcome.aborted);
+  EXPECT_EQ(outcome.abort_record->reason, AbortReason::kPaymentDisagreement);
+}
+
+TEST(Deviations, MisreportNeverBeatsTruthEndToEnd) {
+  // Information-revelation deviations run the protocol to completion; the
+  // Vickrey structure makes them unprofitable (Thm. 2 lifted to DMW).
+  auto fx = Fixture::make(63);
+  const auto honest_outcome = run_honest_dmw(fx.params, fx.instance);
+  for (int offset : {-2, -1, 1, 2}) {
+    MisreportStrategy<Group64> deviant(offset);
+    for (std::size_t who = 0; who < fx.params.n(); ++who) {
+      const auto outcome = fx.run_with_deviant(deviant, who);
+      ASSERT_FALSE(outcome.aborted);
+      EXPECT_LE(outcome.utility(fx.instance, who),
+                honest_outcome.utility(fx.instance, who))
+          << "offset " << offset << " agent " << who;
+    }
+  }
+}
+
+TEST(Deviations, StrategyNamesAreStable) {
+  EXPECT_EQ(MisreportStrategy<Group64>(1).name(), "misreport(+1)");
+  EXPECT_EQ(MisreportStrategy<Group64>(-1).name(), "misreport(-1)");
+  EXPECT_EQ(WithholdDisclosureStrategy<Group64>().name(),
+            "withhold-disclosure");
+  EXPECT_EQ(HonestStrategy<Group64>().name(), "honest");
+}
+
+}  // namespace
+}  // namespace dmw::proto

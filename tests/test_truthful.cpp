@@ -1,0 +1,83 @@
+// Empirical truthfulness of MinWork (paper Theorem 2, Definitions 3-4):
+// exhaustive single-task misreports plus random joint misreports must never
+// beat truth-telling, and truthful agents never lose.
+#include <gtest/gtest.h>
+
+#include "mech/truthful.hpp"
+
+namespace dmw::mech {
+namespace {
+
+class TruthfulnessSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TruthfulnessSweep, MinWorkIsTruthfulOnRandomInstances) {
+  Xoshiro256ss rng(GetParam());
+  const std::size_t n = 3 + rng.below(4);
+  const std::size_t m = 1 + rng.below(4);
+  const BidSet bids = BidSet::iota(4);
+  const auto instance = make_uniform_instance(n, m, bids, rng);
+  const auto report = check_minwork_truthfulness(instance, bids, 10, rng);
+  EXPECT_TRUE(report.truthful) << "gain " << report.max_gain;
+  EXPECT_TRUE(report.voluntary);
+  EXPECT_LE(report.max_gain, 0);
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_GT(report.deviations_tried, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TruthfulnessSweep,
+                         ::testing::Range<std::uint64_t>(100, 130));
+
+TEST(Truthfulness, CorrelatedWorkloadsAreAlsoTruthful) {
+  Xoshiro256ss rng(300);
+  const BidSet bids = BidSet::iota(5);
+  const auto machine = make_machine_correlated_instance(5, 3, bids, rng);
+  const auto task = make_task_correlated_instance(5, 3, bids, rng);
+  for (const auto* instance : {&machine, &task}) {
+    const auto report = check_minwork_truthfulness(*instance, bids, 5, rng);
+    EXPECT_TRUE(report.truthful);
+    EXPECT_TRUE(report.voluntary);
+  }
+}
+
+TEST(Truthfulness, DetectsANonTruthfulMechanism) {
+  // Sanity-check the checker itself against a first-price mechanism, which
+  // is famously NOT truthful: a winner gains by inflating its bid toward
+  // the second price.
+  Xoshiro256ss rng(301);
+  const BidSet bids = BidSet::iota(4);
+  SchedulingInstance instance{3, 1, {{1}, {3}, {4}}};
+  const auto first_price_utility = [&](const BidMatrix& b, std::size_t agent) {
+    const auto outcome = run_minwork(b);
+    // First-price payment: the winner receives its own bid.
+    std::uint64_t payment = 0;
+    for (std::size_t j = 0; j < instance.m; ++j)
+      if (outcome.schedule.agent_for(j) == agent)
+        payment += b[agent][j];
+    return utility(instance, outcome.schedule, agent, payment);
+  };
+  const auto report =
+      check_truthfulness(instance, bids, first_price_utility, 0, rng);
+  EXPECT_FALSE(report.truthful);
+  EXPECT_GT(report.max_gain, 0);
+  EXPECT_FALSE(report.violations.empty());
+}
+
+TEST(Truthfulness, ViolationRecordsAreWellFormed) {
+  Xoshiro256ss rng(302);
+  const BidSet bids = BidSet::iota(3);
+  SchedulingInstance instance{3, 1, {{1}, {2}, {3}}};
+  const auto silly_utility = [&](const BidMatrix& b, std::size_t agent) {
+    // Pathological: utility equals your reported bid. Higher reports win.
+    return static_cast<std::int64_t>(b[agent][0]);
+  };
+  const auto report =
+      check_truthfulness(instance, bids, silly_utility, 0, rng);
+  ASSERT_FALSE(report.truthful);
+  for (const auto& v : report.violations) {
+    EXPECT_GT(v.gain(), 0);
+    EXPECT_LT(v.agent, instance.n);
+  }
+}
+
+}  // namespace
+}  // namespace dmw::mech

@@ -1,0 +1,113 @@
+// dmw_keygen — generate and print DMW public parameters.
+//
+// Produces a fresh Schnorr group (and optionally the derived pseudonym set
+// and bid set for a deployment size), in human-readable or JSON form, so a
+// deployment can pin its Phase I constants.
+//
+//   dmw_keygen --p-bits 61 --q-bits 40 --seed 7
+//   dmw_keygen --backend 256 --p-bits 250 --q-bits 160 --json
+//   dmw_keygen --n 12 --c 2          # also derive pseudonyms + W
+#include <cstdio>
+
+#include "dmw/params.hpp"
+#include "support/flags.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(dmw_keygen — DMW parameter generation
+
+options:
+  --backend B    64 | 256          (default 64)
+  --p-bits P     prime p size      (default 61 / 250)
+  --q-bits Q     prime q size      (default 40 / 160)
+  --seed S       generator seed    (default 1)
+  --n N          also derive parameters for N agents
+  --m M          tasks             (default 1; only with --n)
+  --c C          max faulty        (default 1; only with --n)
+  --crash-tolerant  use the crash-tolerant bid-set bound
+  --json         machine-readable output
+  --help         this text
+)";
+
+template <class G>
+int emit(const G& group, const dmw::Flags& flags) {
+  const bool json = flags.get_bool("json");
+  if (!flags.has("n")) {
+    if (json) {
+      dmw::JsonWriter w;
+      w.begin_object();
+      w.field("describe", group.describe());
+      w.field("p_bits", std::uint64_t{group.p_bits()});
+      w.end_object();
+      std::printf("%s\n", w.str().c_str());
+    } else {
+      std::printf("%s\n", group.describe().c_str());
+    }
+    return 0;
+  }
+
+  const std::size_t n = flags.get_u64("n", 4);
+  const std::size_t m = flags.get_u64("m", 1);
+  const std::size_t c = flags.get_u64("c", 1);
+  const std::uint64_t seed = flags.get_u64("seed", 1);
+  const auto params =
+      flags.get_bool("crash-tolerant")
+          ? dmw::proto::PublicParams<G>::make_crash_tolerant(group, n, m, c,
+                                                             seed)
+          : dmw::proto::PublicParams<G>::make(group, n, m, c, seed);
+  if (json) {
+    dmw::JsonWriter w;
+    w.begin_object();
+    w.field("describe", params.describe());
+    w.field("n", std::uint64_t{n});
+    w.field("c", std::uint64_t{c});
+    w.field("sigma", std::uint64_t{params.sigma()});
+    w.field("crash_tolerant", params.crash_tolerant());
+    w.begin_array("bid_set");
+    for (auto v : params.bid_set().values()) w.value(std::uint64_t{v});
+    w.end_array();
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+  } else {
+    std::printf("%s\n", params.describe().c_str());
+    std::printf("W = {%u..%u}, sigma = %zu, quorum = %zu\n",
+                params.bid_set().min(), params.bid_set().max(),
+                params.sigma(), params.quorum());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const dmw::Flags flags(
+        argc, argv,
+        {"backend", "p-bits", "q-bits", "seed", "n", "m", "c",
+         "crash-tolerant!", "json!", "help!"});
+    if (flags.get_bool("help")) {
+      std::printf("%s", kUsage);
+      return 0;
+    }
+    const auto backend = flags.get_u64("backend", 64);
+    dmw::Xoshiro256ss rng(flags.get_u64("seed", 1));
+    if (backend == 64) {
+      const auto group = dmw::num::Group64::generate(
+          static_cast<unsigned>(flags.get_u64("p-bits", 61)),
+          static_cast<unsigned>(flags.get_u64("q-bits", 40)), rng);
+      return emit(group, flags);
+    }
+    if (backend == 256) {
+      const auto group = dmw::num::Group256::generate(
+          static_cast<unsigned>(flags.get_u64("p-bits", 250)),
+          static_cast<unsigned>(flags.get_u64("q-bits", 160)), rng);
+      return emit(group, flags);
+    }
+    std::fprintf(stderr, "unknown backend\n");
+    return 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n%s", error.what(), kUsage);
+    return 1;
+  }
+}
