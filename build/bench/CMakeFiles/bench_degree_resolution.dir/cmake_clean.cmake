@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_degree_resolution.dir/bench_degree_resolution.cpp.o"
+  "CMakeFiles/bench_degree_resolution.dir/bench_degree_resolution.cpp.o.d"
+  "bench_degree_resolution"
+  "bench_degree_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_degree_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

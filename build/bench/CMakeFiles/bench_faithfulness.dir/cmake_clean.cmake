@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_faithfulness.dir/bench_faithfulness.cpp.o"
+  "CMakeFiles/bench_faithfulness.dir/bench_faithfulness.cpp.o.d"
+  "bench_faithfulness"
+  "bench_faithfulness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_faithfulness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_minwork.dir/bench_minwork.cpp.o"
+  "CMakeFiles/bench_minwork.dir/bench_minwork.cpp.o.d"
+  "bench_minwork"
+  "bench_minwork.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_minwork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

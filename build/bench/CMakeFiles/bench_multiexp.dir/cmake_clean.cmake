@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiexp.dir/bench_multiexp.cpp.o"
+  "CMakeFiles/bench_multiexp.dir/bench_multiexp.cpp.o.d"
+  "bench_multiexp"
+  "bench_multiexp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiexp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

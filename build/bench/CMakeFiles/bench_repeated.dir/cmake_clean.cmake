@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_repeated.dir/bench_repeated.cpp.o"
+  "CMakeFiles/bench_repeated.dir/bench_repeated.cpp.o.d"
+  "bench_repeated"
+  "bench_repeated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_repeated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_resolution_error.dir/bench_resolution_error.cpp.o"
+  "CMakeFiles/bench_resolution_error.dir/bench_resolution_error.cpp.o.d"
+  "bench_resolution_error"
+  "bench_resolution_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_resolution_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_comp.dir/bench_table1_comp.cpp.o"
+  "CMakeFiles/bench_table1_comp.dir/bench_table1_comp.cpp.o.d"
+  "bench_table1_comp"
+  "bench_table1_comp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_comp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

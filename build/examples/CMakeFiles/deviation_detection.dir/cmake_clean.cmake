@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deviation_detection.dir/deviation_detection.cpp.o"
+  "CMakeFiles/deviation_detection.dir/deviation_detection.cpp.o.d"
+  "deviation_detection"
+  "deviation_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deviation_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_bids.dir/private_bids.cpp.o"
+  "CMakeFiles/private_bids.dir/private_bids.cpp.o.d"
+  "private_bids"
+  "private_bids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_bids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

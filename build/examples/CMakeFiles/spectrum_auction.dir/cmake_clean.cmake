@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectrum_auction.dir/spectrum_auction.cpp.o"
+  "CMakeFiles/spectrum_auction.dir/spectrum_auction.cpp.o.d"
+  "spectrum_auction"
+  "spectrum_auction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectrum_auction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aead.cpp" "src/crypto/CMakeFiles/dmw_crypto.dir/aead.cpp.o" "gcc" "src/crypto/CMakeFiles/dmw_crypto.dir/aead.cpp.o.d"
+  "/root/repo/src/crypto/chacha.cpp" "src/crypto/CMakeFiles/dmw_crypto.dir/chacha.cpp.o" "gcc" "src/crypto/CMakeFiles/dmw_crypto.dir/chacha.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/dmw_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/dmw_crypto.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dmw_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/dmw_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

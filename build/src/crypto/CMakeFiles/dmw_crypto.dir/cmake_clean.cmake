@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmw_crypto.dir/aead.cpp.o"
+  "CMakeFiles/dmw_crypto.dir/aead.cpp.o.d"
+  "CMakeFiles/dmw_crypto.dir/chacha.cpp.o"
+  "CMakeFiles/dmw_crypto.dir/chacha.cpp.o.d"
+  "CMakeFiles/dmw_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/dmw_crypto.dir/sha256.cpp.o.d"
+  "libdmw_crypto.a"
+  "libdmw_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmw_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmw_core.dir/messages.cpp.o"
+  "CMakeFiles/dmw_core.dir/messages.cpp.o.d"
+  "libdmw_core.a"
+  "libdmw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

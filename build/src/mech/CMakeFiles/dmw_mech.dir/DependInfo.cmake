@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mech/minwork.cpp" "src/mech/CMakeFiles/dmw_mech.dir/minwork.cpp.o" "gcc" "src/mech/CMakeFiles/dmw_mech.dir/minwork.cpp.o.d"
+  "/root/repo/src/mech/opt.cpp" "src/mech/CMakeFiles/dmw_mech.dir/opt.cpp.o" "gcc" "src/mech/CMakeFiles/dmw_mech.dir/opt.cpp.o.d"
+  "/root/repo/src/mech/problem.cpp" "src/mech/CMakeFiles/dmw_mech.dir/problem.cpp.o" "gcc" "src/mech/CMakeFiles/dmw_mech.dir/problem.cpp.o.d"
+  "/root/repo/src/mech/schedule.cpp" "src/mech/CMakeFiles/dmw_mech.dir/schedule.cpp.o" "gcc" "src/mech/CMakeFiles/dmw_mech.dir/schedule.cpp.o.d"
+  "/root/repo/src/mech/truthful.cpp" "src/mech/CMakeFiles/dmw_mech.dir/truthful.cpp.o" "gcc" "src/mech/CMakeFiles/dmw_mech.dir/truthful.cpp.o.d"
+  "/root/repo/src/mech/vickrey.cpp" "src/mech/CMakeFiles/dmw_mech.dir/vickrey.cpp.o" "gcc" "src/mech/CMakeFiles/dmw_mech.dir/vickrey.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dmw_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmw_mech.dir/minwork.cpp.o"
+  "CMakeFiles/dmw_mech.dir/minwork.cpp.o.d"
+  "CMakeFiles/dmw_mech.dir/opt.cpp.o"
+  "CMakeFiles/dmw_mech.dir/opt.cpp.o.d"
+  "CMakeFiles/dmw_mech.dir/problem.cpp.o"
+  "CMakeFiles/dmw_mech.dir/problem.cpp.o.d"
+  "CMakeFiles/dmw_mech.dir/schedule.cpp.o"
+  "CMakeFiles/dmw_mech.dir/schedule.cpp.o.d"
+  "CMakeFiles/dmw_mech.dir/truthful.cpp.o"
+  "CMakeFiles/dmw_mech.dir/truthful.cpp.o.d"
+  "CMakeFiles/dmw_mech.dir/vickrey.cpp.o"
+  "CMakeFiles/dmw_mech.dir/vickrey.cpp.o.d"
+  "libdmw_mech.a"
+  "libdmw_mech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmw_mech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

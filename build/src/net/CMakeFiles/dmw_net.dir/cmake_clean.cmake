@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmw_net.dir/network.cpp.o"
+  "CMakeFiles/dmw_net.dir/network.cpp.o.d"
+  "libdmw_net.a"
+  "libdmw_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmw_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

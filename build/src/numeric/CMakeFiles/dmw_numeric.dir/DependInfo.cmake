@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numeric/biguint.cpp" "src/numeric/CMakeFiles/dmw_numeric.dir/biguint.cpp.o" "gcc" "src/numeric/CMakeFiles/dmw_numeric.dir/biguint.cpp.o.d"
+  "/root/repo/src/numeric/group.cpp" "src/numeric/CMakeFiles/dmw_numeric.dir/group.cpp.o" "gcc" "src/numeric/CMakeFiles/dmw_numeric.dir/group.cpp.o.d"
+  "/root/repo/src/numeric/modarith.cpp" "src/numeric/CMakeFiles/dmw_numeric.dir/modarith.cpp.o" "gcc" "src/numeric/CMakeFiles/dmw_numeric.dir/modarith.cpp.o.d"
+  "/root/repo/src/numeric/primality.cpp" "src/numeric/CMakeFiles/dmw_numeric.dir/primality.cpp.o" "gcc" "src/numeric/CMakeFiles/dmw_numeric.dir/primality.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dmw_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

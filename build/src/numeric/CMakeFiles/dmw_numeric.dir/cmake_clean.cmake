@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmw_numeric.dir/biguint.cpp.o"
+  "CMakeFiles/dmw_numeric.dir/biguint.cpp.o.d"
+  "CMakeFiles/dmw_numeric.dir/group.cpp.o"
+  "CMakeFiles/dmw_numeric.dir/group.cpp.o.d"
+  "CMakeFiles/dmw_numeric.dir/modarith.cpp.o"
+  "CMakeFiles/dmw_numeric.dir/modarith.cpp.o.d"
+  "CMakeFiles/dmw_numeric.dir/primality.cpp.o"
+  "CMakeFiles/dmw_numeric.dir/primality.cpp.o.d"
+  "libdmw_numeric.a"
+  "libdmw_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmw_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

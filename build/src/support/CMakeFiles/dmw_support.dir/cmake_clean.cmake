@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmw_support.dir/logging.cpp.o"
+  "CMakeFiles/dmw_support.dir/logging.cpp.o.d"
+  "CMakeFiles/dmw_support.dir/rng.cpp.o"
+  "CMakeFiles/dmw_support.dir/rng.cpp.o.d"
+  "CMakeFiles/dmw_support.dir/stats.cpp.o"
+  "CMakeFiles/dmw_support.dir/stats.cpp.o.d"
+  "libdmw_support.a"
+  "libdmw_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmw_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

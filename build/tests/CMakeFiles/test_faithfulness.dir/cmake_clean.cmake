@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_faithfulness.dir/test_faithfulness.cpp.o"
+  "CMakeFiles/test_faithfulness.dir/test_faithfulness.cpp.o.d"
+  "test_faithfulness"
+  "test_faithfulness.pdb"
+  "test_faithfulness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_faithfulness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_feldman.cpp" "tests/CMakeFiles/test_feldman.dir/test_feldman.cpp.o" "gcc" "tests/CMakeFiles/test_feldman.dir/test_feldman.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dmw/CMakeFiles/dmw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dmw_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dmw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/dmw_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/mech/CMakeFiles/dmw_mech.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dmw_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_feldman.dir/test_feldman.cpp.o"
+  "CMakeFiles/test_feldman.dir/test_feldman.cpp.o.d"
+  "test_feldman"
+  "test_feldman.pdb"
+  "test_feldman[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_feldman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_misc.dir/test_fuzz_misc.cpp.o"
+  "CMakeFiles/test_fuzz_misc.dir/test_fuzz_misc.cpp.o.d"
+  "test_fuzz_misc"
+  "test_fuzz_misc.pdb"
+  "test_fuzz_misc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_generic_backend.dir/test_generic_backend.cpp.o"
+  "CMakeFiles/test_generic_backend.dir/test_generic_backend.cpp.o.d"
+  "test_generic_backend"
+  "test_generic_backend.pdb"
+  "test_generic_backend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_generic_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

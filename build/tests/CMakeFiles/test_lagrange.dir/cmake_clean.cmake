@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lagrange.dir/test_lagrange.cpp.o"
+  "CMakeFiles/test_lagrange.dir/test_lagrange.cpp.o.d"
+  "test_lagrange"
+  "test_lagrange.pdb"
+  "test_lagrange[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lagrange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_lagrange.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiexp.dir/test_multiexp.cpp.o"
+  "CMakeFiles/test_multiexp.dir/test_multiexp.cpp.o.d"
+  "test_multiexp"
+  "test_multiexp.pdb"
+  "test_multiexp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiexp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiunit.dir/test_multiunit.cpp.o"
+  "CMakeFiles/test_multiunit.dir/test_multiunit.cpp.o.d"
+  "test_multiunit"
+  "test_multiunit.pdb"
+  "test_multiunit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiunit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_payment.dir/test_payment.cpp.o"
+  "CMakeFiles/test_payment.dir/test_payment.cpp.o.d"
+  "test_payment"
+  "test_payment.pdb"
+  "test_payment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_payment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

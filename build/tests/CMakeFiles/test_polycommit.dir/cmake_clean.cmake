@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_polycommit.dir/test_polycommit.cpp.o"
+  "CMakeFiles/test_polycommit.dir/test_polycommit.cpp.o.d"
+  "test_polycommit"
+  "test_polycommit.pdb"
+  "test_polycommit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_polycommit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

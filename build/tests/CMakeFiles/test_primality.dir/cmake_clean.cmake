@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_primality.dir/test_primality.cpp.o"
+  "CMakeFiles/test_primality.dir/test_primality.cpp.o.d"
+  "test_primality"
+  "test_primality.pdb"
+  "test_primality[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_primality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_smoke.dir/test_protocol_smoke.cpp.o"
+  "CMakeFiles/test_protocol_smoke.dir/test_protocol_smoke.cpp.o.d"
+  "test_protocol_smoke"
+  "test_protocol_smoke.pdb"
+  "test_protocol_smoke[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

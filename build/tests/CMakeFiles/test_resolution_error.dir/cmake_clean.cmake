@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resolution_error.dir/test_resolution_error.cpp.o"
+  "CMakeFiles/test_resolution_error.dir/test_resolution_error.cpp.o.d"
+  "test_resolution_error"
+  "test_resolution_error.pdb"
+  "test_resolution_error[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resolution_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

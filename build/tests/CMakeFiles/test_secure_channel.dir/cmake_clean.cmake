@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_secure_channel.dir/test_secure_channel.cpp.o"
+  "CMakeFiles/test_secure_channel.dir/test_secure_channel.cpp.o.d"
+  "test_secure_channel"
+  "test_secure_channel.pdb"
+  "test_secure_channel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_secure_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shamir.dir/test_shamir.cpp.o"
+  "CMakeFiles/test_shamir.dir/test_shamir.cpp.o.d"
+  "test_shamir"
+  "test_shamir.pdb"
+  "test_shamir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shamir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

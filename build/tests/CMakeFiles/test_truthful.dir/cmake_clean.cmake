@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_truthful.dir/test_truthful.cpp.o"
+  "CMakeFiles/test_truthful.dir/test_truthful.cpp.o.d"
+  "test_truthful"
+  "test_truthful.pdb"
+  "test_truthful[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_truthful.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vickrey_minwork.dir/test_vickrey_minwork.cpp.o"
+  "CMakeFiles/test_vickrey_minwork.dir/test_vickrey_minwork.cpp.o.d"
+  "test_vickrey_minwork"
+  "test_vickrey_minwork.pdb"
+  "test_vickrey_minwork[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vickrey_minwork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmw_keygen.dir/dmw_keygen.cpp.o"
+  "CMakeFiles/dmw_keygen.dir/dmw_keygen.cpp.o.d"
+  "dmw_keygen"
+  "dmw_keygen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmw_keygen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmw_sim.dir/dmw_sim.cpp.o"
+  "CMakeFiles/dmw_sim.dir/dmw_sim.cpp.o.d"
+  "dmw_sim"
+  "dmw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

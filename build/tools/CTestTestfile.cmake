@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_sim_honest "/root/repo/build/tools/dmw_sim" "--n" "6" "--m" "2" "--seed" "3" "--json")
+set_tests_properties(tool_sim_honest PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_sim_deviant "/root/repo/build/tools/dmw_sim" "--n" "5" "--m" "1" "--deviant" "withhold-commitments" "--deviator" "2")
+set_tests_properties(tool_sim_deviant PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_sim_crash_tolerant "/root/repo/build/tools/dmw_sim" "--n" "9" "--m" "1" "--c" "2" "--crash-tolerant" "--crashes" "2" "--json")
+set_tests_properties(tool_sim_crash_tolerant PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_sim_plain "/root/repo/build/tools/dmw_sim" "--n" "5" "--m" "1" "--plain")
+set_tests_properties(tool_sim_plain PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_sim_help "/root/repo/build/tools/dmw_sim" "--help")
+set_tests_properties(tool_sim_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_keygen "/root/repo/build/tools/dmw_keygen" "--n" "8" "--c" "2" "--json")
+set_tests_properties(tool_keygen PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_keygen_256 "/root/repo/build/tools/dmw_keygen" "--backend" "256" "--p-bits" "96" "--q-bits" "64")
+set_tests_properties(tool_keygen_256 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
