@@ -30,6 +30,14 @@ void BM_ModExp64(benchmark::State& state) {
 }
 BENCHMARK(BM_ModExp64);
 
+void BM_ModExp64Naive(benchmark::State& state) {
+  const Group64& g = Group64::test_group();
+  Xoshiro256ss rng(2);
+  const auto e = g.random_scalar(rng);
+  for (auto _ : state) benchmark::DoNotOptimize(g.pow_naive(g.z1(), e));
+}
+BENCHMARK(BM_ModExp64Naive);
+
 void BM_ModExp256(benchmark::State& state) {
   const Group256& g = big_group();
   Xoshiro256ss rng(3);
@@ -37,6 +45,14 @@ void BM_ModExp256(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(g.pow(g.z1(), e));
 }
 BENCHMARK(BM_ModExp256);
+
+void BM_ModExp256Naive(benchmark::State& state) {
+  const Group256& g = big_group();
+  Xoshiro256ss rng(3);
+  const auto e = g.random_scalar(rng);
+  for (auto _ : state) benchmark::DoNotOptimize(g.pow_naive(g.z1(), e));
+}
+BENCHMARK(BM_ModExp256Naive);
 
 void BM_PedersenCommit64(benchmark::State& state) {
   const Group64& g = Group64::test_group();
@@ -46,6 +62,14 @@ void BM_PedersenCommit64(benchmark::State& state) {
 }
 BENCHMARK(BM_PedersenCommit64);
 
+void BM_PedersenCommit64Naive(benchmark::State& state) {
+  const Group64& g = Group64::test_group();
+  Xoshiro256ss rng(4);
+  const auto a = g.random_scalar(rng), b = g.random_scalar(rng);
+  for (auto _ : state) benchmark::DoNotOptimize(g.commit_naive(a, b));
+}
+BENCHMARK(BM_PedersenCommit64Naive);
+
 void BM_PedersenCommit256(benchmark::State& state) {
   const Group256& g = big_group();
   Xoshiro256ss rng(5);
@@ -53,6 +77,14 @@ void BM_PedersenCommit256(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(g.commit(a, b));
 }
 BENCHMARK(BM_PedersenCommit256);
+
+void BM_PedersenCommit256Naive(benchmark::State& state) {
+  const Group256& g = big_group();
+  Xoshiro256ss rng(5);
+  const auto a = g.random_scalar(rng), b = g.random_scalar(rng);
+  for (auto _ : state) benchmark::DoNotOptimize(g.commit_naive(a, b));
+}
+BENCHMARK(BM_PedersenCommit256Naive);
 
 void BM_ModInverse64(benchmark::State& state) {
   const Group64& g = Group64::test_group();

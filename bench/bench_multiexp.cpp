@@ -57,6 +57,20 @@ void BM_CommitmentEvalNaive(benchmark::State& state) {
 }
 BENCHMARK(BM_CommitmentEvalNaive)->RangeMultiplier(2)->Range(4, 32)->Complexity();
 
+// Same evaluation through a CommitmentEvalCache: the per-base window tables
+// are built once outside the loop, as the agents' Phase III loops do.
+void BM_CommitmentEvalCached(benchmark::State& state) {
+  Fixture fx(static_cast<std::size_t>(state.range(0)));
+  const auto alpha = fx.params.pseudonym(0);
+  const dmw::proto::CommitmentEvalCache<Group64> cache(fx.params.group(),
+                                                       fx.commitments[0].Q);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.eval(alpha));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CommitmentEvalCached)->RangeMultiplier(2)->Range(4, 32)->Complexity();
+
 // Eq. (11) verification for all n publishers, aggregated: build Qhat once
 // (n * sigma multiplications), then evaluate it at every pseudonym.
 void BM_Eq11Aggregated(benchmark::State& state) {

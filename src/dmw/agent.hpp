@@ -269,6 +269,8 @@ class DmwAgent {
       std::vector<typename G::Elem> lambdas;
       points.reserve(params_.n());
       lambdas.reserve(params_.n());
+      // One windowed-multiexp cache over Qhat, reused for all n pseudonyms.
+      const CommitmentEvalCache<G> qhat_eval(g, view.qhat);
       for (std::size_t k = 0; k < params_.n(); ++k) {
         if (!view.alive[k]) continue;  // crashed agents publish nothing
         if (!view.lambda[k] || !view.psi[k]) {
@@ -279,8 +281,7 @@ class DmwAgent {
         }
         // Eq. (11): prod_l Gamma_{k,l} == Lambda_k * Psi_k, via the Qhat
         // aggregate evaluated at alpha_k.
-        const auto expected =
-            commitment_eval<G>(g, view.qhat, params_.pseudonym(k));
+        const auto expected = qhat_eval.eval(params_.pseudonym(k));
         if (g.mul(*view.lambda[k], *view.psi[k]) != expected)
           return abort(net, j, AbortReason::kBadLambdaPsi);
         points.push_back(params_.pseudonym(k));
@@ -340,6 +341,7 @@ class DmwAgent {
 
       // Validate each disclosure with Eq. (13) and keep the valid ones.
       std::vector<std::size_t> valid_disclosers;
+      const CommitmentEvalCache<G> rhat_eval(g, view.rhat);
       for (std::size_t k = 0; k < params_.n(); ++k) {
         if (!view.alive[k] || !view.disclosures[k]) continue;
         const auto& disclosed = *view.disclosures[k];
@@ -353,8 +355,7 @@ class DmwAgent {
           if (view.alive[l]) f_sum = g.sadd(f_sum, disclosed[l]);
         }
         const auto lhs = g.mul(g.pow(g.z1(), f_sum), *view.psi[k]);
-        const auto rhs =
-            commitment_eval<G>(g, view.rhat, params_.pseudonym(k));
+        const auto rhs = rhat_eval.eval(params_.pseudonym(k));
         if (lhs != rhs) return abort(net, j, AbortReason::kBadDisclosure);
         valid_disclosers.push_back(k);
         if (valid_disclosers.size() == needed) break;
@@ -425,6 +426,8 @@ class DmwAgent {
       std::vector<typename G::Elem> lambdas;
       points.reserve(params_.n());
       lambdas.reserve(params_.n());
+      const CommitmentEvalCache<G> qhat_eval(g, view.qhat);
+      const CommitmentEvalCache<G> winner_q_eval(g, winner_commits.Q);
       for (std::size_t k = 0; k < params_.n(); ++k) {
         if (!view.alive[k]) continue;
         if (!view.lambda_red[k] || !view.psi_red[k]) {
@@ -434,9 +437,8 @@ class DmwAgent {
         // Eq. (11) excluding the winner: divide the winner's Q out of the
         // aggregate before evaluating at alpha_k.
         const auto& alpha_k = params_.pseudonym(k);
-        const auto full = commitment_eval<G>(g, view.qhat, alpha_k);
-        const auto winner_part =
-            commitment_eval<G>(g, winner_commits.Q, alpha_k);
+        const auto full = qhat_eval.eval(alpha_k);
+        const auto winner_part = winner_q_eval.eval(alpha_k);
         const auto expected = g.mul(full, g.inv(winner_part));
         if (g.mul(*view.lambda_red[k], *view.psi_red[k]) != expected)
           return abort(net, j, AbortReason::kBadReducedLambdaPsi);

@@ -100,22 +100,45 @@ struct CommitmentVectors {
   }
 };
 
-/// prod_l C_l^{alpha^l} for a commitment vector C — the right-hand side of
-/// the verification identities (7)-(9). Uses Straus multi-exponentiation:
-/// one shared squaring chain instead of sigma independent ones (see
-/// numeric/multiexp.hpp and the bench_multiexp ablation).
+/// Reusable evaluator for prod_l C_l^{alpha^l} over a fixed commitment
+/// vector C — the right-hand side of the verification identities (7)-(9).
+/// Wraps a windowed-Straus MultiExpCache (numeric/multiexp.hpp): the
+/// per-base odd-power tables (and, for GroupBig, the Montgomery-domain
+/// conversion of every C_l) are built once and amortize across every
+/// pseudonym alpha the vector is evaluated at — Phase III evaluates each
+/// vector at all n pseudonyms.
+template <dmw::num::GroupBackend G>
+class CommitmentEvalCache {
+ public:
+  CommitmentEvalCache(const G& g, const std::vector<typename G::Elem>& c)
+      : g_(&g), cache_(g, std::span<const typename G::Elem>(c),
+                       g.scalar_bits()) {}
+
+  typename G::Elem eval(const typename G::Scalar& alpha) const {
+    const G& g = *g_;
+    std::vector<typename G::Scalar> powers;
+    powers.reserve(cache_.size());
+    typename G::Scalar power = alpha;  // alpha^l, starting at l=1
+    for (std::size_t idx = 0; idx < cache_.size(); ++idx) {
+      powers.push_back(power);
+      power = g.smul(power, alpha);
+    }
+    return cache_.eval(powers);
+  }
+
+ private:
+  const G* g_;
+  dmw::num::MultiExpCache<G> cache_;
+};
+
+/// One-shot prod_l C_l^{alpha^l}. Builds the windowed tables for this single
+/// evaluation; use CommitmentEvalCache when evaluating the same vector at
+/// several pseudonyms.
 template <dmw::num::GroupBackend G>
 typename G::Elem commitment_eval(const G& g,
                                  const std::vector<typename G::Elem>& c,
                                  const typename G::Scalar& alpha) {
-  std::vector<typename G::Scalar> powers;
-  powers.reserve(c.size());
-  typename G::Scalar power = alpha;  // alpha^l, starting at l=1
-  for (std::size_t idx = 0; idx < c.size(); ++idx) {
-    powers.push_back(power);
-    power = g.smul(power, alpha);
-  }
-  return dmw::num::multi_pow<G>(g, c, powers);
+  return CommitmentEvalCache<G>(g, c).eval(alpha);
 }
 
 /// Naive variant (independent exponentiations); kept for the ablation

@@ -1,0 +1,92 @@
+// Fixed-base windowed exponentiation tables.
+//
+// The two commitment bases z1, z2 are fixed for the lifetime of a group, and
+// every Pedersen commitment z1^a z2^b (3*sigma of them per agent per task in
+// DMW Phase II, plus every verification identity's left-hand side) raises
+// exactly those bases. Precomputing the radix-2^w ladder
+//
+//     table[i][j] = base^(j * 2^(w*i)),   j in [1, 2^w),  i < ceil(B/w)
+//
+// once per group turns each subsequent exponentiation into at most
+// ceil(B/w) multiplications and *zero* squarings (the textbook loop costs
+// B squarings + B/2 multiplications). For the default w = 4:
+//
+//     exponent bits B   rows   table entries   muls per exponentiation
+//     40  (Group64 q)    10        150                <= 10
+//     160 (Group256 q)   40        600                <= 40
+//
+// Table entries live in the backend's multiplicative domain (Montgomery form
+// for GroupBig), so commitments run start-to-finish in the domain with one
+// conversion out at the end. Build cost is one ladder pass
+// (rows * (2^w - 1) multiplications), amortized across every commitment made
+// with the group.
+#pragma once
+
+#include "numeric/expwin.hpp"
+#include "support/check.hpp"
+
+namespace dmw::num {
+
+/// Default radix width for fixed-base tables: w = 4 keeps the tables a few
+/// KB while already collapsing the per-exponentiation cost to B/4 muls.
+inline constexpr unsigned kFixedBaseWindow = 4;
+
+template <DomainOps Ops>
+class FixedBaseTable {
+ public:
+  using Dom = typename Ops::Dom;
+
+  FixedBaseTable() = default;
+
+  /// Precompute for exponents up to `max_exp_bits` bits.
+  FixedBaseTable(const Ops& ops, const Dom& base, unsigned max_exp_bits,
+                 unsigned window = kFixedBaseWindow)
+      : window_(window), max_bits_(max_exp_bits) {
+    DMW_REQUIRE(window >= 1 && window <= 8);
+    const unsigned rows = (max_exp_bits + window - 1) / window;
+    rows_.reserve(rows);
+    Dom cur = base;  // base^(2^(w*i)) as rows are built
+    for (unsigned i = 0; i < rows; ++i) {
+      std::vector<Dom> row;
+      row.reserve((std::size_t(1) << window) - 1);
+      row.push_back(cur);
+      for (std::size_t j = 2; j < (std::size_t(1) << window); ++j)
+        row.push_back(ops.mul(row.back(), cur));
+      cur = ops.mul(row.back(), cur);  // base^(2^(w*(i+1)))
+      rows_.push_back(std::move(row));
+    }
+  }
+
+  bool initialized() const { return !rows_.empty(); }
+  unsigned window() const { return window_; }
+  unsigned max_bits() const { return max_bits_; }
+  std::size_t table_entries() const {
+    return rows_.empty() ? 0 : rows_.size() * rows_.front().size();
+  }
+
+  /// acc * base^e, in ceil(bits/w) multiplications, no squarings.
+  template <class S>
+  Dom mul_pow(const Ops& ops, Dom acc, const S& e) const {
+    DMW_REQUIRE_MSG(exp_bit_length(e) <= max_bits_,
+                    "fixed-base exponent exceeds precomputed range");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const unsigned d =
+          exp_window(e, static_cast<unsigned>(i) * window_, window_);
+      if (d != 0) acc = ops.mul(acc, rows_[i][d - 1]);
+    }
+    return acc;
+  }
+
+  /// base^e.
+  template <class S>
+  Dom pow(const Ops& ops, const S& e) const {
+    return mul_pow(ops, ops.one(), e);
+  }
+
+ private:
+  unsigned window_ = kFixedBaseWindow;
+  unsigned max_bits_ = 0;
+  std::vector<std::vector<Dom>> rows_;
+};
+
+}  // namespace dmw::num

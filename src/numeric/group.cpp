@@ -13,6 +13,10 @@ Group64::Group64(u64 p, u64 q, u64 z1, u64 z2)
   DMW_REQUIRE(z1_ != z2_);
   DMW_REQUIRE_MSG(in_subgroup(z1_) && z1_ != 1, "bad generator z1");
   DMW_REQUIRE_MSG(in_subgroup(z2_) && z2_ != 1, "bad generator z2");
+  const Mod64Ops ops{p_};
+  const unsigned qbits = exp_bit_length(q_);
+  z1_tab_ = FixedBaseTable<Mod64Ops>(ops, z1_, qbits);
+  z2_tab_ = FixedBaseTable<Mod64Ops>(ops, z2_, qbits);
 }
 
 Group64 Group64::generate(unsigned p_bits, unsigned q_bits,

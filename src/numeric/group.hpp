@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "numeric/biguint.hpp"
+#include "numeric/expwin.hpp"
+#include "numeric/fixedbase.hpp"
 #include "numeric/modarith.hpp"
 #include "numeric/mont.hpp"
 #include "numeric/primality.hpp"
@@ -25,21 +27,40 @@
 namespace dmw::num {
 
 /// Requirements on a group backend used by the DMW protocol.
+///
+/// Besides the group/scalar operations, every backend exposes its
+/// *multiplicative domain* (`Dom`, `to_dom`/`from_dom`, `dom_one`,
+/// `dom_mul`): the element representation in which repeated multiplication
+/// is cheapest. Group64's domain is the plain residue; GroupBig's is the
+/// Montgomery form, so callers that convert once and chain multiplications
+/// (window tables, multi-exponentiation, commitment-vector caches) never pay
+/// a per-multiplication reduction. `pow`/`commit` are windowed and
+/// fixed-base accelerated; `pow_naive`/`commit_naive` are the textbook
+/// references kept for differential testing and the ablation benches.
 template <class G>
 concept GroupBackend = requires(const G g, typename G::Elem e,
-                                typename G::Scalar s, dmw::Xoshiro256ss rng,
+                                typename G::Scalar s, typename G::Dom d,
+                                dmw::Xoshiro256ss rng,
                                 u64 v, const std::vector<std::uint8_t> bytes,
                                 std::size_t pos) {
   typename G::Elem;
   typename G::Scalar;
+  typename G::Dom;
   { g.identity() } -> std::same_as<typename G::Elem>;
   { g.is_identity(e) } -> std::same_as<bool>;
   { g.mul(e, e) } -> std::same_as<typename G::Elem>;
   { g.inv(e) } -> std::same_as<typename G::Elem>;
   { g.pow(e, s) } -> std::same_as<typename G::Elem>;
+  { g.pow_naive(e, s) } -> std::same_as<typename G::Elem>;
   { g.z1() } -> std::same_as<typename G::Elem>;
   { g.z2() } -> std::same_as<typename G::Elem>;
   { g.commit(s, s) } -> std::same_as<typename G::Elem>;
+  { g.commit_naive(s, s) } -> std::same_as<typename G::Elem>;
+  { g.to_dom(e) } -> std::same_as<typename G::Dom>;
+  { g.from_dom(d) } -> std::same_as<typename G::Elem>;
+  { g.dom_one() } -> std::same_as<typename G::Dom>;
+  { g.dom_mul(d, d) } -> std::same_as<typename G::Dom>;
+  { g.scalar_bits() } -> std::same_as<unsigned>;
   { g.szero() } -> std::same_as<typename G::Scalar>;
   { g.sone() } -> std::same_as<typename G::Scalar>;
   { g.sadd(s, s) } -> std::same_as<typename G::Scalar>;
@@ -60,8 +81,10 @@ class Group64 {
  public:
   using Elem = u64;
   using Scalar = u64;
+  using Dom = u64;  ///< multiplicative domain: the plain residue
 
-  /// Constructs from published parameters; validates the group structure.
+  /// Constructs from published parameters; validates the group structure and
+  /// precomputes the fixed-base window tables for z1 and z2.
   Group64(u64 p, u64 q, u64 z1, u64 z2);
 
   /// Generate fresh parameters: a `p_bits`-bit prime p = r*q + 1 with a
@@ -84,9 +107,28 @@ class Group64 {
   Elem mul(Elem a, Elem b) const { return mod_mul(a, b, p_); }
   Elem inv(Elem a) const { return mod_inv(a, p_); }
   Elem pow(Elem base, Scalar e) const { return mod_pow(base, e, p_); }
-  Elem commit(Scalar a, Scalar b) const {
-    return mul(pow(z1_, a), pow(z2_, b));
+  Elem pow_naive(Elem base, Scalar e) const {
+    return mod_pow_naive(base, e, p_);
   }
+  /// Pedersen commitment z1^a * z2^b via the precomputed fixed-base tables:
+  /// no squarings, at most ceil(qbits/w) multiplications per base.
+  Elem commit(Scalar a, Scalar b) const {
+    op_counts().pow += 2;
+    const Mod64Ops ops{p_};
+    return z2_tab_.mul_pow(ops, z1_tab_.pow(ops, a), b);
+  }
+  /// Square-and-multiply commitment (ablation baseline / test oracle).
+  Elem commit_naive(Scalar a, Scalar b) const {
+    return mul(pow_naive(z1_, a), pow_naive(z2_, b));
+  }
+
+  // Multiplicative domain (trivial for the 64-bit backend).
+  Dom to_dom(Elem e) const { return e; }
+  Elem from_dom(Dom d) const { return d; }
+  Dom dom_one() const { return 1; }
+  Dom dom_mul(Dom a, Dom b) const { return mod_mul(a, b, p_); }
+  /// Bit width of the scalar field: exponents are < q.
+  unsigned scalar_bits() const { return exp_bit_length(q_); }
 
   // Scalar field operations (mod q).
   Scalar szero() const { return 0; }
@@ -123,6 +165,7 @@ class Group64 {
 
  private:
   u64 p_, q_, z1_, z2_;
+  FixedBaseTable<Mod64Ops> z1_tab_, z2_tab_;  ///< commit() acceleration
 };
 
 /// BigUInt backend with Montgomery arithmetic modulo p.
@@ -131,6 +174,7 @@ class GroupBig {
  public:
   using Elem = BigUInt<W>;
   using Scalar = BigUInt<W>;
+  using Dom = BigUInt<W>;  ///< multiplicative domain: Montgomery form
 
   GroupBig(const Elem& p, const Scalar& q, const Elem& z1, const Elem& z2)
       : p_(p), q_(q), z1_(z1), z2_(z2), mont_(p) {
@@ -138,6 +182,11 @@ class GroupBig {
     DMW_REQUIRE(z1_ != z2_);
     DMW_REQUIRE_MSG(in_subgroup(z1_) && !is_identity(z1_), "bad generator z1");
     DMW_REQUIRE_MSG(in_subgroup(z2_) && !is_identity(z2_), "bad generator z2");
+    // Fixed-base tables live in the Montgomery domain, so a commitment is a
+    // chain of REDC multiplications with one conversion out at the end.
+    const unsigned qbits = q_.bit_length();
+    z1_tab_ = FixedBaseTable<Montgomery<W>>(mont_, mont_.to_mont(z1_), qbits);
+    z2_tab_ = FixedBaseTable<Montgomery<W>>(mont_, mont_.to_mont(z2_), qbits);
   }
 
   static GroupBig generate(unsigned p_bits, unsigned q_bits,
@@ -193,9 +242,27 @@ class GroupBig {
   Elem pow(const Elem& base, const Scalar& e) const {
     return mont_.pow(base, e);
   }
-  Elem commit(const Scalar& a, const Scalar& b) const {
-    return mul(pow(z1_, a), pow(z2_, b));
+  Elem pow_naive(const Elem& base, const Scalar& e) const {
+    return mont_.pow_naive(base, e);
   }
+  /// Pedersen commitment via the Montgomery-domain fixed-base tables.
+  Elem commit(const Scalar& a, const Scalar& b) const {
+    op_counts().pow += 2;
+    return mont_.from_mont(
+        z2_tab_.mul_pow(mont_, z1_tab_.pow(mont_, a), b));
+  }
+  /// Square-and-multiply commitment (ablation baseline / test oracle).
+  Elem commit_naive(const Scalar& a, const Scalar& b) const {
+    return mul(pow_naive(z1_, a), pow_naive(z2_, b));
+  }
+
+  // Multiplicative domain: Montgomery form, one REDC mul per conversion.
+  Dom to_dom(const Elem& e) const { return mont_.to_mont(e); }
+  Elem from_dom(const Dom& d) const { return mont_.from_mont(d); }
+  Dom dom_one() const { return mont_.one(); }
+  Dom dom_mul(const Dom& a, const Dom& b) const { return mont_.mul(a, b); }
+  /// Bit width of the scalar field: exponents are < q.
+  unsigned scalar_bits() const { return q_.bit_length(); }
 
   Scalar szero() const { return Scalar::zero(); }
   Scalar sone() const { return Scalar::one(); }
@@ -245,6 +312,7 @@ class GroupBig {
   Scalar q_;
   Elem z1_, z2_;
   Montgomery<W> mont_;
+  FixedBaseTable<Montgomery<W>> z1_tab_, z2_tab_;  ///< commit() acceleration
 };
 
 using Group256 = GroupBig<4>;

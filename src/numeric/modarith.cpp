@@ -5,11 +5,18 @@ namespace dmw::num {
 u64 mod_pow(u64 a, u64 e, u64 m) {
   DMW_REQUIRE(m > 0);
   ++op_counts().pow;
+  return pow_window(Mod64Ops{m}, a % m, e);
+}
+
+u64 mod_pow_naive(u64 a, u64 e, u64 m) {
+  DMW_REQUIRE(m > 0);
+  ++op_counts().pow;
+  const Mod64Ops ops{m};
   a %= m;
-  u64 result = 1 % m;
+  u64 result = ops.one();
   while (e != 0) {
-    if (e & 1) result = static_cast<u64>(static_cast<u128>(result) * a % m);
-    a = static_cast<u64>(static_cast<u128>(a) * a % m);
+    if (e & 1) result = ops.mul(result, a);
+    a = ops.mul(a, a);
     e >>= 1;
   }
   return result;

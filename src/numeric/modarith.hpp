@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "numeric/biguint.hpp"
+#include "numeric/expwin.hpp"
 #include "numeric/opcount.hpp"
 #include "support/check.hpp"
 
@@ -45,8 +46,21 @@ inline u64 mod_mul(u64 a, u64 b, u64 m) {
   return static_cast<u64>(static_cast<u128>(a) * b % m);
 }
 
-/// Right-to-left binary exponentiation: a^e mod m.
+/// Plain modular arithmetic as an exponentiation-engine domain
+/// (see expwin.hpp): the Group64 / small-prime tier.
+struct Mod64Ops {
+  using Dom = u64;
+  u64 m;
+  Dom one() const { return 1 % m; }
+  Dom mul(Dom a, Dom b) const { return mod_mul(a, b, m); }
+};
+
+/// a^e mod m via sliding-window exponentiation (expwin.hpp).
 u64 mod_pow(u64 a, u64 e, u64 m);
+
+/// Textbook square-and-multiply reference; kept as the differential-testing
+/// oracle and the ablation baseline. Same op-count contract as mod_pow.
+u64 mod_pow_naive(u64 a, u64 e, u64 m);
 
 /// Modular inverse via the extended Euclidean algorithm.
 /// Requires gcd(a, m) == 1.
@@ -95,16 +109,37 @@ BigUInt<W> mod_mul(const BigUInt<W>& a, const BigUInt<W>& b,
   return mod(prod, m);
 }
 
+/// Divmod-reduced modular arithmetic as an exponentiation-engine domain
+/// (generic tier, any modulus; the Montgomery context is faster for odd m).
 template <std::size_t W>
-BigUInt<W> mod_pow(BigUInt<W> a, BigUInt<W> e, const BigUInt<W>& m) {
+struct ModBigOps {
+  using Dom = BigUInt<W>;
+  const BigUInt<W>* m;
+  Dom one() const { return mod(BigUInt<W>::one(), *m); }
+  Dom mul(const Dom& a, const Dom& b) const { return mod_mul(a, b, *m); }
+};
+
+/// a^e mod m via sliding-window exponentiation (expwin.hpp).
+template <std::size_t W>
+BigUInt<W> mod_pow(BigUInt<W> a, const BigUInt<W>& e, const BigUInt<W>& m) {
   DMW_REQUIRE(!m.is_zero());
   ++op_counts().pow;
-  BigUInt<W> result = mod(BigUInt<W>::one(), m);
+  return pow_window(ModBigOps<W>{&m}, mod(a, m), e);
+}
+
+/// Square-and-multiply reference (differential-testing oracle / ablation).
+template <std::size_t W>
+BigUInt<W> mod_pow_naive(BigUInt<W> a, const BigUInt<W>& e,
+                         const BigUInt<W>& m) {
+  DMW_REQUIRE(!m.is_zero());
+  ++op_counts().pow;
+  const ModBigOps<W> ops{&m};
+  BigUInt<W> result = ops.one();
   a = mod(a, m);
   const unsigned bits = e.bit_length();
   for (unsigned i = 0; i < bits; ++i) {
-    if (e.bit(i)) result = mod(mul_wide(result, a), m);
-    a = mod(mul_wide(a, a), m);
+    if (e.bit(i)) result = ops.mul(result, a);
+    a = ops.mul(a, a);
   }
   return result;
 }

@@ -3,9 +3,16 @@
 // Used by the cryptographic-scale group backend (Group256): exponentiation in
 // the Schnorr group dominates DMW's computation, and plain divmod-based
 // reduction would make the 256-bit backend needlessly slow.
+//
+// The context models the exponentiation engine's DomainOps concept
+// (expwin.hpp): `Dom` values are residues in Montgomery form, `one()` is the
+// Montgomery form of 1, and `mul()` is a single REDC multiplication. Window
+// tables, squaring chains, and whole multi-exponentiations therefore run
+// inside the domain, converting once on entry and once on exit.
 #pragma once
 
 #include "numeric/biguint.hpp"
+#include "numeric/expwin.hpp"
 #include "numeric/modarith.hpp"
 
 namespace dmw::num {
@@ -13,6 +20,7 @@ namespace dmw::num {
 template <std::size_t W>
 class Montgomery {
  public:
+  using Dom = BigUInt<W>;  ///< residue in Montgomery form (DomainOps)
   /// Requires an odd modulus > 1.
   explicit Montgomery(const BigUInt<W>& modulus) : n_(modulus) {
     DMW_REQUIRE_MSG(modulus.is_odd(), "Montgomery modulus must be odd");
@@ -33,12 +41,16 @@ class Montgomery {
 
   const BigUInt<W>& modulus() const { return n_; }
 
+  /// Montgomery form of 1 (the DomainOps identity).
+  const BigUInt<W>& one() const { return one_mont_; }
+
   /// Convert into the Montgomery domain: x -> x * R mod n.
-  BigUInt<W> to_mont(const BigUInt<W>& x) const { return redc_mul(x, r2_); }
+  /// Counted as one `mul` (it is one REDC multiplication).
+  BigUInt<W> to_mont(const BigUInt<W>& x) const { return mul(x, r2_); }
 
   /// Convert out of the Montgomery domain: x~ -> x~ * R^{-1} mod n.
   BigUInt<W> from_mont(const BigUInt<W>& x) const {
-    return redc_mul(x, BigUInt<W>::one());
+    return mul(x, BigUInt<W>::one());
   }
 
   /// Montgomery product of two values already in the domain.
@@ -48,14 +60,22 @@ class Montgomery {
   }
 
   /// a^e mod n for a in *normal* form; result in normal form.
+  /// Sliding-window exponentiation, entirely inside the domain.
   BigUInt<W> pow(const BigUInt<W>& base, const BigUInt<W>& exponent) const {
+    ++op_counts().pow;
+    return from_mont(pow_window(*this, to_mont(mod(base, n_)), exponent));
+  }
+
+  /// Square-and-multiply reference (differential-testing oracle / ablation).
+  BigUInt<W> pow_naive(const BigUInt<W>& base,
+                       const BigUInt<W>& exponent) const {
     ++op_counts().pow;
     BigUInt<W> acc = one_mont_;
     BigUInt<W> b = to_mont(mod(base, n_));
     const unsigned bits = exponent.bit_length();
     for (unsigned i = 0; i < bits; ++i) {
-      if (exponent.bit(i)) acc = redc_mul(acc, b);
-      b = redc_mul(b, b);
+      if (exponent.bit(i)) acc = mul(acc, b);
+      b = mul(b, b);
     }
     return from_mont(acc);
   }

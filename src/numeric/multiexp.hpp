@@ -1,13 +1,24 @@
-// Simultaneous multi-exponentiation (Straus interleaving).
+// Simultaneous multi-exponentiation (windowed Straus interleaving).
 //
 // DMW's verification identities all reduce to products of the form
 // prod_l C_l^{x_l}; evaluating each factor independently costs one full
 // exponentiation per term, while interleaving shares the squaring chain
-// across all terms (one squaring per exponent bit total, plus one
-// multiplication per set bit). The ablation bench (bench_multiexp) measures
-// the saving; correctness is tested against the naive product.
+// across all terms. The windowed variant decomposes every exponent into
+// sliding-window digits (expwin.hpp) and keeps an odd-power table per base,
+// so the shared chain costs one squaring per exponent bit total plus
+// ~bits/(w+1) table multiplications per term — and the whole evaluation
+// runs in the backend's multiplicative domain (Montgomery form for
+// GroupBig), converting once per base on entry and once on exit.
+//
+// MultiExpCache separates the per-base table construction from the per-call
+// digit work: DMW agents evaluate the *same* commitment vector at n
+// different pseudonyms (commitment_eval in every Phase III check), so the
+// tables amortize across all n evaluations. The ablation bench
+// (bench_multiexp) measures the saving; correctness is tested against the
+// naive product.
 #pragma once
 
+#include <algorithm>
 #include <span>
 
 #include "numeric/group.hpp"
@@ -32,28 +43,111 @@ unsigned scalar_bit_length(const GroupBig<W>&, const BigUInt<W>& s) {
   return s.bit_length();
 }
 
+// ---- a group backend's domain as DomainOps --------------------------------
+
+/// Adapter exposing a backend's multiplicative domain to the exponentiation
+/// engine (expwin.hpp / fixedbase.hpp).
+template <GroupBackend G>
+struct GroupDomOps {
+  using Dom = typename G::Dom;
+  const G* g;
+  Dom one() const { return g->dom_one(); }
+  Dom mul(const Dom& a, const Dom& b) const { return g->dom_mul(a, b); }
+};
+
 // ---- multi-exponentiation --------------------------------------------------
 
-/// prod_j bases[j]^{exponents[j]} with one shared squaring chain.
+/// Precomputed per-base odd-power tables for windowed Straus evaluation of
+/// prod_j bases[j]^{e_j}, reusable across many exponent vectors. Building
+/// the cache converts each base into the domain once and spends
+/// 2^(w-1) domain multiplications per base; each eval() then costs one
+/// shared squaring chain regardless of how many bases there are.
+template <GroupBackend G>
+class MultiExpCache {
+ public:
+  /// `max_exp_bits` bounds the exponents eval() will see (usually
+  /// g.scalar_bits(): protocol exponents are scalars < q).
+  MultiExpCache(const G& g, std::span<const typename G::Elem> bases,
+                unsigned max_exp_bits)
+      : ops_{&g},
+        window_(multiexp_window_bits(max_exp_bits == 0 ? 1 : max_exp_bits)),
+        stride_(std::size_t(1) << (window_ - 1)),
+        count_(bases.size()) {
+    // All per-base odd-power tables in one flat allocation, stride_ apart.
+    table_.reserve(count_ * stride_);
+    for (const auto& b : bases) {
+      const auto base = g.to_dom(b);
+      table_.push_back(base);
+      if (window_ > 1) {
+        const auto sq = ops_.mul(base, base);
+        for (std::size_t j = 1; j < stride_; ++j)
+          table_.push_back(ops_.mul(table_.back(), sq));
+      }
+    }
+  }
+
+  std::size_t size() const { return count_; }
+  unsigned window() const { return window_; }
+
+  /// prod_j bases[j]^{exponents[j]}.
+  typename G::Elem eval(
+      std::span<const typename G::Scalar> exponents) const {
+    DMW_REQUIRE(exponents.size() == count_);
+    const G& g = *ops_.g;
+    unsigned max_bits = 0;
+    for (const auto& e : exponents)
+      max_bits = std::max(max_bits, scalar_bit_length(g, e));
+    if (max_bits == 0) return g.identity();
+    // Decompose every exponent into sliding-window digits, order them all
+    // by descending bit position, and run one shared squaring chain.
+    struct DigitAt {
+      unsigned pos;
+      unsigned table_index;  // flat index of base^value
+    };
+    std::vector<DigitAt> schedule;
+    std::vector<WindowDigit> digits;
+    for (std::size_t j = 0; j < count_; ++j) {
+      digits.clear();
+      decompose_windows(exponents[j], window_, digits);
+      for (const WindowDigit& d : digits)
+        schedule.push_back(DigitAt{
+            d.pos, static_cast<unsigned>(j * stride_ + (d.value - 1) / 2)});
+    }
+    std::sort(schedule.begin(), schedule.end(),
+              [](const DigitAt& a, const DigitAt& b) { return a.pos > b.pos; });
+    std::size_t next = 0;
+    typename G::Dom acc = ops_.one();
+    for (unsigned b = max_bits; b-- > 0;) {
+      if (b + 1 < max_bits) acc = ops_.mul(acc, acc);
+      for (; next < schedule.size() && schedule[next].pos == b; ++next)
+        acc = ops_.mul(acc, table_[schedule[next].table_index]);
+    }
+    return g.from_dom(acc);
+  }
+
+ private:
+  GroupDomOps<G> ops_;
+  unsigned window_;
+  std::size_t stride_;  ///< table entries per base (2^(w-1))
+  std::size_t count_;   ///< number of bases
+  std::vector<typename G::Dom> table_;
+};
+
+/// prod_j bases[j]^{exponents[j]}, windowed Straus interleaving.
 template <GroupBackend G>
 typename G::Elem multi_pow(const G& g,
                            std::span<const typename G::Elem> bases,
                            std::span<const typename G::Scalar> exponents) {
   DMW_REQUIRE(bases.size() == exponents.size());
+  if (bases.empty()) return g.identity();
   unsigned max_bits = 0;
   for (const auto& e : exponents)
     max_bits = std::max(max_bits, scalar_bit_length(g, e));
-  typename G::Elem acc = g.identity();
-  for (unsigned bit = max_bits; bit-- > 0;) {
-    acc = g.mul(acc, acc);
-    for (std::size_t j = 0; j < bases.size(); ++j) {
-      if (scalar_bit(g, exponents[j], bit)) acc = g.mul(acc, bases[j]);
-    }
-  }
-  return acc;
+  return MultiExpCache<G>(g, bases, max_bits).eval(exponents);
 }
 
-/// Naive reference: independent exponentiations multiplied together.
+/// Naive reference: independent exponentiations multiplied together
+/// (differential-testing oracle and the bench_multiexp ablation baseline).
 template <GroupBackend G>
 typename G::Elem multi_pow_naive(const G& g,
                                  std::span<const typename G::Elem> bases,

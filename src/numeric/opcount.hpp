@@ -4,6 +4,26 @@
 // multiplications and exponentiations. The benchmark harness validates the
 // claimed O(m n^2 log p) shape with these counters rather than wall time
 // alone, which makes the fit independent of machine noise.
+//
+// Accounting contract (all arithmetic tiers follow it, so fast and naive
+// paths are directly comparable):
+//
+//   - `mul` counts every modular multiplication actually executed, including
+//     squarings, window-table construction, Montgomery-domain conversions
+//     (each is one Montgomery multiplication), and the multiplications
+//     *inside* exponentiation loops. A windowed exponentiation therefore
+//     reports fewer `mul`s than a square-and-multiply one — that difference
+//     is the measured saving, not an accounting artifact.
+//   - `pow` counts exponentiation *calls* (one per `pow`; a Pedersen
+//     `commit` counts two — it raises both bases), on top of the `mul`s the
+//     call performs. Use it for "number of exponentiations" accounting
+//     (e.g. Thm. 12's O(n^2) exponentiations per agent), never as a proxy
+//     for multiplication work.
+//   - `inv` / `add` count modular inverses and additions/subtractions.
+//
+// Comparing the total modular work of two code paths means comparing
+// `mul` (+ `add`/`inv` where relevant); comparing `pow` alone only says how
+// often exponentiation was invoked.
 #pragma once
 
 #include <cstdint>
@@ -11,8 +31,8 @@
 namespace dmw::num {
 
 struct OpCounts {
-  std::uint64_t mul = 0;   ///< modular multiplications
-  std::uint64_t pow = 0;   ///< modular exponentiations
+  std::uint64_t mul = 0;   ///< modular multiplications (incl. inside pows)
+  std::uint64_t pow = 0;   ///< modular exponentiation calls
   std::uint64_t inv = 0;   ///< modular inverses
   std::uint64_t add = 0;   ///< modular additions/subtractions
 

@@ -187,7 +187,9 @@ TEST(OpCounters, ScopesMeasureDeltas) {
     const auto d = inner.delta();
     EXPECT_EQ(d.pow, 1u);
     EXPECT_EQ(d.inv, 1u);
-    EXPECT_EQ(d.mul, 0u);
+    // Under the opcount.hpp contract the pow's internal multiplications are
+    // themselves counted: a 10-bit exponent needs at least 9 squarings.
+    EXPECT_GE(d.mul, 9u);
   }
   EXPECT_GE(outer.delta().total(), 3u);
 }

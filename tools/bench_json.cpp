@@ -1,0 +1,165 @@
+// bench_json: machine-readable perf trajectory for the exponentiation engine.
+//
+// Emits BENCH_commit.json with ns/op for the DMW commitment/verification hot
+// path on both group backends:
+//   - Pedersen commit       z1^a z2^b   (fixed-base tables vs naive pows)
+//   - variable-base pow                 (sliding window vs square-and-multiply)
+//   - multi-exponentiation  prod C^x    (windowed Straus vs naive product)
+// Future PRs compare their numbers against the checked-in file to catch
+// regressions and record improvements.
+//
+// Usage: bench_json [--out FILE] [--quick] [--stdout]
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "numeric/group.hpp"
+#include "numeric/multiexp.hpp"
+#include "support/flags.hpp"
+#include "support/json.hpp"
+#include "support/rng.hpp"
+#include "support/stopwatch.hpp"
+
+namespace {
+
+using dmw::Stopwatch;
+using dmw::Xoshiro256ss;
+using dmw::num::Group256;
+using dmw::num::Group64;
+
+double g_min_seconds = 0.05;
+
+/// ns/op of `fn`, batch-calibrated to run for at least g_min_seconds.
+double bench_ns(const std::function<void()>& fn) {
+  fn();  // warm-up (builds any lazy state, touches caches)
+  std::size_t iters = 1;
+  for (;;) {
+    Stopwatch timer;
+    for (std::size_t i = 0; i < iters; ++i) fn();
+    const double s = timer.seconds();
+    if (s >= g_min_seconds || iters >= (std::size_t(1) << 30))
+      return s * 1e9 / static_cast<double>(iters);
+    // Aim past the threshold with headroom; cap growth at 16x per round.
+    const double scale = s > 0 ? g_min_seconds / s * 1.5 : 16.0;
+    iters *= static_cast<std::size_t>(std::min(16.0, std::max(2.0, scale)));
+  }
+}
+
+/// One backend's measurements. `sink` defeats dead-code elimination: every
+/// result folds into it and the total is emitted alongside the numbers.
+template <class G>
+void bench_backend(dmw::JsonWriter& json, const G& g, std::size_t multiexp_len,
+                   std::uint64_t& sink) {
+  Xoshiro256ss rng(0xb5eed);
+  // A rotating pool of operands so the loop does not optimize into a
+  // constant-folded special case.
+  constexpr std::size_t kPool = 16;
+  std::vector<typename G::Scalar> sa, sb;
+  std::vector<typename G::Elem> bases;
+  for (std::size_t i = 0; i < kPool; ++i) {
+    sa.push_back(g.random_scalar(rng));
+    sb.push_back(g.random_scalar(rng));
+    bases.push_back(g.pow(g.z1(), g.random_scalar(rng)));
+  }
+  std::vector<typename G::Elem> vec_bases;
+  std::vector<typename G::Scalar> vec_exps;
+  for (std::size_t i = 0; i < multiexp_len; ++i) {
+    vec_bases.push_back(g.pow(g.z2(), g.random_scalar(rng)));
+    vec_exps.push_back(g.random_scalar(rng));
+  }
+
+  auto fold = [&](const typename G::Elem& e) {
+    sink = sink * 1099511628211ULL + static_cast<std::uint64_t>(g.is_identity(e));
+  };
+
+  std::size_t i = 0;
+  const double commit_ns = bench_ns([&] {
+    fold(g.commit(sa[i % kPool], sb[i % kPool]));
+    ++i;
+  });
+  const double commit_naive_ns = bench_ns([&] {
+    fold(g.commit_naive(sa[i % kPool], sb[i % kPool]));
+    ++i;
+  });
+  const double pow_ns = bench_ns([&] {
+    fold(g.pow(bases[i % kPool], sa[i % kPool]));
+    ++i;
+  });
+  const double pow_naive_ns = bench_ns([&] {
+    fold(g.pow_naive(bases[i % kPool], sa[i % kPool]));
+    ++i;
+  });
+  const double multiexp_ns = bench_ns([&] {
+    fold(dmw::num::multi_pow<G>(g, vec_bases, vec_exps));
+  });
+  const double multiexp_naive_ns = bench_ns([&] {
+    fold(dmw::num::multi_pow_naive<G>(g, vec_bases, vec_exps));
+  });
+
+  json.key("commit_ns").value(commit_ns);
+  json.key("commit_naive_ns").value(commit_naive_ns);
+  json.key("commit_speedup").value(commit_naive_ns / commit_ns);
+  json.key("pow_ns").value(pow_ns);
+  json.key("pow_naive_ns").value(pow_naive_ns);
+  json.key("pow_speedup").value(pow_naive_ns / pow_ns);
+  json.key("multiexp_len").value(static_cast<std::uint64_t>(multiexp_len));
+  json.key("multiexp_ns").value(multiexp_ns);
+  json.key("multiexp_naive_ns").value(multiexp_naive_ns);
+  json.key("multiexp_speedup").value(multiexp_naive_ns / multiexp_ns);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  dmw::Flags flags(argc, argv, {"out", "quick!", "stdout!", "help!"});
+  const std::string out_path = flags.get_string("out", "BENCH_commit.json");
+  const bool quick = flags.get_bool("quick");
+  const bool to_stdout = flags.get_bool("stdout");
+  if (flags.get_bool("help")) {
+    std::puts("bench_json [--out FILE] [--quick] [--stdout]");
+    return 0;
+  }
+  if (quick) g_min_seconds = 0.005;
+
+  const Group64& g64 = Group64::test_group();
+  Xoshiro256ss grng(1);
+  // Same fixture as bench_crypto: 250-bit p (one limb bit reserved), 160-bit q.
+  const Group256 g256 = Group256::generate(250, 160, grng);
+
+  std::uint64_t sink = 0;
+  dmw::JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("commit");
+  json.key("schema_version").value(std::uint64_t{1});
+  json.key("group64").begin_object();
+  json.key("group").value(g64.describe());
+  bench_backend(json, g64, /*multiexp_len=*/16, sink);
+  json.end_object();
+  json.key("group256").begin_object();
+  json.key("group").value("GroupBig<4>: 250-bit p, 160-bit q (seed 1)");
+  bench_backend(json, g256, /*multiexp_len=*/16, sink);
+  json.end_object();
+  json.key("sink").value(sink);
+  json.end_object();
+
+  const std::string text = json.str() + "\n";
+  if (to_stdout) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fputs(text.c_str(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "bench_json: wrote %s\n", out_path.c_str());
+  }
+  return 0;
+} catch (const std::exception& error) {
+  std::fprintf(stderr, "error: %s\nbench_json [--out FILE] [--quick] [--stdout]\n",
+               error.what());
+  return 1;
+}
