@@ -5,29 +5,31 @@
 #include "crypto/chacha.hpp"
 #include "crypto/sha256.hpp"
 #include "support/check.hpp"
+#include "support/secret.hpp"
 
 namespace dmw::crypto {
 
 namespace {
 
-// Domain-separated subkeys: one for the cipher, one for the MAC.
+// Domain-separated subkeys: one for the cipher, one for the MAC. Both live
+// behind the secret-hygiene wrapper so they are wiped when sealing returns.
 struct SubKeys {
-  std::array<std::uint8_t, 32> enc;
-  std::array<std::uint8_t, 32> mac;
+  AeadKey enc;
+  AeadKey mac;
 };
 
-SubKeys derive_subkeys(std::span<const std::uint8_t> key32) {
-  DMW_REQUIRE(key32.size() == kAeadKeyBytes);
+SubKeys derive_subkeys(const AeadKey& key) {
   SubKeys keys;
-  const auto enc = hkdf_sha256(key32, {}, "dmw-aead-enc", 32);
-  const auto mac = hkdf_sha256(key32, {}, "dmw-aead-mac", 32);
-  std::memcpy(keys.enc.data(), enc.data(), 32);
-  std::memcpy(keys.mac.data(), mac.data(), 32);
+  auto enc = hkdf_sha256(key.reveal(), {}, "dmw-aead-enc", 32);
+  auto mac = hkdf_sha256(key.reveal(), {}, "dmw-aead-mac", 32);
+  keys.enc = make_aead_key(enc);
+  keys.mac = make_aead_key(mac);
+  zeroize(enc);
+  zeroize(mac);
   return keys;
 }
 
-Digest256 compute_tag(std::span<const std::uint8_t> mac_key,
-                      std::uint64_t nonce,
+Digest256 compute_tag(const AeadKey& mac_key, std::uint64_t nonce,
                       std::span<const std::uint8_t> ciphertext,
                       std::span<const std::uint8_t> aad) {
   // MAC input: len(aad) || aad || nonce || ciphertext (length framing
@@ -41,18 +43,19 @@ Digest256 compute_tag(std::span<const std::uint8_t> mac_key,
   for (int i = 0; i < 8; ++i)
     input.push_back(static_cast<std::uint8_t>(nonce >> (8 * i)));
   input.insert(input.end(), ciphertext.begin(), ciphertext.end());
-  return hmac_sha256(mac_key, input);
-}
-
-bool constant_time_equal(std::span<const std::uint8_t> a,
-                         std::span<const std::uint8_t> b) {
-  if (a.size() != b.size()) return false;
-  std::uint8_t acc = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
-  return acc == 0;
+  return hmac_sha256(mac_key.reveal(), input);
 }
 
 }  // namespace
+
+AeadKey make_aead_key(std::span<const std::uint8_t> bytes) {
+  DMW_REQUIRE(bytes.size() == kAeadKeyBytes);
+  std::array<std::uint8_t, kAeadKeyBytes> raw{};
+  std::memcpy(raw.data(), bytes.data(), kAeadKeyBytes);
+  AeadKey key{raw};
+  zeroize(raw);
+  return key;
+}
 
 void chacha20_xor(std::span<const std::uint8_t> key32, std::uint64_t nonce,
                   std::span<std::uint8_t> data) {
@@ -74,33 +77,34 @@ void chacha20_xor(std::span<const std::uint8_t> key32, std::uint64_t nonce,
     const std::size_t chunk = std::min<std::size_t>(64, data.size() - offset);
     for (std::size_t i = 0; i < chunk; ++i) data[offset + i] ^= block[i];
   }
+  zeroize(key);
+  zeroize(block);
 }
 
-std::vector<std::uint8_t> aead_seal(std::span<const std::uint8_t> key32,
-                                    std::uint64_t nonce,
+std::vector<std::uint8_t> aead_seal(const AeadKey& key, std::uint64_t nonce,
                                     std::span<const std::uint8_t> plaintext,
                                     std::span<const std::uint8_t> aad) {
-  const SubKeys keys = derive_subkeys(key32);
+  const SubKeys keys = derive_subkeys(key);
   std::vector<std::uint8_t> out(plaintext.begin(), plaintext.end());
-  chacha20_xor(keys.enc, nonce, out);
+  chacha20_xor(keys.enc.reveal(), nonce, out);
   const Digest256 tag = compute_tag(keys.mac, nonce, out, aad);
   out.insert(out.end(), tag.begin(), tag.begin() + kAeadTagBytes);
   return out;
 }
 
 std::optional<std::vector<std::uint8_t>> aead_open(
-    std::span<const std::uint8_t> key32, std::uint64_t nonce,
+    const AeadKey& key, std::uint64_t nonce,
     std::span<const std::uint8_t> sealed, std::span<const std::uint8_t> aad) {
   if (sealed.size() < kAeadTagBytes) return std::nullopt;
-  const SubKeys keys = derive_subkeys(key32);
+  const SubKeys keys = derive_subkeys(key);
   const auto ciphertext = sealed.first(sealed.size() - kAeadTagBytes);
   const auto tag = sealed.last(kAeadTagBytes);
   const Digest256 expected = compute_tag(keys.mac, nonce, ciphertext, aad);
-  if (!constant_time_equal(
-          tag, std::span<const std::uint8_t>(expected.data(), kAeadTagBytes)))
+  if (!ct_eq(tag, std::span<const std::uint8_t>(expected.data(),
+                                                kAeadTagBytes)))
     return std::nullopt;
   std::vector<std::uint8_t> out(ciphertext.begin(), ciphertext.end());
-  chacha20_xor(keys.enc, nonce, out);
+  chacha20_xor(keys.enc.reveal(), nonce, out);
   return out;
 }
 

@@ -13,10 +13,20 @@
 #include <span>
 #include <vector>
 
+#include "support/secret.hpp"
+
 namespace dmw::crypto {
 
 inline constexpr std::size_t kAeadKeyBytes = 32;
 inline constexpr std::size_t kAeadTagBytes = 16;
+
+/// AEAD key material is always handled through the secret-hygiene layer:
+/// zeroized on destruction, auditable reveal() for the primitive calls.
+using AeadKey = Secret<std::array<std::uint8_t, kAeadKeyBytes>>;
+
+/// Build an AeadKey from raw bytes, wiping nothing (the caller owns the
+/// source buffer and should zeroize it after handing the bytes over).
+AeadKey make_aead_key(std::span<const std::uint8_t> bytes);
 
 /// XOR `data` in place with the ChaCha20 keystream for (key, nonce).
 void chacha20_xor(std::span<const std::uint8_t> key32, std::uint64_t nonce,
@@ -24,15 +34,14 @@ void chacha20_xor(std::span<const std::uint8_t> key32, std::uint64_t nonce,
 
 /// Seal: returns ciphertext || tag. `aad` is authenticated but not
 /// encrypted (the channel layer binds sender, receiver and message kind).
-std::vector<std::uint8_t> aead_seal(std::span<const std::uint8_t> key32,
-                                    std::uint64_t nonce,
+std::vector<std::uint8_t> aead_seal(const AeadKey& key, std::uint64_t nonce,
                                     std::span<const std::uint8_t> plaintext,
                                     std::span<const std::uint8_t> aad);
 
 /// Open: verifies the tag (constant-time comparison) and decrypts.
 /// Returns nullopt on any authentication failure.
 std::optional<std::vector<std::uint8_t>> aead_open(
-    std::span<const std::uint8_t> key32, std::uint64_t nonce,
+    const AeadKey& key, std::uint64_t nonce,
     std::span<const std::uint8_t> sealed, std::span<const std::uint8_t> aad);
 
 }  // namespace dmw::crypto

@@ -8,6 +8,8 @@ namespace dmw::crypto {
 
 namespace {
 
+// The keystream kernel below must not branch on key or counter material.
+// dmwlint: constant-time
 inline std::uint32_t rotl32(std::uint32_t x, int n) {
   return (x << n) | (x >> (32 - n));
 }
@@ -51,6 +53,7 @@ void chacha20_block(const std::array<std::uint32_t, 8>& key,
     out[4 * i + 3] = static_cast<std::uint8_t>(v >> 24);
   }
 }
+// dmwlint: end-constant-time
 
 ChaChaRng::ChaChaRng(std::span<const std::uint8_t> key32,
                      std::uint64_t stream) {

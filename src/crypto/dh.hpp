@@ -17,45 +17,49 @@
 #include "crypto/sha256.hpp"
 #include "net/serialize.hpp"
 #include "numeric/group.hpp"
+#include "support/secret.hpp"
 
 namespace dmw::crypto {
 
 template <dmw::num::GroupBackend G>
 struct DhKeyPair {
-  typename G::Scalar secret;
+  Secret<typename G::Scalar> secret;
   typename G::Elem public_key;
 
   template <class Rng>
   static DhKeyPair generate(const G& g, Rng& rng) {
     DhKeyPair pair;
-    pair.secret = g.random_nonzero_scalar(rng);
-    pair.public_key = g.pow(g.z1(), pair.secret);
+    pair.secret = Secret<typename G::Scalar>(g.random_nonzero_scalar(rng));
+    pair.public_key = g.pow(g.z1(), pair.secret.reveal());
     return pair;
   }
 };
 
-/// Raw shared group element z1^{x_mine * x_theirs}.
+/// Shared group element z1^{x_mine * x_theirs}. Key material: it feeds the
+/// channel KDF and never travels or logs, so it stays wrapped.
 template <dmw::num::GroupBackend G>
-typename G::Elem dh_shared_element(const G& g,
-                                   const typename G::Scalar& my_secret,
-                                   const typename G::Elem& their_public) {
-  return g.pow(their_public, my_secret);
+Secret<typename G::Elem> dh_shared_element(
+    const G& g, const Secret<typename G::Scalar>& my_secret,
+    const typename G::Elem& their_public) {
+  return Secret<typename G::Elem>(g.pow(their_public, my_secret.reveal()));
 }
 
 /// Directional 32-byte channel key for messages sender -> receiver.
 /// Both endpoints derive the same value (the DH element is symmetric; the
 /// direction lives in the HKDF info string).
 template <dmw::num::GroupBackend G>
-std::array<std::uint8_t, kAeadKeyBytes> derive_channel_key(
-    const G& g, const typename G::Elem& shared, std::size_t sender,
-    std::size_t receiver) {
+AeadKey derive_channel_key(const G& g,
+                           const Secret<typename G::Elem>& shared,
+                           std::size_t sender, std::size_t receiver) {
   net::Writer w;
-  net::write_elem(w, g, shared);
+  net::write_elem(w, g, shared.reveal());
+  std::vector<std::uint8_t> ikm = w.take();  // serialized secret element
   const std::string info = "dmw-channel-" + std::to_string(sender) + "-" +
                            std::to_string(receiver);
-  const auto bytes = hkdf_sha256(w.bytes(), {}, info, kAeadKeyBytes);
-  std::array<std::uint8_t, kAeadKeyBytes> key{};
-  std::copy(bytes.begin(), bytes.end(), key.begin());
+  auto bytes = hkdf_sha256(ikm, {}, info, kAeadKeyBytes);
+  AeadKey key = make_aead_key(bytes);
+  zeroize(bytes);
+  zeroize(ikm);
   return key;
 }
 

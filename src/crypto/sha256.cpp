@@ -86,6 +86,9 @@ Digest256 Sha256::finish() {
   return out;
 }
 
+// The compression function must not branch on message or state words
+// (lengths handled by the callers above are public).
+// dmwlint: constant-time
 void Sha256::process_block(const std::uint8_t* block) {
   std::uint32_t w[64];
   for (int i = 0; i < 16; ++i) {
@@ -127,6 +130,7 @@ void Sha256::process_block(const std::uint8_t* block) {
   state_[6] += g;
   state_[7] += h;
 }
+// dmwlint: end-constant-time
 
 std::string digest_hex(const Digest256& digest) {
   return dmw::to_hex(std::span<const std::uint8_t>(digest));

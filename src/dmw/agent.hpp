@@ -30,15 +30,18 @@
 #include "net/network.hpp"
 #include "poly/lagrange.hpp"
 #include "support/logging.hpp"
+#include "support/secret.hpp"
 
 namespace dmw::proto {
 
 /// Resolved auction result for one task, as seen by one agent.
 template <dmw::num::GroupBackend G>
 struct TaskView {
-  // Phase II inputs.
-  std::optional<BidPolynomials<G>> secrets;
-  std::vector<std::optional<ShareBundle<G>>> shares_in;  // by sender
+  // Phase II inputs. The polynomial bundle and incoming shares are the
+  // losing-bid witnesses Thm. 10's privacy argument protects: both live
+  // behind the secret-hygiene wrapper and are zeroized with the view.
+  std::optional<Secret<BidPolynomials<G>>> secrets;
+  std::vector<std::optional<Secret<ShareBundle<G>>>> shares_in;  // by sender
   std::vector<std::optional<CommitmentVectors<G>>> commitments;  // by agent
   /// Participation mask: false for agents that posted no commitments and are
   /// treated as crashed (crash-tolerant mode only; everyone is alive in the
@@ -132,17 +135,18 @@ class DmwAgent {
 
     for (std::size_t j = 0; j < params_.m(); ++j) {
       auto& view = tasks_[j];
-      view.secrets = BidPolynomials<G>::sample(params_, bids_[j], rng_);
+      view.secrets = Secret<BidPolynomials<G>>(
+          BidPolynomials<G>::sample(params_, bids_[j], rng_));
 
       for (std::size_t k = 0; k < params_.n(); ++k) {
-        ShareBundle<G> bundle = ShareBundle<G>::from_polys(
-            g, *view.secrets, params_.pseudonym(k));
+        Secret<ShareBundle<G>> bundle(ShareBundle<G>::from_polys(
+            g, view.secrets->reveal(), params_.pseudonym(k)));
         if (k == id_) {
           view.shares_in[id_] = bundle;  // my own shares, kept locally
           continue;
         }
-        if (!strategy_.edit_share(j, k, bundle)) continue;  // withheld
-        SharesMsg<G> msg{static_cast<std::uint32_t>(j), bundle};
+        if (!strategy_.edit_share(j, k, bundle.reveal_mut())) continue;
+        SharesMsg<G> msg{static_cast<std::uint32_t>(j), bundle.reveal()};
         std::vector<std::uint8_t> payload = msg.encode(g);
         if (encrypt_) {
           // No published key means the peer cannot open anything we send;
@@ -164,7 +168,7 @@ class DmwAgent {
       }
 
       CommitmentVectors<G> commitments =
-          CommitmentVectors<G>::commit(params_, *view.secrets);
+          CommitmentVectors<G>::commit(params_, view.secrets->reveal());
       if (!strategy_.edit_commitments(j, commitments)) continue;  // withheld
       CommitmentsMsg<G> msg{static_cast<std::uint32_t>(j),
                             std::move(commitments)};
@@ -207,7 +211,7 @@ class DmwAgent {
         const auto& commitments = *view.commitments[k];
         if (!commitments.well_formed(params_))
           return abort(net, j, AbortReason::kBadShareCommitment);
-        const auto& shares = *view.shares_in[k];
+        const auto& shares = view.shares_in[k]->reveal();
         if (!verify_product_commitment(g, shares, commitments.O, alpha_i))
           return abort(net, j, AbortReason::kBadShareCommitment);
         const auto gamma = gamma_value<G>(g, commitments.Q, alpha_i);
@@ -245,8 +249,8 @@ class DmwAgent {
       typename G::Scalar h_sum = g.szero();
       for (std::size_t k = 0; k < params_.n(); ++k) {
         if (!view.alive[k]) continue;
-        e_sum = g.sadd(e_sum, view.shares_in[k]->e);
-        h_sum = g.sadd(h_sum, view.shares_in[k]->h);
+        e_sum = g.sadd(e_sum, view.shares_in[k]->reveal().e);
+        h_sum = g.sadd(h_sum, view.shares_in[k]->reveal().h);
       }
       typename G::Elem lambda = g.pow(g.z1(), e_sum);
       typename G::Elem psi = g.pow(g.z2(), h_sum);
@@ -318,7 +322,8 @@ class DmwAgent {
       std::vector<typename G::Scalar> f_shares;
       f_shares.reserve(params_.n());
       for (std::size_t k = 0; k < params_.n(); ++k)
-        f_shares.push_back(view.alive[k] ? view.shares_in[k]->f : g.szero());
+        f_shares.push_back(view.alive[k] ? view.shares_in[k]->reveal().f
+                                         : g.szero());
       if (!strategy_.edit_disclosure(j, should_disclose, f_shares)) continue;
       WinnerSharesMsg<G> msg{static_cast<std::uint32_t>(j),
                              std::move(f_shares)};
@@ -402,9 +407,11 @@ class DmwAgent {
       // Lambda_i / z1^{e_*(alpha_i)}, Psi_i / z2^{h_*(alpha_i)}: I know the
       // winner's shares at my own pseudonym.
       typename G::Elem lambda = g.mul(
-          *view.lambda[id_], g.inv(g.pow(g.z1(), view.shares_in[w]->e)));
+          *view.lambda[id_],
+          g.inv(g.pow(g.z1(), view.shares_in[w]->reveal().e)));
       typename G::Elem psi = g.mul(
-          *view.psi[id_], g.inv(g.pow(g.z2(), view.shares_in[w]->h)));
+          *view.psi[id_],
+          g.inv(g.pow(g.z2(), view.shares_in[w]->reveal().h)));
       if (!strategy_.edit_reduced_lambda_psi(j, lambda, psi)) continue;
       LambdaPsiMsg<G> msg{static_cast<std::uint32_t>(j), lambda, psi};
       net.publish(static_cast<net::AgentId>(id_),
@@ -510,7 +517,9 @@ class DmwAgent {
         if (!g.valid_scalar(msg.shares.e) || !g.valid_scalar(msg.shares.f) ||
             !g.valid_scalar(msg.shares.g) || !g.valid_scalar(msg.shares.h))
           throw net::DecodeError("share out of range");
-        tasks_[msg.task].shares_in[env.from] = msg.shares;
+        tasks_[msg.task].shares_in[env.from] =
+            Secret<ShareBundle<G>>(msg.shares);
+        zeroize(msg.shares);
       } catch (const net::DecodeError&) {
         return abort(net, 0, AbortReason::kMalformedMessage);
       }
@@ -583,8 +592,7 @@ class DmwAgent {
 
   /// Directional AEAD key for traffic with peer k (outbound: id_ -> k).
   /// Requires peer_keys_[k]; results are memoized per direction.
-  std::array<std::uint8_t, crypto::kAeadKeyBytes> channel_key(std::size_t k,
-                                                              bool outbound) {
+  const crypto::AeadKey& channel_key(std::size_t k, bool outbound) {
     DMW_REQUIRE(peer_keys_[k].has_value());
     auto& cache = outbound ? send_keys_ : recv_keys_;
     if (cache.empty()) {
@@ -629,8 +637,7 @@ class DmwAgent {
   bool encrypt_;
   crypto::DhKeyPair<G> dh_;
   std::vector<std::optional<typename G::Elem>> peer_keys_;
-  std::vector<std::optional<std::array<std::uint8_t, crypto::kAeadKeyBytes>>>
-      send_keys_, recv_keys_;
+  std::vector<std::optional<crypto::AeadKey>> send_keys_, recv_keys_;
 };
 
 }  // namespace dmw::proto

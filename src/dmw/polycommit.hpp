@@ -21,6 +21,7 @@
 #include "dmw/params.hpp"
 #include "numeric/multiexp.hpp"
 #include "poly/polynomial.hpp"
+#include "support/secret.hpp"
 
 namespace dmw::proto {
 
@@ -46,6 +47,17 @@ struct BidPolynomials {
     out.g = Poly::random_zero_const(params.group(), sigma, rng);
     out.h = Poly::random_zero_const(params.group(), sigma, rng);
     return out;
+  }
+
+  /// Secret-hygiene hook: the bundle *is* the agent's private bid (tau is
+  /// the degree encoding), so Secret<BidPolynomials> wipes everything.
+  void wipe_secret() noexcept {
+    e.wipe_secret();
+    f.wipe_secret();
+    g.wipe_secret();
+    h.wipe_secret();
+    secure_wipe(&bid, sizeof(bid));
+    secure_wipe(&tau, sizeof(tau));
   }
 };
 

@@ -74,7 +74,9 @@ PrivacyAttackResult attack_bid_privacy(
       const auto& view = runner.agent(member).task_view(task);
       DMW_CHECK(view.shares_in[target].has_value());
       points.push_back(params.pseudonym(member));
-      values.push_back(view.shares_in[target]->e);
+      // The coalition pools its own received shares — a deliberate,
+      // in-model reveal (the attack the privacy theorem bounds).
+      values.push_back(view.shares_in[target]->reveal().e);
     }
     const auto resolution = poly::resolve_degree(g, points, values);
     if (resolution.degree && params.degree_is_valid_bid(*resolution.degree))
@@ -103,7 +105,7 @@ PrivacyAttackResult attack_bid_privacy(
       if (used[member]) continue;
       const auto& view = runner.agent(member).task_view(task);
       points.push_back(params.pseudonym(member));
-      values.push_back(view.shares_in[target]->f);
+      values.push_back(view.shares_in[target]->reveal().f);
       used[member] = true;
     }
     const auto resolution = poly::resolve_degree(g, points, values);

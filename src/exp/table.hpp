@@ -4,7 +4,7 @@
 #include <concepts>
 #include <cstdio>
 #include <iomanip>
-#include <iostream>
+#include <iostream>  // dmwlint:allow(include-hygiene) std::cout default arg
 #include <sstream>
 #include <string>
 #include <vector>

@@ -13,6 +13,7 @@
 
 #include "numeric/group.hpp"
 #include "support/check.hpp"
+#include "support/secret.hpp"
 
 namespace dmw::poly {
 
@@ -122,6 +123,11 @@ class Polynomial {
     // code always constructs exact-degree polynomials.
     return a.coeffs_ == b.coeffs_;
   }
+
+  /// Secret-hygiene hook (support/secret.hpp): bid polynomials carry the
+  /// agent's private bid in their degree, so Secret<Polynomial> must be able
+  /// to scrub the coefficient buffer.
+  void wipe_secret() noexcept { dmw::zeroize(coeffs_); }
 
  private:
   std::vector<Scalar> coeffs_;

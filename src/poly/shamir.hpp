@@ -22,6 +22,7 @@
 #include "poly/lagrange.hpp"
 #include "poly/polynomial.hpp"
 #include "support/check.hpp"
+#include "support/secret.hpp"
 
 namespace dmw::poly {
 
@@ -40,17 +41,19 @@ class ShamirSharing {
     DMW_REQUIRE_MSG(threshold >= 1, "threshold must be at least 1");
     DMW_REQUIRE_MSG(points.size() >= threshold,
                     "need at least `threshold` share points");
-    // f(x) = secret + a_1 x + ... + a_{t-1} x^{t-1}.
+    // f(x) = secret + a_1 x + ... + a_{t-1} x^{t-1}. The coefficient bundle
+    // is exactly the secret material the sharing protects, so it lives
+    // behind the hygiene wrapper and is wiped the moment shares exist.
     std::vector<Scalar> coeffs(threshold, g.szero());
     coeffs[0] = secret;
     for (std::size_t i = 1; i < threshold; ++i)
       coeffs[i] = g.random_scalar(rng);
-    const Polynomial<G> f(coeffs);
+    const Secret<Polynomial<G>> f{Polynomial<G>(std::move(coeffs))};
 
     ShamirSharing sharing;
     sharing.threshold_ = threshold;
     sharing.points_ = points;
-    sharing.shares_ = f.eval_all(g, points);
+    sharing.shares_ = f.reveal().eval_all(g, points);
     return sharing;
   }
 

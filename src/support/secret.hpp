@@ -1,0 +1,141 @@
+// Secret-hygiene type layer.
+//
+// The paper's privacy results (Thm. 10) only hold if losing bids, Phase II
+// share payloads and channel keys never leave an agent's process by accident.
+// Secret<T> makes that property visible in the type system:
+//
+//   - the backing bytes are zeroized on destruction (and on overwrite), via
+//     volatile stores the optimizer may not elide;
+//   - reading the value requires an explicit reveal() call, which is the
+//     single token the `dmwlint` secret-sink rule audits — a Secret-typed
+//     identifier flowing into a logging/JSON/serialization sink without
+//     reveal() is a lint error;
+//   - ct_eq compares secret bytes in constant time (no data-dependent
+//     early exit), for tag and key comparisons.
+//
+// Wiping dispatch: a member `wipe_secret()` wins if present (used by types
+// with heap-owned state such as poly::Polynomial); otherwise trivially
+// copyable values are byte-wiped in place, and std::vector / std::array
+// recurse element-wise.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace dmw {
+
+/// Overwrite `size` bytes at `data` with zeros through a volatile pointer so
+/// the compiler cannot drop the stores as dead (the object is about to die).
+inline void secure_wipe(void* data, std::size_t size) noexcept {
+  volatile auto* p = static_cast<volatile std::uint8_t*>(data);
+  for (std::size_t i = 0; i < size; ++i) p[i] = 0;
+}
+
+template <class T>
+concept HasWipeSecret = requires(T& value) {
+  { value.wipe_secret() };
+};
+
+/// Zeroize a value in place. The value remains alive and assignable; its
+/// previous content is unrecoverable.
+template <class T>
+void zeroize(T& value) noexcept {
+  if constexpr (HasWipeSecret<T>) {
+    value.wipe_secret();
+  } else {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "zeroize: type needs a wipe_secret() member");
+    secure_wipe(&value, sizeof(T));
+  }
+}
+
+template <class T>
+void zeroize(std::vector<T>& values) noexcept {
+  for (auto& v : values) zeroize(v);
+  values.clear();
+}
+
+template <class T, std::size_t N>
+void zeroize(std::array<T, N>& values) noexcept {
+  for (auto& v : values) zeroize(v);
+}
+
+/// Constant-time byte-span equality: every byte is inspected regardless of
+/// where the first mismatch sits. Lengths are treated as public.
+// dmwlint: constant-time
+inline bool ct_eq(std::span<const std::uint8_t> a,
+                  std::span<const std::uint8_t> b) noexcept {
+  if (a.size() != b.size()) return false;  // dmwlint:allow(ct-branch) public length
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    acc = static_cast<std::uint8_t>(acc | (a[i] ^ b[i]));
+  return acc == 0;
+}
+// dmwlint: end-constant-time
+
+/// Constant-time equality of trivially copyable values via their bytes.
+template <class T>
+  requires std::is_trivially_copyable_v<T>
+bool ct_eq(const T& a, const T& b) noexcept {
+  return ct_eq(
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(&a), sizeof(T)),
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(&b), sizeof(T)));
+}
+
+/// A value the rest of the program treats as radioactive: zeroized when the
+/// wrapper dies or is overwritten, and only readable through reveal().
+template <class T>
+class Secret {
+ public:
+  Secret() = default;
+  explicit Secret(T value) : value_(std::move(value)) {}
+
+  Secret(const Secret& other) : value_(other.value_) {}
+  Secret(Secret&& other) noexcept : value_(std::move(other.value_)) {
+    zeroize(other.value_);
+  }
+  Secret& operator=(const Secret& other) {
+    if (this != &other) {
+      zeroize(value_);
+      value_ = other.value_;
+    }
+    return *this;
+  }
+  Secret& operator=(Secret&& other) noexcept {
+    if (this != &other) {
+      zeroize(value_);
+      value_ = std::move(other.value_);
+      zeroize(other.value_);
+    }
+    return *this;
+  }
+  ~Secret() { zeroize(value_); }
+
+  /// Explicit, auditable access to the secret value. dmwlint treats
+  /// `<identifier>.reveal()` as the only sanctioned way a Secret may reach
+  /// a logging / serialization sink.
+  const T& reveal() const { return value_; }
+
+  /// Mutable access, for filling the value in place (decode paths) and for
+  /// strategy hooks that edit outgoing payloads.
+  T& reveal_mut() { return value_; }
+
+  /// Constant-time comparison of two secrets of trivially copyable type.
+  friend bool ct_eq(const Secret& a, const Secret& b) noexcept
+    requires std::is_trivially_copyable_v<T>
+  {
+    return ct_eq(a.value_, b.value_);
+  }
+
+ private:
+  T value_{};
+};
+
+}  // namespace dmw

@@ -1,0 +1,235 @@
+// dmwlint engine tests: each rule fires on its fixture, the allowlist
+// comment suppresses, and the parsing layer blanks what it should.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+using dmwlint::Finding;
+using dmwlint::lint_file;
+
+std::size_t count_rule(const std::vector<Finding>& findings,
+                       std::string_view rule) {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+TEST(DmwLint, RuleNamesAreStable) {
+  const auto& names = dmwlint::rule_names();
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_NE(std::find(names.begin(), names.end(), "naive-call"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "secret-sink"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "ct-branch"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "banned-pattern"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "include-hygiene"),
+            names.end());
+}
+
+TEST(DmwLint, NaiveCallFiresOnCallsNotDeclarations) {
+  const std::string text =
+      "Elem pow_naive(Elem b, Scalar e);\n"
+      "Elem fast(const G& g, Elem b, Scalar e) {\n"
+      "  return g.pow_naive(b, e);\n"
+      "}\n";
+  const auto findings = lint_file("src/numeric/x.cpp", text);
+  EXPECT_EQ(count_rule(findings, "naive-call"), 1u);
+  EXPECT_EQ(findings[0].line, 3u);
+}
+
+TEST(DmwLint, NaiveCallSkippedInTestsAndBench) {
+  const std::string text = "auto r = g.pow_naive(b, e);\n";
+  EXPECT_EQ(count_rule(lint_file("tests/x.cpp", text), "naive-call"), 0u);
+  EXPECT_EQ(count_rule(lint_file("bench/x.cpp", text), "naive-call"), 0u);
+  EXPECT_EQ(count_rule(lint_file("src/a/x.cpp", text), "naive-call"), 1u);
+}
+
+TEST(DmwLint, NaiveCallAllowlistSuppresses) {
+  const std::string with_inline_allow =
+      "auto r = g.pow_naive(b, e);  // dmwlint:allow(naive-call) oracle\n";
+  EXPECT_EQ(
+      count_rule(lint_file("src/a.cpp", with_inline_allow), "naive-call"),
+      0u);
+  const std::string with_preceding_allow =
+      "// dmwlint:allow(naive-call) ablation block\n"
+      "auto r = g.pow_naive(b, e);\n";
+  EXPECT_EQ(
+      count_rule(lint_file("src/a.cpp", with_preceding_allow), "naive-call"),
+      0u);
+  // An allow for a different rule does not suppress.
+  const std::string wrong_allow =
+      "auto r = g.pow_naive(b, e);  // dmwlint:allow(ct-branch)\n";
+  EXPECT_EQ(count_rule(lint_file("src/a.cpp", wrong_allow), "naive-call"),
+            1u);
+}
+
+TEST(DmwLint, SecretSinkRequiresReveal) {
+  const std::string leaking =
+      "void f(const Secret<int>& token) {\n"
+      "  DMW_INFO() << token;\n"
+      "}\n";
+  EXPECT_EQ(count_rule(lint_file("src/a.cpp", leaking), "secret-sink"), 1u);
+  const std::string revealed =
+      "void f(const Secret<int>& token) {\n"
+      "  DMW_INFO() << token.reveal();\n"
+      "}\n";
+  EXPECT_EQ(count_rule(lint_file("src/a.cpp", revealed), "secret-sink"), 0u);
+}
+
+TEST(DmwLint, SecretSinkSeesMultiLineStatements) {
+  const std::string text =
+      "void f(const crypto::AeadKey& key) {\n"
+      "  std::printf(\"%u\",\n"
+      "              key[0]);\n"
+      "}\n";
+  const auto findings = lint_file("src/a.cpp", text);
+  ASSERT_EQ(count_rule(findings, "secret-sink"), 1u);
+  EXPECT_EQ(findings[0].line, 2u);  // reported at the sink statement start
+}
+
+TEST(DmwLint, SecretMentionInStringIsNotASink) {
+  const std::string text =
+      "void f(const Secret<int>& token) {\n"
+      "  DMW_INFO() << \"token not printed\";\n"
+      "}\n";
+  EXPECT_EQ(count_rule(lint_file("src/a.cpp", text), "secret-sink"), 0u);
+}
+
+TEST(DmwLint, CtBranchOnlyInsideRegions) {
+  const std::string text =
+      "int a(int x) { return x ? 1 : 2; }\n"
+      "// dmwlint: constant-time\n"
+      "int b(int x) { return x ? 1 : 2; }\n"
+      "// dmwlint: end-constant-time\n"
+      "int c(int x) { return x ? 1 : 2; }\n";
+  const auto findings = lint_file("src/a.cpp", text);
+  ASSERT_EQ(count_rule(findings, "ct-branch"), 1u);
+  EXPECT_EQ(findings[0].line, 3u);
+}
+
+TEST(DmwLint, CtBranchProseMentionDoesNotOpenRegion) {
+  const std::string text =
+      "// regions tagged `// dmwlint: constant-time` get checked\n"
+      "int a(int x) { return x ? 1 : 2; }\n";
+  EXPECT_EQ(count_rule(lint_file("src/a.cpp", text), "ct-branch"), 0u);
+}
+
+TEST(DmwLint, BannedPatternsByScope) {
+  // Unordered containers: only protocol-visible directories.
+  const std::string unordered = "std::unordered_map<int, int> t;\n";
+  EXPECT_EQ(
+      count_rule(lint_file("src/dmw/a.cpp", unordered), "banned-pattern"),
+      1u);
+  EXPECT_EQ(
+      count_rule(lint_file("src/mech/a.cpp", unordered), "banned-pattern"),
+      0u);
+  // Raw stderr: src/ and tools/, not tests/.
+  const std::string stderr_diag = "std::cerr << \"x\";\n";
+  EXPECT_EQ(
+      count_rule(lint_file("tools/a.cpp", stderr_diag), "banned-pattern"),
+      1u);
+  EXPECT_EQ(
+      count_rule(lint_file("tests/a.cpp", stderr_diag), "banned-pattern"),
+      0u);
+  // assert/rand fire everywhere; lookalike identifiers do not.
+  EXPECT_EQ(count_rule(lint_file("tests/a.cpp", "assert(x);\n"),
+                       "banned-pattern"),
+            1u);
+  EXPECT_EQ(count_rule(lint_file("tests/a.cpp", "static_assert(x);\n"),
+                       "banned-pattern"),
+            0u);
+  EXPECT_EQ(count_rule(lint_file("src/a.cpp", "int y = operand(x);\n"),
+                       "banned-pattern"),
+            0u);
+}
+
+TEST(DmwLint, IncludeHygiene) {
+  const std::string header_without_guard = "int x;\n";
+  EXPECT_EQ(count_rule(lint_file("src/a.hpp", header_without_guard),
+                       "include-hygiene"),
+            1u);
+  const std::string header_with_guard = "#pragma once\nint x;\n";
+  EXPECT_EQ(count_rule(lint_file("src/a.hpp", header_with_guard),
+                       "include-hygiene"),
+            0u);
+  const std::string updir = "#include \"../numeric/group.hpp\"\n";
+  EXPECT_EQ(count_rule(lint_file("src/a.cpp", updir), "include-hygiene"),
+            1u);
+  const std::string angled = "#include <dmw/protocol.hpp>\n";
+  EXPECT_EQ(count_rule(lint_file("src/a.cpp", angled), "include-hygiene"),
+            1u);
+  const std::string iostream_in_src = "#include <iostream>\n";
+  EXPECT_EQ(count_rule(lint_file("src/a.cpp", iostream_in_src),
+                       "include-hygiene"),
+            1u);
+  EXPECT_EQ(count_rule(lint_file("tools/a.cpp", iostream_in_src),
+                       "include-hygiene"),
+            0u);
+}
+
+TEST(DmwLint, RawStringsAndCommentsAreBlanked) {
+  const std::string text =
+      "const char* s = R\"(rand() assert(x) std::cerr)\";\n"
+      "// rand() in a comment\n"
+      "/* assert(x) in a block comment */\n";
+  EXPECT_TRUE(lint_file("src/a.cpp", text).empty());
+}
+
+TEST(DmwLint, ExpectationsParse) {
+  const std::string text =
+      "int x;  // EXPECT: naive-call\n"
+      "int y;\n"
+      "int z;  // EXPECT: include-hygiene\n";
+  const auto expectations = dmwlint::parse_expectations(text);
+  ASSERT_EQ(expectations.size(), 2u);
+  EXPECT_EQ(expectations[0].line, 1u);
+  EXPECT_EQ(expectations[0].rule, "naive-call");
+  EXPECT_EQ(expectations[1].line, 3u);
+  EXPECT_EQ(expectations[1].rule, "include-hygiene");
+}
+
+// The shipped fixtures, via the library API (the CLI self-test covers the
+// same ground end-to-end; this pins the library behavior).
+TEST(DmwLint, ShippedFixturesMatchExpectations) {
+  const std::vector<std::string> fixtures = {
+      "naive_call.cpp",     "secret_sink.cpp",     "ct_branch.cpp",
+      "banned_pattern.cpp", "include_hygiene.hpp", "clean.cpp"};
+  for (const auto& name : fixtures) {
+    const std::string path = std::string(DMWLINT_FIXTURE_DIR) + "/" + name;
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.is_open()) << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+
+    // Honor the fixture's pretend path, as the CLI self-test does.
+    std::string lint_as = path;
+    const std::string tag = "dmwlint-fixture-path:";
+    if (const auto pos = text.find(tag); pos != std::string::npos) {
+      std::istringstream rest(text.substr(pos + tag.size()));
+      rest >> lint_as;
+    }
+    const auto findings = dmwlint::lint_file(lint_as, text);
+    const auto expectations = dmwlint::parse_expectations(text);
+    EXPECT_EQ(findings.size(), expectations.size()) << name;
+    for (const auto& expectation : expectations) {
+      const bool fired = std::any_of(
+          findings.begin(), findings.end(), [&](const Finding& f) {
+            return f.line == expectation.line && f.rule == expectation.rule;
+          });
+      EXPECT_TRUE(fired) << name << ":" << expectation.line << " "
+                         << expectation.rule;
+    }
+  }
+}
+
+}  // namespace

@@ -14,8 +14,10 @@ using crypto::aead_open;
 using crypto::aead_seal;
 using num::Group64;
 
-std::vector<std::uint8_t> key_of(std::uint8_t fill) {
-  return std::vector<std::uint8_t>(crypto::kAeadKeyBytes, fill);
+crypto::AeadKey key_of(std::uint8_t fill) {
+  std::array<std::uint8_t, crypto::kAeadKeyBytes> raw;
+  raw.fill(fill);
+  return crypto::AeadKey(raw);
 }
 
 std::vector<std::uint8_t> bytes_of(std::string_view s) {
@@ -80,9 +82,9 @@ TEST(Aead, XorIsAnInvolution) {
   auto data = bytes_of("some stream data, longer than one block? no - "
                        "make it longer than sixty four bytes to be sure!");
   const auto original = data;
-  crypto::chacha20_xor(key, 77, data);
+  crypto::chacha20_xor(key.reveal(), 77, data);
   EXPECT_NE(data, original);
-  crypto::chacha20_xor(key, 77, data);
+  crypto::chacha20_xor(key.reveal(), 77, data);
   EXPECT_EQ(data, original);
 }
 
@@ -92,8 +94,9 @@ TEST(Dh, SharedSecretIsSymmetric) {
   auto rng_b = crypto::ChaChaRng::from_seed(2);
   const auto alice = crypto::DhKeyPair<Group64>::generate(g, rng_a);
   const auto bob = crypto::DhKeyPair<Group64>::generate(g, rng_b);
-  EXPECT_EQ(crypto::dh_shared_element(g, alice.secret, bob.public_key),
-            crypto::dh_shared_element(g, bob.secret, alice.public_key));
+  EXPECT_EQ(
+      crypto::dh_shared_element(g, alice.secret, bob.public_key).reveal(),
+      crypto::dh_shared_element(g, bob.secret, alice.public_key).reveal());
   EXPECT_NE(alice.public_key, bob.public_key);
 }
 
@@ -107,12 +110,13 @@ TEST(Dh, DirectionalKeysDifferButAgree) {
       crypto::dh_shared_element(g, alice.secret, bob.public_key);
   const auto shared_b =
       crypto::dh_shared_element(g, bob.secret, alice.public_key);
-  // Alice's outbound (0 -> 1) equals Bob's inbound (0 -> 1).
-  EXPECT_EQ(crypto::derive_channel_key(g, shared_a, 0, 1),
-            crypto::derive_channel_key(g, shared_b, 0, 1));
+  // Alice's outbound (0 -> 1) equals Bob's inbound (0 -> 1); comparison is
+  // via the hygiene layer's constant-time equality.
+  EXPECT_TRUE(ct_eq(crypto::derive_channel_key(g, shared_a, 0, 1),
+                    crypto::derive_channel_key(g, shared_b, 0, 1)));
   // The reverse direction uses a different key.
-  EXPECT_NE(crypto::derive_channel_key(g, shared_a, 0, 1),
-            crypto::derive_channel_key(g, shared_a, 1, 0));
+  EXPECT_FALSE(ct_eq(crypto::derive_channel_key(g, shared_a, 0, 1),
+                     crypto::derive_channel_key(g, shared_a, 1, 0)));
 }
 
 TEST(SecureChannel, ProtocolRunsEncryptedByDefault) {

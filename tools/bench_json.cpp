@@ -19,6 +19,7 @@
 #include "numeric/multiexp.hpp"
 #include "support/flags.hpp"
 #include "support/json.hpp"
+#include "support/logging.hpp"
 #include "support/rng.hpp"
 #include "support/stopwatch.hpp"
 
@@ -80,6 +81,7 @@ void bench_backend(dmw::JsonWriter& json, const G& g, std::size_t multiexp_len,
     ++i;
   });
   const double commit_naive_ns = bench_ns([&] {
+    // dmwlint:allow(naive-call) ablation baseline being measured
     fold(g.commit_naive(sa[i % kPool], sb[i % kPool]));
     ++i;
   });
@@ -88,6 +90,7 @@ void bench_backend(dmw::JsonWriter& json, const G& g, std::size_t multiexp_len,
     ++i;
   });
   const double pow_naive_ns = bench_ns([&] {
+    // dmwlint:allow(naive-call) ablation baseline being measured
     fold(g.pow_naive(bases[i % kPool], sa[i % kPool]));
     ++i;
   });
@@ -95,6 +98,7 @@ void bench_backend(dmw::JsonWriter& json, const G& g, std::size_t multiexp_len,
     fold(dmw::num::multi_pow<G>(g, vec_bases, vec_exps));
   });
   const double multiexp_naive_ns = bench_ns([&] {
+    // dmwlint:allow(naive-call) ablation baseline being measured
     fold(dmw::num::multi_pow_naive<G>(g, vec_bases, vec_exps));
   });
 
@@ -113,6 +117,7 @@ void bench_backend(dmw::JsonWriter& json, const G& g, std::size_t multiexp_len,
 }  // namespace
 
 int main(int argc, char** argv) try {
+  dmw::Logger::instance().set_level(dmw::LogLevel::kInfo);
   dmw::Flags flags(argc, argv, {"out", "quick!", "stdout!", "help!"});
   const std::string out_path = flags.get_string("out", "BENCH_commit.json");
   const bool quick = flags.get_bool("quick");
@@ -150,16 +155,16 @@ int main(int argc, char** argv) try {
   } else {
     std::FILE* f = std::fopen(out_path.c_str(), "w");
     if (f == nullptr) {
-      std::fprintf(stderr, "bench_json: cannot open %s\n", out_path.c_str());
+      DMW_ERROR() << "bench_json: cannot open " << out_path;
       return 1;
     }
     std::fputs(text.c_str(), f);
     std::fclose(f);
-    std::fprintf(stderr, "bench_json: wrote %s\n", out_path.c_str());
+    DMW_INFO() << "bench_json: wrote " << out_path;
   }
   return 0;
 } catch (const std::exception& error) {
-  std::fprintf(stderr, "error: %s\nbench_json [--out FILE] [--quick] [--stdout]\n",
-               error.what());
+  DMW_ERROR() << error.what()
+              << " (usage: bench_json [--out FILE] [--quick] [--stdout])";
   return 1;
 }

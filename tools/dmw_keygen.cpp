@@ -12,6 +12,7 @@
 #include "dmw/params.hpp"
 #include "support/flags.hpp"
 #include "support/json.hpp"
+#include "support/logging.hpp"
 
 namespace {
 
@@ -81,6 +82,7 @@ int emit(const G& group, const dmw::Flags& flags) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  dmw::Logger::instance().set_level(dmw::LogLevel::kInfo);
   try {
     const dmw::Flags flags(
         argc, argv,
@@ -104,10 +106,10 @@ int main(int argc, char** argv) {
           static_cast<unsigned>(flags.get_u64("q-bits", 160)), rng);
       return emit(group, flags);
     }
-    std::fprintf(stderr, "unknown backend\n");
+    DMW_ERROR() << "unknown backend (use 64 or 256)";
     return 1;
   } catch (const std::exception& error) {
-    std::fprintf(stderr, "error: %s\n%s", error.what(), kUsage);
+    DMW_ERROR() << error.what() << " (run with --help for usage)";
     return 1;
   }
 }

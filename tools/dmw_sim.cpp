@@ -20,6 +20,7 @@
 #include "mech/minwork.hpp"
 #include "support/flags.hpp"
 #include "support/json.hpp"
+#include "support/logging.hpp"
 
 namespace {
 
@@ -208,6 +209,9 @@ int run_simulation(G group, const Flags& flags) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Tool diagnostics are user-facing: show Info and up on the logger's
+  // stderr sink (stdout stays machine-readable).
+  dmw::Logger::instance().set_level(dmw::LogLevel::kInfo);
   try {
     const Flags flags(argc, argv,
                       {"n", "m", "c", "seed", "workload", "backend", "p-bits",
@@ -229,11 +233,10 @@ int main(int argc, char** argv) {
           p_bits, std::max(64u, p_bits / 2), rng);
       return run_simulation(std::move(group), flags);
     }
-    std::fprintf(stderr, "unknown backend %llu (use 64 or 256)\n",
-                 static_cast<unsigned long long>(backend));
+    DMW_ERROR() << "unknown backend " << backend << " (use 64 or 256)";
     return 1;
   } catch (const std::exception& error) {
-    std::fprintf(stderr, "error: %s\n%s", error.what(), kUsage);
+    DMW_ERROR() << error.what() << " (run with --help for usage)";
     return 1;
   }
 }

@@ -1,0 +1,37 @@
+// Fixture: banned-pattern rule. Pretends to live in protocol-visible code
+// (src/dmw) so the unordered-container ban is in scope.
+// dmwlint-fixture-path: src/dmw/banned_pattern_fixture.cpp
+#include <cstdlib>
+#include <unordered_map>
+
+namespace dmw {
+
+using namespace std;  // EXPECT: banned-pattern
+
+int bad_randomness() {
+  srand(42);  // EXPECT: banned-pattern
+  return rand();  // EXPECT: banned-pattern
+}
+
+void bad_invariant(int x) {
+  assert(x > 0);  // EXPECT: banned-pattern
+  static_assert(sizeof(int) >= 4);  // static_assert is fine
+}
+
+std::unordered_map<int, int> table;  // EXPECT: banned-pattern
+
+void bad_diagnostics(const char* msg) {
+  std::cerr << msg;  // EXPECT: banned-pattern
+  fprintf(stderr, "%s\n", msg);  // EXPECT: banned-pattern
+}
+
+void sanctioned(const char* msg) {
+  // The logger's own sink is the one sanctioned stderr writer.
+  // dmwlint:allow(banned-pattern) logger default sink
+  fprintf(stderr, "%s\n", msg);
+}
+
+// Identifiers merely *containing* banned names do not fire.
+int strand_count(int operand) { return operand; }
+
+}  // namespace dmw

@@ -1,0 +1,31 @@
+// Fixture: a file with no violations at all. The self-test requires zero
+// findings here (no EXPECT markers).
+// dmwlint-fixture-path: src/dmw/clean_fixture.cpp
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/secret.hpp"
+
+namespace dmw {
+
+// Strings and comments may mention rand(), assert(, std::cerr or a call to
+// pow_naive( without tripping anything: the linter blanks them.
+inline const char* kBanner =
+    "this string mentions rand() and assert(x) and g.pow_naive(b, e)";
+
+inline int sum(const std::vector<int>& xs) {
+  int total = 0;
+  for (int x : xs) total += x;
+  DMW_CHECK(total >= 0);
+  return total;
+}
+
+inline int reveal_is_fine(const Secret<int>& token) {
+  return token.reveal() + 1;
+}
+
+inline const char* raw = R"(raw string with "quotes" and rand() inside)";
+
+}  // namespace dmw

@@ -1,0 +1,37 @@
+// Fixture: ct-branch rule. Inside `dmwlint: constant-time` regions, control
+// flow must not fork: no if/switch/ternary/short-circuit.
+// dmwlint-fixture-path: src/crypto/ct_branch_fixture.cpp
+#include <cstdint>
+
+namespace dmw {
+
+// Outside any region, branches are unremarkable.
+int branchy(int x) {
+  if (x > 0) return 1;
+  return x ? 2 : 3;
+}
+
+// dmwlint: constant-time
+inline bool ct_compare(const std::uint8_t* a, const std::uint8_t* b,
+                       std::size_t n) {
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc |= a[i] ^ b[i];
+  if (acc != 0) return false;  // EXPECT: ct-branch
+  return acc == 0 && n > 0;  // EXPECT: ct-branch
+}
+
+inline int ct_select(int cond, int a, int b) {
+  return cond ? a : b;  // EXPECT: ct-branch
+}
+
+inline bool ct_public_guard(std::size_t a_len, std::size_t b_len) {
+  // Length is public data, so this branch is declared fine:
+  if (a_len != b_len) return false;  // dmwlint:allow(ct-branch) public length
+  return true;
+}
+// dmwlint: end-constant-time
+
+// After the region ends, branching is fine again.
+int after(int x) { return x > 0 ? x : -x; }
+
+}  // namespace dmw

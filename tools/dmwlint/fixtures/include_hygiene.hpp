@@ -1,0 +1,18 @@
+// EXPECT: include-hygiene
+// Fixture: include-hygiene rule. This header deliberately omits
+// #pragma once (the EXPECT on line 1 is the missing-guard finding).
+// dmwlint-fixture-path: src/dmw/include_hygiene_fixture.hpp
+
+#include "../numeric/group.hpp"  // EXPECT: include-hygiene
+#include <dmw/protocol.hpp>  // EXPECT: include-hygiene
+#include <iostream>  // EXPECT: include-hygiene
+#include <cassert>  // EXPECT: include-hygiene
+
+#include "support/check.hpp"
+#include <vector>
+
+namespace dmw {
+
+inline int fine() { return 0; }
+
+}  // namespace dmw

@@ -1,0 +1,34 @@
+// Fixture: naive-call rule. *_naive entry points are differential oracles;
+// calling one from a fast path is a finding unless allowlisted.
+// dmwlint-fixture-path: src/numeric/naive_call_fixture.cpp
+#include "numeric/group.hpp"
+
+namespace dmw::num {
+
+// A declaration/definition of a naive routine is NOT a call site.
+Elem mod_pow_naive(const Elem& base, const Scalar& e);
+Elem pow_naive(Elem base, Scalar e) { return base; }
+
+Elem fast_path(const Group& g, const Elem& base, const Scalar& e) {
+  return g.pow_naive(base, e);  // EXPECT: naive-call
+}
+
+Elem another(const Group& g, const Elem& base, const Scalar& e) {
+  return mod_pow_naive(base, e);  // EXPECT: naive-call
+}
+
+Elem templated(const Group& g) {
+  auto r = multi_pow_naive<Group>(g, {}, {});  // EXPECT: naive-call
+  return r;
+}
+
+Elem sanctioned(const Group& g, const Elem& base, const Scalar& e) {
+  // dmwlint:allow(naive-call) differential oracle for the ablation harness
+  return g.pow_naive(base, e);
+}
+
+Elem sanctioned_inline(const Group& g, const Elem& base, const Scalar& e) {
+  return g.pow_naive(base, e);  // dmwlint:allow(naive-call) ablation block
+}
+
+}  // namespace dmw::num

@@ -1,0 +1,578 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace dmwlint {
+
+namespace {
+
+// ---- source model ----------------------------------------------------------
+
+struct SourceLine {
+  std::string code;     ///< literals and comments blanked with spaces
+  std::string raw;      ///< the line verbatim (for #include path checks)
+  std::string comment;  ///< concatenated comment text of this line
+  bool has_code = false;
+};
+
+struct SourceFile {
+  std::string path;
+  std::vector<std::string> components;  ///< path split on '/' and '\\'
+  std::vector<SourceLine> lines;        ///< lines[i] is line i+1
+  std::vector<bool> ct_region;          ///< inside a constant-time region
+};
+
+std::vector<std::string> split_path(const std::string& path) {
+  std::vector<std::string> out;
+  std::string part;
+  for (char c : path) {
+    if (c == '/' || c == '\\') {
+      if (!part.empty()) out.push_back(part);
+      part.clear();
+    } else {
+      part.push_back(c);
+    }
+  }
+  if (!part.empty()) out.push_back(part);
+  return out;
+}
+
+bool has_component(const SourceFile& file, std::string_view name) {
+  for (const auto& c : file.components)
+    if (c == name) return true;
+  return false;
+}
+
+bool has_adjacent(const SourceFile& file, std::string_view a,
+                  std::string_view b) {
+  for (std::size_t i = 0; i + 1 < file.components.size(); ++i)
+    if (file.components[i] == a && file.components[i + 1] == b) return true;
+  return false;
+}
+
+bool is_header(const SourceFile& file) {
+  return file.path.ends_with(".hpp") || file.path.ends_with(".h");
+}
+
+/// Split text into lines, blanking string/char literals and comments in the
+/// code view and collecting comment text separately. Handles // and /* */
+/// comments, "..." and '...' literals with escapes, and R"delim(...)delim"
+/// raw strings.
+SourceFile parse_source(const std::string& path, std::string_view text) {
+  SourceFile file;
+  file.path = path;
+  file.components = split_path(path);
+
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString
+  };
+  // Raw lines, verbatim, for the #include checks (paths are string-like and
+  // would otherwise be blanked).
+  std::vector<std::string> raw_lines;
+  {
+    std::string current;
+    for (char c : text) {
+      if (c == '\n') {
+        raw_lines.push_back(std::move(current));
+        current.clear();
+      } else {
+        current += c;
+      }
+    }
+    raw_lines.push_back(std::move(current));
+  }
+
+  State state = State::kCode;
+  std::string raw_delim;  // for raw strings: ")" + delim + "\""
+  std::string code, comment;
+
+  auto flush_line = [&] {
+    SourceLine line;
+    line.code = code;
+    if (file.lines.size() < raw_lines.size())
+      line.raw = raw_lines[file.lines.size()];
+    line.comment = comment;
+    line.has_code =
+        std::any_of(code.begin(), code.end(),
+                    [](unsigned char c) { return !std::isspace(c); });
+    file.lines.push_back(std::move(line));
+    code.clear();
+    comment.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      flush_line();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          code += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          code += "  ";
+          ++i;
+        } else if (c == '"') {
+          // Raw string? Look back for R (and not an identifier like FOUR).
+          const bool raw =
+              !code.empty() && code.back() == 'R' &&
+              (code.size() < 2 ||
+               (!std::isalnum(static_cast<unsigned char>(
+                    code[code.size() - 2])) &&
+                code[code.size() - 2] != '_'));
+          if (raw) {
+            std::string delim;
+            std::size_t j = i + 1;
+            while (j < text.size() && text[j] != '(' && text[j] != '\n')
+              delim.push_back(text[j++]);
+            raw_delim = ")" + delim + "\"";
+            state = State::kRawString;
+            i = j;  // consume up to and including '('
+            code += ' ';
+          } else {
+            state = State::kString;
+            code += ' ';
+          }
+        } else if (c == '\'') {
+          state = State::kChar;
+          code += ' ';
+        } else {
+          code += c;
+        }
+        break;
+      case State::kLineComment:
+        comment += c;
+        code += ' ';
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          code += "  ";
+          ++i;
+        } else {
+          comment += c;
+          code += ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          code += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          code += ' ';
+        } else {
+          code += ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          code += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          code += ' ';
+        } else {
+          code += ' ';
+        }
+        break;
+      case State::kRawString:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          state = State::kCode;
+          for (std::size_t k = 1; k < raw_delim.size(); ++k) {
+            if (i + k < text.size() && text[i + k] != '\n') code += ' ';
+          }
+          i += raw_delim.size() - 1;
+          code += ' ';
+        } else {
+          code += ' ';
+        }
+        break;
+    }
+  }
+  flush_line();
+
+  // Constant-time regions, from comment directives. A directive must start
+  // the comment (prose *mentioning* a directive does not count).
+  file.ct_region.assign(file.lines.size(), false);
+  bool in_region = false;
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    std::string trimmed = file.lines[i].comment;
+    trimmed.erase(0, trimmed.find_first_not_of(" \t"));
+    if (trimmed.starts_with("dmwlint: end-constant-time")) {
+      in_region = false;
+      continue;
+    }
+    if (trimmed.starts_with("dmwlint: constant-time")) {
+      in_region = true;
+      continue;  // the directive line itself is exempt
+    }
+    file.ct_region[i] = in_region;
+  }
+  return file;
+}
+
+/// `// dmwlint:allow(rule)` on the finding line or on an immediately
+/// preceding comment-only line suppresses the finding.
+bool allowed(const SourceFile& file, std::size_t index,
+             const std::string& rule) {
+  const std::string needle = "dmwlint:allow(" + rule + ")";
+  if (file.lines[index].comment.find(needle) != std::string::npos)
+    return true;
+  if (index > 0 && !file.lines[index - 1].has_code &&
+      file.lines[index - 1].comment.find(needle) != std::string::npos)
+    return true;
+  return false;
+}
+
+void report(std::vector<Finding>& findings, const SourceFile& file,
+            std::size_t index, const std::string& rule,
+            std::string message) {
+  if (allowed(file, index, rule)) return;
+  findings.push_back(
+      Finding{file.path, index + 1, rule, std::move(message)});
+}
+
+// ---- rule: naive-call ------------------------------------------------------
+
+/// True when the *_naive occurrence at `pos` is a declaration or definition
+/// (preceded by a type name) rather than a call.
+bool is_declaration_context(const std::string& code, std::size_t pos) {
+  std::size_t i = pos;
+  while (i > 0 && std::isspace(static_cast<unsigned char>(code[i - 1]))) --i;
+  if (i == 0) return false;  // continuation line: assume call
+  const char prev = code[i - 1];
+  if (prev == '>' || prev == '&' || prev == '*') return true;  // return type
+  if (std::isalnum(static_cast<unsigned char>(prev)) || prev == '_') {
+    // Extract the word: keywords that precede expressions mean a call.
+    std::size_t end = i, start = i;
+    while (start > 0 &&
+           (std::isalnum(static_cast<unsigned char>(code[start - 1])) ||
+            code[start - 1] == '_'))
+      --start;
+    const std::string word = code.substr(start, end - start);
+    return word != "return" && word != "else" && word != "case" &&
+           word != "co_return";
+  }
+  return false;  // operator / punctuation: a call site
+}
+
+void rule_naive_call(const SourceFile& file,
+                     std::vector<Finding>& findings) {
+  if (has_component(file, "tests") || has_component(file, "bench")) return;
+  static const std::regex re(
+      R"(([A-Za-z_][A-Za-z0-9_]*_naive)\s*(?:<[^<>;]*>)?\s*\()");
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const std::string& code = file.lines[i].code;
+    for (std::sregex_iterator it(code.begin(), code.end(), re), end;
+         it != end; ++it) {
+      const auto pos = static_cast<std::size_t>(it->position(0));
+      if (is_declaration_context(code, pos)) continue;
+      report(findings, file, i, "naive-call",
+             "call to '" + (*it)[1].str() +
+                 "' outside tests/bench: naive paths are differential "
+                 "oracles and skew the Thm. 12 op-count accounting");
+    }
+  }
+}
+
+// ---- rule: secret-sink -----------------------------------------------------
+
+std::vector<std::string> collect_secret_identifiers(const SourceFile& file) {
+  static const std::regex decl_re(
+      R"((?:\bSecret\s*<[^;{}()]*>|\bAeadKey\b)\s*[&*]?\s*([A-Za-z_]\w*)\s*(?:[;={(,)\[]|$))");
+  std::vector<std::string> names;
+  for (const auto& line : file.lines) {
+    for (std::sregex_iterator it(line.code.begin(), line.code.end(), decl_re),
+         end;
+         it != end; ++it) {
+      const std::string name = (*it)[1].str();
+      if (name == "reveal" || name == "reveal_mut") continue;
+      if (std::find(names.begin(), names.end(), name) == names.end())
+        names.push_back(name);
+    }
+  }
+  return names;
+}
+
+/// After an identifier occurrence (and any [index] suffixes), the only
+/// sanctioned continuation into a sink is .reveal() / ->reveal().
+bool followed_by_reveal(const std::string& text, std::size_t after) {
+  std::size_t i = after;
+  for (;;) {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+    if (i < text.size() && text[i] == '[') {
+      int depth = 1;
+      ++i;
+      while (i < text.size() && depth > 0) {
+        if (text[i] == '[') ++depth;
+        if (text[i] == ']') --depth;
+        ++i;
+      }
+      continue;
+    }
+    break;
+  }
+  return text.compare(i, 7, ".reveal") == 0 ||
+         text.compare(i, 8, "->reveal") == 0;
+}
+
+void rule_secret_sink(const SourceFile& file,
+                      std::vector<Finding>& findings) {
+  const std::vector<std::string> secrets = collect_secret_identifiers(file);
+  if (secrets.empty()) return;
+  static const std::regex sink_re(
+      R"(\b(?:DMW_(?:LOG|TRACE|DEBUG|INFO|WARN|ERROR)\b|std::cout\b|std::cerr\b|printf\s*\(|fprintf\s*\(|fputs\s*\(|JsonWriter\b|\.key\s*\(|\.field\s*\(|write_scalar\s*\(|write_elem\s*\())");
+  constexpr std::size_t kMaxStatementLines = 6;
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    if (!std::regex_search(file.lines[i].code, sink_re)) continue;
+    // Assemble the statement: this line plus continuations until ';'.
+    std::string statement;
+    std::size_t last = i;
+    for (std::size_t j = i;
+         j < file.lines.size() && j < i + kMaxStatementLines; ++j) {
+      statement += file.lines[j].code;
+      statement += '\n';
+      last = j;
+      if (file.lines[j].code.find(';') != std::string::npos) break;
+    }
+    for (const auto& name : secrets) {
+      const std::regex id_re("\\b" + name + "\\b");
+      bool flagged = false;
+      for (std::sregex_iterator it(statement.begin(), statement.end(), id_re),
+           end;
+           it != end && !flagged; ++it) {
+        const auto after =
+            static_cast<std::size_t>(it->position(0)) + name.size();
+        if (!followed_by_reveal(statement, after)) flagged = true;
+      }
+      if (flagged) {
+        report(findings, file, i, "secret-sink",
+               "Secret-typed identifier '" + name +
+                   "' reaches a logging/serialization sink without "
+                   "reveal(): secrets leave the process only through the "
+                   "audited reveal() token");
+      }
+    }
+    i = last;  // do not re-flag continuation lines of the same statement
+  }
+}
+
+// ---- rule: ct-branch -------------------------------------------------------
+
+void rule_ct_branch(const SourceFile& file, std::vector<Finding>& findings) {
+  static const std::regex branch_re(
+      R"(\bif\s*\(|\bswitch\s*\(|\?|&&|\|\|)");
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    if (!file.ct_region[i]) continue;
+    const std::string& code = file.lines[i].code;
+    for (std::sregex_iterator it(code.begin(), code.end(), branch_re), end;
+         it != end; ++it) {
+      report(findings, file, i, "ct-branch",
+             "branch/short-circuit '" + it->str() +
+                 "' inside a `dmwlint: constant-time` region: control flow "
+                 "here must not depend on secret data");
+    }
+  }
+}
+
+// ---- rule: banned-pattern --------------------------------------------------
+
+void rule_banned_pattern(const SourceFile& file,
+                         std::vector<Finding>& findings) {
+  struct Pattern {
+    const char* regex;
+    const char* message;
+    bool protocol_dirs_only;  ///< src/dmw, src/net, src/exp
+    bool lib_and_tools_only;  ///< src/, tools/
+  };
+  static const Pattern kPatterns[] = {
+      {R"(\b(?:s?rand)\s*\()",
+       "libc rand()/srand(): use support/rng.hpp (Xoshiro256ss) or "
+       "crypto::ChaChaRng so runs stay reproducible and secrets stay "
+       "unpredictable",
+       false, false},
+      {R"(\bassert\s*\()",
+       "raw assert(): use DMW_CHECK/DMW_REQUIRE, which throw and let "
+       "protocol code translate violations into aborts",
+       false, false},
+      {R"(\bstd::unordered_(?:map|set|multimap|multiset)\b)",
+       "unordered container in protocol-visible code: iteration order is "
+       "implementation-defined and leaks nondeterminism into transcripts "
+       "and traffic accounting",
+       true, false},
+      {R"(\busing\s+namespace\s+std\b)",
+       "`using namespace std` pollutes every including TU", false, false},
+      {R"(\bstd::cerr\b|\bfprintf\s*\(\s*stderr\b)",
+       "raw stderr diagnostic: route through the leveled logger "
+       "(support/logging.hpp) so sinks stay auditable",
+       false, true},
+  };
+  const bool in_protocol_dirs = has_adjacent(file, "src", "dmw") ||
+                                has_adjacent(file, "src", "net") ||
+                                has_adjacent(file, "src", "exp");
+  const bool in_lib_or_tools =
+      has_component(file, "src") || has_component(file, "tools");
+  for (const auto& pattern : kPatterns) {
+    if (pattern.protocol_dirs_only && !in_protocol_dirs) continue;
+    if (pattern.lib_and_tools_only && !in_lib_or_tools) continue;
+    const std::regex re(pattern.regex);
+    for (std::size_t i = 0; i < file.lines.size(); ++i) {
+      if (std::regex_search(file.lines[i].code, re))
+        report(findings, file, i, "banned-pattern", pattern.message);
+    }
+  }
+}
+
+// ---- rule: include-hygiene -------------------------------------------------
+
+void rule_include_hygiene(const SourceFile& file,
+                          std::vector<Finding>& findings) {
+  static const std::regex updir_re(R"(#\s*include\s*"\.\./)");
+  static const std::regex angled_project_re(
+      R"(#\s*include\s*<(?:crypto|dmw|exp|mech|net|numeric|poly|support)/)");
+  static const std::regex iostream_re(R"(#\s*include\s*<iostream>)");
+  static const std::regex cassert_re(
+      R"(#\s*include\s*(?:<cassert>|<assert\.h>))");
+  bool has_pragma_once = false;
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    std::string lead = file.lines[i].code;
+    lead.erase(0, lead.find_first_not_of(" \t"));
+    // Quoted include paths live inside string literals, blanked in the code
+    // view; scan the raw line, but only on preprocessor lines so prose in
+    // comments cannot fire.
+    const std::string& code =
+        lead.starts_with("#") ? file.lines[i].raw : file.lines[i].code;
+    if (code.find("#pragma once") != std::string::npos)
+      has_pragma_once = true;
+    if (std::regex_search(code, updir_re))
+      report(findings, file, i, "include-hygiene",
+             "\"../\" include path: include project headers rooted at src/ "
+             "(e.g. \"crypto/aead.hpp\")");
+    if (std::regex_search(code, angled_project_re))
+      report(findings, file, i, "include-hygiene",
+             "project header included with <>: use quotes so the include "
+             "resolves against src/, not the system path");
+    if (std::regex_search(code, cassert_re))
+      report(findings, file, i, "include-hygiene",
+             "<cassert> include: invariants go through DMW_CHECK "
+             "(support/check.hpp)");
+    if (has_component(file, "src") && std::regex_search(code, iostream_re))
+      report(findings, file, i, "include-hygiene",
+             "<iostream> in the library: static-init cost in every TU and "
+             "an unauditable sink; use the logger or take an ostream&");
+  }
+  if (is_header(file) && !has_pragma_once && !file.lines.empty()) {
+    report(findings, file, 0, "include-hygiene",
+           "header without #pragma once");
+  }
+}
+
+}  // namespace
+
+// ---- public API ------------------------------------------------------------
+
+const std::vector<std::string>& rule_names() {
+  static const std::vector<std::string> kNames = {
+      "naive-call", "secret-sink", "ct-branch", "banned-pattern",
+      "include-hygiene"};
+  return kNames;
+}
+
+std::vector<Finding> lint_file(const std::string& path,
+                               std::string_view text) {
+  const SourceFile file = parse_source(path, text);
+  std::vector<Finding> findings;
+  rule_naive_call(file, findings);
+  rule_secret_sink(file, findings);
+  rule_ct_branch(file, findings);
+  rule_banned_pattern(file, findings);
+  rule_include_hygiene(file, findings);
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+  return findings;
+}
+
+std::vector<Finding> lint_path(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {Finding{path, 0, "io-error", "cannot read file"}};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return lint_file(path, buffer.str());
+}
+
+std::vector<Finding> lint_tree(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> paths;
+  for (const char* top : {"src", "tools", "examples", "tests", "bench"}) {
+    const fs::path dir = fs::path(root) / top;
+    if (!fs::exists(dir)) continue;
+    for (auto it = fs::recursive_directory_iterator(dir);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_directory()) {
+        const std::string name = it->path().filename().string();
+        if (name == "fixtures" || name.starts_with("build") ||
+            name.starts_with(".")) {
+          it.disable_recursion_pending();
+        }
+        continue;
+      }
+      const std::string ext = it->path().extension().string();
+      if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc")
+        paths.push_back(it->path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<Finding> findings;
+  for (const auto& path : paths) {
+    auto file_findings = lint_path(path);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  return findings;
+}
+
+std::vector<Expectation> parse_expectations(std::string_view text) {
+  const SourceFile file = parse_source("<expectations>", std::string(text));
+  static const std::regex expect_re(R"(EXPECT:\s*([a-z-]+))");
+  std::vector<Expectation> out;
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const std::string& comment = file.lines[i].comment;
+    for (std::sregex_iterator it(comment.begin(), comment.end(), expect_re),
+         end;
+         it != end; ++it) {
+      out.push_back(Expectation{i + 1, (*it)[1].str()});
+    }
+  }
+  return out;
+}
+
+std::string to_string(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ": [" +
+         finding.rule + "] " + finding.message;
+}
+
+}  // namespace dmwlint

@@ -1,0 +1,67 @@
+// dmwlint — repo-specific static analysis for the DMW codebase.
+//
+// Token/regex-level analysis over the source tree (no compiler dependency).
+// The rules encode invariants the rest of the repo only states in comments:
+//
+//   naive-call       *_naive exponentiation paths are differential oracles
+//                    and ablation baselines only; a fast-path caller reaching
+//                    one silently breaks the Thm. 12 op-count accounting.
+//   secret-sink      a Secret<T>/AeadKey identifier may reach a logging /
+//                    JSON / serialization / stdio sink only through an
+//                    explicit reveal() — the Thm. 10 privacy choke point.
+//   ct-branch        no data-dependent if/ternary/short-circuit inside
+//                    regions tagged `// dmwlint: constant-time` (ct_eq, the
+//                    ChaCha20 and SHA-256 kernels).
+//   banned-pattern   rand()/srand() (use support/rng.hpp), raw assert()
+//                    (use DMW_CHECK), unordered containers in protocol-
+//                    visible code (iteration order leaks into transcripts),
+//                    raw std::cerr / fprintf(stderr, ...) outside the logger.
+//   include-hygiene  headers carry #pragma once, no "../" includes, no
+//                    `using namespace std`, no <iostream> in the library.
+//
+// Any finding is suppressed by `// dmwlint:allow(<rule>)` on the same line,
+// or on an immediately preceding comment-only line. See docs/dmwlint.md.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dmwlint {
+
+struct Finding {
+  std::string file;    ///< path as given to the linter
+  std::size_t line;    ///< 1-based line number
+  std::string rule;    ///< rule slug, e.g. "naive-call"
+  std::string message; ///< human-readable explanation
+};
+
+/// All rule slugs the linter knows, in reporting order.
+const std::vector<std::string>& rule_names();
+
+/// Lint one file's contents. `path` drives path-based scoping: findings of
+/// some rules are not produced for tests/, bench/ or fixture paths.
+std::vector<Finding> lint_file(const std::string& path,
+                               std::string_view text);
+
+/// Read and lint one file from disk. Missing files yield a single
+/// pseudo-finding with rule "io-error".
+std::vector<Finding> lint_path(const std::string& path);
+
+/// Recursively lint the repo tree rooted at `root`: src/, tools/, examples/,
+/// tests/ and bench/, extensions .hpp/.cpp/.h/.cc, skipping any path with a
+/// `fixtures` component (seeded-violation corpora) and build directories.
+std::vector<Finding> lint_tree(const std::string& root);
+
+/// Expected-finding markers for the fixture self-test: every line comment
+/// `// EXPECT: <rule>` in `text` names a rule that must fire on that line.
+struct Expectation {
+  std::size_t line;
+  std::string rule;
+};
+std::vector<Expectation> parse_expectations(std::string_view text);
+
+/// Render a finding as "path:line: [rule] message".
+std::string to_string(const Finding& finding);
+
+}  // namespace dmwlint

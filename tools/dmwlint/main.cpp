@@ -1,0 +1,152 @@
+// dmwlint CLI.
+//
+//   dmwlint --root DIR          lint the repo tree rooted at DIR
+//   dmwlint FILE...             lint specific files
+//   dmwlint --self-test DIR     run the fixture self-test over DIR
+//   dmwlint --list-rules        print the rule slugs
+//
+// Exit status: 0 clean, 1 findings (or self-test mismatches), 2 usage error.
+// Findings go to stdout, one per line, as "path:line: [rule] message".
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+int usage() {
+  std::printf(
+      "usage: dmwlint [--root DIR | FILE...] [--self-test DIR] "
+      "[--list-rules]\n");
+  return 2;
+}
+
+/// Fixture files may carry `// dmwlint-fixture-path: src/dmw/foo.cpp` to be
+/// linted as if they lived at that path (path-scoped rules need it).
+std::string pretend_path(const std::string& text,
+                         const std::string& fallback) {
+  const std::string kTag = "dmwlint-fixture-path:";
+  const auto pos = text.find(kTag);
+  if (pos == std::string::npos) return fallback;
+  auto begin = pos + kTag.size();
+  while (begin < text.size() && text[begin] == ' ') ++begin;
+  auto end = begin;
+  while (end < text.size() && !std::isspace(static_cast<unsigned char>(
+                                  text[end])))
+    ++end;
+  return text.substr(begin, end - begin);
+}
+
+/// Lint every fixture and require the findings to equal the `// EXPECT:`
+/// markers exactly — each marker must fire, nothing else may.
+int run_self_test(const std::string& dir) {
+  std::size_t files = 0, mismatches = 0, checked = 0;
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc")
+      paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const auto& path : paths) {
+    ++files;
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    const std::string lint_as = pretend_path(text, path.string());
+
+    auto findings = dmwlint::lint_file(lint_as, text);
+    auto expectations = dmwlint::parse_expectations(text);
+    checked += expectations.size();
+
+    // Pair findings with expectations by (line, rule).
+    std::vector<bool> matched(expectations.size(), false);
+    for (const auto& finding : findings) {
+      bool found = false;
+      for (std::size_t i = 0; i < expectations.size(); ++i) {
+        if (!matched[i] && expectations[i].line == finding.line &&
+            expectations[i].rule == finding.rule) {
+          matched[i] = found = true;
+          break;
+        }
+      }
+      if (!found) {
+        ++mismatches;
+        std::printf("self-test: UNEXPECTED %s (fixture %s)\n",
+                    dmwlint::to_string(finding).c_str(),
+                    path.filename().string().c_str());
+      }
+    }
+    for (std::size_t i = 0; i < expectations.size(); ++i) {
+      if (!matched[i]) {
+        ++mismatches;
+        std::printf("self-test: MISSING %s:%zu: [%s] expected but not fired\n",
+                    path.filename().string().c_str(), expectations[i].line,
+                    expectations[i].rule.c_str());
+      }
+    }
+  }
+  std::printf(
+      "dmwlint self-test: %zu fixture(s), %zu expectation(s), "
+      "%zu mismatch(es)\n",
+      files, checked, mismatches);
+  if (files == 0) {
+    std::printf("self-test: no fixtures found under %s\n", dir.c_str());
+    return 2;
+  }
+  return mismatches == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::string self_test_dir;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--self-test" && i + 1 < argc) {
+      self_test_dir = argv[++i];
+    } else if (arg == "--list-rules") {
+      for (const auto& rule : dmwlint::rule_names())
+        std::printf("%s\n", rule.c_str());
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg.starts_with("-")) {
+      return usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (!self_test_dir.empty()) return run_self_test(self_test_dir);
+  if (!root.empty() && !files.empty()) return usage();
+
+  std::vector<dmwlint::Finding> findings;
+  if (!files.empty()) {
+    for (const auto& file : files) {
+      auto file_findings = dmwlint::lint_path(file);
+      findings.insert(findings.end(), file_findings.begin(),
+                      file_findings.end());
+    }
+  } else {
+    findings = dmwlint::lint_tree(root.empty() ? "." : root);
+  }
+  for (const auto& finding : findings)
+    std::printf("%s\n", dmwlint::to_string(finding).c_str());
+  std::printf("dmwlint: %zu finding(s)\n", findings.size());
+  return findings.empty() ? 0 : 1;
+}
