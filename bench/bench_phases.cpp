@@ -5,8 +5,12 @@
 // The shape to reproduce: Phase II dominates unicasts (share distribution),
 // Phase III dominates computation (verification + resolution), Phase IV is
 // negligible.
+// The same run is repeated on the task-parallel engine as a cross-check:
+// per-phase mod-op counts and traffic must be identical (the profile is a
+// property of the protocol, not of the execution engine).
 #include <cstdio>
 
+#include "dmw/parallel.hpp"
 #include "dmw/protocol.hpp"
 #include "exp/table.hpp"
 
@@ -59,5 +63,20 @@ int main() {
     std::printf(" %llu", static_cast<unsigned long long>(p));
   std::printf("\nbroadcast transcript consistent: %s\n",
               outcome.transcripts_consistent ? "yes" : "NO");
-  return 0;
+
+  const auto parallel =
+      dmw::proto::run_parallel_dmw(params, instance, /*threads=*/4);
+  bool profile_matches = !parallel.aborted &&
+                         parallel.schedule == outcome.schedule &&
+                         parallel.payments == outcome.payments;
+  for (std::size_t i = 0; i < outcome.phases.size(); ++i) {
+    profile_matches =
+        profile_matches &&
+        parallel.phases[i].ops.total() == outcome.phases[i].ops.total() &&
+        parallel.phases[i].stats.p2p_equivalent_bytes ==
+            outcome.phases[i].stats.p2p_equivalent_bytes;
+  }
+  std::printf("task-parallel engine (4 workers) reproduces profile: %s\n",
+              profile_matches ? "yes" : "NO");
+  return profile_matches ? 0 : 1;
 }

@@ -13,6 +13,20 @@
 // commitment vectors once per task — Qhat_l = prod_l' Q_{l',l} — after which
 // prod_l Gamma_{i,l} == commitment_eval(Qhat, alpha_i), restoring the
 // claimed O(m n^2 log p) bound. The same aggregate serves Eq. (13) via Rhat.
+//
+// Execution model: every phase is split into a per-agent *ingest* step
+// (drains the inbox / bulletin and touches cross-task members: transcript,
+// peer keys, bids) and per-task *compute* steps that read shared-const state
+// and write only their own TaskView. The classic phase methods are wrappers
+// chaining ingest -> per-task loop -> commit_task_failures(); the
+// task-parallel driver (dmw/parallel.hpp) runs the same pieces with the
+// per-task steps sharded across ThreadPool workers. Per-task randomness
+// comes from an independent ChaCha stream keyed by (master seed, task id),
+// so sampled polynomials are identical no matter which worker — or how many
+// workers — execute the task. Failed checks are *recorded* per task and
+// committed at the stage barrier as a single abort on the lowest failing
+// task, which is exactly the abort the historical sequential scan (tasks in
+// ascending order, stop at first failure) produced.
 #pragma once
 
 #include <map>
@@ -72,9 +86,11 @@ class DmwAgent {
         id_(id),
         true_costs_(std::move(true_costs)),
         strategy_(strategy),
+        secret_seed_(secret_seed),
         rng_(crypto::ChaChaRng::from_seed(secret_seed, id)),
         transcript_("dmw-session"),
         tasks_(params.m()),
+        task_failures_(params.m()),
         encrypt_(encrypt_channels),
         dh_(crypto::DhKeyPair<G>::generate(params.group(), rng_)),
         peer_keys_(params.n()) {
@@ -124,72 +140,102 @@ class DmwAgent {
 
   // ---- Phase II ------------------------------------------------------------
 
-  /// II.1-II.3: choose bids, sample polynomials, distribute shares over the
-  /// private channels and publish commitments.
-  void phase2_bid_and_send(net::SimNetwork& net) {
+  /// II.1 ingest: absorb peers' DH keys, choose bids, derive every channel
+  /// key eagerly (the per-task send steps then only *read* the key caches,
+  /// which keeps them safe to run concurrently).
+  void phase2_prepare(net::SimNetwork& net) {
     if (stopped()) return;
     absorb_bulletin(net);  // peers' DH keys
     bids_ = strategy_.choose_bids(true_costs_, params_.bid_set());
     DMW_CHECK_MSG(bids_.size() == params_.m(), "strategy returned bad bids");
+    derive_channel_keys();
+  }
+
+  /// II.2-II.3 for one task: sample the bid polynomials from the task's own
+  /// ChaCha stream, distribute shares over the private channels, publish
+  /// commitments. Writes only tasks_[task].
+  void phase2_send_task(net::SimNetwork& net, std::size_t j) {
+    if (stopped()) return;
     const G& g = params_.group();
+    auto& view = tasks_[j];
+    crypto::ChaChaRng rng = task_rng(j);
+    view.secrets = Secret<BidPolynomials<G>>(
+        BidPolynomials<G>::sample(params_, bids_[j], rng));
 
-    for (std::size_t j = 0; j < params_.m(); ++j) {
-      auto& view = tasks_[j];
-      view.secrets = Secret<BidPolynomials<G>>(
-          BidPolynomials<G>::sample(params_, bids_[j], rng_));
-
-      for (std::size_t k = 0; k < params_.n(); ++k) {
-        Secret<ShareBundle<G>> bundle(ShareBundle<G>::from_polys(
-            g, view.secrets->reveal(), params_.pseudonym(k)));
-        if (k == id_) {
-          view.shares_in[id_] = bundle;  // my own shares, kept locally
-          continue;
-        }
-        if (!strategy_.edit_share(j, k, bundle.reveal_mut())) continue;
-        SharesMsg<G> msg{static_cast<std::uint32_t>(j), bundle.reveal()};
-        std::vector<std::uint8_t> payload = msg.encode(g);
-        if (encrypt_) {
-          // No published key means the peer cannot open anything we send;
-          // skip (a silent peer is handled by the crash/abort logic).
-          if (!peer_keys_[k]) continue;
-          // Wire format: cleartext 4-byte nonce (the task id, one use per
-          // directional key) followed by ciphertext||tag.
-          const auto sealed =
-              crypto::aead_seal(channel_key(k, /*outbound=*/true),
-                                /*nonce=*/j, payload, channel_aad(id_, k));
-          net::Writer wrapper;
-          wrapper.u32(static_cast<std::uint32_t>(j));
-          wrapper.raw(sealed);
-          payload = wrapper.take();
-        }
-        net.send(static_cast<net::AgentId>(id_), static_cast<net::AgentId>(k),
-                 static_cast<std::uint32_t>(MsgKind::kShares),
-                 std::move(payload));
+    for (std::size_t k = 0; k < params_.n(); ++k) {
+      Secret<ShareBundle<G>> bundle(ShareBundle<G>::from_polys(
+          g, view.secrets->reveal(), params_.pseudonym(k)));
+      if (k == id_) {
+        view.shares_in[id_] = bundle;  // my own shares, kept locally
+        continue;
       }
-
-      CommitmentVectors<G> commitments =
-          CommitmentVectors<G>::commit(params_, view.secrets->reveal());
-      if (!strategy_.edit_commitments(j, commitments)) continue;  // withheld
-      CommitmentsMsg<G> msg{static_cast<std::uint32_t>(j),
-                            std::move(commitments)};
-      net.publish(static_cast<net::AgentId>(id_),
-                  static_cast<std::uint32_t>(MsgKind::kCommitments),
-                  msg.encode(g));
+      if (!strategy_.edit_share(j, k, bundle.reveal_mut())) continue;
+      SharesMsg<G> msg{static_cast<std::uint32_t>(j), bundle.reveal()};
+      std::vector<std::uint8_t> payload = msg.encode(g);
+      if (encrypt_) {
+        // No published key means the peer cannot open anything we send;
+        // skip (a silent peer is handled by the crash/abort logic).
+        if (!peer_keys_[k]) continue;
+        // Wire format: cleartext 4-byte nonce (the task id, one use per
+        // directional key) followed by ciphertext||tag.
+        const auto sealed =
+            crypto::aead_seal(channel_key(k, /*outbound=*/true),
+                              /*nonce=*/j, payload, channel_aad(id_, k));
+        net::Writer wrapper;
+        wrapper.u32(static_cast<std::uint32_t>(j));
+        wrapper.raw(sealed);
+        payload = wrapper.take();
+      }
+      net.send(static_cast<net::AgentId>(id_), static_cast<net::AgentId>(k),
+               static_cast<std::uint32_t>(MsgKind::kShares),
+               std::move(payload));
     }
+
+    CommitmentVectors<G> commitments =
+        CommitmentVectors<G>::commit(params_, view.secrets->reveal());
+    if (!strategy_.edit_commitments(j, commitments)) return;  // withheld
+    CommitmentsMsg<G> msg{static_cast<std::uint32_t>(j),
+                          std::move(commitments)};
+    net.publish(static_cast<net::AgentId>(id_),
+                static_cast<std::uint32_t>(MsgKind::kCommitments),
+                msg.encode(g));
+  }
+
+  /// II.1-II.3: choose bids, sample polynomials, distribute shares over the
+  /// private channels and publish commitments.
+  void phase2_bid_and_send(net::SimNetwork& net) {
+    if (stopped()) return;
+    phase2_prepare(net);
+    for (std::size_t j = 0; j < params_.m(); ++j) phase2_send_task(net, j);
   }
 
   // ---- Phase III -----------------------------------------------------------
 
-  /// III.1: collect shares + commitments, verify Eqs. (7)-(9), and build
-  /// the Qhat/Rhat aggregates.
-  void phase3_collect_and_verify(net::SimNetwork& net) {
+  /// III.1 ingest: open the sealed share envelopes and absorb the published
+  /// commitments. Touches every TaskView, so it runs per-agent, before the
+  /// per-task verification steps.
+  void phase3_ingest(net::SimNetwork& net) {
     if (stopped()) return;
     drain_unicasts(net);
     absorb_bulletin(net);
+  }
+
+  /// Bulletin catch-up for the verification steps of III.2-III.4 (no inbox
+  /// traffic in those rounds).
+  void absorb_published(net::SimNetwork& net) {
+    if (stopped()) return;
+    absorb_bulletin(net);
+  }
+
+  /// III.1 for one task: verify Eqs. (7)-(9) and build the Qhat/Rhat
+  /// aggregates. Failures are recorded, not thrown: commit_task_failures()
+  /// turns the lowest failing task into the abort broadcast.
+  void phase3_verify_task(net::SimNetwork& net, std::size_t j) {
+    if (stopped()) return;
+    (void)net;
     const G& g = params_.group();
     const auto& alpha_i = params_.pseudonym(id_);
-
-    for (std::size_t j = 0; j < params_.m(); ++j) {
+    {
       auto& view = tasks_[j];
       std::size_t alive_count = 0;
       for (std::size_t k = 0; k < params_.n(); ++k) {
@@ -204,25 +250,26 @@ class DmwAgent {
             view.shares_in[k].reset();  // ignore any stray shares it sent
             continue;
           }
-          return abort(net, j, AbortReason::kMissingCommitments);
+          return record_failure(j, AbortReason::kMissingCommitments);
         }
         ++alive_count;
-        if (!view.shares_in[k]) return abort(net, j, AbortReason::kMissingShares);
+        if (!view.shares_in[k])
+          return record_failure(j, AbortReason::kMissingShares);
         const auto& commitments = *view.commitments[k];
         if (!commitments.well_formed(params_))
-          return abort(net, j, AbortReason::kBadShareCommitment);
+          return record_failure(j, AbortReason::kBadShareCommitment);
         const auto& shares = view.shares_in[k]->reveal();
         if (!verify_product_commitment(g, shares, commitments.O, alpha_i))
-          return abort(net, j, AbortReason::kBadShareCommitment);
+          return record_failure(j, AbortReason::kBadShareCommitment);
         const auto gamma = gamma_value<G>(g, commitments.Q, alpha_i);
         if (!verify_eh_commitment(g, shares, gamma))
-          return abort(net, j, AbortReason::kBadShareCommitment);
+          return record_failure(j, AbortReason::kBadShareCommitment);
         const auto phi = phi_value<G>(g, commitments.R, alpha_i);
         if (!verify_fh_commitment(g, shares, phi))
-          return abort(net, j, AbortReason::kBadShareCommitment);
+          return record_failure(j, AbortReason::kBadShareCommitment);
       }
       if (alive_count < params_.quorum() || alive_count < 2)
-        return abort(net, j, AbortReason::kQuorumLost);
+        return record_failure(j, AbortReason::kQuorumLost);
       // Aggregate commitment vectors for Eqs. (11) and (13), over the
       // participating agents only.
       const std::size_t sigma = params_.sigma();
@@ -239,11 +286,21 @@ class DmwAgent {
     }
   }
 
-  /// III.2 (Eq. 10): publish Lambda_i = z1^{E(alpha_i)}, Psi_i = z2^{H(alpha_i)}.
-  void phase3_publish_lambda_psi(net::SimNetwork& net) {
+  /// III.1: collect shares + commitments, verify Eqs. (7)-(9), and build
+  /// the Qhat/Rhat aggregates.
+  void phase3_collect_and_verify(net::SimNetwork& net) {
+    if (stopped()) return;
+    phase3_ingest(net);
+    for (std::size_t j = 0; j < params_.m(); ++j) phase3_verify_task(net, j);
+    commit_task_failures(net);
+  }
+
+  /// III.2 (Eq. 10) for one task: publish Lambda_i = z1^{E(alpha_i)},
+  /// Psi_i = z2^{H(alpha_i)}.
+  void phase3_lambda_task(net::SimNetwork& net, std::size_t j) {
     if (stopped()) return;
     const G& g = params_.group();
-    for (std::size_t j = 0; j < params_.m(); ++j) {
+    {
       auto& view = tasks_[j];
       typename G::Scalar e_sum = g.szero();
       typename G::Scalar h_sum = g.szero();
@@ -254,7 +311,7 @@ class DmwAgent {
       }
       typename G::Elem lambda = g.pow(g.z1(), e_sum);
       typename G::Elem psi = g.pow(g.z2(), h_sum);
-      if (!strategy_.edit_lambda_psi(j, lambda, psi)) continue;  // withheld
+      if (!strategy_.edit_lambda_psi(j, lambda, psi)) return;  // withheld
       LambdaPsiMsg<G> msg{static_cast<std::uint32_t>(j), lambda, psi};
       net.publish(static_cast<net::AgentId>(id_),
                   static_cast<std::uint32_t>(MsgKind::kLambdaPsi),
@@ -262,12 +319,19 @@ class DmwAgent {
     }
   }
 
-  /// III.2 verification (Eq. 11) + first-price resolution (Eq. 12).
-  void phase3_verify_and_resolve_first_price(net::SimNetwork& net) {
+  /// III.2 (Eq. 10): publish Lambda/Psi for every task.
+  void phase3_publish_lambda_psi(net::SimNetwork& net) {
     if (stopped()) return;
-    absorb_bulletin(net);
+    for (std::size_t j = 0; j < params_.m(); ++j) phase3_lambda_task(net, j);
+  }
+
+  /// III.2 verification (Eq. 11) + first-price resolution (Eq. 12) for one
+  /// task.
+  void phase3_first_price_task(net::SimNetwork& net, std::size_t j) {
+    if (stopped()) return;
+    (void)net;
     const G& g = params_.group();
-    for (std::size_t j = 0; j < params_.m(); ++j) {
+    {
       auto& view = tasks_[j];
       std::vector<typename G::Scalar> points;
       std::vector<typename G::Elem> lambdas;
@@ -281,13 +345,13 @@ class DmwAgent {
           // A participant that fell silent after Phase II: tolerated as a
           // lost resolution point in crash-tolerant mode, fatal otherwise.
           if (params_.crash_tolerant()) continue;
-          return abort(net, j, AbortReason::kMissingLambdaPsi);
+          return record_failure(j, AbortReason::kMissingLambdaPsi);
         }
         // Eq. (11): prod_l Gamma_{k,l} == Lambda_k * Psi_k, via the Qhat
         // aggregate evaluated at alpha_k.
         const auto expected = qhat_eval.eval(params_.pseudonym(k));
         if (g.mul(*view.lambda[k], *view.psi[k]) != expected)
-          return abort(net, j, AbortReason::kBadLambdaPsi);
+          return record_failure(j, AbortReason::kBadLambdaPsi);
         points.push_back(params_.pseudonym(k));
         lambdas.push_back(*view.lambda[k]);
       }
@@ -295,16 +359,26 @@ class DmwAgent {
       const auto resolution =
           poly::resolve_degree_in_exponent(g, points, lambdas);
       if (!resolution.degree || !params_.degree_is_valid_bid(*resolution.degree))
-        return abort(net, j, AbortReason::kFirstPriceUnresolved);
+        return record_failure(j, AbortReason::kFirstPriceUnresolved);
       view.first_price = params_.bid_for_degree(*resolution.degree);
     }
   }
 
-  /// III.3 disclosure: the first y*+1 agents publish the f-shares they hold.
-  void phase3_disclose(net::SimNetwork& net) {
+  /// III.2 verification + first-price resolution across every task.
+  void phase3_verify_and_resolve_first_price(net::SimNetwork& net) {
+    if (stopped()) return;
+    absorb_published(net);
+    for (std::size_t j = 0; j < params_.m(); ++j)
+      phase3_first_price_task(net, j);
+    commit_task_failures(net);
+  }
+
+  /// III.3 disclosure for one task: the first y*+1 agents publish the
+  /// f-shares they hold.
+  void phase3_disclose_task(net::SimNetwork& net, std::size_t j) {
     if (stopped()) return;
     const G& g = params_.group();
-    for (std::size_t j = 0; j < params_.m(); ++j) {
+    {
       auto& view = tasks_[j];
       // Prescribed disclosers: the first y*+1 participants in pseudonym
       // order; crash-tolerant runs add c backups so up to c silent
@@ -324,7 +398,7 @@ class DmwAgent {
       for (std::size_t k = 0; k < params_.n(); ++k)
         f_shares.push_back(view.alive[k] ? view.shares_in[k]->reveal().f
                                          : g.szero());
-      if (!strategy_.edit_disclosure(j, should_disclose, f_shares)) continue;
+      if (!strategy_.edit_disclosure(j, should_disclose, f_shares)) return;
       WinnerSharesMsg<G> msg{static_cast<std::uint32_t>(j),
                              std::move(f_shares)};
       net.publish(static_cast<net::AgentId>(id_),
@@ -333,14 +407,20 @@ class DmwAgent {
     }
   }
 
-  /// III.3 winner identification: verify disclosures (Eq. 13), interpolate
-  /// every f at the disclosed points (Eq. 14), pick the winner (smallest
-  /// pseudonym on ties).
-  void phase3_identify_winner(net::SimNetwork& net) {
+  /// III.3 disclosure across every task.
+  void phase3_disclose(net::SimNetwork& net) {
     if (stopped()) return;
-    absorb_bulletin(net);
+    for (std::size_t j = 0; j < params_.m(); ++j) phase3_disclose_task(net, j);
+  }
+
+  /// III.3 winner identification for one task: verify disclosures (Eq. 13),
+  /// interpolate every f at the disclosed points (Eq. 14), pick the winner
+  /// (smallest pseudonym on ties).
+  void phase3_winner_task(net::SimNetwork& net, std::size_t j) {
+    if (stopped()) return;
+    (void)net;
     const G& g = params_.group();
-    for (std::size_t j = 0; j < params_.m(); ++j) {
+    {
       auto& view = tasks_[j];
       const std::size_t needed = *view.first_price + 1;
 
@@ -361,12 +441,12 @@ class DmwAgent {
         }
         const auto lhs = g.mul(g.pow(g.z1(), f_sum), *view.psi[k]);
         const auto rhs = rhat_eval.eval(params_.pseudonym(k));
-        if (lhs != rhs) return abort(net, j, AbortReason::kBadDisclosure);
+        if (lhs != rhs) return record_failure(j, AbortReason::kBadDisclosure);
         valid_disclosers.push_back(k);
         if (valid_disclosers.size() == needed) break;
       }
       if (valid_disclosers.size() < needed)
-        return abort(net, j, AbortReason::kMissingDisclosure);
+        return record_failure(j, AbortReason::kMissingDisclosure);
 
       // Interpolate each agent's f over the disclosed points; the winner's
       // f (degree y*) vanishes at zero with y*+1 points (Eq. 14).
@@ -388,22 +468,30 @@ class DmwAgent {
           break;
         }
       }
-      if (!winner) return abort(net, j, AbortReason::kNoWinner);
+      if (!winner) return record_failure(j, AbortReason::kNoWinner);
       view.winner = winner;
     }
   }
 
-  /// III.4 (Eq. 15): publish the winner-excluded Lambda/Psi.
-  void phase3_publish_reduced(net::SimNetwork& net) {
+  /// III.3 winner identification across every task.
+  void phase3_identify_winner(net::SimNetwork& net) {
+    if (stopped()) return;
+    absorb_published(net);
+    for (std::size_t j = 0; j < params_.m(); ++j) phase3_winner_task(net, j);
+    commit_task_failures(net);
+  }
+
+  /// III.4 (Eq. 15) for one task: publish the winner-excluded Lambda/Psi.
+  void phase3_reduced_task(net::SimNetwork& net, std::size_t j) {
     if (stopped()) return;
     const G& g = params_.group();
-    for (std::size_t j = 0; j < params_.m(); ++j) {
+    {
       auto& view = tasks_[j];
       const std::size_t w = *view.winner;
       // An agent that never published its own Lambda/Psi (e.g. a deviant
       // strategy suppressed them in a crash-tolerant run) has nothing to
       // reduce.
-      if (!view.lambda[id_] || !view.psi[id_]) continue;
+      if (!view.lambda[id_] || !view.psi[id_]) return;
       // Lambda_i / z1^{e_*(alpha_i)}, Psi_i / z2^{h_*(alpha_i)}: I know the
       // winner's shares at my own pseudonym.
       typename G::Elem lambda = g.mul(
@@ -412,7 +500,7 @@ class DmwAgent {
       typename G::Elem psi = g.mul(
           *view.psi[id_],
           g.inv(g.pow(g.z2(), view.shares_in[w]->reveal().h)));
-      if (!strategy_.edit_reduced_lambda_psi(j, lambda, psi)) continue;
+      if (!strategy_.edit_reduced_lambda_psi(j, lambda, psi)) return;
       LambdaPsiMsg<G> msg{static_cast<std::uint32_t>(j), lambda, psi};
       net.publish(static_cast<net::AgentId>(id_),
                   static_cast<std::uint32_t>(MsgKind::kReducedLambdaPsi),
@@ -420,12 +508,18 @@ class DmwAgent {
     }
   }
 
-  /// III.4 verification + second-price resolution.
-  void phase3_resolve_second_price(net::SimNetwork& net) {
+  /// III.4 (Eq. 15): publish the reduced Lambda/Psi for every task.
+  void phase3_publish_reduced(net::SimNetwork& net) {
     if (stopped()) return;
-    absorb_bulletin(net);
+    for (std::size_t j = 0; j < params_.m(); ++j) phase3_reduced_task(net, j);
+  }
+
+  /// III.4 verification + second-price resolution for one task.
+  void phase3_second_price_task(net::SimNetwork& net, std::size_t j) {
+    if (stopped()) return;
+    (void)net;
     const G& g = params_.group();
-    for (std::size_t j = 0; j < params_.m(); ++j) {
+    {
       auto& view = tasks_[j];
       const std::size_t w = *view.winner;
       const auto& winner_commits = *view.commitments[w];
@@ -439,7 +533,7 @@ class DmwAgent {
         if (!view.alive[k]) continue;
         if (!view.lambda_red[k] || !view.psi_red[k]) {
           if (params_.crash_tolerant()) continue;  // lost point, not fatal
-          return abort(net, j, AbortReason::kBadReducedLambdaPsi);
+          return record_failure(j, AbortReason::kBadReducedLambdaPsi);
         }
         // Eq. (11) excluding the winner: divide the winner's Q out of the
         // aggregate before evaluating at alpha_k.
@@ -448,16 +542,25 @@ class DmwAgent {
         const auto winner_part = winner_q_eval.eval(alpha_k);
         const auto expected = g.mul(full, g.inv(winner_part));
         if (g.mul(*view.lambda_red[k], *view.psi_red[k]) != expected)
-          return abort(net, j, AbortReason::kBadReducedLambdaPsi);
+          return record_failure(j, AbortReason::kBadReducedLambdaPsi);
         points.push_back(alpha_k);
         lambdas.push_back(*view.lambda_red[k]);
       }
       const auto resolution =
           poly::resolve_degree_in_exponent(g, points, lambdas);
       if (!resolution.degree || !params_.degree_is_valid_bid(*resolution.degree))
-        return abort(net, j, AbortReason::kSecondPriceUnresolved);
+        return record_failure(j, AbortReason::kSecondPriceUnresolved);
       view.second_price = params_.bid_for_degree(*resolution.degree);
     }
+  }
+
+  /// III.4 verification + second-price resolution across every task.
+  void phase3_resolve_second_price(net::SimNetwork& net) {
+    if (stopped()) return;
+    absorb_published(net);
+    for (std::size_t j = 0; j < params_.m(); ++j)
+      phase3_second_price_task(net, j);
+    commit_task_failures(net);
   }
 
   // ---- Phase IV ------------------------------------------------------------
@@ -478,7 +581,40 @@ class DmwAgent {
                 msg.encode());
   }
 
+  // ---- Abort semantics -----------------------------------------------------
+
+  /// Stage barrier: turn the recorded per-task failures into the abort
+  /// broadcast. The lowest failing task wins, which reproduces bit-for-bit
+  /// the abort the historical sequential scan (tasks in ascending order,
+  /// stop at the first failure) chose — regardless of which worker found
+  /// which failure first. Serial: call from the driver thread only.
+  void commit_task_failures(net::SimNetwork& net) {
+    if (stopped()) return;
+    for (std::size_t j = 0; j < tasks_.size(); ++j) {
+      if (task_failures_[j]) return abort(net, j, *task_failures_[j]);
+    }
+  }
+
  private:
+  /// Record a per-task check failure for the stage barrier to commit. First
+  /// reason per task wins (matching the sequential early-return). Safe to
+  /// call concurrently for *different* tasks: each slot is written by the
+  /// one worker that owns the task.
+  void record_failure(std::size_t task, AbortReason reason) {
+    if (!task_failures_[task]) task_failures_[task] = reason;
+  }
+
+  /// Independent ChaCha stream for one task's polynomial sampling. Streams
+  /// (task+1)<<32 | id never collide with the DH stream (= id < 2^32), and
+  /// depend only on (master seed, agent, task) — never on which worker runs
+  /// the task or in which order.
+  crypto::ChaChaRng task_rng(std::size_t task) const {
+    const std::uint64_t stream =
+        ((static_cast<std::uint64_t>(task) + 1) << 32) |
+        static_cast<std::uint64_t>(id_);
+    return crypto::ChaChaRng::from_seed(secret_seed_, stream);
+  }
+
   void abort(net::SimNetwork& net, std::size_t task, AbortReason reason) {
     if (aborted() || halted_) return;
     if (strategy_.fail_silent()) {
@@ -590,24 +726,30 @@ class DmwAgent {
     }
   }
 
-  /// Directional AEAD key for traffic with peer k (outbound: id_ -> k).
-  /// Requires peer_keys_[k]; results are memoized per direction.
-  const crypto::AeadKey& channel_key(std::size_t k, bool outbound) {
-    DMW_REQUIRE(peer_keys_[k].has_value());
-    auto& cache = outbound ? send_keys_ : recv_keys_;
-    if (cache.empty()) {
-      cache.resize(params_.n());
-      auto& other = outbound ? recv_keys_ : send_keys_;
-      if (other.empty()) other.resize(params_.n());
-    }
-    if (!cache[k]) {
+  /// Derive both directional AEAD keys for every peer whose DH key is
+  /// known. Eager (phase2_prepare) rather than memoized-on-first-use so the
+  /// per-task send/open steps touch the caches read-only — lazy fills from
+  /// concurrent workers would race.
+  void derive_channel_keys() {
+    if (!encrypt_) return;
+    if (send_keys_.empty()) send_keys_.resize(params_.n());
+    if (recv_keys_.empty()) recv_keys_.resize(params_.n());
+    for (std::size_t k = 0; k < params_.n(); ++k) {
+      if (k == id_ || !peer_keys_[k] || send_keys_[k]) continue;
       const auto shared = crypto::dh_shared_element(
           params_.group(), dh_.secret, *peer_keys_[k]);
-      cache[k] = outbound ? crypto::derive_channel_key(params_.group(),
-                                                       shared, id_, k)
-                          : crypto::derive_channel_key(params_.group(),
-                                                       shared, k, id_);
+      send_keys_[k] = crypto::derive_channel_key(params_.group(), shared,
+                                                 id_, k);
+      recv_keys_[k] = crypto::derive_channel_key(params_.group(), shared,
+                                                 k, id_);
     }
+  }
+
+  /// Directional AEAD key for traffic with peer k (outbound: id_ -> k).
+  /// Read-only: derive_channel_keys() must have run for this peer.
+  const crypto::AeadKey& channel_key(std::size_t k, bool outbound) const {
+    const auto& cache = outbound ? send_keys_ : recv_keys_;
+    DMW_REQUIRE(k < cache.size() && cache[k].has_value());
     return *cache[k];
   }
 
@@ -625,9 +767,12 @@ class DmwAgent {
   std::size_t id_;
   std::vector<mech::Cost> true_costs_;
   Strategy<G>& strategy_;
-  crypto::ChaChaRng rng_;
+  std::uint64_t secret_seed_;
+  crypto::ChaChaRng rng_;  ///< DH keypair stream; tasks use task_rng()
   crypto::Transcript transcript_;
   std::vector<TaskView<G>> tasks_;
+  /// Deferred per-task failures (see record_failure/commit_task_failures).
+  std::vector<std::optional<AbortReason>> task_failures_;
   std::vector<mech::Cost> bids_;
   std::size_t bulletin_cursor_ = 0;
   std::optional<AbortMsg> abort_;

@@ -1,0 +1,217 @@
+// Task-parallel DMW driver.
+//
+// The paper runs "a set of parallel and independent distributed Vickrey
+// auctions" — one per task — and every per-task quantity (shares,
+// commitments, Lambda/Psi, disclosures, prices) lives in its own TaskView.
+// ParallelProtocol exploits exactly that independence: each lockstep round
+// first runs the per-agent ingest steps (sharded over agents), then shards
+// the m per-task compute steps across a fixed ThreadPool, then commits
+// recorded failures serially in agent order. Determinism contract:
+//
+//   - Per-task randomness comes from ChaCha streams keyed by
+//     (master seed, agent, task) — DmwAgent::task_rng — so sampled
+//     polynomials never depend on worker count or execution order.
+//   - Failed checks are recorded per task and committed at the stage
+//     barrier as one abort on the lowest failing task; the runner then
+//     records the lowest aborted agent id. Both match the sequential
+//     scan order, so abort records are bit-identical too.
+//   - Workers only write their own TaskView slots, per-worker traffic
+//     accumulators (SimNetwork::enable_concurrency) and per-thread op
+//     counters; everything cross-task happens between pool barriers.
+//
+// The bulletin may interleave *postings within a round* differently from
+// the sequential runner, but every Outcome field is a function of
+// per-sender keyed state, never of posting order — which is what
+// tests/test_parallel_protocol.cpp pins down across thread counts.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dmw/protocol.hpp"
+#include "support/thread_pool.hpp"
+
+namespace dmw::proto {
+
+/// Drop-in parallel equivalent of ProtocolRunner: same constructor shape
+/// plus a thread count (0 = one worker per hardware thread). Produces
+/// bit-identical Outcomes at any thread count.
+///
+/// Strategies must be reentrant: with m tasks sharded across workers, the
+/// per-task hooks (edit_share, edit_lambda_psi, ...) of one strategy object
+/// run concurrently for different tasks (and choose_bids concurrently for
+/// different agents when an instance is shared). Every strategy in
+/// dmw/strategies.hpp is read-only after construction and qualifies.
+template <dmw::num::GroupBackend G>
+class ParallelProtocol {
+ public:
+  ParallelProtocol(const PublicParams<G>& params,
+                   const mech::SchedulingInstance& instance,
+                   std::vector<Strategy<G>*> strategies, std::size_t threads,
+                   RunConfig config = RunConfig{})
+      : params_(params),
+        net_(params.n()),
+        infra_(params.n()),
+        agents_(make_dmw_agents(params, instance, strategies, config)),
+        pool_(threads == 0 ? ThreadPool::default_thread_count() : threads),
+        worker_ops_(pool_.size()) {
+    net_.enable_concurrency(pool_.size());
+  }
+
+  std::size_t threads() const { return pool_.size(); }
+  net::SimNetwork& network() { return net_; }
+  const DmwAgent<G>& agent(std::size_t i) const { return *agents_[i]; }
+
+  Outcome run() {
+    Outcome outcome;
+    outcome.payments.assign(params_.n(), 0);
+
+    // Channel setup: DH key publication for the private channels.
+    run_step(Phase::kBidding, outcome, [&] {
+      for_each_agent([&](DmwAgent<G>& a) { a.phase0_publish_key(net_); });
+    });
+
+    // Phase II: bidding (II.1-II.3) + implicit synchronization (II.4).
+    run_step(Phase::kBidding, outcome, [&] {
+      for_each_agent([&](DmwAgent<G>& a) { a.phase2_prepare(net_); });
+      for_each_task([&](DmwAgent<G>& a, std::size_t j) {
+        a.phase2_send_task(net_, j);
+      });
+    });
+
+    // Phase III.1 + III.2.
+    run_step(Phase::kLambdaPsi, outcome, [&] {
+      for_each_agent([&](DmwAgent<G>& a) { a.phase3_ingest(net_); });
+      for_each_task([&](DmwAgent<G>& a, std::size_t j) {
+        a.phase3_verify_task(net_, j);
+      });
+      commit_failures();
+      for_each_task([&](DmwAgent<G>& a, std::size_t j) {
+        a.phase3_lambda_task(net_, j);
+      });
+    });
+    run_step(Phase::kLambdaPsi, outcome, [&] {
+      for_each_agent([&](DmwAgent<G>& a) { a.absorb_published(net_); });
+      for_each_task([&](DmwAgent<G>& a, std::size_t j) {
+        a.phase3_first_price_task(net_, j);
+      });
+      commit_failures();
+    });
+
+    // Phase III.3.
+    run_step(Phase::kWinner, outcome, [&] {
+      for_each_task([&](DmwAgent<G>& a, std::size_t j) {
+        a.phase3_disclose_task(net_, j);
+      });
+    });
+    run_step(Phase::kWinner, outcome, [&] {
+      for_each_agent([&](DmwAgent<G>& a) { a.absorb_published(net_); });
+      for_each_task([&](DmwAgent<G>& a, std::size_t j) {
+        a.phase3_winner_task(net_, j);
+      });
+      commit_failures();
+    });
+
+    // Phase III.4.
+    run_step(Phase::kSecondPrice, outcome, [&] {
+      for_each_task([&](DmwAgent<G>& a, std::size_t j) {
+        a.phase3_reduced_task(net_, j);
+      });
+    });
+    run_step(Phase::kSecondPrice, outcome, [&] {
+      for_each_agent([&](DmwAgent<G>& a) { a.absorb_published(net_); });
+      for_each_task([&](DmwAgent<G>& a, std::size_t j) {
+        a.phase3_second_price_task(net_, j);
+      });
+      commit_failures();
+    });
+
+    // Phase IV.
+    run_step(Phase::kPayments, outcome, [&] {
+      for_each_agent(
+          [&](DmwAgent<G>& a) { a.phase4_submit_payment_claim(net_); });
+    });
+
+    finalize_outcome(params_, net_, infra_, agents_, outcome);
+    return outcome;
+  }
+
+ private:
+  /// One lockstep round: body() runs the stage(s), then the round advances
+  /// and the phase bucket absorbs this step's traffic, wall time and the
+  /// op-count deltas of the driver and every worker.
+  template <class Body>
+  void run_step(Phase phase, Outcome& outcome, Body&& body) {
+    if (outcome.aborted) return;
+    const auto traffic_before = net_.stats();
+    for (auto& ops : worker_ops_) ops = dmw::num::OpCounts{};
+    dmw::num::OpCountScope driver_ops;
+    Stopwatch timer;
+
+    body();
+    net_.advance_round();
+    ++outcome.rounds;
+    for (int wait = 0; net_.in_flight() > 0 && wait < 1024; ++wait) {
+      net_.advance_round();
+      ++outcome.rounds;
+    }
+
+    auto& bucket = outcome.phases[static_cast<std::size_t>(phase)];
+    bucket.seconds += timer.seconds();
+    bucket.ops += driver_ops.delta();
+    for (const auto& ops : worker_ops_) bucket.ops += ops;
+    accumulate_traffic(bucket.stats, net_.stats(), traffic_before);
+
+    note_aborts(agents_, outcome);
+  }
+
+  /// Shard a per-agent ingest step over the pool (one index per agent).
+  void for_each_agent(const std::function<void(DmwAgent<G>&)>& fn) {
+    pool_.parallel_for(agents_.size(), [&](std::size_t i) {
+      dmw::num::OpCountScope scope;
+      fn(*agents_[i]);
+      worker_ops_[static_cast<std::size_t>(ThreadPool::current_worker_id())] +=
+          scope.delta();
+    });
+  }
+
+  /// Shard a per-task compute step over the pool: worker owning task j runs
+  /// it for every agent, so all writes to task-j state stay on one thread.
+  void for_each_task(const std::function<void(DmwAgent<G>&, std::size_t)>& fn) {
+    pool_.parallel_for(params_.m(), [&](std::size_t j) {
+      dmw::num::OpCountScope scope;
+      for (auto& agent : agents_) fn(*agent, j);
+      worker_ops_[static_cast<std::size_t>(ThreadPool::current_worker_id())] +=
+          scope.delta();
+    });
+  }
+
+  /// Stage barrier, serial in agent order (the order the sequential runner
+  /// would have published the aborts in).
+  void commit_failures() {
+    for (auto& agent : agents_) agent->commit_task_failures(net_);
+  }
+
+  const PublicParams<G>& params_;
+  net::SimNetwork net_;
+  PaymentInfrastructure infra_;
+  std::vector<std::unique_ptr<DmwAgent<G>>> agents_;
+  ThreadPool pool_;
+  std::vector<dmw::num::OpCounts> worker_ops_;  // merged per run_step
+};
+
+/// Convenience: run DMW with every agent honest on `threads` workers.
+template <dmw::num::GroupBackend G>
+Outcome run_parallel_dmw(const PublicParams<G>& params,
+                         const mech::SchedulingInstance& instance,
+                         std::size_t threads, RunConfig config = RunConfig{}) {
+  HonestStrategy<G> honest;
+  std::vector<Strategy<G>*> strategies(params.n(), &honest);
+  ParallelProtocol<G> runner(params, instance, std::move(strategies), threads,
+                             config);
+  return runner.run();
+}
+
+}  // namespace dmw::proto

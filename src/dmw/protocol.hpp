@@ -72,6 +72,130 @@ struct RunConfig {
   bool encrypt_channels = true;
 };
 
+// ---- Pieces shared by the sequential and task-parallel drivers -------------
+
+/// Construct the n agents with their derived secret seeds.
+template <dmw::num::GroupBackend G>
+std::vector<std::unique_ptr<DmwAgent<G>>> make_dmw_agents(
+    const PublicParams<G>& params, const mech::SchedulingInstance& instance,
+    const std::vector<Strategy<G>*>& strategies, const RunConfig& config) {
+  DMW_REQUIRE(instance.n == params.n());
+  DMW_REQUIRE(instance.m == params.m());
+  DMW_REQUIRE(strategies.size() == params.n());
+  instance.validate();
+  std::vector<std::unique_ptr<DmwAgent<G>>> agents;
+  agents.reserve(params.n());
+  for (std::size_t i = 0; i < params.n(); ++i) {
+    DMW_REQUIRE(strategies[i] != nullptr);
+    agents.push_back(std::make_unique<DmwAgent<G>>(
+        params, i, instance.cost[i], *strategies[i],
+        config.secret_seed + 0x9e3779b97f4a7c15ULL * (i + 1),
+        config.encrypt_channels));
+  }
+  return agents;
+}
+
+inline void accumulate_traffic(net::TrafficStats& bucket,
+                               const net::TrafficStats& now,
+                               const net::TrafficStats& before) {
+  bucket.unicast_messages += now.unicast_messages - before.unicast_messages;
+  bucket.unicast_bytes += now.unicast_bytes - before.unicast_bytes;
+  bucket.broadcast_messages +=
+      now.broadcast_messages - before.broadcast_messages;
+  bucket.broadcast_bytes += now.broadcast_bytes - before.broadcast_bytes;
+  bucket.p2p_equivalent_messages +=
+      now.p2p_equivalent_messages - before.p2p_equivalent_messages;
+  bucket.p2p_equivalent_bytes +=
+      now.p2p_equivalent_bytes - before.p2p_equivalent_bytes;
+}
+
+/// An abort by any agent terminates the protocol for everyone; the lowest
+/// aborted agent id is recorded (= the first one the sequential scan saw).
+template <dmw::num::GroupBackend G>
+void note_aborts(const std::vector<std::unique_ptr<DmwAgent<G>>>& agents,
+                 Outcome& outcome) {
+  for (const auto& agent : agents) {
+    if (agent->aborted() && !outcome.aborted) {
+      outcome.aborted = true;
+      outcome.abort_record = agent->abort_record();
+      outcome.aborting_agent = agent->id();
+    }
+  }
+}
+
+/// Post-run settlement + outcome assembly (identical for both drivers):
+/// decode payment claims, settle by quorum agreement, read the schedule and
+/// prices off the first complete agent, audit transcript consistency.
+template <dmw::num::GroupBackend G>
+void finalize_outcome(const PublicParams<G>& params, net::SimNetwork& net,
+                      PaymentInfrastructure& infra,
+                      const std::vector<std::unique_ptr<DmwAgent<G>>>& agents,
+                      Outcome& outcome) {
+  outcome.traffic = net.stats();
+  if (outcome.aborted) return;
+
+  // Payment settlement (Phase IV): decode the published claims.
+  std::size_t cursor = 0;
+  for (const auto& posting : net.read_bulletin(cursor)) {
+    if (posting.kind != static_cast<std::uint32_t>(MsgKind::kPaymentClaim))
+      continue;
+    try {
+      auto msg = PaymentClaimMsg::decode(posting.payload);
+      if (msg.payments.size() != params.n()) continue;
+      infra.submit(posting.from, std::move(msg.payments));
+    } catch (const net::DecodeError&) {
+      // Malformed claim: simply never reaches agreement.
+    }
+  }
+  const auto settled = infra.settle(params.quorum());
+  if (!settled) {
+    outcome.aborted = true;
+    outcome.abort_record = AbortMsg{0, AbortReason::kPaymentDisagreement};
+    return;
+  }
+  outcome.payments = *settled;
+
+  // Assemble the schedule from the first agent that resolved every task
+  // (in an all-honest run that is agent 0; with deviants or crashed
+  // agents it is the first live honest agent — all of them agree).
+  const DmwAgent<G>* reference_agent = nullptr;
+  for (const auto& agent : agents) {
+    bool complete = !agent->aborted();
+    for (std::size_t j = 0; complete && j < params.m(); ++j) {
+      const auto& view = agent->task_view(j);
+      complete = view.winner && view.first_price && view.second_price;
+    }
+    if (complete) {
+      reference_agent = agent.get();
+      break;
+    }
+  }
+  if (reference_agent == nullptr) {
+    outcome.aborted = true;
+    outcome.abort_record = AbortMsg{0, AbortReason::kQuorumLost};
+    return;
+  }
+  std::vector<std::size_t> task_to_agent(params.m());
+  outcome.first_prices.resize(params.m());
+  outcome.second_prices.resize(params.m());
+  for (std::size_t j = 0; j < params.m(); ++j) {
+    const auto& view = reference_agent->task_view(j);
+    task_to_agent[j] = *view.winner;
+    outcome.first_prices[j] = *view.first_price;
+    outcome.second_prices[j] = *view.second_price;
+  }
+  outcome.schedule = mech::Schedule(std::move(task_to_agent));
+
+  // Broadcast-consistency audit: all transcripts must agree.
+  const auto reference = agents[0]->transcript().digest();
+  for (const auto& agent : agents) {
+    if (agent->transcript().digest() != reference) {
+      outcome.transcripts_consistent = false;
+      break;
+    }
+  }
+}
+
 template <dmw::num::GroupBackend G>
 class ProtocolRunner {
  public:
@@ -84,20 +208,8 @@ class ProtocolRunner {
       : params_(params),
         instance_(instance),
         net_(params.n()),
-        infra_(params.n()) {
-    DMW_REQUIRE(instance.n == params.n());
-    DMW_REQUIRE(instance.m == params.m());
-    DMW_REQUIRE(strategies.size() == params.n());
-    instance.validate();
-    agents_.reserve(params.n());
-    for (std::size_t i = 0; i < params.n(); ++i) {
-      DMW_REQUIRE(strategies[i] != nullptr);
-      agents_.push_back(std::make_unique<DmwAgent<G>>(
-          params, i, instance.cost[i], *strategies[i],
-          config.secret_seed + 0x9e3779b97f4a7c15ULL * (i + 1),
-          config.encrypt_channels));
-    }
-  }
+        infra_(params.n()),
+        agents_(make_dmw_agents(params, instance, strategies, config)) {}
 
   net::SimNetwork& network() { return net_; }
 
@@ -167,97 +279,13 @@ class ProtocolRunner {
     auto& bucket = outcome.phases[static_cast<std::size_t>(phase)];
     bucket.seconds += timer.seconds();
     bucket.ops += ops.delta();
-    accumulate(bucket.stats, net_.stats(), traffic_before);
+    accumulate_traffic(bucket.stats, net_.stats(), traffic_before);
 
-    // An abort by any agent terminates the protocol for everyone.
-    for (const auto& agent : agents_) {
-      if (agent->aborted() && !outcome.aborted) {
-        outcome.aborted = true;
-        outcome.abort_record = agent->abort_record();
-        outcome.aborting_agent = agent->id();
-      }
-    }
-  }
-
-  static void accumulate(net::TrafficStats& bucket,
-                         const net::TrafficStats& now,
-                         const net::TrafficStats& before) {
-    bucket.unicast_messages += now.unicast_messages - before.unicast_messages;
-    bucket.unicast_bytes += now.unicast_bytes - before.unicast_bytes;
-    bucket.broadcast_messages +=
-        now.broadcast_messages - before.broadcast_messages;
-    bucket.broadcast_bytes += now.broadcast_bytes - before.broadcast_bytes;
-    bucket.p2p_equivalent_messages +=
-        now.p2p_equivalent_messages - before.p2p_equivalent_messages;
-    bucket.p2p_equivalent_bytes +=
-        now.p2p_equivalent_bytes - before.p2p_equivalent_bytes;
+    note_aborts(agents_, outcome);
   }
 
   void finalize(Outcome& outcome) {
-    outcome.traffic = net_.stats();
-    if (outcome.aborted) return;
-
-    // Payment settlement (Phase IV): decode the published claims.
-    std::size_t cursor = 0;
-    for (const auto& posting : net_.read_bulletin(cursor)) {
-      if (posting.kind != static_cast<std::uint32_t>(MsgKind::kPaymentClaim))
-        continue;
-      try {
-        auto msg = PaymentClaimMsg::decode(posting.payload);
-        if (msg.payments.size() != params_.n()) continue;
-        infra_.submit(posting.from, std::move(msg.payments));
-      } catch (const net::DecodeError&) {
-        // Malformed claim: simply never reaches agreement.
-      }
-    }
-    const auto settled = infra_.settle(params_.quorum());
-    if (!settled) {
-      outcome.aborted = true;
-      outcome.abort_record =
-          AbortMsg{0, AbortReason::kPaymentDisagreement};
-      return;
-    }
-    outcome.payments = *settled;
-
-    // Assemble the schedule from the first agent that resolved every task
-    // (in an all-honest run that is agent 0; with deviants or crashed
-    // agents it is the first live honest agent — all of them agree).
-    const DmwAgent<G>* reference_agent = nullptr;
-    for (const auto& agent : agents_) {
-      bool complete = !agent->aborted();
-      for (std::size_t j = 0; complete && j < params_.m(); ++j) {
-        const auto& view = agent->task_view(j);
-        complete = view.winner && view.first_price && view.second_price;
-      }
-      if (complete) {
-        reference_agent = agent.get();
-        break;
-      }
-    }
-    if (reference_agent == nullptr) {
-      outcome.aborted = true;
-      outcome.abort_record = AbortMsg{0, AbortReason::kQuorumLost};
-      return;
-    }
-    std::vector<std::size_t> task_to_agent(params_.m());
-    outcome.first_prices.resize(params_.m());
-    outcome.second_prices.resize(params_.m());
-    for (std::size_t j = 0; j < params_.m(); ++j) {
-      const auto& view = reference_agent->task_view(j);
-      task_to_agent[j] = *view.winner;
-      outcome.first_prices[j] = *view.first_price;
-      outcome.second_prices[j] = *view.second_price;
-    }
-    outcome.schedule = mech::Schedule(std::move(task_to_agent));
-
-    // Broadcast-consistency audit: all transcripts must agree.
-    const auto reference = agents_[0]->transcript().digest();
-    for (const auto& agent : agents_) {
-      if (agent->transcript().digest() != reference) {
-        outcome.transcripts_consistent = false;
-        break;
-      }
-    }
+    finalize_outcome(params_, net_, infra_, agents_, outcome);
   }
 
   const PublicParams<G>& params_;

@@ -10,6 +10,15 @@
 // Hooks are "edit points": the honest agent computes the prescribed value
 // and then lets the strategy replace or suppress it. Returning false from a
 // send_* hook withholds the message entirely.
+//
+// Reentrancy contract (task-parallel runs): the per-task hooks of one
+// strategy object are invoked concurrently for different tasks — and
+// choose_bids concurrently for different agents when an instance is shared
+// (run_honest_dmw shares one HonestStrategy across all n). Strategies must
+// therefore be read-only after construction, as every strategy in
+// strategies.hpp is; a stateful strategy needs its own synchronization and
+// must not make its output depend on cross-task execution order, or the
+// bit-identical-outcome guarantee of ParallelProtocol is void.
 #pragma once
 
 #include <cstdint>

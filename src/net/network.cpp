@@ -2,11 +2,42 @@
 
 #include <algorithm>
 
+#include "support/thread_pool.hpp"
+
 namespace dmw::net {
 
 SimNetwork::SimNetwork(std::size_t n_agents)
     : n_(n_agents), inboxes_(n_agents), per_agent_(n_agents) {
   DMW_REQUIRE(n_agents >= 1);
+}
+
+void SimNetwork::enable_concurrency(std::size_t workers) {
+  DMW_REQUIRE(workers >= 1);
+  if (worker_stats_.size() < workers) {
+    worker_stats_.resize(workers);
+    for (auto& slot : worker_stats_) slot.per_agent.resize(n_);
+  }
+  if (!inbox_mutexes_) inbox_mutexes_ = std::make_unique<std::mutex[]>(n_);
+}
+
+std::pair<TrafficStats*, TrafficStats*> SimNetwork::stat_slots(AgentId from) {
+  const int worker = ThreadPool::current_worker_id();
+  if (worker >= 0 && static_cast<std::size_t>(worker) < worker_stats_.size()) {
+    auto& slot = worker_stats_[static_cast<std::size_t>(worker)];
+    return {&slot.totals, &slot.per_agent[from]};
+  }
+  return {&totals_, &per_agent_[from]};
+}
+
+void SimNetwork::flush_worker_stats() {
+  for (auto& slot : worker_stats_) {
+    totals_ += slot.totals;
+    slot.totals = TrafficStats{};
+    for (std::size_t a = 0; a < n_; ++a) {
+      per_agent_[a] += slot.per_agent[a];
+      slot.per_agent[a] = TrafficStats{};
+    }
+  }
 }
 
 void SimNetwork::send(AgentId from, AgentId to, std::uint32_t kind,
@@ -15,14 +46,15 @@ void SimNetwork::send(AgentId from, AgentId to, std::uint32_t kind,
   Envelope env{from, to, kind, std::move(payload)};
 
   const std::size_t size = env.wire_size();
-  totals_.unicast_messages += 1;
-  totals_.unicast_bytes += size;
-  totals_.p2p_equivalent_messages += 1;
-  totals_.p2p_equivalent_bytes += size;
-  per_agent_[from].unicast_messages += 1;
-  per_agent_[from].unicast_bytes += size;
-  per_agent_[from].p2p_equivalent_messages += 1;
-  per_agent_[from].p2p_equivalent_bytes += size;
+  const auto [totals, sender] = stat_slots(from);
+  totals->unicast_messages += 1;
+  totals->unicast_bytes += size;
+  totals->p2p_equivalent_messages += 1;
+  totals->p2p_equivalent_bytes += size;
+  sender->unicast_messages += 1;
+  sender->unicast_bytes += size;
+  sender->p2p_equivalent_messages += 1;
+  sender->p2p_equivalent_bytes += size;
 
   std::uint64_t deliver_round = round_ + 1;
   if (injector_) {
@@ -31,7 +63,12 @@ void SimNetwork::send(AgentId from, AgentId to, std::uint32_t kind,
     deliver_round += action.extra_delay_rounds;
     if (action.replace_payload) env.payload = *action.replace_payload;
   }
-  inboxes_[to].push_back(Pending{std::move(env), deliver_round});
+  if (inbox_mutexes_) {
+    const std::lock_guard<std::mutex> lock(inbox_mutexes_[to]);
+    inboxes_[to].push_back(Pending{std::move(env), deliver_round});
+  } else {
+    inboxes_[to].push_back(Pending{std::move(env), deliver_round});
+  }
 }
 
 void SimNetwork::publish(AgentId from, std::uint32_t kind,
@@ -41,21 +78,26 @@ void SimNetwork::publish(AgentId from, std::uint32_t kind,
 
   const std::size_t size = posting.wire_size();
   const std::uint64_t fanout = n_ > 1 ? n_ - 1 : 1;
-  totals_.broadcast_messages += 1;
-  totals_.broadcast_bytes += size;
-  totals_.p2p_equivalent_messages += fanout;
-  totals_.p2p_equivalent_bytes += fanout * size;
-  per_agent_[from].broadcast_messages += 1;
-  per_agent_[from].broadcast_bytes += size;
-  per_agent_[from].p2p_equivalent_messages += fanout;
-  per_agent_[from].p2p_equivalent_bytes += fanout * size;
+  const auto [totals, sender] = stat_slots(from);
+  totals->broadcast_messages += 1;
+  totals->broadcast_bytes += size;
+  totals->p2p_equivalent_messages += fanout;
+  totals->p2p_equivalent_bytes += fanout * size;
+  sender->broadcast_messages += 1;
+  sender->broadcast_bytes += size;
+  sender->p2p_equivalent_messages += fanout;
+  sender->p2p_equivalent_bytes += fanout * size;
 
+  const std::lock_guard<std::mutex> lock(pending_mutex_);
   pending_postings_.push_back(std::move(posting));
 }
 
 std::vector<Envelope> SimNetwork::receive(AgentId to) {
   DMW_REQUIRE(to < n_);
   std::vector<Envelope> out;
+  std::unique_lock<std::mutex> lock;
+  if (inbox_mutexes_)
+    lock = std::unique_lock<std::mutex>(inbox_mutexes_[to]);
   auto& inbox = inboxes_[to];
   // Stable extraction preserving arrival order among deliverable messages.
   std::deque<Pending> keep;
@@ -71,12 +113,15 @@ std::vector<Envelope> SimNetwork::receive(AgentId to) {
 }
 
 std::vector<Posting> SimNetwork::read_bulletin(std::size_t& cursor) const {
+  // bulletin_ only grows in advance_round() (driver thread, between stage
+  // barriers), so concurrent readers need no lock.
   std::vector<Posting> out;
   for (; cursor < bulletin_.size(); ++cursor) out.push_back(bulletin_[cursor]);
   return out;
 }
 
 void SimNetwork::advance_round() {
+  flush_worker_stats();
   ++round_;
   auto it = std::stable_partition(
       pending_postings_.begin(), pending_postings_.end(),
@@ -99,6 +144,10 @@ std::size_t SimNetwork::in_flight() const {
 void SimNetwork::reset_stats() {
   totals_ = TrafficStats{};
   for (auto& s : per_agent_) s = TrafficStats{};
+  for (auto& slot : worker_stats_) {
+    slot.totals = TrafficStats{};
+    for (auto& s : slot.per_agent) s = TrafficStats{};
+  }
 }
 
 }  // namespace dmw::net

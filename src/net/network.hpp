@@ -16,8 +16,11 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "support/check.hpp"
@@ -82,6 +85,18 @@ using FaultInjector = std::function<FaultAction(const Envelope&)>;
 ///
 /// Messages sent during round r are visible to receivers from round r+1
 /// (plus any injected delay). advance_round() moves the clock.
+///
+/// Concurrency: after enable_concurrency(workers), send()/publish()/
+/// receive()/read_bulletin() may be called from ThreadPool workers while a
+/// protocol stage is in flight. Queue mutations take short per-inbox (or
+/// bulletin) locks; traffic statistics stay lock-free on the hot path by
+/// writing to a per-worker accumulator slot selected via
+/// ThreadPool::current_worker_id(), folded into the base counters at the
+/// next advance_round(). Everything round-structural — advance_round(),
+/// in_flight(), stats(), reset_stats(), set_fault_injector() — remains
+/// driver-thread-only (the protocol runner calls them between stage
+/// barriers). A fault injector installed on a concurrent run is invoked
+/// from worker threads and must be thread-safe.
 class SimNetwork {
  public:
   explicit SimNetwork(std::size_t n_agents);
@@ -121,6 +136,20 @@ class SimNetwork {
     injector_ = std::move(injector);
   }
 
+  /// Allocate `workers` per-worker traffic-accumulator slots so stat
+  /// updates from pool threads stay lock-free. Idempotent; call before the
+  /// first concurrent stage. With no slots (the default), counters are
+  /// updated directly — the historical single-threaded behaviour.
+  void enable_concurrency(std::size_t workers);
+
+  /// Fold every per-worker accumulator into the base counters. Called
+  /// automatically by advance_round(); callers only need it when reading
+  /// stats mid-round after a concurrent stage.
+  void flush_worker_stats();
+
+  /// Whole-run totals. Complete after advance_round()/flush_worker_stats();
+  /// during a concurrent stage, workers' traffic is still parked in their
+  /// accumulator slots.
   const TrafficStats& stats() const { return totals_; }
   const TrafficStats& stats_for(AgentId a) const {
     DMW_REQUIRE(a < n_);
@@ -134,6 +163,18 @@ class SimNetwork {
     std::uint64_t deliver_round;
   };
 
+  /// One worker's private counters; padded out by the vectors' allocation
+  /// granularity rather than explicit alignment — contention, not false
+  /// sharing, is what the design removes.
+  struct WorkerStats {
+    TrafficStats totals;
+    std::vector<TrafficStats> per_agent;
+  };
+
+  /// Stat targets for the calling thread: the per-worker slot on a pool
+  /// thread with concurrency enabled, the base counters otherwise.
+  std::pair<TrafficStats*, TrafficStats*> stat_slots(AgentId from);
+
   std::size_t n_;
   std::uint64_t round_ = 0;
   std::vector<std::deque<Pending>> inboxes_;  // per recipient
@@ -142,6 +183,11 @@ class SimNetwork {
   FaultInjector injector_;
   TrafficStats totals_;
   std::vector<TrafficStats> per_agent_;
+
+  // Concurrency support (empty/unused until enable_concurrency()).
+  std::vector<WorkerStats> worker_stats_;
+  std::unique_ptr<std::mutex[]> inbox_mutexes_;  // one per recipient
+  std::mutex pending_mutex_;                     // guards pending_postings_
 };
 
 }  // namespace dmw::net

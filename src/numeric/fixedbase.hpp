@@ -20,6 +20,13 @@
 // conversion out at the end. Build cost is one ladder pass
 // (rows * (2^w - 1) multiplications), amortized across every commitment made
 // with the group.
+//
+// Thread-sharing contract: a FixedBaseTable is immutable once built — the
+// group backends construct their z1/z2 tables eagerly in their constructors
+// and only ever call the const eval path afterwards. Any number of
+// ThreadPool workers may therefore share one table (and one group) with no
+// locks; builders must not race with readers, which the eager construction
+// rules out by design.
 #pragma once
 
 #include "numeric/expwin.hpp"

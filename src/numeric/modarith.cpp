@@ -55,7 +55,7 @@ u64 gcd_u64(u64 a, u64 b) {
 }
 
 OpCounts& op_counts() {
-  static OpCounts counts;
+  thread_local OpCounts counts;
   return counts;
 }
 

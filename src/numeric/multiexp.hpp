@@ -16,6 +16,13 @@
 // tables amortize across all n evaluations. The ablation bench
 // (bench_multiexp) measures the saving; correctness is tested against the
 // naive product.
+//
+// Thread-sharing contract: a MultiExpCache (and CommitmentEvalCache built on
+// it) is immutable after construction; eval() is const and touches no
+// mutable state. The parallel protocol driver keeps each cache local to the
+// per-task step that built it — one worker, one task, one cache — so the
+// PR-1 caches never serialize workers; sharing a built cache read-only
+// across threads is also safe.
 #pragma once
 
 #include <algorithm>

@@ -53,7 +53,12 @@ struct OpCounts {
   std::uint64_t total() const { return mul + pow + inv + add; }
 };
 
-/// Process-wide counters (the simulator is single-threaded).
+/// Per-thread counters. Every arithmetic tier increments the counters of the
+/// thread it runs on, so workers of the task-parallel engine never contend on
+/// (or tear) a shared counter; the parallel driver snapshots each worker's
+/// delta with OpCountScope inside the job and merges the deltas at the stage
+/// barrier. Single-threaded callers see the historical process-wide
+/// behaviour unchanged.
 OpCounts& op_counts();
 
 /// RAII scope that measures the ops executed within it.

@@ -1,0 +1,143 @@
+// Fixed-size worker pool for the task-parallel auction engine.
+//
+// The DMW protocol runs m *independent* per-task Vickrey auctions (paper §4;
+// Thm. 11/12 costs are per task), so the natural unit of parallelism is the
+// task index. ThreadPool deliberately does NOT work-steal: parallel_for()
+// hands each worker one contiguous, statically computed block of indices.
+// Static partitioning keeps the mapping worker -> indices a pure function of
+// (count, thread count), which the determinism story depends on twice over:
+//   - per-worker side buffers (traffic accumulators, op counters) are indexed
+//     by current_worker_id() with no locking on the hot path, and
+//   - a run's schedule of who-computes-what is reproducible, which makes
+//     TSan reports and perf numbers stable across runs.
+//
+// This is the only sanctioned threading primitive for protocol code: dmwlint's
+// `raw-thread` rule rejects direct std::thread/std::mutex use in src/dmw and
+// src/exp so every concurrent path stays inside this audited pool (and thus
+// inside the TSan CI job's coverage).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace dmw {
+
+/// N persistent workers executing index-sharded jobs.
+///
+/// Reentrancy contract: parallel_for() may only be called from the thread
+/// that owns the pool (never from inside a job — workers would deadlock
+/// waiting on themselves). One job runs at a time; the call returns after
+/// every index has been processed, which gives callers a happens-before
+/// barrier between successive stages.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads) : size_(threads == 0 ? 1 : threads) {
+    workers_.reserve(size_);
+    for (std::size_t w = 0; w < size_; ++w)
+      workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+
+  ~ThreadPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto& worker : workers_) worker.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return size_; }
+
+  /// Worker index [0, size) on a pool thread, -1 on any other thread. Used
+  /// to address per-worker accumulator slots without locks.
+  static int current_worker_id() { return t_worker_id; }
+
+  /// Sensible default worker count for "--threads 0": the hardware
+  /// concurrency, floored at 1 (hardware_concurrency() may report 0).
+  static std::size_t default_thread_count() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  }
+
+  /// Run fn(i) for every i in [0, count), sharded across the workers in
+  /// static contiguous blocks: worker w owns [w*count/T, (w+1)*count/T).
+  /// Blocks until all indices are done. The first exception thrown by any
+  /// worker is rethrown here after the barrier.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn) {
+    if (count == 0) return;
+    std::unique_lock<std::mutex> lock(mutex_);
+    DMW_REQUIRE_MSG(job_fn_ == nullptr,
+                    "ThreadPool::parallel_for is not reentrant");
+    job_fn_ = &fn;
+    job_count_ = count;
+    pending_ = size_;
+    ++generation_;
+    wake_.notify_all();
+    done_.wait(lock, [&] { return pending_ == 0; });
+    job_fn_ = nullptr;
+    if (error_) {
+      std::exception_ptr error = error_;
+      error_ = nullptr;
+      std::rethrow_exception(error);
+    }
+  }
+
+ private:
+  void worker_loop(std::size_t id) {
+    t_worker_id = static_cast<int>(id);
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(std::size_t)>* fn = nullptr;
+      std::size_t count = 0;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        fn = job_fn_;
+        count = job_count_;
+      }
+      const std::size_t begin = id * count / size_;
+      const std::size_t end = (id + 1) * count / size_;
+      std::exception_ptr error;
+      try {
+        for (std::size_t i = begin; i < end; ++i) (*fn)(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (error && !error_) error_ = error;
+        if (--pending_ == 0) done_.notify_one();
+      }
+    }
+  }
+
+  std::size_t size_;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const std::function<void(std::size_t)>* job_fn_ = nullptr;
+  std::size_t job_count_ = 0;
+  std::size_t pending_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+
+  inline static thread_local int t_worker_id = -1;
+};
+
+}  // namespace dmw

@@ -24,13 +24,14 @@ std::size_t count_rule(const std::vector<Finding>& findings,
 
 TEST(DmwLint, RuleNamesAreStable) {
   const auto& names = dmwlint::rule_names();
-  ASSERT_EQ(names.size(), 5u);
+  ASSERT_EQ(names.size(), 6u);
   EXPECT_NE(std::find(names.begin(), names.end(), "naive-call"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "secret-sink"),
             names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "ct-branch"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "banned-pattern"),
             names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "raw-thread"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "include-hygiene"),
             names.end());
 }
@@ -152,6 +153,47 @@ TEST(DmwLint, BannedPatternsByScope) {
             0u);
 }
 
+TEST(DmwLint, RawThreadScopedToProtocolDirs) {
+  const std::string text = "std::thread t([] {});\n";
+  EXPECT_EQ(count_rule(lint_file("src/dmw/a.cpp", text), "raw-thread"), 1u);
+  EXPECT_EQ(count_rule(lint_file("src/exp/a.cpp", text), "raw-thread"), 1u);
+  // The sanctioned home of the primitives, and everything else, is exempt.
+  EXPECT_EQ(
+      count_rule(lint_file("src/support/thread_pool.hpp", text), "raw-thread"),
+      0u);
+  EXPECT_EQ(count_rule(lint_file("src/net/a.cpp", text), "raw-thread"), 0u);
+  EXPECT_EQ(count_rule(lint_file("tests/a.cpp", text), "raw-thread"), 0u);
+}
+
+TEST(DmwLint, RawThreadCatchesPrimitivesAndDetach) {
+  EXPECT_EQ(count_rule(lint_file("src/dmw/a.cpp", "std::mutex m;\n"),
+                       "raw-thread"),
+            1u);
+  EXPECT_EQ(count_rule(lint_file("src/dmw/a.cpp",
+                                 "std::condition_variable cv;\n"),
+                       "raw-thread"),
+            1u);
+  EXPECT_EQ(count_rule(lint_file("src/dmw/a.cpp", "worker.detach();\n"),
+                       "raw-thread"),
+            1u);
+  EXPECT_EQ(count_rule(lint_file("src/dmw/a.cpp",
+                                 "auto f = std::async([] {});\n"),
+                       "raw-thread"),
+            1u);
+  // Lookalikes and the ThreadPool wrapper do not fire.
+  EXPECT_EQ(count_rule(lint_file("src/dmw/a.cpp",
+                                 "ThreadPool pool(4);\n"
+                                 "int thread_count = 0;\n"),
+                       "raw-thread"),
+            0u);
+  // The allowlist escape works as for every rule.
+  EXPECT_EQ(count_rule(lint_file("src/dmw/a.cpp",
+                                 "// dmwlint:allow(raw-thread) shim\n"
+                                 "std::thread t([] {});\n"),
+                       "raw-thread"),
+            0u);
+}
+
 TEST(DmwLint, IncludeHygiene) {
   const std::string header_without_guard = "int x;\n";
   EXPECT_EQ(count_rule(lint_file("src/a.hpp", header_without_guard),
@@ -202,7 +244,8 @@ TEST(DmwLint, ExpectationsParse) {
 TEST(DmwLint, ShippedFixturesMatchExpectations) {
   const std::vector<std::string> fixtures = {
       "naive_call.cpp",     "secret_sink.cpp",     "ct_branch.cpp",
-      "banned_pattern.cpp", "include_hygiene.hpp", "clean.cpp"};
+      "banned_pattern.cpp", "raw_thread.cpp",      "include_hygiene.hpp",
+      "clean.cpp"};
   for (const auto& name : fixtures) {
     const std::string path = std::string(DMWLINT_FIXTURE_DIR) + "/" + name;
     std::ifstream in(path, std::ios::binary);

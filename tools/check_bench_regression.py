@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_json run against the checked-in baseline.
+
+Usage:
+    check_bench_regression.py BASELINE.json FRESH.json [--tolerance 0.25]
+                              [--keys commit_ns,multiexp_ns]
+
+Reads the two BENCH_commit.json-shaped files and compares the hot-path
+timings per group backend. Only *slower* counts as a failure: a fresh value
+may exceed the baseline by at most `tolerance` (fractional, default 25%).
+Faster is reported but never fails — the baseline is a ratchet, refreshed by
+checking in a new BENCH_commit.json when an optimization lands.
+
+Exit status: 0 within tolerance, 1 regression(s), 2 usage/schema error.
+Needs only the Python standard library.
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_KEYS = ("commit_ns", "multiexp_ns")
+BACKENDS = ("group64", "group256")
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as error:
+        print(f"check_bench_regression: cannot load {path}: {error}",
+              file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="fail when bench timings regress past a tolerance")
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional slowdown (default 0.25)")
+    parser.add_argument("--keys", default=",".join(DEFAULT_KEYS),
+                        help="comma-separated timing keys to compare")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+    keys = [k for k in args.keys.split(",") if k]
+
+    regressions = 0
+    compared = 0
+    for backend in BACKENDS:
+        base_be = baseline.get(backend)
+        fresh_be = fresh.get(backend)
+        if not isinstance(base_be, dict) or not isinstance(fresh_be, dict):
+            print(f"check_bench_regression: backend '{backend}' missing "
+                  f"from one of the inputs", file=sys.stderr)
+            sys.exit(2)
+        for key in keys:
+            if key not in base_be or key not in fresh_be:
+                print(f"check_bench_regression: key '{key}' missing under "
+                      f"'{backend}'", file=sys.stderr)
+                sys.exit(2)
+            base_ns = float(base_be[key])
+            fresh_ns = float(fresh_be[key])
+            if base_ns <= 0:
+                print(f"check_bench_regression: non-positive baseline for "
+                      f"{backend}.{key}", file=sys.stderr)
+                sys.exit(2)
+            ratio = fresh_ns / base_ns
+            compared += 1
+            verdict = "ok"
+            if ratio > 1.0 + args.tolerance:
+                verdict = "REGRESSION"
+                regressions += 1
+            elif ratio < 1.0 - args.tolerance:
+                verdict = "faster (consider refreshing the baseline)"
+            print(f"{backend}.{key}: baseline {base_ns:.1f} ns, "
+                  f"fresh {fresh_ns:.1f} ns, ratio {ratio:.3f} [{verdict}]")
+
+    limit = 1.0 + args.tolerance
+    print(f"compared {compared} timing(s), limit {limit:.2f}x baseline: "
+          f"{regressions} regression(s)")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

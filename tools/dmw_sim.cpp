@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 
+#include "dmw/parallel.hpp"
 #include "dmw/protocol.hpp"
 #include "dmw/strategies.hpp"
 #include "exp/faithfulness.hpp"
@@ -43,6 +44,9 @@ options:
   --crashes K          number of fail-silent agents        (default 0)
   --crash-point P      before-bidding | after-bidding | after-lambda |
                        after-disclosure | after-reduced    (default after-bidding)
+  --threads T          task-parallel engine on T workers (0 = hardware
+                       threads; omit for the sequential runner). Outcomes
+                       are bit-identical at any thread count.
   --json               machine-readable output
   --help               this text
 )";
@@ -118,8 +122,19 @@ int run_simulation(G group, const Flags& flags) {
 
   dmw::proto::RunConfig config;
   config.encrypt_channels = !flags.get_bool("plain");
-  dmw::proto::ProtocolRunner<G> runner(params, instance, strategies, config);
-  const auto outcome = runner.run();
+  const bool parallel = flags.has("threads");
+  const std::size_t threads = parallel ? flags.get_u64("threads", 0) : 0;
+  dmw::proto::Outcome outcome;
+  std::size_t workers = 0;
+  if (parallel) {
+    dmw::proto::ParallelProtocol<G> runner(params, instance, strategies,
+                                           threads, config);
+    workers = runner.threads();
+    outcome = runner.run();
+  } else {
+    dmw::proto::ProtocolRunner<G> runner(params, instance, strategies, config);
+    outcome = runner.run();
+  }
   const auto central = dmw::mech::run_minwork(instance);
 
   if (json) {
@@ -130,6 +145,7 @@ int run_simulation(G group, const Flags& flags) {
     w.field("c", std::uint64_t{c});
     w.field("seed", seed);
     w.field("crash_tolerant", tolerant);
+    if (parallel) w.field("threads", std::uint64_t{workers});
     w.field("aborted", outcome.aborted);
     if (outcome.aborted) {
       w.field("abort_reason", to_string(outcome.abort_record->reason));
@@ -168,6 +184,7 @@ int run_simulation(G group, const Flags& flags) {
 
   std::printf("%s\n", params.describe().c_str());
   std::printf("%s", instance.describe().c_str());
+  if (parallel) std::printf("engine: task-parallel, %zu worker(s)\n", workers);
   if (!deviant_name.empty())
     std::printf("deviant: %s (agent A%zu)\n", deviant_name.c_str(),
                 deviator + 1);
@@ -216,7 +233,7 @@ int main(int argc, char** argv) {
     const Flags flags(argc, argv,
                       {"n", "m", "c", "seed", "workload", "backend", "p-bits",
                        "deviant", "deviator", "crash-tolerant!", "crashes",
-                       "crash-point", "plain!", "json!", "help!"});
+                       "crash-point", "threads", "plain!", "json!", "help!"});
     if (flags.get_bool("help")) {
       std::printf("%s", kUsage);
       return 0;

@@ -1,0 +1,40 @@
+// Fixture: raw-thread rule. Protocol code must route all parallelism through
+// support/thread_pool.hpp; raw threading primitives break the deterministic
+// sharding contract and escape the TSan-gated synchronization discipline.
+// dmwlint-fixture-path: src/dmw/raw_thread_fixture.cpp
+#include "support/thread_pool.hpp"
+
+namespace dmw::proto {
+
+void spawn_helper() {
+  std::thread worker([] {});  // EXPECT: raw-thread
+  worker.detach();  // EXPECT: raw-thread
+}
+
+struct Guarded {
+  std::mutex lock;  // EXPECT: raw-thread
+  std::condition_variable cv;  // EXPECT: raw-thread
+};
+
+void futures() {
+  auto f = std::async([] { return 1; });  // EXPECT: raw-thread
+}
+
+// The sanctioned path does not fire: ThreadPool wraps the primitives inside
+// src/support, outside this rule's scope.
+void sharded(ThreadPool& pool) {
+  pool.parallel_for(8, [](std::size_t) {});
+}
+
+// The escape hatch: a measured exception can be allowlisted in place.
+void allowlisted() {
+  // dmwlint:allow(raw-thread) interop shim measured under TSan separately
+  std::thread t([] {});
+  t.join();
+}
+
+// Prose and strings never fire: std::thread in a comment,
+// "std::mutex" in a string literal.
+const char* kDoc = "std::mutex and std::thread are banned here";
+
+}  // namespace dmw::proto

@@ -442,6 +442,31 @@ void rule_banned_pattern(const SourceFile& file,
   }
 }
 
+// ---- rule: raw-thread ------------------------------------------------------
+
+/// Protocol code (src/dmw, src/exp) must not reach for raw threading
+/// primitives: all parallelism goes through support/thread_pool.hpp, whose
+/// fixed sharding is what makes parallel runs bit-identical to sequential
+/// ones and keeps the TSan CI job meaningful. (support/ itself is out of
+/// scope: ThreadPool is the sanctioned home of std::thread and std::mutex.)
+void rule_raw_thread(const SourceFile& file, std::vector<Finding>& findings) {
+  if (!has_adjacent(file, "src", "dmw") && !has_adjacent(file, "src", "exp"))
+    return;
+  static const std::regex re(
+      R"(\bstd::(?:jthread|thread)\b|\bstd::(?:recursive_|shared_|timed_|recursive_timed_)?mutex\b|\bstd::condition_variable(?:_any)?\b|\bstd::(?:async|atomic_thread_fence)\b|\.\s*detach\s*\(\s*\))");
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const std::string& code = file.lines[i].code;
+    for (std::sregex_iterator it(code.begin(), code.end(), re), end;
+         it != end; ++it) {
+      report(findings, file, i, "raw-thread",
+             "raw threading primitive '" + it->str() +
+                 "' in protocol code: parallelism goes through "
+                 "support/thread_pool.hpp (ThreadPool), whose deterministic "
+                 "sharding keeps parallel runs bit-identical and TSan-clean");
+    }
+  }
+}
+
 // ---- rule: include-hygiene -------------------------------------------------
 
 void rule_include_hygiene(const SourceFile& file,
@@ -492,8 +517,8 @@ void rule_include_hygiene(const SourceFile& file,
 
 const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kNames = {
-      "naive-call", "secret-sink", "ct-branch", "banned-pattern",
-      "include-hygiene"};
+      "naive-call",      "secret-sink", "ct-branch",
+      "banned-pattern",  "raw-thread",  "include-hygiene"};
   return kNames;
 }
 
@@ -505,6 +530,7 @@ std::vector<Finding> lint_file(const std::string& path,
   rule_secret_sink(file, findings);
   rule_ct_branch(file, findings);
   rule_banned_pattern(file, findings);
+  rule_raw_thread(file, findings);
   rule_include_hygiene(file, findings);
   std::stable_sort(findings.begin(), findings.end(),
                    [](const Finding& a, const Finding& b) {

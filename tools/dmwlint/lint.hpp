@@ -16,6 +16,11 @@
 //                    (use DMW_CHECK), unordered containers in protocol-
 //                    visible code (iteration order leaks into transcripts),
 //                    raw std::cerr / fprintf(stderr, ...) outside the logger.
+//   raw-thread       no std::thread / std::mutex / std::condition_variable /
+//                    std::async / detach() in src/dmw or src/exp: all
+//                    parallelism goes through support/thread_pool.hpp, whose
+//                    deterministic sharding keeps parallel runs bit-identical
+//                    to sequential ones.
 //   include-hygiene  headers carry #pragma once, no "../" includes, no
 //                    `using namespace std`, no <iostream> in the library.
 //
