@@ -6,11 +6,18 @@
 //    commitment_eval per publisher -> O(n^2 log p) per agent) vs the naive
 //    reading of the paper (per-pair Gamma_{i,l} -> O(n^3 log p) per agent).
 //
-// Both matter for Theorem 12's claimed bound; this bench quantifies them.
+// 3. Windowed Straus vs Pippenger buckets for one long product (the shape
+//    RLC batch verification produces), locating the real crossover the
+//    multi_pow dispatch models (numeric/pippenger.hpp).
+//
+// All matter for Theorem 12's claimed bound; this bench quantifies them.
 #include <benchmark/benchmark.h>
+
+#include <span>
 
 #include "crypto/chacha.hpp"
 #include "dmw/polycommit.hpp"
+#include "numeric/pippenger.hpp"
 
 namespace {
 
@@ -114,6 +121,68 @@ void BM_Eq11Naive(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_Eq11Naive)->RangeMultiplier(2)->Range(4, 16)->Complexity();
+
+// ---- Straus vs Pippenger on one long product -------------------------------
+//
+// The RLC batch verifier settles each task with a single product over up to
+// 3 * (n-1) * sigma bases; these benches sweep the base count across the
+// modeled crossover (a few hundred bases at 40-bit exponents) so the JSON
+// artifact shows which engine wins where — and that the multi_pow dispatch
+// picks the winner.
+
+struct ProductFixture {
+  Group64 g = Group64::test_group();
+  std::vector<Group64::Elem> bases;
+  std::vector<Group64::Scalar> exps;
+
+  explicit ProductFixture(std::size_t len) {
+    auto rng = dmw::crypto::ChaChaRng::from_seed(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      bases.push_back(g.pow(g.z1(), g.random_nonzero_scalar(rng)));
+      exps.push_back(g.random_nonzero_scalar(rng));
+    }
+  }
+};
+
+void BM_MultiPowStraus(benchmark::State& state) {
+  ProductFixture fx(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dmw::num::multi_pow_straus<Group64>(
+        fx.g, std::span<const Group64::Elem>(fx.bases),
+        std::span<const Group64::Scalar>(fx.exps)));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MultiPowStraus)->RangeMultiplier(4)->Range(16, 1024)->Complexity();
+
+void BM_MultiPowPippenger(benchmark::State& state) {
+  ProductFixture fx(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dmw::num::multi_pow_pippenger<Group64>(
+        fx.g, std::span<const Group64::Elem>(fx.bases),
+        std::span<const Group64::Scalar>(fx.exps)));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MultiPowPippenger)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Complexity();
+
+// The dispatcher itself: must track min(Straus, Pippenger) at every length.
+void BM_MultiPowDispatch(benchmark::State& state) {
+  ProductFixture fx(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dmw::num::multi_pow<Group64>(
+        fx.g, std::span<const Group64::Elem>(fx.bases),
+        std::span<const Group64::Scalar>(fx.exps)));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MultiPowDispatch)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Complexity();
 
 }  // namespace
 

@@ -108,15 +108,18 @@ MultiUnitOutcome run_multiunit_auction(const PublicParams<G>& params,
     // pseudonym wins ties.
     const std::size_t needed = best_cost + 1;
     DMW_CHECK(needed <= n);
+    // Every candidate interpolates over the same leading `needed`
+    // pseudonyms, so the Lagrange basis at zero (one batched inversion) is
+    // hoisted out of the candidate loop; per candidate only a dot product
+    // with its f-shares remains.
+    const auto rho = poly::lagrange_basis_at_zero(g, alphas, needed);
     std::optional<std::size_t> winner;
     for (std::size_t candidate = 0; candidate < n && !winner; ++candidate) {
       if (excluded[candidate]) continue;
-      std::vector<typename G::Scalar> points(alphas.begin(),
-                                             alphas.begin() + needed);
-      std::vector<typename G::Scalar> values(
-          f_shares[candidate].begin(), f_shares[candidate].begin() + needed);
-      if (poly::interpolate_at_zero(g, points, values, needed) == g.szero())
-        winner = candidate;
+      typename G::Scalar at_zero = g.szero();
+      for (std::size_t t = 0; t < needed; ++t)
+        at_zero = g.sadd(at_zero, g.smul(f_shares[candidate][t], rho[t]));
+      if (at_zero == g.szero()) winner = candidate;
     }
     if (!winner) return outcome;  // inconsistent state: unresolved
 

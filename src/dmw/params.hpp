@@ -93,6 +93,13 @@ class PublicParams {
   /// True when the run must survive up to c silent (crashed) agents
   /// instead of aborting on the first missing message.
   bool crash_tolerant() const { return crash_tolerant_; }
+  /// True (the default) when agents fold each task's Phase III commitment
+  /// checks into one random-linear-combination batch (dmw/batchverify.hpp)
+  /// instead of verifying them one at a time. Outcome-invariant either way:
+  /// a failed batch falls back to the sequential scan for attribution, so
+  /// every Outcome/AbortReason byte matches the one-at-a-time ablation.
+  bool batch_verify() const { return batch_verify_; }
+  void set_batch_verify(bool on) { batch_verify_ = on; }
   /// Smallest number of participating agents the protocol can finish with.
   std::size_t quorum() const { return n_ - (crash_tolerant_ ? c_ : 0); }
   const mech::BidSet& bid_set() const { return bid_set_; }
@@ -178,6 +185,7 @@ class PublicParams {
   G group_;
   std::size_t n_, m_, c_;
   bool crash_tolerant_ = false;
+  bool batch_verify_ = true;
   mech::BidSet bid_set_;
   std::vector<Scalar> pseudonyms_;
 };

@@ -7,10 +7,11 @@
 //
 //   - exponent digit access (bits and w-bit windows) for u64 and BigUInt<W>;
 //   - a DomainOps concept: the minimal multiplicative structure the engine
-//     needs (identity + multiplication). Group64 supplies plain mod-p
-//     arithmetic (Mod64Ops); the big backend supplies Montgomery-domain
-//     arithmetic (Montgomery<W> itself models DomainOps), so whole squaring
-//     chains run without ever leaving the Montgomery domain;
+//     needs (identity + multiplication). Both group backends supply
+//     Montgomery-domain arithmetic (Mont64 for the u64 tier, Montgomery<W>
+//     for BigUInt — each models DomainOps directly), so whole squaring
+//     chains run without ever leaving the Montgomery domain; plain divmod
+//     arithmetic (Mod64Ops) remains for even or out-of-range moduli;
 //   - sliding-window (wNAF-style odd-digit) decomposition of exponents, and
 //     pow_window(), the left-to-right sliding-window exponentiation built on
 //     it: ~bits squarings + bits/(w+1) table multiplications instead of the
@@ -28,6 +29,7 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <concepts>
 #include <vector>
 
@@ -51,16 +53,26 @@ bool exp_bit(const BigUInt<W>& e, unsigned i) {
   return e.bit(i);
 }
 
+/// 64 bits of e starting at bit `lo` (zero-padded past the top): the word
+/// extraction the window readers below are built on. One or two limb reads
+/// instead of a per-bit loop — digit decomposition and Pippenger's window
+/// scans read millions of bits per protocol run.
+inline u64 exp_word64_at(u64 e, unsigned lo) { return lo >= 64 ? 0 : e >> lo; }
+template <std::size_t W>
+u64 exp_word64_at(const BigUInt<W>& e, unsigned lo) {
+  const unsigned wi = lo / 64;
+  const unsigned sh = lo % 64;
+  u64 v = wi < W ? e.limb(wi) >> sh : 0;
+  if (sh != 0 && wi + 1 < W) v |= e.limb(wi + 1) << (64 - sh);
+  return v;
+}
+
 /// Value of the bit window [lo, lo + len) of e, len <= 16. Bits beyond the
 /// representation read as zero.
 template <class S>
 unsigned exp_window(const S& e, unsigned lo, unsigned len) {
-  const unsigned bits = exp_bit_length(e);
-  unsigned v = 0;
-  for (unsigned i = 0; i < len && lo + i < bits; ++i) {
-    if (exp_bit(e, lo + i)) v |= 1u << i;
-  }
-  return v;
+  return static_cast<unsigned>(exp_word64_at(e, lo) &
+                               ((u64{1} << len) - 1));
 }
 
 // ---- multiplicative domain -------------------------------------------------
@@ -106,21 +118,35 @@ struct WindowDigit {
   unsigned value = 0;  ///< odd, in [1, 2^w)
 };
 
-/// Appends the decomposition of e (ascending pos) to `out`.
+/// Appends the decomposition of e (ascending pos) to `out`. Scans 64 bits
+/// at a time: zero runs skip by whole words, set bits locate via countr_zero,
+/// and the digit value reads straight out of the extracted word — the
+/// LSB-anchored greedy structure (odd digits, trailing set bit) is unchanged
+/// from the per-bit formulation.
 template <class S>
 void decompose_windows(const S& e, unsigned w, std::vector<WindowDigit>& out) {
   const unsigned bits = exp_bit_length(e);
   unsigned i = 0;
   while (i < bits) {
-    if (!exp_bit(e, i)) {
-      ++i;
+    u64 word = exp_word64_at(e, i);
+    if (word == 0) {
+      i += 64;
       continue;
     }
-    unsigned j = i + w - 1;
-    if (j >= bits) j = bits - 1;
-    while (!exp_bit(e, j)) --j;  // j >= i: bit i is set
-    out.push_back(WindowDigit{i, exp_window(e, i, j - i + 1)});
-    i = j + 1;
+    const unsigned skip = static_cast<unsigned>(std::countr_zero(word));
+    i += skip;
+    word >>= skip;
+    // Digit anchored at the set bit i: up to w bits, trimmed to end on a
+    // set bit so the value is odd (w <= 16 < 64, so `word` covers it).
+    unsigned len = w;
+    if (i + len > bits) len = bits - i;
+    unsigned val = static_cast<unsigned>(word & ((u64{1} << len) - 1));
+    while ((val >> (len - 1)) == 0) {
+      --len;
+      val &= (1u << len) - 1;
+    }
+    out.push_back(WindowDigit{i, val});
+    i += len;
   }
 }
 

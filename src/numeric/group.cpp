@@ -5,7 +5,7 @@
 namespace dmw::num {
 
 Group64::Group64(u64 p, u64 q, u64 z1, u64 z2)
-    : p_(p), q_(q), z1_(z1), z2_(z2) {
+    : p_(p), q_(q), z1_(z1), z2_(z2), pmont_(p) {
   DMW_REQUIRE_MSG(p_ >= 5 && p_ < (u64{1} << 63), "p must fit in 63 bits");
   DMW_REQUIRE_MSG(is_prime_u64(p_), "p must be prime");
   DMW_REQUIRE_MSG(is_prime_u64(q_), "q must be prime");
@@ -13,10 +13,11 @@ Group64::Group64(u64 p, u64 q, u64 z1, u64 z2)
   DMW_REQUIRE(z1_ != z2_);
   DMW_REQUIRE_MSG(in_subgroup(z1_) && z1_ != 1, "bad generator z1");
   DMW_REQUIRE_MSG(in_subgroup(z2_) && z2_ != 1, "bad generator z2");
-  const Mod64Ops ops{p_};
+  // Fixed-base tables live in the Montgomery domain (see GroupBig): a
+  // commitment is a chain of REDC multiplications, converting out once.
   const unsigned qbits = exp_bit_length(q_);
-  z1_tab_ = FixedBaseTable<Mod64Ops>(ops, z1_, qbits);
-  z2_tab_ = FixedBaseTable<Mod64Ops>(ops, z2_, qbits);
+  z1_tab_ = FixedBaseTable<Mont64>(pmont_, pmont_.to_mont(z1_), qbits);
+  z2_tab_ = FixedBaseTable<Mont64>(pmont_, pmont_.to_mont(z2_), qbits);
 }
 
 Group64 Group64::generate(unsigned p_bits, unsigned q_bits,

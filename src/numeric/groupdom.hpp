@@ -1,0 +1,47 @@
+// Group-backend glue shared by the multi-exponentiation engines.
+//
+// Both the windowed Straus interleaving (multiexp.hpp) and the Pippenger
+// bucket method (pippenger.hpp) need the same two pieces on top of a
+// GroupBackend: digit access to protocol scalars (the exponents) and the
+// backend's multiplicative domain presented as a DomainOps (expwin.hpp), so
+// whole evaluation runs convert into the domain once per base and back once
+// per result. Splitting the glue out of multiexp.hpp lets the two engines
+// layer without a cyclic include: multiexp.hpp includes pippenger.hpp to
+// build the auto-dispatching multi_pow on top of both.
+#pragma once
+
+#include "numeric/group.hpp"
+
+namespace dmw::num {
+
+// ---- scalar bit accessors shared by both backends -------------------------
+
+inline bool scalar_bit(const Group64&, Group64::Scalar s, unsigned i) {
+  return ((s >> i) & 1) != 0;
+}
+inline unsigned scalar_bit_length(const Group64&, Group64::Scalar s) {
+  return s == 0 ? 0 : 64 - static_cast<unsigned>(__builtin_clzll(s));
+}
+
+template <std::size_t W>
+bool scalar_bit(const GroupBig<W>&, const BigUInt<W>& s, unsigned i) {
+  return s.bit(i);
+}
+template <std::size_t W>
+unsigned scalar_bit_length(const GroupBig<W>&, const BigUInt<W>& s) {
+  return s.bit_length();
+}
+
+// ---- a group backend's domain as DomainOps --------------------------------
+
+/// Adapter exposing a backend's multiplicative domain to the exponentiation
+/// engine (expwin.hpp / fixedbase.hpp).
+template <GroupBackend G>
+struct GroupDomOps {
+  using Dom = typename G::Dom;
+  const G* g;
+  Dom one() const { return g->dom_one(); }
+  Dom mul(const Dom& a, const Dom& b) const { return g->dom_mul(a, b); }
+};
+
+}  // namespace dmw::num

@@ -1,11 +1,30 @@
 #include "numeric/modarith.hpp"
 
+#include "numeric/mont.hpp"
+
 namespace dmw::num {
 
 u64 mod_pow(u64 a, u64 e, u64 m) {
   DMW_REQUIRE(m > 0);
+  a %= m;
+  // Montgomery fast path (every Group64 modulus lands here): a domain
+  // multiplication is three 64x64 multiplies instead of mod_mul's 128/64
+  // division, which more than repays the two per-call divisions the
+  // context setup spends.
+  if ((m & 1) != 0 && m > 1 && m < (u64{1} << 63))
+    return pow_mont64(Mont64(m), a, e);
+  // Even / out-of-range moduli (never the protocol path): the divmod tier.
   ++op_counts().pow;
-  return pow_window(Mod64Ops{m}, a % m, e);
+  const unsigned bits = exp_bit_length(e);
+  const Mod64Ops ops{m};
+  if (bits == 0) return ops.one();
+  if (bits >= kPow64WindowMinBits) return pow_window(ops, a, e);
+  u64 result = a;
+  for (unsigned i = bits - 1; i-- > 0;) {
+    result = ops.mul(result, result);
+    if (exp_bit(e, i)) result = ops.mul(result, a);
+  }
+  return result;
 }
 
 u64 mod_pow_naive(u64 a, u64 e, u64 m) {

@@ -55,7 +55,21 @@ struct Mod64Ops {
   Dom mul(Dom a, Dom b) const { return mod_mul(a, b, m); }
 };
 
-/// a^e mod m via sliding-window exponentiation (expwin.hpp).
+/// Window-profitability threshold for the 64-bit tier: exponents shorter
+/// than this take a tight LSB-first square-and-multiply loop instead of
+/// pow_window. Measured on the 61-bit test prime: the sliding window's
+/// table build and digit scan cost about what the <= bits/2 -> bits/(w+1)
+/// multiplication saving buys back at every exponent length that fits in
+/// 64 bits, while the LSB loop's off-critical-path products overlap the
+/// squaring chain — the windowed engine only clearly pays off once
+/// multiplications are multi-limb (BigUInt tier).
+inline constexpr unsigned kPow64WindowMinBits = 64;
+
+/// a^e mod m. Odd m below 2^63 (every Group64 modulus) runs in Montgomery
+/// form (Mont64, mont.hpp) — three 64x64 multiplies per product instead of
+/// a 128/64 division; below kPow64WindowMinBits a tight LSB-first
+/// square-and-multiply, at or beyond it sliding-window exponentiation
+/// (expwin.hpp). Even / out-of-range moduli fall back to the divmod tier.
 u64 mod_pow(u64 a, u64 e, u64 m);
 
 /// Textbook square-and-multiply reference; kept as the differential-testing

@@ -59,6 +59,16 @@ class Montgomery {
     return redc_mul(a, b);
   }
 
+  /// a * b mod n for values in *normal* (non-Montgomery) form: two REDC
+  /// passes (a*b*R^{-1}, then times R^2*R^{-1}), no division. Counted as one
+  /// modular multiplication — like mod_mul, it performs exactly one a*b mod
+  /// n at the accounting level the op counters track.
+  BigUInt<W> mul_values(const BigUInt<W>& a, const BigUInt<W>& b) const {
+    DMW_REQUIRE(a < n_ && b < n_);
+    ++op_counts().mul;
+    return redc_mul(redc_mul(a, b), r2_);
+  }
+
   /// a^e mod n for a in *normal* form; result in normal form.
   /// Sliding-window exponentiation, entirely inside the domain.
   BigUInt<W> pow(const BigUInt<W>& base, const BigUInt<W>& exponent) const {
@@ -126,5 +136,95 @@ class Montgomery {
   BigUInt<W> r2_;       ///< R^2 mod n
   BigUInt<W> one_mont_; ///< R mod n (Montgomery form of 1)
 };
+
+/// Montgomery context for the 64-bit tier: odd moduli below 2^63, i.e. every
+/// Group64 modulus. Same DomainOps shape as Montgomery<W>; with R = 2^64 the
+/// whole REDC fits in one u128, so a domain multiplication is three 64x64
+/// multiplies instead of mod_mul's 128/64 division — the mod_pow() fast path
+/// is built on this.
+class Mont64 {
+ public:
+  using Dom = u64;  ///< residue in Montgomery form (DomainOps)
+  /// Requires an odd modulus in (1, 2^63): the reduction bound result < 2n
+  /// must fit a u64 for the single conditional subtract.
+  explicit Mont64(u64 modulus) : n_(modulus) {
+    DMW_REQUIRE_MSG((modulus & 1) != 0, "Montgomery modulus must be odd");
+    DMW_REQUIRE(modulus > 1 && modulus < (u64{1} << 63));
+    u64 inv = 1;
+    for (int i = 0; i < 6; ++i) inv *= 2 - n_ * inv;  // 64-bit wraparound
+    ninv_ = ~inv + 1;                                 // -n^{-1} mod 2^64
+    r_ = static_cast<u64>(~u64{0} % n_) + 1;          // 2^64 mod n, n > 1
+    r2_ = static_cast<u64>(static_cast<u128>(r_) * r_ % n_);
+  }
+
+  u64 modulus() const { return n_; }
+
+  /// Montgomery form of 1 (the DomainOps identity).
+  Dom one() const { return r_; }
+
+  /// Convert into the Montgomery domain: x -> x * R mod n.
+  /// Counted as one `mul` (it is one REDC multiplication).
+  Dom to_mont(u64 x) const { return mul(x, r2_); }
+
+  /// Convert out of the Montgomery domain: x~ -> x~ * R^{-1} mod n.
+  u64 from_mont(Dom x) const {
+    ++op_counts().mul;
+    return redc(x);
+  }
+
+  /// Montgomery product of two values already in the domain.
+  Dom mul(Dom a, Dom b) const {
+    ++op_counts().mul;
+    return redc(static_cast<u128>(a) * b);
+  }
+
+ private:
+  /// t * R^{-1} mod n for t < n * 2^64.
+  u64 redc(u128 t) const {
+    const u64 m = static_cast<u64>(t) * ninv_;
+    const u128 mn = static_cast<u128>(m) * n_;
+    // t + mn: the low halves cancel to 0 mod 2^64 by choice of m, carrying
+    // into the high half exactly when t's low half is nonzero.
+    const u64 r = static_cast<u64>(t >> 64) + static_cast<u64>(mn >> 64) +
+                  (static_cast<u64>(t) != 0 ? 1 : 0);
+    return r >= n_ ? r - n_ : r;
+  }
+
+  u64 n_;
+  u64 ninv_ = 0;  ///< -n^{-1} mod 2^64
+  u64 r_ = 0;     ///< R mod n (Montgomery form of 1)
+  u64 r2_ = 0;    ///< R^2 mod n
+};
+
+/// a^e mod n through an existing Mont64 context: what mod_pow() runs after
+/// building a per-call context; callers holding a long-lived one (Group64)
+/// skip the setup divisions. Counts the `pow` and every domain
+/// multiplication.
+inline u64 pow_mont64(const Mont64& mont, u64 a, u64 e) {
+  ++op_counts().pow;
+  const unsigned bits = exp_bit_length(e);
+  if (bits == 0) return 1;  // modulus > 1, so 1 is already reduced
+  if (bits >= kPow64WindowMinBits) {
+    const u64 base = mont.to_mont(a % mont.modulus());
+    return mont.from_mont(pow_window(mont, base, e));
+  }
+  // LSB-first square-and-multiply (bits-1 squarings + popcount-1 products):
+  // each result update multiplies by the b from *before* the squaring that
+  // follows, so the two multiplication chains overlap in the pipeline — the
+  // MSB-first order serializes every product behind the previous one.
+  u64 b = mont.to_mont(a % mont.modulus());
+  u64 result = 0;
+  bool started = false;
+  for (u64 rest = e;;) {
+    if (rest & 1) {
+      result = started ? mont.mul(result, b) : b;
+      started = true;
+    }
+    rest >>= 1;
+    if (rest == 0) break;
+    b = mont.mul(b, b);
+  }
+  return mont.from_mont(result);
+}
 
 }  // namespace dmw::num

@@ -17,6 +17,13 @@
 // (bench_multiexp) measures the saving; correctness is tested against the
 // naive product.
 //
+// multi_pow() is the dispatching entry point: it compares the Straus and
+// Pippenger cost models (pippenger.hpp) per call and switches to the bucket
+// method past the crossover length, so callers producing products of very
+// different sizes (a sigma-term commitment evaluation vs. a 3*n*sigma-term
+// RLC verification batch) all get the cheaper engine automatically.
+// multi_pow_straus() pins the interleaving for benches and ablations.
+//
 // Thread-sharing contract: a MultiExpCache (and CommitmentEvalCache built on
 // it) is immutable after construction; eval() is const and touches no
 // mutable state. The parallel protocol driver keeps each cache local to the
@@ -29,38 +36,10 @@
 #include <span>
 
 #include "numeric/group.hpp"
+#include "numeric/groupdom.hpp"
+#include "numeric/pippenger.hpp"
 
 namespace dmw::num {
-
-// ---- scalar bit accessors shared by both backends -------------------------
-
-inline bool scalar_bit(const Group64&, Group64::Scalar s, unsigned i) {
-  return ((s >> i) & 1) != 0;
-}
-inline unsigned scalar_bit_length(const Group64&, Group64::Scalar s) {
-  return s == 0 ? 0 : 64 - static_cast<unsigned>(__builtin_clzll(s));
-}
-
-template <std::size_t W>
-bool scalar_bit(const GroupBig<W>&, const BigUInt<W>& s, unsigned i) {
-  return s.bit(i);
-}
-template <std::size_t W>
-unsigned scalar_bit_length(const GroupBig<W>&, const BigUInt<W>& s) {
-  return s.bit_length();
-}
-
-// ---- a group backend's domain as DomainOps --------------------------------
-
-/// Adapter exposing a backend's multiplicative domain to the exponentiation
-/// engine (expwin.hpp / fixedbase.hpp).
-template <GroupBackend G>
-struct GroupDomOps {
-  using Dom = typename G::Dom;
-  const G* g;
-  Dom one() const { return g->dom_one(); }
-  Dom mul(const Dom& a, const Dom& b) const { return g->dom_mul(a, b); }
-};
 
 // ---- multi-exponentiation --------------------------------------------------
 
@@ -105,29 +84,44 @@ class MultiExpCache {
     for (const auto& e : exponents)
       max_bits = std::max(max_bits, scalar_bit_length(g, e));
     if (max_bits == 0) return g.identity();
-    // Decompose every exponent into sliding-window digits, order them all
-    // by descending bit position, and run one shared squaring chain.
-    struct DigitAt {
-      unsigned pos;
-      unsigned table_index;  // flat index of base^value
-    };
-    std::vector<DigitAt> schedule;
+    // Decompose every exponent into sliding-window digits, bucket them by
+    // descending bit position with one counting pass, and run one shared
+    // squaring chain. Counting beats comparison sorting here because a long
+    // product (an RLC verification batch folds thousands of digits) spends
+    // more time ordering the schedule than multiplying; positions are small
+    // integers (< max_bits), so placement is two linear passes.
+    std::vector<u64> packed;  // pos << 32 | flat table index, per digit
+    packed.reserve(count_ * (max_bits / (window_ + 1) + 1));
     std::vector<WindowDigit> digits;
     for (std::size_t j = 0; j < count_; ++j) {
       digits.clear();
       decompose_windows(exponents[j], window_, digits);
       for (const WindowDigit& d : digits)
-        schedule.push_back(DigitAt{
-            d.pos, static_cast<unsigned>(j * stride_ + (d.value - 1) / 2)});
+        packed.push_back((static_cast<u64>(d.pos) << 32) |
+                         (j * stride_ + (d.value - 1) / 2));
     }
-    std::sort(schedule.begin(), schedule.end(),
-              [](const DigitAt& a, const DigitAt& b) { return a.pos > b.pos; });
+    std::vector<unsigned> count_at(max_bits, 0);
+    for (u64 pd : packed) ++count_at[pd >> 32];
+    // slot[p] = number of digits at strictly higher positions (descending
+    // placement order); the placement loop advances each slot through its
+    // position's slice.
+    std::vector<unsigned> slot(max_bits, 0);
+    {
+      unsigned run = 0;
+      for (unsigned b = max_bits; b-- > 0;) {
+        slot[b] = run;
+        run += count_at[b];
+      }
+    }
+    std::vector<unsigned> ordered(packed.size());
+    for (u64 pd : packed)
+      ordered[slot[pd >> 32]++] = static_cast<unsigned>(pd);
     std::size_t next = 0;
     typename G::Dom acc = ops_.one();
     for (unsigned b = max_bits; b-- > 0;) {
       if (b + 1 < max_bits) acc = ops_.mul(acc, acc);
-      for (; next < schedule.size() && schedule[next].pos == b; ++next)
-        acc = ops_.mul(acc, table_[schedule[next].table_index]);
+      for (unsigned t = 0; t < count_at[b]; ++t)
+        acc = ops_.mul(acc, table_[ordered[next++]]);
     }
     return g.from_dom(acc);
   }
@@ -142,6 +136,22 @@ class MultiExpCache {
 
 /// prod_j bases[j]^{exponents[j]}, windowed Straus interleaving.
 template <GroupBackend G>
+typename G::Elem multi_pow_straus(
+    const G& g, std::span<const typename G::Elem> bases,
+    std::span<const typename G::Scalar> exponents) {
+  DMW_REQUIRE(bases.size() == exponents.size());
+  if (bases.empty()) return g.identity();
+  unsigned max_bits = 0;
+  for (const auto& e : exponents)
+    max_bits = std::max(max_bits, scalar_bit_length(g, e));
+  return MultiExpCache<G>(g, bases, max_bits).eval(exponents);
+}
+
+/// prod_j bases[j]^{exponents[j]}: picks windowed Straus or the Pippenger
+/// bucket method (pippenger.hpp) by comparing their cost models on the
+/// product's shape — short products keep the interleaving, long ones (RLC
+/// verification batches) switch to buckets past the crossover length.
+template <GroupBackend G>
 typename G::Elem multi_pow(const G& g,
                            std::span<const typename G::Elem> bases,
                            std::span<const typename G::Scalar> exponents) {
@@ -150,6 +160,8 @@ typename G::Elem multi_pow(const G& g,
   unsigned max_bits = 0;
   for (const auto& e : exponents)
     max_bits = std::max(max_bits, scalar_bit_length(g, e));
+  if (multi_pow_prefers_pippenger(bases.size(), max_bits))
+    return multi_pow_pippenger(g, bases, exponents);
   return MultiExpCache<G>(g, bases, max_bits).eval(exponents);
 }
 

@@ -4,22 +4,27 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "numeric/batchinv.hpp"
 #include "numeric/group.hpp"
+#include "numeric/multiexp.hpp"
 #include "support/check.hpp"
 
 namespace dmw::poly {
 
 /// Lagrange basis evaluated at zero for the first s points:
 /// rho_k = prod_{i != k, i < s} alpha_i / (alpha_i - alpha_k)  (paper Eq. 12).
-/// All points must be distinct and nonzero.
+/// All points must be distinct and nonzero. The s denominators are inverted
+/// with one field inversion (numeric/batchinv.hpp).
 template <dmw::num::GroupBackend G>
 std::vector<typename G::Scalar> lagrange_basis_at_zero(
     const G& g, const std::vector<typename G::Scalar>& points,
     std::size_t s) {
   DMW_REQUIRE(s >= 1 && s <= points.size());
   std::vector<typename G::Scalar> rho(s);
+  std::vector<typename G::Scalar> dens(s);
   for (std::size_t k = 0; k < s; ++k) {
     typename G::Scalar num = g.sone();
     typename G::Scalar den = g.sone();
@@ -28,8 +33,11 @@ std::vector<typename G::Scalar> lagrange_basis_at_zero(
       num = g.smul(num, points[i]);
       den = g.smul(den, g.ssub(points[i], points[k]));
     }
-    rho[k] = g.smul(num, g.sinv(den));
+    rho[k] = num;
+    dens[k] = den;
   }
+  dmw::num::batch_inverse(g, std::span<typename G::Scalar>(dens));
+  for (std::size_t k = 0; k < s; ++k) rho[k] = g.smul(rho[k], dens[k]);
   return rho;
 }
 
@@ -51,7 +59,9 @@ typename G::Scalar interpolate_at_zero(
 /// in §2.4 (steps 1-3). Note: as printed it computes (-1)^{s-1} times the
 /// Lagrange value at zero; the sign is irrelevant for the zero test used by
 /// degree resolution. Exposed for fidelity and tested against
-/// interpolate_at_zero.
+/// interpolate_at_zero; kept as the literal per-element-inversion
+/// transcription, so the batch-inversion rewrite everywhere else stays
+/// differentially testable against it.
 template <dmw::num::GroupBackend G>
 typename G::Scalar paper_interpolation_at_zero(
     const G& g, const std::vector<typename G::Scalar>& points,
@@ -65,6 +75,7 @@ typename G::Scalar paper_interpolation_at_zero(
       if (i == k) continue;
       den = g.smul(den, g.ssub(points[k], points[i]));
     }
+    // dmwlint:allow(loop-inverse) paper-literal transcription of §2.4
     psi[k] = g.smul(values[k], g.sinv(den));
   }
   // Step 2: phi(0) = prod_k alpha_k.
@@ -73,6 +84,7 @@ typename G::Scalar paper_interpolation_at_zero(
   // Step 3: f^{(s)}(0) = phi(0) * sum_k psi_k / alpha_k.
   typename G::Scalar acc = g.szero();
   for (std::size_t k = 0; k < s; ++k)
+    // dmwlint:allow(loop-inverse) paper-literal transcription of §2.4
     acc = g.sadd(acc, g.smul(psi[k], g.sinv(points[k])));
   return g.smul(phi, acc);
 }
@@ -103,17 +115,23 @@ DegreeResolution resolve_degree(const G& g,
   // Incremental Lagrange basis: adding point alpha_s multiplies each
   // existing rho_k by alpha_s / (alpha_s - alpha_k), keeping the whole scan
   // Θ(s^2) instead of the Θ(s^3) of recomputing each probe from scratch
-  // (mirrors resolve_degree_in_exponent; equivalence is tested).
+  // (mirrors resolve_degree_in_exponent; equivalence is tested). The s-1
+  // denominators of one extension step are inverted with a single field
+  // inversion: sinv(alpha_k - alpha_s) = -sinv(alpha_s - alpha_k), so both
+  // update factors come out of the same batch.
   std::vector<typename G::Scalar> rho;
+  std::vector<typename G::Scalar> diffs;
   for (std::size_t s = 1; s <= points.size(); ++s) {
     const auto& alpha_new = points[s - 1];
     typename G::Scalar rho_new = g.sone();
+    diffs.resize(s - 1);
+    for (std::size_t k = 0; k + 1 < s; ++k)
+      diffs[k] = g.ssub(alpha_new, points[k]);
+    dmw::num::batch_inverse(g, std::span<typename G::Scalar>(diffs));
     for (std::size_t k = 0; k + 1 < s; ++k) {
       const auto& alpha_k = points[k];
-      rho[k] = g.smul(rho[k],
-                      g.smul(alpha_new, g.sinv(g.ssub(alpha_new, alpha_k))));
-      rho_new = g.smul(rho_new,
-                       g.smul(alpha_k, g.sinv(g.ssub(alpha_k, alpha_new))));
+      rho[k] = g.smul(rho[k], g.smul(alpha_new, diffs[k]));
+      rho_new = g.smul(rho_new, g.smul(alpha_k, g.sneg(diffs[k])));
     }
     rho.push_back(rho_new);
 
@@ -136,7 +154,11 @@ DegreeResolution resolve_degree(const G& g,
 ///
 /// The rho basis is maintained incrementally across s (each new point
 /// multiplies every existing rho_k by alpha_s/(alpha_s - alpha_k)), keeping
-/// the scalar work Θ(s^2) overall as in the paper's §2.4 algorithm.
+/// the scalar work Θ(s^2) overall as in the paper's §2.4 algorithm. Each
+/// extension step batch-inverts its denominators (one inversion instead of
+/// 2(s-1)), and each probe evaluates prod_k Lambda_k^{rho_k} as one
+/// multi-exponentiation — a shared squaring chain instead of s independent
+/// full-length exponentiations.
 template <dmw::num::GroupBackend G>
 DegreeResolution resolve_degree_in_exponent(
     const G& g, const std::vector<typename G::Scalar>& points,
@@ -144,23 +166,27 @@ DegreeResolution resolve_degree_in_exponent(
   DMW_REQUIRE(points.size() == lambdas.size());
   DegreeResolution out;
   std::vector<typename G::Scalar> rho;  // basis for current s
+  std::vector<typename G::Scalar> diffs;
   for (std::size_t s = 1; s <= points.size(); ++s) {
-    // Extend the basis from s-1 to s points.
+    // Extend the basis from s-1 to s points (same batched update as
+    // resolve_degree above).
     const auto& alpha_new = points[s - 1];
     typename G::Scalar rho_new = g.sone();
+    diffs.resize(s - 1);
+    for (std::size_t k = 0; k + 1 < s; ++k)
+      diffs[k] = g.ssub(alpha_new, points[k]);
+    dmw::num::batch_inverse(g, std::span<typename G::Scalar>(diffs));
     for (std::size_t k = 0; k + 1 < s; ++k) {
       const auto& alpha_k = points[k];
-      rho[k] = g.smul(rho[k], g.smul(alpha_new,
-                                     g.sinv(g.ssub(alpha_new, alpha_k))));
-      rho_new = g.smul(rho_new,
-                       g.smul(alpha_k, g.sinv(g.ssub(alpha_k, alpha_new))));
+      rho[k] = g.smul(rho[k], g.smul(alpha_new, diffs[k]));
+      rho_new = g.smul(rho_new, g.smul(alpha_k, g.sneg(diffs[k])));
     }
     rho.push_back(rho_new);
 
     ++out.probes;
-    typename G::Elem acc = g.identity();
-    for (std::size_t k = 0; k < s; ++k)
-      acc = g.mul(acc, g.pow(lambdas[k], rho[k]));
+    const auto acc = dmw::num::multi_pow<G>(
+        g, std::span<const typename G::Elem>(lambdas.data(), s),
+        std::span<const typename G::Scalar>(rho.data(), s));
     if (g.is_identity(acc)) {
       out.degree = s - 1;
       return out;

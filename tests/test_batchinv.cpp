@@ -1,0 +1,85 @@
+// Montgomery batch inversion: equivalence with per-element inversion on
+// both backends, the 1-inversion op-count contract, and zero rejection.
+#include <gtest/gtest.h>
+
+#include <span>
+
+#include "numeric/batchinv.hpp"
+#include "numeric/multiexp.hpp"
+
+namespace dmw::num {
+namespace {
+
+TEST(BatchInverse, MatchesElementwiseOnGroup64) {
+  const Group64& g = Group64::test_group();
+  Xoshiro256ss rng(21);
+  for (std::size_t n : {1u, 2u, 3u, 17u, 64u}) {
+    std::vector<Group64::Scalar> values;
+    for (std::size_t i = 0; i < n; ++i)
+      values.push_back(g.random_nonzero_scalar(rng));
+    std::vector<Group64::Scalar> want;
+    for (const auto& v : values) want.push_back(g.sinv(v));
+    batch_inverse(g, std::span<Group64::Scalar>(values));
+    EXPECT_EQ(values, want) << "n=" << n;
+  }
+}
+
+TEST(BatchInverse, MatchesElementwiseOnGroup256) {
+  Xoshiro256ss grng(22);
+  const Group256 g = Group256::generate(96, 64, grng);
+  Xoshiro256ss rng(23);
+  std::vector<Group256::Scalar> values;
+  for (std::size_t i = 0; i < 9; ++i)
+    values.push_back(g.random_nonzero_scalar(rng));
+  std::vector<Group256::Scalar> want;
+  for (const auto& v : values) want.push_back(g.sinv(v));
+  batch_inverse(g, std::span<Group256::Scalar>(values));
+  EXPECT_EQ(values, want);
+}
+
+TEST(BatchInverse, EmptyIsNoop) {
+  const Group64& g = Group64::test_group();
+  std::vector<Group64::Scalar> values;
+  batch_inverse(g, std::span<Group64::Scalar>(values));
+  EXPECT_TRUE(values.empty());
+}
+
+TEST(BatchInverse, RejectsZero) {
+  const Group64& g = Group64::test_group();
+  std::vector<Group64::Scalar> values{3, 0, 5};
+  EXPECT_THROW(batch_inverse(g, std::span<Group64::Scalar>(values)),
+               CheckError);
+}
+
+TEST(BatchInverse, OneInversionTotal) {
+  const Group64& g = Group64::test_group();
+  Xoshiro256ss rng(24);
+  std::vector<Group64::Scalar> values;
+  for (std::size_t i = 0; i < 32; ++i)
+    values.push_back(g.random_nonzero_scalar(rng));
+
+  OpCountScope batch_scope;
+  batch_inverse(g, std::span<Group64::Scalar>(values));
+  const auto batch = batch_scope.delta();
+
+  OpCountScope naive_scope;
+  for (auto& v : values) v = g.sinv(v);
+  const auto naive = naive_scope.delta();
+
+  // Montgomery's trick: one inversion + 3(n-1) multiplications, against n
+  // inversions for the loop.
+  EXPECT_EQ(batch.inv, 1u);
+  EXPECT_EQ(naive.inv, values.size());
+  EXPECT_EQ(batch.mul, 3 * (values.size() - 1));
+}
+
+TEST(BatchInverse, ConvenienceWrapper) {
+  const Group64& g = Group64::test_group();
+  std::vector<Group64::Scalar> values{2, 7, 11};
+  const auto inverted = batch_inverted(g, values);
+  for (std::size_t i = 0; i < values.size(); ++i)
+    EXPECT_EQ(g.smul(values[i], inverted[i]), g.sone());
+}
+
+}  // namespace
+}  // namespace dmw::num

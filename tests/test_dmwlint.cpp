@@ -24,7 +24,9 @@ std::size_t count_rule(const std::vector<Finding>& findings,
 
 TEST(DmwLint, RuleNamesAreStable) {
   const auto& names = dmwlint::rule_names();
-  ASSERT_EQ(names.size(), 6u);
+  ASSERT_EQ(names.size(), 7u);
+  EXPECT_NE(std::find(names.begin(), names.end(), "loop-inverse"),
+            names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "naive-call"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "secret-sink"),
             names.end());
@@ -191,6 +193,65 @@ TEST(DmwLint, RawThreadCatchesPrimitivesAndDetach) {
                                  "// dmwlint:allow(raw-thread) shim\n"
                                  "std::thread t([] {});\n"),
                        "raw-thread"),
+            0u);
+}
+
+TEST(DmwLint, LoopInverseScopedToDmwAndPoly) {
+  const std::string text =
+      "void f(const G& g, std::vector<S>& v) {\n"
+      "  for (auto& d : v) {\n"
+      "    d = g.sinv(d);\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(count_rule(lint_file("src/dmw/a.hpp", text), "loop-inverse"), 1u);
+  EXPECT_EQ(count_rule(lint_file("src/poly/a.hpp", text), "loop-inverse"),
+            1u);
+  // Numeric kernels (batch_inverse itself lives there) and tests are exempt.
+  EXPECT_EQ(count_rule(lint_file("src/numeric/a.hpp", text), "loop-inverse"),
+            0u);
+  EXPECT_EQ(count_rule(lint_file("tests/a.cpp", text), "loop-inverse"), 0u);
+}
+
+TEST(DmwLint, LoopInverseBodiesHeadersAndAllow) {
+  // Braceless single-statement bodies count; while loops count.
+  EXPECT_EQ(count_rule(lint_file("src/poly/a.hpp",
+                                 "for (auto& d : v) d = g.sinv(d);\n"),
+                       "loop-inverse"),
+            1u);
+  EXPECT_EQ(count_rule(lint_file("src/poly/a.hpp",
+                                 "while (i < n) { x = mod_inv(x, q); ++i; }\n"),
+                       "loop-inverse"),
+            1u);
+  // A call in the loop header runs once: no finding. Neither for straight-
+  // line code, nor after the loop closes.
+  EXPECT_EQ(count_rule(lint_file("src/poly/a.hpp",
+                                 "for (auto s = g.sinv(d); s != o;) {\n"
+                                 "  s = g.smul(s, d);\n"
+                                 "}\n"
+                                 "auto t = g.sinv(d);\n"),
+                       "loop-inverse"),
+            0u);
+  // Nested braces inside the body still count as the body.
+  EXPECT_EQ(count_rule(lint_file("src/poly/a.hpp",
+                                 "for (std::size_t k = 0; k < n; ++k) {\n"
+                                 "  if (live[k]) {\n"
+                                 "    d[k] = g.sinv(d[k]);\n"
+                                 "  }\n"
+                                 "}\n"),
+                       "loop-inverse"),
+            1u);
+  // Lookalike identifiers do not fire.
+  EXPECT_EQ(count_rule(lint_file("src/poly/a.hpp",
+                                 "for (auto& d : v) batch_inverse(g, d);\n"
+                                 "for (auto& d : v) d = invariant(d);\n"),
+                       "loop-inverse"),
+            0u);
+  // The allowlist escape works as for every rule.
+  EXPECT_EQ(count_rule(lint_file("src/poly/a.hpp",
+                                 "for (auto& d : v)\n"
+                                 "  // dmwlint:allow(loop-inverse) oracle\n"
+                                 "  d = g.sinv(d);\n"),
+                       "loop-inverse"),
             0u);
 }
 

@@ -4,6 +4,8 @@
 // invariants, edge cases, and the op-count accounting contract.
 #include <gtest/gtest.h>
 
+#include <bit>
+
 #include "numeric/expwin.hpp"
 #include "numeric/fixedbase.hpp"
 #include "numeric/group.hpp"
@@ -307,6 +309,37 @@ TEST(OpCountContract, FixedBaseCommitCountsFewerMulsThanNaive) {
   // the multiplications (<= 2*ceil(bits/w)+1 vs ~1.5 per exponent bit).
   EXPECT_EQ(fast.pow, naive.pow);
   EXPECT_LT(fast.mul * 2, naive.mul);
+}
+
+TEST(OpCountContract, ModPow64BelowWindowThresholdUsesTightLoop) {
+  // Below kPow64WindowMinBits — i.e. always, for u64 exponents — mod_pow on
+  // an odd modulus must take the Montgomery LSB-first square-and-multiply
+  // path, whose op-count signature is exactly bits + popcount
+  // multiplications: bits-1 squarings + popcount-1 products (no initial
+  // identity multiply, no wasted final squaring) plus the two domain
+  // conversions. That equals mod_pow_naive's count — the measured >= 1.0
+  // pow-speedup of BENCH_commit.json comes from each counted mul being
+  // three 64x64 multiplies (REDC) instead of a 128/64 division, not from
+  // doing fewer of them. Asserting the exact counts pins the dispatch
+  // decision and the accounting contract.
+  const u64 m = 1196215904639352043ull;
+  for (u64 e : {(u64{1} << 40) - 1, u64{0x5eed5eed5eed}, u64{3}, u64{2}}) {
+    const unsigned bits = exp_bit_length(e);
+    const auto pop = static_cast<unsigned>(std::popcount(e));
+    ASSERT_LT(bits, kPow64WindowMinBits);
+
+    OpCountScope tight_scope;
+    (void)mod_pow(123456789, e, m);
+    const auto tight = tight_scope.delta();
+
+    OpCountScope naive_scope;
+    (void)mod_pow_naive(123456789, e, m);
+    const auto naive = naive_scope.delta();
+
+    EXPECT_EQ(tight.mul, bits + pop) << "e=" << e;
+    EXPECT_EQ(naive.mul, bits + pop) << "e=" << e;
+    EXPECT_EQ(mod_pow(123456789, e, m), mod_pow_naive(123456789, e, m));
+  }
 }
 
 TEST(OpCountContract, MontgomeryPowCountsMuls) {

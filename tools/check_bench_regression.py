@@ -1,15 +1,30 @@
 #!/usr/bin/env python3
-"""Compare a fresh bench_json run against the checked-in baseline.
+"""Compare a fresh bench JSON run against the checked-in baseline.
 
 Usage:
     check_bench_regression.py BASELINE.json FRESH.json [--tolerance 0.25]
                               [--keys commit_ns,multiexp_ns]
 
-Reads the two BENCH_commit.json-shaped files and compares the hot-path
-timings per group backend. Only *slower* counts as a failure: a fresh value
-may exceed the baseline by at most `tolerance` (fractional, default 25%).
-Faster is reported but never fails — the baseline is a ratchet, refreshed by
-checking in a new BENCH_commit.json when an optimization lands.
+Dispatches on the top-level "bench" tag each emitter writes:
+
+  "commit"       (bench_json)        per-backend hot-path timings: a fresh
+                                     value may exceed the baseline by at most
+                                     `tolerance` (fractional). Only slower
+                                     fails — the baseline is a ratchet,
+                                     refreshed by checking in a new
+                                     BENCH_commit.json when an optimization
+                                     lands.
+  "parallel"     (bench_parallel)    correctness booleans must be exactly
+                                     true (all_outcomes_match and every
+                                     per-run outcome_match); the dimensionless
+                                     per-run speedups may fall below baseline
+                                     by at most `tolerance`. Raw seconds are
+                                     NOT compared — they measure the runner,
+                                     not the code.
+  "batchverify"  (bench_batchverify) same rule: all_outcomes_match and
+                                     abort_streams_match exactly true, the
+                                     per-stage and total speedups gated
+                                     against baseline - tolerance.
 
 Exit status: 0 within tolerance, 1 regression(s), 2 usage/schema error.
 Needs only the Python standard library.
@@ -33,55 +48,159 @@ def load(path):
         sys.exit(2)
 
 
-def main():
-    parser = argparse.ArgumentParser(
-        description="fail when bench timings regress past a tolerance")
-    parser.add_argument("baseline")
-    parser.add_argument("fresh")
-    parser.add_argument("--tolerance", type=float, default=0.25,
-                        help="allowed fractional slowdown (default 0.25)")
-    parser.add_argument("--keys", default=",".join(DEFAULT_KEYS),
-                        help="comma-separated timing keys to compare")
-    args = parser.parse_args()
+def schema_error(message):
+    print(f"check_bench_regression: {message}", file=sys.stderr)
+    sys.exit(2)
 
-    baseline = load(args.baseline)
-    fresh = load(args.fresh)
-    keys = [k for k in args.keys.split(",") if k]
 
+def check_commit(baseline, fresh, keys, tolerance):
+    """Per-backend timing ratchet for BENCH_commit.json."""
     regressions = 0
     compared = 0
     for backend in BACKENDS:
         base_be = baseline.get(backend)
         fresh_be = fresh.get(backend)
         if not isinstance(base_be, dict) or not isinstance(fresh_be, dict):
-            print(f"check_bench_regression: backend '{backend}' missing "
-                  f"from one of the inputs", file=sys.stderr)
-            sys.exit(2)
+            schema_error(f"backend '{backend}' missing from one of the inputs")
         for key in keys:
             if key not in base_be or key not in fresh_be:
-                print(f"check_bench_regression: key '{key}' missing under "
-                      f"'{backend}'", file=sys.stderr)
-                sys.exit(2)
+                schema_error(f"key '{key}' missing under '{backend}'")
             base_ns = float(base_be[key])
             fresh_ns = float(fresh_be[key])
             if base_ns <= 0:
-                print(f"check_bench_regression: non-positive baseline for "
-                      f"{backend}.{key}", file=sys.stderr)
-                sys.exit(2)
+                schema_error(f"non-positive baseline for {backend}.{key}")
             ratio = fresh_ns / base_ns
             compared += 1
             verdict = "ok"
-            if ratio > 1.0 + args.tolerance:
+            if ratio > 1.0 + tolerance:
                 verdict = "REGRESSION"
                 regressions += 1
-            elif ratio < 1.0 - args.tolerance:
+            elif ratio < 1.0 - tolerance:
                 verdict = "faster (consider refreshing the baseline)"
             print(f"{backend}.{key}: baseline {base_ns:.1f} ns, "
                   f"fresh {fresh_ns:.1f} ns, ratio {ratio:.3f} [{verdict}]")
+    return compared, regressions
 
-    limit = 1.0 + args.tolerance
-    print(f"compared {compared} timing(s), limit {limit:.2f}x baseline: "
-          f"{regressions} regression(s)")
+
+def check_bools(fresh, paths):
+    """Correctness booleans that must be exactly true in the fresh run."""
+    failures = 0
+    for label, value in paths:
+        if value is not True:
+            print(f"{label}: expected true, got {value!r} [REGRESSION]")
+            failures += 1
+        else:
+            print(f"{label}: true [ok]")
+    return len(paths), failures
+
+
+def check_speedup(label, base_value, fresh_value, tolerance):
+    """Dimensionless speedup gate: fresh >= baseline * (1 - tolerance)."""
+    base = float(base_value)
+    fresh_v = float(fresh_value)
+    if base <= 0:
+        schema_error(f"non-positive baseline speedup for {label}")
+    floor = base * (1.0 - tolerance)
+    verdict = "ok" if fresh_v >= floor else "REGRESSION"
+    print(f"{label}: baseline {base:.3f}x, fresh {fresh_v:.3f}x, "
+          f"floor {floor:.3f}x [{verdict}]")
+    return 0 if fresh_v >= floor else 1
+
+
+def check_parallel(baseline, fresh, tolerance):
+    """Outcome booleans + per-(m, threads) speedup floor for bench_parallel."""
+    compared, regressions = check_bools(
+        fresh, [("all_outcomes_match", fresh.get("all_outcomes_match"))])
+
+    def runs_by_key(doc):
+        table = {}
+        for config in doc.get("configs", []):
+            for run in config.get("runs", []):
+                table[(config.get("m"), run.get("threads"))] = run
+        return table
+
+    base_runs = runs_by_key(baseline)
+    fresh_runs = runs_by_key(fresh)
+    if not base_runs or not fresh_runs:
+        schema_error("no configs/runs in one of the parallel inputs")
+    for key in sorted(base_runs):
+        if key not in fresh_runs:
+            schema_error(f"run m={key[0]} threads={key[1]} missing from fresh")
+        run = fresh_runs[key]
+        compared += 2
+        if run.get("outcome_match") is not True:
+            print(f"m={key[0]} threads={key[1]}: outcome_match "
+                  f"{run.get('outcome_match')!r} [REGRESSION]")
+            regressions += 1
+        regressions += check_speedup(
+            f"m={key[0]} threads={key[1]} speedup",
+            base_runs[key].get("speedup"), run.get("speedup"), tolerance)
+    return compared, regressions
+
+
+def check_batchverify(baseline, fresh, tolerance):
+    """Outcome booleans + per-stage speedup floor for bench_batchverify."""
+    compared, regressions = check_bools(
+        fresh, [("all_outcomes_match", fresh.get("all_outcomes_match")),
+                ("abort_streams_match", fresh.get("abort_streams_match"))])
+
+    def stages_by_name(doc):
+        return {s.get("stage"): s for s in doc.get("stages", [])}
+
+    base_stages = stages_by_name(baseline)
+    fresh_stages = stages_by_name(fresh)
+    if not base_stages or not fresh_stages:
+        schema_error("no stages in one of the batchverify inputs")
+    for name in sorted(base_stages):
+        if name not in fresh_stages:
+            schema_error(f"stage '{name}' missing from fresh")
+        compared += 1
+        regressions += check_speedup(
+            f"stage {name} speedup", base_stages[name].get("speedup"),
+            fresh_stages[name].get("speedup"), tolerance)
+    base_total = baseline.get("total", {})
+    fresh_total = fresh.get("total", {})
+    if "speedup" not in base_total or "speedup" not in fresh_total:
+        schema_error("total.speedup missing from one of the inputs")
+    compared += 1
+    regressions += check_speedup("total speedup", base_total["speedup"],
+                                 fresh_total["speedup"], tolerance)
+    return compared, regressions
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="fail when bench results regress past a tolerance")
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional slack (default 0.25)")
+    parser.add_argument("--keys", default=",".join(DEFAULT_KEYS),
+                        help="comma-separated timing keys (commit schema)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+
+    schema = baseline.get("bench", "commit")
+    if fresh.get("bench", "commit") != schema:
+        schema_error(f"schema mismatch: baseline '{schema}' vs fresh "
+                     f"'{fresh.get('bench', 'commit')}'")
+    if schema == "commit":
+        keys = [k for k in args.keys.split(",") if k]
+        compared, regressions = check_commit(baseline, fresh, keys,
+                                             args.tolerance)
+    elif schema == "parallel":
+        compared, regressions = check_parallel(baseline, fresh, args.tolerance)
+    elif schema == "batchverify":
+        compared, regressions = check_batchverify(baseline, fresh,
+                                                  args.tolerance)
+    else:
+        schema_error(f"unknown bench schema '{schema}'")
+        return 2  # unreachable; keeps the linter happy
+
+    print(f"[{schema}] compared {compared} value(s), tolerance "
+          f"{args.tolerance:.2f}: {regressions} regression(s)")
     return 1 if regressions else 0
 
 

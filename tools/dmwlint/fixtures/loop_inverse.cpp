@@ -1,0 +1,74 @@
+// Fixture: loop-inverse rule. Inversions are the most expensive scalar
+// primitive; n of them in a loop should be one batch_inverse
+// (numeric/batchinv.hpp) — Montgomery's trick costs 1 inversion + 3(n-1)
+// multiplications instead of n inversions.
+// dmwlint-fixture-path: src/poly/loop_inverse_fixture.cpp
+#include "numeric/batchinv.hpp"
+
+namespace dmw::poly {
+
+template <class G>
+typename G::Scalar per_element(const G& g,
+                               std::vector<typename G::Scalar>& dens) {
+  typename G::Scalar acc = g.szero();
+  for (auto& d : dens) {
+    acc = g.sadd(acc, g.sinv(d));  // EXPECT: loop-inverse
+  }
+  std::size_t i = 0;
+  while (i < dens.size()) {
+    dens[i] = g.inv(dens[i]);  // EXPECT: loop-inverse
+    ++i;
+  }
+  // A braceless single-statement body is still a loop body.
+  for (auto& d : dens) d = g.sinv(d);  // EXPECT: loop-inverse
+  return acc;
+}
+
+inline dmw::num::u64 modular(dmw::num::u64 q,
+                             std::vector<dmw::num::u64>& xs) {
+  dmw::num::u64 acc = 0;
+  for (auto x : xs) acc += mod_inv(x, q);  // EXPECT: loop-inverse
+  return acc;
+}
+
+// The sanctioned path does not fire: hoist, then one batch inversion.
+template <class G>
+void hoisted(const G& g, std::vector<typename G::Scalar>& dens) {
+  dmw::num::batch_inverse(g, std::span<typename G::Scalar>(dens));
+  for (auto& d : dens) d = g.smul(d, d);
+}
+
+// An inversion in the loop *header* runs once and does not fire; neither
+// does one outside any loop.
+template <class G>
+typename G::Scalar straight_line(const G& g, typename G::Scalar d) {
+  for (auto step = g.sinv(d); step != g.sone(); step = g.smul(step, d)) {
+  }
+  return g.sinv(d);
+}
+
+// The escape hatch: paper-literal transcriptions kept as differential
+// oracles stay as printed.
+template <class G>
+typename G::Scalar paper_literal(const G& g,
+                                 std::vector<typename G::Scalar>& dens) {
+  typename G::Scalar acc = g.sone();
+  for (auto& d : dens) {
+    // dmwlint:allow(loop-inverse) paper-literal transcription of §2.4
+    acc = g.smul(acc, g.sinv(d));
+  }
+  return acc;
+}
+
+// Prose and strings never fire: sinv() in a comment, "g.sinv(d)" in a
+// string literal, and names that merely contain "inv".
+const char* kDoc = "calling g.sinv(d) in a loop is banned";
+template <class G>
+void lookalikes(const G& g, std::vector<typename G::Scalar>& dens) {
+  for (auto& d : dens) {
+    d = g.smul(d, invariant_mask(g, d));
+    batch_inverse_step(g, d);
+  }
+}
+
+}  // namespace dmw::poly

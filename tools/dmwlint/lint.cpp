@@ -467,6 +467,115 @@ void rule_raw_thread(const SourceFile& file, std::vector<Finding>& findings) {
   }
 }
 
+// ---- rule: loop-inverse ----------------------------------------------------
+
+/// Field/group inversions are the single most expensive scalar primitive
+/// (an extended-GCD walk on Group64, a full BigUInt eGCD on Group256), and
+/// Montgomery's trick turns n of them into 1 inversion + 3(n-1)
+/// multiplications. Protocol and polynomial code (src/dmw, src/poly) must
+/// therefore not call inv()/sinv()/mod_inv() from inside a loop body: hoist
+/// the denominators into a vector and use batch_inverse()
+/// (numeric/batchinv.hpp). Paper-literal transcriptions kept as differential
+/// oracles carry a `dmwlint:allow(loop-inverse)` comment.
+///
+/// Loop bodies are tracked with a small brace scanner over the code view
+/// (string/comment text already blanked): a `for (...)` / `while (...)`
+/// header opens either a braced body (tracked as a stack of brace depths,
+/// so nesting works) or a braceless single statement (tracked until its
+/// terminating ';'). Calls in the loop *header* itself run once and are not
+/// flagged.
+void rule_loop_inverse(const SourceFile& file,
+                       std::vector<Finding>& findings) {
+  if (!has_adjacent(file, "src", "dmw") && !has_adjacent(file, "src", "poly"))
+    return;
+  static const std::regex inv_re(
+      R"(\b(?:[A-Za-z_]\w*\s*(?:\.|->)\s*)?(sinv|inv|mod_inv)\s*\()");
+  static const std::regex loop_re(R"(\b(?:for|while)\s*\()");
+
+  int depth = 0;                 // brace depth
+  std::vector<int> loop_bodies;  // brace depths of open braced loop bodies
+  bool in_header = false;        // inside the (...) of a loop header
+  int header_parens = 0;
+  bool awaiting_body = false;  // header closed, body not yet seen
+  bool pending_push = false;   // next '{' opens a loop body
+  bool braceless = false;      // in a single-statement body, until ';'
+  int stmt_parens = 0;
+
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const std::string& code = file.lines[i].code;
+    // Positions where a loop header's '(' sits, and where inv-calls start.
+    std::vector<std::size_t> header_opens;
+    for (std::sregex_iterator it(code.begin(), code.end(), loop_re), end;
+         it != end; ++it) {
+      header_opens.push_back(static_cast<std::size_t>(it->position(0)) +
+                             it->length(0) - 1);
+    }
+    std::vector<std::pair<std::size_t, std::string>> inv_calls;
+    for (std::sregex_iterator it(code.begin(), code.end(), inv_re), end;
+         it != end; ++it) {
+      inv_calls.emplace_back(static_cast<std::size_t>(it->position(0)),
+                             (*it)[1].str());
+    }
+    std::size_t next_call = 0;
+    bool reported_this_line = false;
+    for (std::size_t pos = 0; pos < code.size(); ++pos) {
+      const char c = code[pos];
+      if (awaiting_body && !std::isspace(static_cast<unsigned char>(c))) {
+        awaiting_body = false;
+        if (c == '{') {
+          pending_push = true;
+        } else {
+          braceless = true;
+          stmt_parens = 0;
+        }
+      }
+      if (next_call < inv_calls.size() && inv_calls[next_call].first == pos) {
+        if ((!loop_bodies.empty() || braceless) && !reported_this_line) {
+          report(findings, file, i, "loop-inverse",
+                 "'" + inv_calls[next_call].second +
+                     "' called inside a loop: hoist the denominators and "
+                     "invert once with batch_inverse (numeric/batchinv.hpp) "
+                     "— Montgomery's trick trades n inversions for 1 "
+                     "inversion + 3(n-1) multiplications");
+          reported_this_line = true;  // one finding per line is enough
+        }
+        ++next_call;
+      }
+      if (in_header) {
+        if (c == '(') ++header_parens;
+        if (c == ')' && --header_parens == 0) {
+          in_header = false;
+          awaiting_body = true;
+        }
+        continue;
+      }
+      if (std::find(header_opens.begin(), header_opens.end(), pos) !=
+          header_opens.end()) {
+        in_header = true;
+        header_parens = 1;  // this '(' itself
+        continue;
+      }
+      if (braceless) {
+        if (c == '(') ++stmt_parens;
+        if (c == ')') --stmt_parens;
+        if (c == ';' && stmt_parens == 0) braceless = false;
+        continue;
+      }
+      if (c == '{') {
+        ++depth;
+        if (pending_push) {
+          loop_bodies.push_back(depth);
+          pending_push = false;
+        }
+      } else if (c == '}') {
+        if (!loop_bodies.empty() && loop_bodies.back() == depth)
+          loop_bodies.pop_back();
+        --depth;
+      }
+    }
+  }
+}
+
 // ---- rule: include-hygiene -------------------------------------------------
 
 void rule_include_hygiene(const SourceFile& file,
@@ -517,8 +626,8 @@ void rule_include_hygiene(const SourceFile& file,
 
 const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kNames = {
-      "naive-call",      "secret-sink", "ct-branch",
-      "banned-pattern",  "raw-thread",  "include-hygiene"};
+      "naive-call", "secret-sink",  "ct-branch",      "banned-pattern",
+      "raw-thread", "loop-inverse", "include-hygiene"};
   return kNames;
 }
 
@@ -531,6 +640,7 @@ std::vector<Finding> lint_file(const std::string& path,
   rule_ct_branch(file, findings);
   rule_banned_pattern(file, findings);
   rule_raw_thread(file, findings);
+  rule_loop_inverse(file, findings);
   rule_include_hygiene(file, findings);
   std::stable_sort(findings.begin(), findings.end(),
                    [](const Finding& a, const Finding& b) {
