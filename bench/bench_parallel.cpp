@@ -22,14 +22,21 @@
 #include "support/flags.hpp"
 #include "support/json.hpp"
 #include "support/logging.hpp"
-#include "support/stopwatch.hpp"
 #include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 
 namespace {
 
-using dmw::Stopwatch;
 using dmw::Xoshiro256ss;
 using dmw::num::Group256;
+
+/// Seconds elapsed on the tracer's run-relative clock (the one timing
+/// source the codebase keeps — see the dmwlint raw-clock rule).
+double elapsed_s(std::int64_t begin_ns) {
+  return static_cast<double>(dmw::trace::Tracer::instance().now_ns() -
+                             begin_ns) *
+         1e-9;
+}
 
 constexpr std::size_t kAgents = 6;
 constexpr std::uint64_t kSeed = 7;
@@ -84,9 +91,9 @@ int main(int argc, char** argv) try {
     const auto instance =
         dmw::mech::make_uniform_instance(kAgents, m, params.bid_set(), rng);
 
-    Stopwatch seq_timer;
+    const std::int64_t seq_begin = dmw::trace::Tracer::instance().now_ns();
     const auto reference = dmw::proto::run_honest_dmw(params, instance);
-    const double sequential_s = seq_timer.seconds();
+    const double sequential_s = elapsed_s(seq_begin);
     if (reference.aborted) {
       DMW_ERROR() << "bench_parallel: sequential baseline aborted at m=" << m;
       return 1;
@@ -97,10 +104,10 @@ int main(int argc, char** argv) try {
     json.key("sequential_s").value(sequential_s);
     json.begin_array("runs");
     for (const std::size_t threads : thread_counts) {
-      Stopwatch timer;
+      const std::int64_t begin = dmw::trace::Tracer::instance().now_ns();
       const auto outcome =
           dmw::proto::run_parallel_dmw(params, instance, threads);
-      const double seconds = timer.seconds();
+      const double seconds = elapsed_s(begin);
       const bool match = outcomes_match(reference, outcome);
       all_match = all_match && match;
       json.begin_object();

@@ -46,6 +46,7 @@
 #include "poly/lagrange.hpp"
 #include "support/logging.hpp"
 #include "support/secret.hpp"
+#include "support/trace.hpp"
 
 namespace dmw::proto {
 
@@ -131,6 +132,7 @@ class DmwAgent {
   /// private-channel traffic ("securely transmits the shares", II.2).
   void phase0_publish_key(net::SimNetwork& net) {
     if (stopped() || !encrypt_) return;
+    DMW_SPAN("phase0/publish_key", id_);
     typename G::Elem public_key = dh_.public_key;
     if (!strategy_.edit_key_exchange(public_key)) return;  // withheld
     KeyExchangeMsg<G> msg{public_key};
@@ -146,6 +148,7 @@ class DmwAgent {
   /// which keeps them safe to run concurrently).
   void phase2_prepare(net::SimNetwork& net) {
     if (stopped()) return;
+    DMW_SPAN("phase2/prepare", id_);
     absorb_bulletin(net);  // peers' DH keys
     bids_ = strategy_.choose_bids(true_costs_, params_.bid_set());
     DMW_CHECK_MSG(bids_.size() == params_.m(), "strategy returned bad bids");
@@ -157,6 +160,7 @@ class DmwAgent {
   /// commitments. Writes only tasks_[task].
   void phase2_send_task(net::SimNetwork& net, std::size_t j) {
     if (stopped()) return;
+    DMW_SPAN("phase2/send_task", j);
     const G& g = params_.group();
     auto& view = tasks_[j];
     crypto::ChaChaRng rng = task_rng(j);
@@ -217,6 +221,7 @@ class DmwAgent {
   /// per-task verification steps.
   void phase3_ingest(net::SimNetwork& net) {
     if (stopped()) return;
+    DMW_SPAN("phase3/ingest", id_);
     drain_unicasts(net);
     absorb_bulletin(net);
   }
@@ -225,6 +230,7 @@ class DmwAgent {
   /// traffic in those rounds).
   void absorb_published(net::SimNetwork& net) {
     if (stopped()) return;
+    DMW_SPAN("phase3/absorb_published", id_);
     absorb_bulletin(net);
   }
 
@@ -241,6 +247,7 @@ class DmwAgent {
   /// so AbortReason records are byte-identical in both modes.
   void phase3_verify_task(net::SimNetwork& net, std::size_t j) {
     if (stopped()) return;
+    DMW_SPAN("phase3/verify_shares", j);
     (void)net;
     if (!params_.batch_verify()) return phase3_verify_task_sequential(j);
     const G& g = params_.group();
@@ -295,7 +302,12 @@ class DmwAgent {
       for (std::size_t l = 0; l < sigma; ++l)
         batch.rhs_term(commitments.R[l], g.smul(r9, apow[l]));
     }
-    if (!batch.verify()) return phase3_verify_task_sequential(j);
+    if (!batch.verify()) {
+      DMW_COUNT("batchverify/replays", 1);
+      return phase3_verify_task_sequential(j);
+    }
+    DMW_COUNT("batchverify/batches", 1);
+    DMW_COUNT("batchverify/checks_batched", batch.checks());
     finish_verified_task(j);
   }
 
@@ -312,6 +324,7 @@ class DmwAgent {
   /// Psi_i = z2^{H(alpha_i)}.
   void phase3_lambda_task(net::SimNetwork& net, std::size_t j) {
     if (stopped()) return;
+    DMW_SPAN("phase3/lambda_psi", j);
     const G& g = params_.group();
     {
       auto& view = tasks_[j];
@@ -346,6 +359,7 @@ class DmwAgent {
   /// delegate to the sequential scan for attribution.
   void phase3_first_price_checks_task(net::SimNetwork& net, std::size_t j) {
     if (stopped()) return;
+    DMW_SPAN("phase3/first_price_checks", j);
     (void)net;
     if (!params_.batch_verify()) return phase3_first_price_checks_sequential(j);
     const G& g = params_.group();
@@ -375,7 +389,12 @@ class DmwAgent {
     }
     for (std::size_t l = 0; l < sigma; ++l)
       batch.rhs_term(view.qhat[l], weights[l]);
-    if (!batch.verify()) return phase3_first_price_checks_sequential(j);
+    if (!batch.verify()) {
+      DMW_COUNT("batchverify/replays", 1);
+      return phase3_first_price_checks_sequential(j);
+    }
+    DMW_COUNT("batchverify/batches", 1);
+    DMW_COUNT("batchverify/checks_batched", batch.checks());
   }
 
   /// First-price resolution (Eq. 12) for one task: least s with
@@ -385,6 +404,7 @@ class DmwAgent {
     if (stopped()) return;
     (void)net;
     if (task_failures_[j]) return;
+    DMW_SPAN("phase3/price_resolution", j);
     const G& g = params_.group();
     auto& view = tasks_[j];
     std::vector<typename G::Scalar> points;
@@ -423,6 +443,7 @@ class DmwAgent {
   /// f-shares they hold.
   void phase3_disclose_task(net::SimNetwork& net, std::size_t j) {
     if (stopped()) return;
+    DMW_SPAN("phase3/disclose", j);
     const G& g = params_.group();
     {
       auto& view = tasks_[j];
@@ -464,6 +485,7 @@ class DmwAgent {
   /// (smallest pseudonym on ties).
   void phase3_winner_task(net::SimNetwork& net, std::size_t j) {
     if (stopped()) return;
+    DMW_SPAN("phase3/winner", j);
     (void)net;
     const G& g = params_.group();
     {
@@ -536,6 +558,7 @@ class DmwAgent {
   /// III.4 (Eq. 15) for one task: publish the winner-excluded Lambda/Psi.
   void phase3_reduced_task(net::SimNetwork& net, std::size_t j) {
     if (stopped()) return;
+    DMW_SPAN("phase3/reduced_lambda_psi", j);
     const G& g = params_.group();
     {
       auto& view = tasks_[j];
@@ -574,6 +597,7 @@ class DmwAgent {
   /// failures and batch mismatches delegate to the sequential scan.
   void phase3_second_price_checks_task(net::SimNetwork& net, std::size_t j) {
     if (stopped()) return;
+    DMW_SPAN("phase3/second_price_checks", j);
     (void)net;
     if (!params_.batch_verify())
       return phase3_second_price_checks_sequential(j);
@@ -605,7 +629,12 @@ class DmwAgent {
       batch.lhs_term(winner_commits.Q[l], weights[l]);
       batch.rhs_term(view.qhat[l], weights[l]);
     }
-    if (!batch.verify()) return phase3_second_price_checks_sequential(j);
+    if (!batch.verify()) {
+      DMW_COUNT("batchverify/replays", 1);
+      return phase3_second_price_checks_sequential(j);
+    }
+    DMW_COUNT("batchverify/batches", 1);
+    DMW_COUNT("batchverify/checks_batched", batch.checks());
   }
 
   /// Second-price resolution for one task over the reduced Lambda points.
@@ -614,6 +643,7 @@ class DmwAgent {
     if (stopped()) return;
     (void)net;
     if (task_failures_[j]) return;
+    DMW_SPAN("phase3/second_price_resolution", j);
     const G& g = params_.group();
     auto& view = tasks_[j];
     std::vector<typename G::Scalar> points;
@@ -653,6 +683,7 @@ class DmwAgent {
   /// infrastructure (modeled as a published claim).
   void phase4_submit_payment_claim(net::SimNetwork& net) {
     if (stopped()) return;
+    DMW_SPAN("phase4/payment_claim", id_);
     std::vector<std::uint64_t> payments(params_.n(), 0);
     for (std::size_t j = 0; j < params_.m(); ++j) {
       const auto& view = tasks_[j];
@@ -839,6 +870,10 @@ class DmwAgent {
       return;
     }
     abort_ = AbortMsg{static_cast<std::uint32_t>(task), reason};
+    if (trace::on()) {
+      trace::counter("aborts/total").add(1);
+      trace::counter(std::string("aborts/") + to_string(reason)).add(1);
+    }
     DMW_DEBUG() << "agent " << id_ << " aborts on task " << task << ": "
                 << to_string(reason);
     net.publish(static_cast<net::AgentId>(id_),

@@ -28,6 +28,7 @@
 #include "dmw/params.hpp"
 #include "dmw/polycommit.hpp"
 #include "poly/lagrange.hpp"
+#include "support/trace.hpp"
 
 namespace dmw::proto {
 
@@ -46,6 +47,7 @@ MultiUnitOutcome run_multiunit_auction(const PublicParams<G>& params,
                                        const std::vector<mech::Cost>& value_bids,
                                        std::size_t units,
                                        std::uint64_t seed = 0x4d31) {
+  DMW_SPAN("multiunit/run");
   const G& g = params.group();
   const std::size_t n = params.n();
   DMW_REQUIRE(value_bids.size() == n);
@@ -80,6 +82,7 @@ MultiUnitOutcome run_multiunit_auction(const PublicParams<G>& params,
   std::vector<bool> excluded(n, false);
 
   for (std::size_t round = 0; round <= units; ++round) {
+    DMW_SPAN("multiunit/winner_round", round);
     // Lambda_k = z1^{sum over remaining bidders of e_i(alpha_k)}.
     std::vector<typename G::Elem> lambdas;
     lambdas.reserve(n);

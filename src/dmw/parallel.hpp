@@ -58,6 +58,7 @@ class ParallelProtocol {
         pool_(threads == 0 ? ThreadPool::default_thread_count() : threads),
         worker_ops_(pool_.size()) {
     net_.enable_concurrency(pool_.size());
+    if (params.tracing()) trace::Tracer::instance().set_enabled(true);
   }
 
   std::size_t threads() const { return pool_.size(); }
@@ -148,7 +149,8 @@ class ParallelProtocol {
     const auto traffic_before = net_.stats();
     for (auto& ops : worker_ops_) ops = dmw::num::OpCounts{};
     dmw::num::OpCountScope driver_ops;
-    Stopwatch timer;
+    trace::Span span(to_string(phase));
+    const std::int64_t step_begin_ns = trace::Tracer::instance().now_ns();
 
     body();
     net_.advance_round();
@@ -159,12 +161,26 @@ class ParallelProtocol {
     }
 
     auto& bucket = outcome.phases[static_cast<std::size_t>(phase)];
-    bucket.seconds += timer.seconds();
+    bucket.seconds +=
+        static_cast<double>(trace::Tracer::instance().now_ns() -
+                            step_begin_ns) *
+        1e-9;
     bucket.ops += driver_ops.delta();
-    for (const auto& ops : worker_ops_) bucket.ops += ops;
+    dmw::num::OpCounts workers_total;
+    for (const auto& ops : worker_ops_) workers_total += ops;
+    bucket.ops += workers_total;
+    // Credit the workers' ops to the driver thread too (after the
+    // driver_ops.delta() read, so the bucket is not double-counted): the
+    // enclosing phase span and any caller's OpCountScope then observe the
+    // same per-phase deltas as the sequential driver, which is what keeps
+    // RunReports engine-invariant.
+    dmw::num::op_counts() += workers_total;
     accumulate_traffic(bucket.stats, net_.stats(), traffic_before);
 
     note_aborts(agents_, outcome);
+    // Stage barrier: every worker is idle (parallel_for returned), so their
+    // span buffers can be drained into the central log in worker-id order.
+    if (trace::on()) trace::Tracer::instance().flush_thread_buffers();
   }
 
   /// Shard a per-agent ingest step over the pool (one index per agent).

@@ -100,6 +100,13 @@ class PublicParams {
   /// every Outcome/AbortReason byte matches the one-at-a-time ablation.
   bool batch_verify() const { return batch_verify_; }
   void set_batch_verify(bool on) { batch_verify_ = on; }
+  /// True when protocol runners should switch on the process-wide dmwtrace
+  /// tracer (support/trace.hpp) when they are constructed. Off by default:
+  /// the spans stay compiled in, at the cost of one predicted branch each
+  /// and no allocation. Enabling is one-way — the caller that turned
+  /// tracing on (e.g. dmw_sim --trace-out) owns disabling and exporting.
+  bool tracing() const { return tracing_; }
+  void set_tracing(bool on) { tracing_ = on; }
   /// Smallest number of participating agents the protocol can finish with.
   std::size_t quorum() const { return n_ - (crash_tolerant_ ? c_ : 0); }
   const mech::BidSet& bid_set() const { return bid_set_; }
@@ -186,6 +193,7 @@ class PublicParams {
   std::size_t n_, m_, c_;
   bool crash_tolerant_ = false;
   bool batch_verify_ = true;
+  bool tracing_ = false;
   mech::BidSet bid_set_;
   std::vector<Scalar> pseudonyms_;
 };

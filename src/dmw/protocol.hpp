@@ -9,6 +9,7 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <memory>
 #include <optional>
 #include <string>
@@ -18,7 +19,7 @@
 #include "dmw/payment.hpp"
 #include "mech/schedule.hpp"
 #include "numeric/opcount.hpp"
-#include "support/stopwatch.hpp"
+#include "support/trace.hpp"
 
 namespace dmw::proto {
 
@@ -131,6 +132,7 @@ void finalize_outcome(const PublicParams<G>& params, net::SimNetwork& net,
                       PaymentInfrastructure& infra,
                       const std::vector<std::unique_ptr<DmwAgent<G>>>& agents,
                       Outcome& outcome) {
+  DMW_SPAN("run/finalize");
   outcome.traffic = net.stats();
   if (outcome.aborted) return;
 
@@ -209,7 +211,9 @@ class ProtocolRunner {
         instance_(instance),
         net_(params.n()),
         infra_(params.n()),
-        agents_(make_dmw_agents(params, instance, strategies, config)) {}
+        agents_(make_dmw_agents(params, instance, strategies, config)) {
+    if (params.tracing()) trace::Tracer::instance().set_enabled(true);
+  }
 
   net::SimNetwork& network() { return net_; }
 
@@ -263,7 +267,8 @@ class ProtocolRunner {
     if (outcome.aborted) return;
     const auto traffic_before = net_.stats();
     dmw::num::OpCountScope ops;
-    Stopwatch timer;
+    trace::Span span(to_string(phase));
+    const std::int64_t step_begin_ns = trace::Tracer::instance().now_ns();
 
     for (auto& agent : agents_) fn(*agent);
     net_.advance_round();
@@ -277,7 +282,10 @@ class ProtocolRunner {
     }
 
     auto& bucket = outcome.phases[static_cast<std::size_t>(phase)];
-    bucket.seconds += timer.seconds();
+    bucket.seconds +=
+        static_cast<double>(trace::Tracer::instance().now_ns() -
+                            step_begin_ns) *
+        1e-9;
     bucket.ops += ops.delta();
     accumulate_traffic(bucket.stats, net_.stats(), traffic_before);
 
@@ -294,6 +302,43 @@ class ProtocolRunner {
   PaymentInfrastructure infra_;
   std::vector<std::unique_ptr<DmwAgent<G>>> agents_;
 };
+
+/// Assemble the machine-readable RunReport for a finished run: the
+/// Outcome's per-phase wall-time/ops/traffic table plus the tracer's span
+/// aggregates and the metrics-registry snapshots (trace::collect_into).
+/// Call on the driver thread, after run(), while the tracer state of the
+/// run is still live (before the next reset()). Under ClockMode::kLogical
+/// the returned report serializes bit-identically at any thread count and
+/// for either driver's phase table.
+template <dmw::num::GroupBackend G>
+trace::RunReport make_run_report(const PublicParams<G>& params,
+                                 const Outcome& outcome) {
+  trace::RunReport report;
+  report.label = params.describe();
+  report.n = params.n();
+  report.m = params.m();
+  report.c = params.c();
+  report.aborted = outcome.aborted;
+  if (outcome.aborted && outcome.abort_record)
+    report.abort_reason = to_string(outcome.abort_record->reason);
+  report.rounds = outcome.rounds;
+  for (std::size_t i = 0; i < outcome.phases.size(); ++i) {
+    const PhaseTraffic& bucket = outcome.phases[i];
+    trace::RunReport::PhaseRow row;
+    row.name = to_string(static_cast<Phase>(i));
+    // seconds round-trips through double; exact for the logical clock's
+    // small tick counts, which is what the determinism gate relies on.
+    row.wall_ns = std::llround(bucket.seconds * 1e9);
+    row.ops = bucket.ops;
+    row.unicasts = bucket.stats.unicast_messages;
+    row.broadcasts = bucket.stats.broadcast_messages;
+    row.p2p_messages = bucket.stats.p2p_equivalent_messages;
+    row.p2p_bytes = bucket.stats.p2p_equivalent_bytes;
+    report.phases.push_back(std::move(row));
+  }
+  trace::collect_into(report);
+  return report;
+}
 
 /// Convenience: run DMW with every agent honest.
 template <dmw::num::GroupBackend G>

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 
 namespace dmw::net {
 
@@ -121,6 +122,8 @@ std::vector<Posting> SimNetwork::read_bulletin(std::size_t& cursor) const {
 }
 
 void SimNetwork::advance_round() {
+  DMW_SPAN("net/advance_round");
+  trace::Tracer::instance().tick();
   flush_worker_stats();
   ++round_;
   auto it = std::stable_partition(
@@ -129,6 +132,19 @@ void SimNetwork::advance_round() {
   for (auto moved = it; moved != pending_postings_.end(); ++moved)
     bulletin_.push_back(std::move(*moved));
   pending_postings_.erase(it, pending_postings_.end());
+  if (trace::on()) {
+    // Per-round traffic shape: observe the delta since the last traced
+    // boundary (totals_ is complete here — workers flushed above).
+    static trace::Histogram& messages =
+        trace::histogram("net/round_p2p_messages");
+    static trace::Histogram& bytes = trace::histogram("net/round_p2p_bytes");
+    static trace::Gauge& postings = trace::gauge("net/bulletin_postings");
+    messages.observe(totals_.p2p_equivalent_messages -
+                     traced_.p2p_equivalent_messages);
+    bytes.observe(totals_.p2p_equivalent_bytes - traced_.p2p_equivalent_bytes);
+    postings.set(static_cast<std::int64_t>(bulletin_.size()));
+    traced_ = totals_;
+  }
 }
 
 std::size_t SimNetwork::in_flight() const {
@@ -143,6 +159,7 @@ std::size_t SimNetwork::in_flight() const {
 
 void SimNetwork::reset_stats() {
   totals_ = TrafficStats{};
+  traced_ = TrafficStats{};
   for (auto& s : per_agent_) s = TrafficStats{};
   for (auto& slot : worker_stats_) {
     slot.totals = TrafficStats{};

@@ -184,6 +184,10 @@ class SimNetwork {
   TrafficStats totals_;
   std::vector<TrafficStats> per_agent_;
 
+  /// Snapshot of totals_ at the last traced round boundary, so the
+  /// per-round traffic histograms (support/trace.hpp) observe deltas.
+  TrafficStats traced_;
+
   // Concurrency support (empty/unused until enable_concurrency()).
   std::vector<WorkerStats> worker_stats_;
   std::unique_ptr<std::mutex[]> inbox_mutexes_;  // one per recipient

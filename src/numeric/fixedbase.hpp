@@ -31,6 +31,7 @@
 
 #include "numeric/expwin.hpp"
 #include "support/check.hpp"
+#include "support/trace.hpp"
 
 namespace dmw::num {
 
@@ -76,6 +77,7 @@ class FixedBaseTable {
   Dom mul_pow(const Ops& ops, Dom acc, const S& e) const {
     DMW_REQUIRE_MSG(exp_bit_length(e) <= max_bits_,
                     "fixed-base exponent exceeds precomputed range");
+    DMW_COUNT("expwin/fixedbase_evals", 1);
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       const unsigned d =
           exp_window(e, static_cast<unsigned>(i) * window_, window_);

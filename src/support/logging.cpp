@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <utility>
 
+#include "support/trace.hpp"
+
 namespace dmw {
 
 const char* to_string(LogLevel level) {
@@ -29,19 +31,25 @@ Logger& Logger::instance() {
 }
 
 Logger::Logger() {
+  // Decoration (run-relative timestamp + active span) lives here, in the
+  // default sink, not in log(): custom sinks — test capture, JSON
+  // emitters — receive the undecorated message.
   sink_ = [](LogLevel level, const std::string& message) {
     // dmwlint:allow(banned-pattern) the default sink IS the choke point
-    std::fprintf(stderr, "[%s] %s\n", to_string(level), message.c_str());
+    std::fprintf(stderr, "[%s %s] %s\n", to_string(level),
+                 trace::log_stamp().c_str(), message.c_str());
   };
 }
 
 Logger::Sink Logger::set_sink(Sink sink) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   std::swap(sink, sink_);
   return sink;
 }
 
 void Logger::log(LogLevel level, const std::string& message) {
   if (!enabled(level)) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
   if (sink_) sink_(level, message);
 }
 

@@ -5,7 +5,9 @@
 // swappable sink so tests can capture output.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -15,16 +17,24 @@ enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
 const char* to_string(LogLevel level);
 
-/// Process-wide logger. Thread-compatible (the simulator is single-threaded).
+/// Process-wide logger. Thread-safe: ThreadPool workers (dmw/parallel.hpp)
+/// log concurrently, so the level gate is an atomic and sink swap + emission
+/// are serialized by a mutex — concurrent statements never interleave
+/// within a line and never race a set_sink(). Sinks must not log
+/// re-entrantly (they run under the emission lock). The default sink
+/// prefixes each line with the tracer's run-relative clock and, when
+/// tracing, the calling thread's active span (support/trace.hpp).
 class Logger {
  public:
   using Sink = std::function<void(LogLevel, const std::string&)>;
 
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
-  bool enabled(LogLevel level) const { return level >= level_; }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  bool enabled(LogLevel level) const { return level >= this->level(); }
 
   /// Replace the output sink; returns the previous one.
   Sink set_sink(Sink sink);
@@ -33,7 +43,8 @@ class Logger {
 
  private:
   Logger();
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  std::mutex mutex_;  ///< guards sink_ (swap and every emission)
   Sink sink_;
 };
 

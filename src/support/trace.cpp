@@ -1,0 +1,438 @@
+#include "support/trace.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "support/json.hpp"
+
+namespace dmw::trace {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// Everything mutable the tracer owns besides the inline enabled latch.
+/// One mutex guards the thread-state registry and the central event log;
+/// record paths never take it (they only touch their own ThreadState).
+struct TracerState {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<detail::ThreadState>> registered;
+  std::uint64_t next_sequence = 0;
+  std::vector<SpanEvent> log;        ///< flushed events
+  std::uint64_t dropped_flushed = 0; ///< dropped counts folded at flush
+  std::atomic<std::int64_t> logical{0};
+  std::atomic<int> mode{static_cast<int>(ClockMode::kReal)};
+  SteadyClock::time_point epoch = SteadyClock::now();
+};
+
+TracerState& state() {
+  static TracerState* s = new TracerState;  // leaked: threads may outlive exit
+  return *s;
+}
+
+/// Metric maps are ordered by name so snapshots come out sorted. Values
+/// are heap-allocated once and never freed: cached Counter& references
+/// (DMW_COUNT statics) must stay valid for the process lifetime.
+struct MetricsState {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+MetricsState& metrics() {
+  static MetricsState* s = new MetricsState;
+  return *s;
+}
+
+void write_ops(JsonWriter& w, const dmw::num::OpCounts& ops) {
+  w.begin_object();
+  w.field("mul", ops.mul);
+  w.field("pow", ops.pow);
+  w.field("inv", ops.inv);
+  w.field("add", ops.add);
+  w.field("total", ops.total());
+  w.end_object();
+}
+
+}  // namespace
+
+namespace detail {
+
+ThreadState& thread_state() {
+  thread_local std::shared_ptr<ThreadState> local = [] {
+    auto fresh = std::make_shared<ThreadState>();
+    fresh->worker = ThreadPool::current_worker_id();
+    auto& s = state();
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    fresh->sequence = s.next_sequence++;
+    s.registered.push_back(fresh);
+    return fresh;
+  }();
+  return *local;
+}
+
+}  // namespace detail
+
+Tracer::Tracer() = default;
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::set_enabled(bool enabled) {
+  detail::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+ClockMode Tracer::clock_mode() const {
+  return static_cast<ClockMode>(state().mode.load(std::memory_order_relaxed));
+}
+
+void Tracer::set_clock_mode(ClockMode mode) {
+  state().mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+std::int64_t Tracer::now_ns() const {
+  auto& s = state();
+  if (s.mode.load(std::memory_order_relaxed) ==
+      static_cast<int>(ClockMode::kLogical))
+    return s.logical.load(std::memory_order_relaxed);
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             SteadyClock::now() - s.epoch)
+      .count();
+}
+
+void Tracer::tick() {
+  if (!on()) return;
+  state().logical.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Tracer::reset() {
+  auto& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.log.clear();
+  s.dropped_flushed = 0;
+  s.logical.store(0, std::memory_order_relaxed);
+  s.epoch = SteadyClock::now();
+  for (auto& thread : s.registered) {
+    thread->events.clear();
+    thread->dropped = 0;
+  }
+  // Prune states whose threads have exited (registry holds the only ref).
+  std::erase_if(s.registered,
+                [](const std::shared_ptr<detail::ThreadState>& thread) {
+                  return thread.use_count() == 1;
+                });
+
+  auto& m = metrics();
+  const std::lock_guard<std::mutex> metrics_lock(m.mutex);
+  for (auto& [name, value] : m.counters) value->clear();
+  for (auto& [name, value] : m.gauges) value->clear();
+  for (auto& [name, value] : m.histograms) value->clear();
+}
+
+void Tracer::flush_thread_buffers() {
+  auto& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  // Worker-id order (driver thread's -1 first), registration order as the
+  // tiebreak: the flushed log's layout is a function of the run, not of
+  // which buffer happened to fill first.
+  std::vector<detail::ThreadState*> order;
+  order.reserve(s.registered.size());
+  for (auto& thread : s.registered) order.push_back(thread.get());
+  std::sort(order.begin(), order.end(),
+            [](const detail::ThreadState* a, const detail::ThreadState* b) {
+              if (a->worker != b->worker) return a->worker < b->worker;
+              return a->sequence < b->sequence;
+            });
+  for (auto* thread : order) {
+    s.log.insert(s.log.end(), thread->events.begin(), thread->events.end());
+    thread->events.clear();
+    s.dropped_flushed += thread->dropped;
+    thread->dropped = 0;
+  }
+}
+
+std::vector<SpanEvent> Tracer::events() {
+  flush_thread_buffers();
+  const std::lock_guard<std::mutex> lock(state().mutex);
+  return state().log;
+}
+
+std::vector<SpanAggregate> Tracer::aggregate_spans() {
+  flush_thread_buffers();
+  auto& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  std::map<std::string_view, SpanAggregate> by_name;
+  for (const SpanEvent& event : s.log) {
+    SpanAggregate& agg = by_name[event.name];
+    if (agg.count == 0) agg.name = event.name;
+    ++agg.count;
+    agg.total_ns += event.end_ns - event.begin_ns;
+    agg.ops += event.ops;
+  }
+  std::vector<SpanAggregate> out;
+  out.reserve(by_name.size());
+  for (auto& [name, agg] : by_name) out.push_back(std::move(agg));
+  return out;
+}
+
+std::uint64_t Tracer::events_dropped() {
+  flush_thread_buffers();
+  const std::lock_guard<std::mutex> lock(state().mutex);
+  return state().dropped_flushed;
+}
+
+const char* Tracer::active_span() const {
+  const auto& stack = detail::thread_state().stack;
+  return stack.empty() ? nullptr : stack.back();
+}
+
+std::string Tracer::chrome_trace_json() {
+  const auto log = events();
+  JsonWriter w;
+  w.begin_object();
+  w.begin_array("traceEvents");
+  // Thread-name metadata so Perfetto labels lanes "driver"/"worker N".
+  std::vector<int> workers;
+  for (const SpanEvent& event : log) {
+    if (std::find(workers.begin(), workers.end(), event.worker) ==
+        workers.end())
+      workers.push_back(event.worker);
+  }
+  std::sort(workers.begin(), workers.end());
+  for (int worker : workers) {
+    w.begin_object();
+    w.field("name", "thread_name");
+    w.field("ph", "M");
+    w.field("pid", std::uint64_t{1});
+    w.field("tid", static_cast<std::int64_t>(worker + 1));
+    w.key("args").begin_object();
+    w.field("name", worker < 0 ? std::string("driver")
+                               : "worker " + std::to_string(worker));
+    w.end_object();
+    w.end_object();
+  }
+  for (const SpanEvent& event : log) {
+    w.begin_object();
+    w.field("name", event.name);
+    w.field("cat", "dmw");
+    w.field("ph", "X");
+    // trace_event wants microseconds; integer µs keeps the JSON free of
+    // float formatting artifacts. Exact ns live in args.
+    w.field("ts", event.begin_ns / 1000);
+    w.field("dur", (event.end_ns - event.begin_ns) / 1000);
+    w.field("pid", std::uint64_t{1});
+    w.field("tid", static_cast<std::int64_t>(event.worker + 1));
+    w.key("args").begin_object();
+    if (event.id != kNoId) w.field("id", event.id);
+    w.field("depth", std::uint64_t{event.depth});
+    w.field("begin_ns", event.begin_ns);
+    w.field("end_ns", event.end_ns);
+    w.key("ops");
+    write_ops(w, event.ops);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.field("displayTimeUnit", "ms");
+  w.end_object();
+  return w.str();
+}
+
+// ---- Metrics registry ------------------------------------------------------
+
+void Histogram::observe(std::uint64_t v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  buckets_[static_cast<std::size_t>(std::bit_width(v))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+std::vector<std::pair<unsigned, std::uint64_t>> Histogram::buckets() const {
+  std::vector<std::pair<unsigned, std::uint64_t>> out;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const std::uint64_t count = buckets_[b].load(std::memory_order_relaxed);
+    if (count != 0) out.emplace_back(static_cast<unsigned>(b), count);
+  }
+  return out;
+}
+
+void Histogram::clear() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+Counter& counter(std::string_view name) {
+  auto& m = metrics();
+  const std::lock_guard<std::mutex> lock(m.mutex);
+  auto it = m.counters.find(name);
+  if (it == m.counters.end())
+    it = m.counters.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& gauge(std::string_view name) {
+  auto& m = metrics();
+  const std::lock_guard<std::mutex> lock(m.mutex);
+  auto it = m.gauges.find(name);
+  if (it == m.gauges.end())
+    it = m.gauges.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& histogram(std::string_view name) {
+  auto& m = metrics();
+  const std::lock_guard<std::mutex> lock(m.mutex);
+  auto it = m.histograms.find(name);
+  if (it == m.histograms.end())
+    it = m.histograms
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  return *it->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> counters_snapshot() {
+  auto& m = metrics();
+  const std::lock_guard<std::mutex> lock(m.mutex);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const auto& [name, value] : m.counters) {
+    if (value->value() != 0) out.emplace_back(name, value->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> gauges_snapshot() {
+  auto& m = metrics();
+  const std::lock_guard<std::mutex> lock(m.mutex);
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  for (const auto& [name, value] : m.gauges) {
+    if (value->value() != 0) out.emplace_back(name, value->value());
+  }
+  return out;
+}
+
+std::vector<HistogramSnapshot> histograms_snapshot() {
+  auto& m = metrics();
+  const std::lock_guard<std::mutex> lock(m.mutex);
+  std::vector<HistogramSnapshot> out;
+  for (const auto& [name, value] : m.histograms) {
+    if (value->count() == 0) continue;
+    HistogramSnapshot snap;
+    snap.name = name;
+    snap.count = value->count();
+    snap.sum = value->sum();
+    snap.buckets = value->buckets();
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+// ---- RunReport -------------------------------------------------------------
+
+std::string RunReport::json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.field("report", "dmw-run");
+  w.field("bench", "runreport");
+  w.field("schema_version", std::uint64_t{1});
+  w.field("label", label);
+  w.field("n", n);
+  w.field("m", m);
+  w.field("c", c);
+  w.field("aborted", aborted);
+  w.field("abort_reason", abort_reason);
+  w.field("rounds", rounds);
+  w.begin_array("phases");
+  for (const PhaseRow& phase : phases) {
+    w.begin_object();
+    w.field("phase", phase.name);
+    w.field("wall_ns", phase.wall_ns);
+    w.key("ops");
+    write_ops(w, phase.ops);
+    w.field("unicasts", phase.unicasts);
+    w.field("broadcasts", phase.broadcasts);
+    w.field("p2p_messages", phase.p2p_messages);
+    w.field("p2p_bytes", phase.p2p_bytes);
+    w.end_object();
+  }
+  w.end_array();
+  w.begin_array("spans");
+  for (const SpanAggregate& span : spans) {
+    w.begin_object();
+    w.field("name", span.name);
+    w.field("count", span.count);
+    w.field("total_ns", span.total_ns);
+    w.key("ops");
+    write_ops(w, span.ops);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("metrics").begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : counters) w.field(name, value);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, value] : gauges) w.field(name, value);
+  w.end_object();
+  w.begin_array("histograms");
+  for (const HistogramSnapshot& hist : histograms) {
+    w.begin_object();
+    w.field("name", hist.name);
+    w.field("count", hist.count);
+    w.field("sum", hist.sum);
+    w.begin_array("buckets");
+    for (const auto& [pow2, count] : hist.buckets) {
+      w.begin_object();
+      w.field("pow2", std::uint64_t{pow2});
+      w.field("count", count);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.field("events_dropped", events_dropped);
+  w.end_object();
+  return w.str();
+}
+
+void collect_into(RunReport& report) {
+  Tracer& tracer = Tracer::instance();
+  report.spans = tracer.aggregate_spans();
+  report.counters = counters_snapshot();
+  report.gauges = gauges_snapshot();
+  report.histograms = histograms_snapshot();
+  report.events_dropped = tracer.events_dropped();
+}
+
+std::string log_stamp() {
+  Tracer& tracer = Tracer::instance();
+  char buffer[64];
+  if (tracer.clock_mode() == ClockMode::kLogical) {
+    std::snprintf(buffer, sizeof buffer, "t%lld",
+                  static_cast<long long>(tracer.now_ns()));
+  } else {
+    std::snprintf(buffer, sizeof buffer, "+%.6fs",
+                  static_cast<double>(tracer.now_ns()) * 1e-9);
+  }
+  std::string out = buffer;
+  if (on()) {
+    if (const char* span = tracer.active_span()) {
+      out += ' ';
+      out += span;
+    }
+  }
+  return out;
+}
+
+}  // namespace dmw::trace

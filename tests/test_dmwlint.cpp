@@ -24,7 +24,7 @@ std::size_t count_rule(const std::vector<Finding>& findings,
 
 TEST(DmwLint, RuleNamesAreStable) {
   const auto& names = dmwlint::rule_names();
-  ASSERT_EQ(names.size(), 7u);
+  ASSERT_EQ(names.size(), 8u);
   EXPECT_NE(std::find(names.begin(), names.end(), "loop-inverse"),
             names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "naive-call"), names.end());
@@ -36,6 +36,7 @@ TEST(DmwLint, RuleNamesAreStable) {
   EXPECT_NE(std::find(names.begin(), names.end(), "raw-thread"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "include-hygiene"),
             names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "raw-clock"), names.end());
 }
 
 TEST(DmwLint, NaiveCallFiresOnCallsNotDeclarations) {
@@ -255,6 +256,41 @@ TEST(DmwLint, LoopInverseBodiesHeadersAndAllow) {
             0u);
 }
 
+TEST(DmwLint, RawClockFiresOutsideSanctionedClocks) {
+  const std::string reads =
+      "const auto t0 = steady_clock::now();\n"
+      "clock_gettime(0, &ts);\n";
+  EXPECT_EQ(count_rule(lint_file("src/exp/a.cpp", reads), "raw-clock"), 2u);
+  EXPECT_EQ(count_rule(lint_file("tools/a.cpp", reads), "raw-clock"), 2u);
+  // The two sanctioned clock homes are exempt.
+  EXPECT_EQ(count_rule(lint_file("src/support/stopwatch.hpp", reads),
+                       "raw-clock"),
+            0u);
+  EXPECT_EQ(count_rule(lint_file("src/support/trace.hpp", reads),
+                       "raw-clock"),
+            0u);
+  EXPECT_EQ(count_rule(lint_file("src/support/trace.cpp", reads),
+                       "raw-clock"),
+            0u);
+  // The <chrono> include itself is a finding outside those files.
+  EXPECT_EQ(count_rule(lint_file("src/a.cpp", "#include <chrono>\n"),
+                       "raw-clock"),
+            1u);
+  // Prose, strings and lookalikes ("Round-synchronous") do not fire.
+  EXPECT_EQ(count_rule(lint_file("src/a.cpp",
+                                 "// steady_clock in a comment\n"
+                                 "const char* s = \"std::chrono\";\n"
+                                 "// Round-synchronous message-passing\n"),
+                       "raw-clock"),
+            0u);
+  // The allowlist escape works as for every rule.
+  EXPECT_EQ(count_rule(lint_file("src/a.cpp",
+                                 "// dmwlint:allow(raw-clock) os check\n"
+                                 "clock_gettime(0, &ts);\n"),
+                       "raw-clock"),
+            0u);
+}
+
 TEST(DmwLint, IncludeHygiene) {
   const std::string header_without_guard = "int x;\n";
   EXPECT_EQ(count_rule(lint_file("src/a.hpp", header_without_guard),
@@ -306,7 +342,7 @@ TEST(DmwLint, ShippedFixturesMatchExpectations) {
   const std::vector<std::string> fixtures = {
       "naive_call.cpp",     "secret_sink.cpp",     "ct_branch.cpp",
       "banned_pattern.cpp", "raw_thread.cpp",      "include_hygiene.hpp",
-      "clean.cpp"};
+      "raw_clock.cpp",      "clean.cpp"};
   for (const auto& name : fixtures) {
     const std::string path = std::string(DMWLINT_FIXTURE_DIR) + "/" + name;
     std::ifstream in(path, std::ios::binary);

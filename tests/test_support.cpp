@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 
 #include "support/check.hpp"
 #include "support/hex.hpp"
@@ -9,6 +10,8 @@
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/stopwatch.hpp"
+#include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 
 namespace dmw {
 namespace {
@@ -193,6 +196,70 @@ TEST(Logging, LevelGatingAndCapture) {
 TEST(Logging, LevelNames) {
   EXPECT_STREQ(to_string(LogLevel::kWarn), "WARN");
   EXPECT_STREQ(to_string(LogLevel::kTrace), "TRACE");
+}
+
+TEST(Logging, ConcurrentStatementsDoNotInterleave) {
+  // ThreadPool workers log concurrently (dmw/parallel.hpp does exactly
+  // this); every emitted line must arrive at the sink whole, and a
+  // concurrent set_level() must not tear. The sink runs under the logger's
+  // emission mutex, so the capture vector needs no lock of its own.
+  auto& logger = Logger::instance();
+  const auto old_level = logger.level();
+  std::vector<std::string> captured;
+  auto old_sink = logger.set_sink(
+      [&](LogLevel, const std::string& message) { captured.push_back(message); });
+  logger.set_level(LogLevel::kInfo);
+
+  constexpr std::size_t kMessages = 200;
+  ThreadPool pool(4);
+  pool.parallel_for(kMessages, [&](std::size_t i) {
+    // Both levels pass the kInfo gate, so the message count stays exact
+    // while the level atomic is hammered from every worker.
+    logger.set_level(i % 2 == 0 ? LogLevel::kInfo : LogLevel::kDebug);
+    DMW_INFO() << "worker message " << i << " part " << i * 3 << " end";
+  });
+
+  logger.set_sink(old_sink);
+  logger.set_level(old_level);
+  ASSERT_EQ(captured.size(), kMessages);
+  std::vector<bool> seen(kMessages, false);
+  for (const auto& message : captured) {
+    bool matched = false;
+    for (std::size_t i = 0; i < kMessages && !matched; ++i) {
+      std::ostringstream expected;
+      expected << "worker message " << i << " part " << i * 3 << " end";
+      if (message == expected.str()) {
+        EXPECT_FALSE(seen[i]) << "duplicate: " << message;
+        seen[i] = true;
+        matched = true;
+      }
+    }
+    EXPECT_TRUE(matched) << "torn or interleaved line: " << message;
+  }
+}
+
+TEST(Logging, StampComesFromTracerClock) {
+  // The default sink prefixes lines with trace::log_stamp(): run-relative
+  // "+<seconds>s" on the real clock, "t<tick>" on the logical clock, plus
+  // the active span name while tracing.
+  auto& tracer = trace::Tracer::instance();
+  tracer.set_enabled(false);
+  tracer.set_clock_mode(trace::ClockMode::kReal);
+  const std::string real = trace::log_stamp();
+  ASSERT_FALSE(real.empty());
+  EXPECT_EQ(real.front(), '+');
+  EXPECT_EQ(real.back(), 's');
+
+  tracer.set_clock_mode(trace::ClockMode::kLogical);
+  tracer.reset();
+  tracer.set_enabled(true);
+  {
+    DMW_SPAN("support/log_stamp");
+    EXPECT_EQ(trace::log_stamp(), "t0 support/log_stamp");
+  }
+  tracer.set_enabled(false);
+  tracer.set_clock_mode(trace::ClockMode::kReal);
+  tracer.reset();
 }
 
 TEST(Stopwatch, MeasuresMonotonically) {

@@ -25,6 +25,18 @@ Dispatches on the top-level "bench" tag each emitter writes:
                                      abort_streams_match exactly true, the
                                      per-stage and total speedups gated
                                      against baseline - tolerance.
+  "runreport"    (dmw_sim            honest-run metric invariants must hold
+                  --metrics-out)     exactly (no abort, zero aborts/*
+                                     counters, zero batch-verification
+                                     replays, zero dropped trace events);
+                                     per-phase op-count totals and per-span
+                                     occurrence counts must equal the
+                                     baseline exactly (they are functions of
+                                     the protocol, not the machine); each
+                                     phase's share of total wall time may
+                                     drift from baseline by at most
+                                     `tolerance` (absolute, only for phases
+                                     with a baseline share >= 5%).
 
 Exit status: 0 within tolerance, 1 regression(s), 2 usage/schema error.
 Needs only the Python standard library.
@@ -168,6 +180,96 @@ def check_batchverify(baseline, fresh, tolerance):
     return compared, regressions
 
 
+def check_runreport(baseline, fresh, tolerance):
+    """Honest-run invariants + phase wall-time shares for RunReport JSONs."""
+    if baseline.get("label") != fresh.get("label"):
+        schema_error(f"runreport label mismatch: baseline "
+                     f"{baseline.get('label')!r} vs fresh "
+                     f"{fresh.get('label')!r} (different run configuration?)")
+    compared = 0
+    regressions = 0
+
+    # Invariants of an honest run: these hold exactly or something is wrong
+    # with the protocol (or the tracer), independent of machine speed.
+    invariants = [("aborted", fresh.get("aborted"), False),
+                  ("events_dropped", fresh.get("events_dropped"), 0)]
+    counters = fresh.get("metrics", {}).get("counters", {})
+    for name in sorted(counters):
+        if name.startswith("aborts/") or name == "batchverify/replays":
+            invariants.append((f"counter {name}", counters[name], 0))
+    for label, value, expected in invariants:
+        compared += 1
+        if value != expected:
+            print(f"{label}: expected {expected!r}, got {value!r} "
+                  f"[REGRESSION]")
+            regressions += 1
+        else:
+            print(f"{label}: {expected!r} [ok]")
+
+    # Per-phase op-count totals: pure functions of (params, seed), so they
+    # must match the baseline bit for bit.
+    def phases_by_name(doc):
+        return {p.get("phase"): p for p in doc.get("phases", [])}
+
+    base_phases = phases_by_name(baseline)
+    fresh_phases = phases_by_name(fresh)
+    if not base_phases or set(base_phases) != set(fresh_phases):
+        schema_error("phase sets differ between baseline and fresh")
+    for name in sorted(base_phases):
+        base_total = base_phases[name].get("ops", {}).get("total")
+        fresh_total = fresh_phases[name].get("ops", {}).get("total")
+        compared += 1
+        if base_total != fresh_total:
+            print(f"phase {name} ops.total: baseline {base_total}, fresh "
+                  f"{fresh_total} [REGRESSION]")
+            regressions += 1
+        else:
+            print(f"phase {name} ops.total: {fresh_total} [ok]")
+
+    # Span occurrence counts: same determinism argument.
+    def span_counts(doc):
+        return {s.get("name"): s.get("count") for s in doc.get("spans", [])}
+
+    base_spans = span_counts(baseline)
+    fresh_spans = span_counts(fresh)
+    if set(base_spans) != set(fresh_spans):
+        schema_error(f"span sets differ: baseline-only "
+                     f"{sorted(set(base_spans) - set(fresh_spans))}, "
+                     f"fresh-only {sorted(set(fresh_spans) - set(base_spans))}")
+    for name in sorted(base_spans):
+        compared += 1
+        if base_spans[name] != fresh_spans[name]:
+            print(f"span {name} count: baseline {base_spans[name]}, fresh "
+                  f"{fresh_spans[name]} [REGRESSION]")
+            regressions += 1
+        else:
+            print(f"span {name} count: {fresh_spans[name]} [ok]")
+
+    # Wall-time *shares* (not raw seconds — those measure the runner). Only
+    # phases that mattered in the baseline (share >= 5%) are gated, with an
+    # absolute drift bound of `tolerance`.
+    def shares(doc):
+        total = sum(float(p.get("wall_ns", 0)) for p in doc.get("phases", []))
+        if total <= 0:
+            schema_error("non-positive total wall_ns in a runreport input")
+        return {p["phase"]: float(p.get("wall_ns", 0)) / total
+                for p in doc.get("phases", [])}
+
+    base_shares = shares(baseline)
+    fresh_shares = shares(fresh)
+    for name in sorted(base_shares):
+        if base_shares[name] < 0.05:
+            continue
+        compared += 1
+        drift = abs(fresh_shares[name] - base_shares[name])
+        verdict = "ok" if drift <= tolerance else "REGRESSION"
+        print(f"phase {name} wall share: baseline {base_shares[name]:.3f}, "
+              f"fresh {fresh_shares[name]:.3f}, drift {drift:.3f} [{verdict}]")
+        if drift > tolerance:
+            regressions += 1
+    return compared, regressions
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="fail when bench results regress past a tolerance")
@@ -195,6 +297,9 @@ def main():
     elif schema == "batchverify":
         compared, regressions = check_batchverify(baseline, fresh,
                                                   args.tolerance)
+    elif schema == "runreport":
+        compared, regressions = check_runreport(baseline, fresh,
+                                                args.tolerance)
     else:
         schema_error(f"unknown bench schema '{schema}'")
         return 2  # unreachable; keeps the linter happy

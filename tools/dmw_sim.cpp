@@ -22,6 +22,7 @@
 #include "support/flags.hpp"
 #include "support/json.hpp"
 #include "support/logging.hpp"
+#include "support/trace.hpp"
 
 namespace {
 
@@ -47,9 +48,27 @@ options:
   --threads T          task-parallel engine on T workers (0 = hardware
                        threads; omit for the sequential runner). Outcomes
                        are bit-identical at any thread count.
+  --trace-out FILE     write a Chrome trace_event JSON of the run (load in
+                       about:tracing or https://ui.perfetto.dev)
+  --metrics-out FILE   write the RunReport JSON: per-phase wall time, op
+                       counts, traffic, span aggregates, metric registry
+  --trace-clock C      real | logical (default real). logical measures
+                       durations in network rounds, making RunReports
+                       bit-identical at any --threads T
   --json               machine-readable output
   --help               this text
 )";
+
+/// Write `content` to `path`, failing loudly (tracing output is the whole
+/// point of the run that asked for it).
+void write_file(const std::string& path, const std::string& content) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  DMW_REQUIRE_MSG(file != nullptr, "cannot open " + path + " for writing");
+  const std::size_t written =
+      std::fwrite(content.data(), 1, content.size(), file);
+  std::fclose(file);
+  DMW_REQUIRE_MSG(written == content.size(), "short write to " + path);
+}
 
 dmw::mech::SchedulingInstance make_instance(const std::string& workload,
                                             std::size_t n, std::size_t m,
@@ -88,11 +107,25 @@ int run_simulation(G group, const Flags& flags) {
   const std::uint64_t seed = flags.get_u64("seed", 1);
   const bool tolerant = flags.get_bool("crash-tolerant");
   const bool json = flags.get_bool("json");
+  const std::string trace_out = flags.get_string("trace-out", "");
+  const std::string metrics_out = flags.get_string("metrics-out", "");
+  const bool tracing = !trace_out.empty() || !metrics_out.empty();
+  const std::string trace_clock = flags.get_string("trace-clock", "real");
+  DMW_REQUIRE_MSG(trace_clock == "real" || trace_clock == "logical",
+                  "--trace-clock must be real or logical");
 
-  const auto params =
+  auto params =
       tolerant ? PublicParams<G>::make_crash_tolerant(std::move(group), n, m,
                                                       c, seed)
                : PublicParams<G>::make(std::move(group), n, m, c, seed);
+  if (tracing) {
+    params.set_tracing(true);
+    auto& tracer = dmw::trace::Tracer::instance();
+    tracer.set_clock_mode(trace_clock == "logical"
+                              ? dmw::trace::ClockMode::kLogical
+                              : dmw::trace::ClockMode::kReal);
+    tracer.reset();
+  }
   const auto instance = make_instance(flags.get_string("workload", "uniform"),
                                       n, m, params.bid_set(), seed * 3 + 1);
 
@@ -134,6 +167,14 @@ int run_simulation(G group, const Flags& flags) {
   } else {
     dmw::proto::ProtocolRunner<G> runner(params, instance, strategies, config);
     outcome = runner.run();
+  }
+  if (tracing) {
+    auto& tracer = dmw::trace::Tracer::instance();
+    const auto report = dmw::proto::make_run_report(params, outcome);
+    const std::string chrome = tracer.chrome_trace_json();
+    tracer.set_enabled(false);
+    if (!metrics_out.empty()) write_file(metrics_out, report.json());
+    if (!trace_out.empty()) write_file(trace_out, chrome);
   }
   const auto central = dmw::mech::run_minwork(instance);
 
@@ -233,7 +274,8 @@ int main(int argc, char** argv) {
     const Flags flags(argc, argv,
                       {"n", "m", "c", "seed", "workload", "backend", "p-bits",
                        "deviant", "deviator", "crash-tolerant!", "crashes",
-                       "crash-point", "threads", "plain!", "json!", "help!"});
+                       "crash-point", "threads", "plain!", "json!",
+                       "trace-out", "metrics-out", "trace-clock", "help!"});
     if (flags.get_bool("help")) {
       std::printf("%s", kUsage);
       return 0;

@@ -1,0 +1,49 @@
+// Fixture: raw-clock rule. All timing flows through Stopwatch
+// (support/stopwatch.hpp) or the dmwtrace run-relative clock
+// (support/trace.hpp); any other clock read is a second, unsynchronized
+// time source the exporters and the RunReport determinism gate cannot see.
+// dmwlint-fixture-path: src/exp/raw_clock_fixture.cpp
+#include <chrono>  // EXPECT: raw-clock
+
+#include "support/stopwatch.hpp"
+#include "support/trace.hpp"
+
+namespace dmw::exp {
+
+double handrolled_timing() {
+  const auto t0 = steady_clock::now();  // EXPECT: raw-clock
+  const auto t1 = steady_clock::now();  // EXPECT: raw-clock
+  return std::chrono::duration<double>(t1 - t0).count();  // EXPECT: raw-clock
+}
+
+long wall_clock_read() {
+  const auto wall = system_clock::now();  // EXPECT: raw-clock
+  timespec ts{};
+  clock_gettime(0, &ts);  // EXPECT: raw-clock
+  timeval tv{};
+  gettimeofday(&tv, nullptr);  // EXPECT: raw-clock
+  return ts.tv_sec + tv.tv_sec + wall.time_since_epoch().count();
+}
+
+// The sanctioned paths do not fire: both clocks live behind support/.
+double sanctioned() {
+  dmw::Stopwatch stopwatch;
+  const auto begin_ns = dmw::trace::Tracer::instance().now_ns();
+  return stopwatch.seconds() +
+         static_cast<double>(dmw::trace::Tracer::instance().now_ns() -
+                             begin_ns);
+}
+
+// The escape hatch: a measured exception can be allowlisted in place.
+long allowlisted() {
+  timespec raw{};
+  // dmwlint:allow(raw-clock) differential check against the OS wall clock
+  clock_gettime(0, &raw);
+  return raw.tv_sec;
+}
+
+// Prose and strings never fire: steady_clock in a comment,
+// "std::chrono" in a string literal.
+const char* kDoc = "std::chrono and steady_clock are banned here";
+
+}  // namespace dmw::exp

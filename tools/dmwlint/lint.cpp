@@ -620,14 +620,56 @@ void rule_include_hygiene(const SourceFile& file,
   }
 }
 
+// ---- rule: raw-clock -------------------------------------------------------
+
+/// Time flows through exactly two sanctioned sources: Stopwatch
+/// (support/stopwatch.hpp) and the dmwtrace run-relative clock
+/// (support/trace.hpp), which the exporters, the logger's timestamps and
+/// the RunReport determinism gate all share. A direct std::chrono (or libc)
+/// clock read anywhere else is a second, unsynchronized time source the
+/// observability layer cannot see — and, under ClockMode::kLogical, a
+/// nondeterminism leak into otherwise bit-identical reports. Differential
+/// fixtures carry `dmwlint:allow(raw-clock)`.
+void rule_raw_clock(const SourceFile& file, std::vector<Finding>& findings) {
+  if (has_adjacent(file, "support", "stopwatch.hpp") ||
+      has_adjacent(file, "support", "trace.hpp") ||
+      has_adjacent(file, "support", "trace.cpp"))
+    return;
+  static const std::regex clock_re(
+      R"(\bstd::chrono\b|\b(?:steady_clock|system_clock|high_resolution_clock)\b|\b(?:clock_gettime|gettimeofday|timespec_get)\s*\()");
+  static const std::regex chrono_include_re(R"(#\s*include\s*<chrono>)");
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    std::string lead = file.lines[i].code;
+    lead.erase(0, lead.find_first_not_of(" \t"));
+    if (lead.starts_with("#")) {
+      if (std::regex_search(file.lines[i].raw, chrono_include_re)) {
+        report(findings, file, i, "raw-clock",
+               "<chrono> include outside the sanctioned clocks: take time "
+               "from Stopwatch (support/stopwatch.hpp) or the dmwtrace "
+               "clock (support/trace.hpp)");
+      }
+      continue;
+    }
+    const std::string& code = file.lines[i].code;
+    for (std::sregex_iterator it(code.begin(), code.end(), clock_re), end;
+         it != end; ++it) {
+      report(findings, file, i, "raw-clock",
+             "raw clock read '" + it->str() +
+                 "': take time from Stopwatch (support/stopwatch.hpp) or "
+                 "the dmwtrace run-relative clock (support/trace.hpp) so "
+                 "exports and logs share one time source");
+    }
+  }
+}
+
 }  // namespace
 
 // ---- public API ------------------------------------------------------------
 
 const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kNames = {
-      "naive-call", "secret-sink",  "ct-branch",      "banned-pattern",
-      "raw-thread", "loop-inverse", "include-hygiene"};
+      "naive-call",   "secret-sink",     "ct-branch", "banned-pattern",
+      "raw-thread",   "loop-inverse",    "include-hygiene", "raw-clock"};
   return kNames;
 }
 
@@ -642,6 +684,7 @@ std::vector<Finding> lint_file(const std::string& path,
   rule_raw_thread(file, findings);
   rule_loop_inverse(file, findings);
   rule_include_hygiene(file, findings);
+  rule_raw_clock(file, findings);
   std::stable_sort(findings.begin(), findings.end(),
                    [](const Finding& a, const Finding& b) {
                      return a.line < b.line;

@@ -23,6 +23,11 @@
 //                    to sequential ones.
 //   include-hygiene  headers carry #pragma once, no "../" includes, no
 //                    `using namespace std`, no <iostream> in the library.
+//   raw-clock        no direct std::chrono / clock_gettime reads (or
+//                    <chrono> includes) outside support/stopwatch.hpp and
+//                    support/trace.{hpp,cpp}: all timing shares the one
+//                    run-relative clock the exporters and determinism
+//                    gates observe.
 //
 // Any finding is suppressed by `// dmwlint:allow(<rule>)` on the same line,
 // or on an immediately preceding comment-only line. See docs/dmwlint.md.
