@@ -13,7 +13,8 @@
 // no cores to scale onto); the CI perf-regression job runs this on multi-core
 // runners and uploads the artifact with the real scaling curve.
 //
-// Usage: bench_parallel [--out FILE] [--quick] [--stdout]
+// Usage: bench_parallel [--out FILE] [--quick] [--stdout] [--threads N]
+//   --threads N  sweep only N workers (0 = auto-detect hardware_concurrency)
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -56,19 +57,38 @@ bool outcomes_match(const dmw::proto::Outcome& a,
 
 int main(int argc, char** argv) try {
   dmw::Logger::instance().set_level(dmw::LogLevel::kInfo);
-  dmw::Flags flags(argc, argv, {"out", "quick!", "stdout!", "help!"});
+  dmw::Flags flags(argc, argv,
+                   {"out", "quick!", "stdout!", "threads", "help!"});
   const std::string out_path = flags.get_string("out", "BENCH_parallel.json");
   const bool quick = flags.get_bool("quick");
   const bool to_stdout = flags.get_bool("stdout");
   if (flags.get_bool("help")) {
-    std::puts("bench_parallel [--out FILE] [--quick] [--stdout]");
+    std::puts(
+        "bench_parallel [--out FILE] [--quick] [--stdout] [--threads N]");
     return 0;
   }
 
+  DMW_INFO() << "bench_parallel: hardware_concurrency="
+             << dmw::ThreadPool::default_thread_count()
+             << (dmw::ThreadPool::deterministic_schedule_default()
+                     ? " schedule=static"
+                     : " schedule=dynamic");
+
   const std::vector<std::size_t> task_counts =
       quick ? std::vector<std::size_t>{4} : std::vector<std::size_t>{8, 32, 128};
-  const std::vector<std::size_t> thread_counts =
+  std::vector<std::size_t> thread_counts =
       quick ? std::vector<std::size_t>{1, 2} : std::vector<std::size_t>{1, 2, 4, 8};
+  if (flags.has("threads")) {
+    // A single-point sweep; 0 auto-detects like `dmw_sim --threads 0`.
+    std::size_t threads =
+        static_cast<std::size_t>(flags.get_u64("threads", 0));
+    if (threads == 0) {
+      threads = dmw::ThreadPool::default_thread_count();
+      DMW_INFO() << "bench_parallel: --threads 0 resolved to " << threads
+                 << " workers (std::thread::hardware_concurrency)";
+    }
+    thread_counts.assign(1, threads);
+  }
 
   Xoshiro256ss grng(1);
   // Same fixture as bench_crypto: 250-bit p (one limb bit reserved), 160-bit q.
@@ -78,7 +98,10 @@ int main(int argc, char** argv) try {
   dmw::JsonWriter json;
   json.begin_object();
   json.key("bench").value("parallel");
-  json.key("schema_version").value(std::uint64_t{1});
+  json.key("schema_version").value(std::uint64_t{2});
+  json.key("schedule")
+      .value(dmw::ThreadPool::deterministic_schedule_default() ? "static"
+                                                               : "dynamic");
   json.key("group").value("GroupBig<4>: 250-bit p, 160-bit q (seed 1)");
   json.key("n").value(std::uint64_t{kAgents});
   json.key("hardware_concurrency")

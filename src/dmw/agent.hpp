@@ -98,6 +98,7 @@ class DmwAgent {
         peer_keys_(params.n()) {
     DMW_REQUIRE(id_ < params_.n());
     DMW_REQUIRE(true_costs_.size() == params_.m());
+    build_stream_caches();
     for (auto& view : tasks_) {
       view.shares_in.assign(params_.n(), std::nullopt);
       view.commitments.assign(params_.n(), std::nullopt);
@@ -270,17 +271,9 @@ class DmwAgent {
         return phase3_verify_task_sequential(j);
     }
     // alpha_i^{l+1} for l = 0..sigma-1, shared by all three equations of
-    // every peer.
-    const auto& alpha_i = params_.pseudonym(id_);
+    // every peer: the precomputed PublicParams row, never rebuilt per task.
     const std::size_t sigma = params_.sigma();
-    std::vector<typename G::Scalar> apow(sigma);
-    {
-      typename G::Scalar power = alpha_i;
-      for (std::size_t l = 0; l < sigma; ++l) {
-        apow[l] = power;
-        power = g.smul(power, alpha_i);
-      }
-    }
+    const auto& apow = params_.pseudonym_powers(id_);
     BatchVerifier<G> batch(g, rlc_rng(j, kRlcStageVerify));
     for (std::size_t k = 0; k < params_.n(); ++k) {
       if (!view.alive[k]) continue;
@@ -380,12 +373,9 @@ class DmwAgent {
       if (!view.alive[k] || !view.lambda[k] || !view.psi[k]) continue;
       const auto r = batch.draw();
       batch.lhs_term(g.mul(*view.lambda[k], *view.psi[k]), r);
-      const auto& alpha_k = params_.pseudonym(k);
-      typename G::Scalar power = alpha_k;
-      for (std::size_t l = 0; l < sigma; ++l) {
-        weights[l] = g.sadd(weights[l], g.smul(r, power));
-        power = g.smul(power, alpha_k);
-      }
+      const auto& kpow = params_.pseudonym_powers(k);
+      for (std::size_t l = 0; l < sigma; ++l)
+        weights[l] = g.sadd(weights[l], g.smul(r, kpow[l]));
     }
     for (std::size_t l = 0; l < sigma; ++l)
       batch.rhs_term(view.qhat[l], weights[l]);
@@ -618,12 +608,9 @@ class DmwAgent {
       if (!view.alive[k] || !view.lambda_red[k] || !view.psi_red[k]) continue;
       const auto r = batch.draw();
       batch.lhs_term(g.mul(*view.lambda_red[k], *view.psi_red[k]), r);
-      const auto& alpha_k = params_.pseudonym(k);
-      typename G::Scalar power = alpha_k;
-      for (std::size_t l = 0; l < sigma; ++l) {
-        weights[l] = g.sadd(weights[l], g.smul(r, power));
-        power = g.smul(power, alpha_k);
-      }
+      const auto& kpow = params_.pseudonym_powers(k);
+      for (std::size_t l = 0; l < sigma; ++l)
+        weights[l] = g.sadd(weights[l], g.smul(r, kpow[l]));
     }
     for (std::size_t l = 0; l < sigma; ++l) {
       batch.lhs_term(winner_commits.Q[l], weights[l]);
@@ -836,30 +823,57 @@ class DmwAgent {
   /// Independent ChaCha stream for one task's polynomial sampling. Streams
   /// (task+1)<<32 | id never collide with the DH stream (= id < 2^32), and
   /// depend only on (master seed, agent, task) — never on which worker runs
-  /// the task or in which order.
+  /// the task or in which order. Returns a copy of the cached pristine
+  /// stream state (built once in the constructor), so the per-task steps
+  /// skip the SHA-256 key derivation and touch the cache read-only.
   crypto::ChaChaRng task_rng(std::size_t task) const {
-    const std::uint64_t stream =
-        ((static_cast<std::uint64_t>(task) + 1) << 32) |
-        static_cast<std::uint64_t>(id_);
-    return crypto::ChaChaRng::from_seed(secret_seed_, stream);
+    DMW_REQUIRE(task < task_rngs_.size());
+    return task_rngs_[task];
   }
 
   /// Stage tags for the RLC batch-verification streams (dmw/batchverify.hpp).
   static constexpr std::uint64_t kRlcStageVerify = 1;
   static constexpr std::uint64_t kRlcStageFirstPrice = 2;
   static constexpr std::uint64_t kRlcStageSecondPrice = 3;
+  static constexpr std::uint64_t kRlcStages = 3;
 
   /// Dedicated ChaCha stream for one task's RLC coefficients at one Phase
   /// III stage. The stage tag lives in the top byte, so these streams never
   /// collide with task_rng (stage bits zero there) or the DH stream; the
   /// batch folds checks in ascending peer order, so coefficients — and
   /// every byte derived from them — are independent of worker count and
-  /// scheduling (the determinism contract of the parallel driver).
+  /// scheduling (the determinism contract of the parallel driver). Copies
+  /// the cached pristine state, like task_rng.
   crypto::ChaChaRng rlc_rng(std::size_t task, std::uint64_t stage) const {
-    const std::uint64_t stream =
-        (stage << 56) | ((static_cast<std::uint64_t>(task) + 1) << 32) |
-        static_cast<std::uint64_t>(id_);
-    return crypto::ChaChaRng::from_seed(secret_seed_, stream);
+    DMW_REQUIRE(stage >= 1 && stage <= kRlcStages);
+    DMW_REQUIRE(task < params_.m());
+    return rlc_rngs_[(stage - 1) * params_.m() + task];
+  }
+
+  /// Build the per-(agent, task) stream caches once, before any fan-out:
+  /// 1 polynomial stream + kRlcStages RLC streams per task. Hoisting the
+  /// SHA-256 key derivations out of the per-task steps amortizes the setup
+  /// across the m auctions and makes the hot-path accessors pure reads of
+  /// immutable state (the cache-sharing contract; workers only ever copy).
+  void build_stream_caches() {
+    const std::size_t m = params_.m();
+    task_rngs_.reserve(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::uint64_t stream =
+          ((static_cast<std::uint64_t>(j) + 1) << 32) |
+          static_cast<std::uint64_t>(id_);
+      task_rngs_.push_back(crypto::ChaChaRng::from_seed(secret_seed_, stream));
+    }
+    rlc_rngs_.reserve(kRlcStages * m);
+    for (std::uint64_t stage = 1; stage <= kRlcStages; ++stage) {
+      for (std::size_t j = 0; j < m; ++j) {
+        const std::uint64_t stream =
+            (stage << 56) | ((static_cast<std::uint64_t>(j) + 1) << 32) |
+            static_cast<std::uint64_t>(id_);
+        rlc_rngs_.push_back(
+            crypto::ChaChaRng::from_seed(secret_seed_, stream));
+      }
+    }
   }
 
   void abort(net::SimNetwork& net, std::size_t task, AbortReason reason) {
@@ -1020,6 +1034,10 @@ class DmwAgent {
   Strategy<G>& strategy_;
   std::uint64_t secret_seed_;
   crypto::ChaChaRng rng_;  ///< DH keypair stream; tasks use task_rng()
+  /// Pristine per-task stream states (built once in the constructor,
+  /// immutable afterwards; accessors hand out copies).
+  std::vector<crypto::ChaChaRng> task_rngs_;
+  std::vector<crypto::ChaChaRng> rlc_rngs_;  // [(stage-1)*m + task]
   crypto::Transcript transcript_;
   std::vector<TaskView<G>> tasks_;
   /// Deferred per-task failures (see record_failure/commit_task_failures).

@@ -44,6 +44,7 @@ class PublicParams {
         bid_set_(std::move(bid_set)),
         pseudonyms_(std::move(pseudonyms)) {
     validate();
+    build_pseudonym_powers();
   }
 
   /// Standard construction: W = {1..k_max} with the largest k admissible for
@@ -116,6 +117,18 @@ class PublicParams {
     return pseudonyms_[agent];
   }
 
+  /// Power table pseudonym_powers(k)[l] = alpha_k^{l+1} for l in [0, sigma).
+  /// Every Phase III check walks these powers for every task; building the
+  /// n x sigma table once here (instead of per (agent, task) in the hot
+  /// steps) amortizes the setup across the m auctions. Built in the
+  /// constructor and immutable afterwards, so protocol workers share it
+  /// read-only — the cache-sharing contract the parallel engine relies on
+  /// (DESIGN.md "Parallel execution model").
+  const std::vector<Scalar>& pseudonym_powers(std::size_t agent) const {
+    DMW_REQUIRE(agent < n_);
+    return pseudonym_powers_[agent];
+  }
+
   /// sigma = w_k + c + 1 (paper II.1): the degree of every masking
   /// polynomial and of every product polynomial e*f.
   std::size_t sigma() const { return bid_set_.max() + c_ + 1; }
@@ -172,6 +185,20 @@ class PublicParams {
     }
   }
 
+  void build_pseudonym_powers() {
+    pseudonym_powers_.resize(n_);
+    const std::size_t width = sigma();
+    for (std::size_t k = 0; k < n_; ++k) {
+      auto& row = pseudonym_powers_[k];
+      row.resize(width);
+      Scalar power = pseudonyms_[k];
+      for (std::size_t l = 0; l < width; ++l) {
+        row[l] = power;
+        power = group_.smul(power, pseudonyms_[k]);
+      }
+    }
+  }
+
   static std::vector<Scalar> derive_pseudonyms(const G& group, std::size_t n,
                                                std::uint64_t seed) {
     // Deterministic, collision-free draw from Z_q^*, sorted ascending so the
@@ -196,6 +223,7 @@ class PublicParams {
   bool tracing_ = false;
   mech::BidSet bid_set_;
   std::vector<Scalar> pseudonyms_;
+  std::vector<std::vector<Scalar>> pseudonym_powers_;  // [agent][l] = a^{l+1}
 };
 
 }  // namespace dmw::proto

@@ -1,45 +1,73 @@
 // Fixed-size worker pool for the task-parallel auction engine.
 //
 // The DMW protocol runs m *independent* per-task Vickrey auctions (paper §4;
-// Thm. 11/12 costs are per task), so the natural unit of parallelism is the
-// task index. ThreadPool deliberately does NOT work-steal: parallel_for()
-// hands each worker one contiguous, statically computed block of indices.
-// Static partitioning keeps the mapping worker -> indices a pure function of
-// (count, thread count), which the determinism story depends on twice over:
-//   - per-worker side buffers (traffic accumulators, op counters) are indexed
-//     by current_worker_id() with no locking on the hot path, and
-//   - a run's schedule of who-computes-what is reproducible, which makes
-//     TSan reports and perf numbers stable across runs.
+// Thm. 11/12 costs are per task), so the natural units of parallelism are the
+// task index and, finer, the (agent, task-chunk) slice. The pool offers two
+// scheduling disciplines:
+//
+//   - static: parallel_for() hands each worker one contiguous, statically
+//     computed block of indices. The mapping worker -> indices is a pure
+//     function of (count, thread count), so a run's schedule of
+//     who-computes-what is reproducible — TSan reports and perf numbers are
+//     stable across runs.
+//   - dynamic (default): jobs are pushed onto per-worker deques and idle
+//     workers steal from the back of their victims' deques. parallel_for()
+//     becomes chunked self-scheduling, and submit()/drain() let a driver seed
+//     dependency chains whose continuation jobs are spawned *by workers* —
+//     the basis of the pipelined protocol engine, where a slow slice no
+//     longer stalls every sibling at a stage barrier.
+//
+// Which discipline runs is the `deterministic_schedule` knob (per pool;
+// default from the DMW_DETERMINISTIC_SCHEDULE env var, else dynamic). The
+// protocol's *results* are bit-identical either way — determinism of outputs
+// is carried by keyed per-(agent,task) randomness and deferred-failure
+// commit, not by the schedule — but the static mode pins the execution
+// interleaving itself when that is what you need to reproduce.
 //
 // This is the only sanctioned threading primitive for protocol code: dmwlint's
-// `raw-thread` rule rejects direct std::thread/std::mutex use in src/dmw and
-// src/exp so every concurrent path stays inside this audited pool (and thus
-// inside the TSan CI job's coverage).
+// `raw-thread` rule rejects direct std::thread/std::mutex/latch/semaphore use
+// in src/dmw and src/exp so every concurrent path stays inside this audited
+// pool (and thus inside the TSan CI job's coverage).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
+#include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "support/check.hpp"
 
 namespace dmw {
 
-/// N persistent workers executing index-sharded jobs.
+/// N persistent workers executing index-sharded jobs and stealable queued
+/// jobs.
 ///
-/// Reentrancy contract: parallel_for() may only be called from the thread
-/// that owns the pool (never from inside a job — workers would deadlock
-/// waiting on themselves). One job runs at a time; the call returns after
-/// every index has been processed, which gives callers a happens-before
-/// barrier between successive stages.
+/// Reentrancy contract: parallel_for() and drain() may only be called from
+/// the thread that owns the pool (never from inside a job — workers would
+/// deadlock waiting on themselves). submit() is callable from anywhere,
+/// including from inside a running job (that is how dependency chains
+/// schedule their continuations). One parallel_for/drain runs at a time; the
+/// call returns after every index/job has been processed, which gives callers
+/// a happens-before barrier between successive stages.
 class ThreadPool {
  public:
-  explicit ThreadPool(std::size_t threads) : size_(threads == 0 ? 1 : threads) {
+  explicit ThreadPool(std::size_t threads,
+                      bool deterministic = deterministic_schedule_default())
+      : size_(threads == 0 ? 1 : threads),
+        deterministic_(deterministic),
+        queues_(size_) {
+    for (std::size_t w = 0; w < size_; ++w)
+      queues_[w] = std::make_unique<WorkerQueue>();
     workers_.reserve(size_);
     for (std::size_t w = 0; w < size_; ++w)
       workers_.emplace_back([this, w] { worker_loop(w); });
@@ -70,13 +98,121 @@ class ThreadPool {
     return hw == 0 ? 1 : static_cast<std::size_t>(hw);
   }
 
-  /// Run fn(i) for every i in [0, count), sharded across the workers in
-  /// static contiguous blocks: worker w owns [w*count/T, (w+1)*count/T).
-  /// Blocks until all indices are done. The first exception thrown by any
-  /// worker is rethrown here after the barrier.
+  /// Process-wide default for the `deterministic_schedule` knob: the
+  /// DMW_DETERMINISTIC_SCHEDULE env var ("1"/"true"/"on" enables), else off
+  /// (dynamic work stealing). CI's TSan job runs the suite under both.
+  static bool deterministic_schedule_default() {
+    const char* env = std::getenv("DMW_DETERMINISTIC_SCHEDULE");
+    if (env == nullptr) return false;
+    const std::string_view v(env);
+    return v == "1" || v == "true" || v == "on";
+  }
+
+  bool deterministic_schedule() const { return deterministic_; }
+
+  /// Flip the scheduling discipline. Only legal between batches (no
+  /// parallel_for or drain in flight) and from the owning thread.
+  void set_deterministic_schedule(bool on) {
+    DMW_REQUIRE_MSG(current_worker_id() == -1,
+                    "set_deterministic_schedule called from a worker");
+    DMW_REQUIRE_MSG(outstanding_.load(std::memory_order_acquire) == 0,
+                    "set_deterministic_schedule with jobs in flight");
+    deterministic_ = on;
+  }
+
+  /// Run fn(i) for every i in [0, count). Blocks until all indices are done;
+  /// the first exception thrown by any index is rethrown here after the
+  /// barrier.
+  ///
+  /// Static mode shards into contiguous blocks: worker w owns
+  /// [w*count/T, (w+1)*count/T). Dynamic mode seeds chunked jobs onto the
+  /// worker deques and lets stealing balance them; every index still runs
+  /// exactly once on exactly one worker, but which worker is
+  /// schedule-dependent.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn) {
     if (count == 0) return;
+    DMW_REQUIRE_MSG(current_worker_id() == -1,
+                    "ThreadPool::parallel_for called from a worker");
+    if (deterministic_) {
+      parallel_for_static(count, fn);
+      return;
+    }
+    // Chunked self-scheduling: ~4 chunks per worker bounds both the job
+    // overhead (few, fat jobs) and the tail imbalance (enough chunks to
+    // steal).
+    const std::size_t chunk = chunk_size(count);
+    for (std::size_t begin = 0; begin < count; begin += chunk) {
+      const std::size_t end = begin + chunk < count ? begin + chunk : count;
+      submit([&fn, begin, end] {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      });
+    }
+    drain();
+  }
+
+  /// Enqueue one job. From a worker: pushed onto that worker's own deque
+  /// (front — continuations run hot). From the owner: distributed round-robin
+  /// across the deques (back). Jobs may submit further jobs; drain() counts
+  /// them all.
+  void submit(std::function<void()> job) {
+    outstanding_.fetch_add(1, std::memory_order_acq_rel);
+    const int self = current_worker_id();
+    const std::size_t target =
+        self >= 0 ? static_cast<std::size_t>(self)
+                  : next_queue_.fetch_add(1, std::memory_order_relaxed) % size_;
+    {
+      WorkerQueue& q = *queues_[target];
+      const std::lock_guard<std::mutex> lock(q.mutex);
+      if (self >= 0)
+        q.jobs.emplace_front(std::move(job));
+      else
+        q.jobs.emplace_back(std::move(job));
+    }
+    queued_.fetch_add(1, std::memory_order_release);
+    {
+      // Empty critical section: pairs the notify with the sleepers'
+      // predicate re-check so a worker cannot miss the wakeup between
+      // testing queued_ and blocking.
+      const std::lock_guard<std::mutex> lock(mutex_);
+    }
+    wake_.notify_all();
+  }
+
+  /// Block the owning thread until every submitted job (including jobs
+  /// submitted by jobs) has finished. Rethrows the first job exception.
+  void drain() {
+    DMW_REQUIRE_MSG(current_worker_id() == -1,
+                    "ThreadPool::drain called from a worker");
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] {
+      return outstanding_.load(std::memory_order_acquire) == 0;
+    });
+    if (error_) {
+      std::exception_ptr error = error_;
+      error_ = nullptr;
+      lock.unlock();
+      std::rethrow_exception(error);
+    }
+  }
+
+  /// Chunk width parallel_for uses in dynamic mode for `count` indices:
+  /// max(1, count / (4 * workers)). Exposed so callers slicing their own
+  /// fan-outs (the pipelined engine) agree with the pool's granularity.
+  std::size_t chunk_size(std::size_t count) const {
+    const std::size_t chunks = 4 * size_;
+    const std::size_t chunk = count / chunks;
+    return chunk == 0 ? 1 : chunk;
+  }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> jobs;
+  };
+
+  void parallel_for_static(std::size_t count,
+                           const std::function<void(std::size_t)>& fn) {
     std::unique_lock<std::mutex> lock(mutex_);
     DMW_REQUIRE_MSG(job_fn_ == nullptr,
                     "ThreadPool::parallel_for is not reentrant");
@@ -90,25 +226,76 @@ class ThreadPool {
     if (error_) {
       std::exception_ptr error = error_;
       error_ = nullptr;
+      lock.unlock();
       std::rethrow_exception(error);
     }
   }
 
- private:
+  /// Pop from own front, else steal from victims' backs (round-robin scan
+  /// starting after self, so steal pressure spreads). Returns false when
+  /// every deque is empty.
+  bool try_pop(std::size_t id, std::function<void()>& job) {
+    {
+      WorkerQueue& own = *queues_[id];
+      const std::lock_guard<std::mutex> lock(own.mutex);
+      if (!own.jobs.empty()) {
+        job = std::move(own.jobs.front());
+        own.jobs.pop_front();
+        return true;
+      }
+    }
+    for (std::size_t off = 1; off < size_; ++off) {
+      WorkerQueue& victim = *queues_[(id + off) % size_];
+      const std::lock_guard<std::mutex> lock(victim.mutex);
+      if (!victim.jobs.empty()) {
+        job = std::move(victim.jobs.back());
+        victim.jobs.pop_back();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void run_job(std::function<void()>& job) {
+    queued_.fetch_sub(1, std::memory_order_acq_rel);
+    try {
+      job();
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+    job = nullptr;  // destroy captures before the completion count drops
+    if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      done_.notify_all();
+    }
+  }
+
   void worker_loop(std::size_t id) {
     t_worker_id = static_cast<int>(id);
     std::uint64_t seen = 0;
+    std::function<void()> job;
     for (;;) {
+      // Drain deque jobs first: continuations submitted by running jobs must
+      // make progress even while a static generation is pending.
+      while (try_pop(id, job)) run_job(job);
+
       const std::function<void(std::size_t)>* fn = nullptr;
       std::size_t count = 0;
       {
         std::unique_lock<std::mutex> lock(mutex_);
-        wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        wake_.wait(lock, [&] {
+          return stop_ || generation_ != seen ||
+                 queued_.load(std::memory_order_acquire) > 0;
+        });
         if (stop_) return;
-        seen = generation_;
-        fn = job_fn_;
-        count = job_count_;
+        if (generation_ != seen) {
+          seen = generation_;
+          fn = job_fn_;
+          count = job_count_;
+        }
       }
+      if (fn == nullptr) continue;  // woken for deque work
       const std::size_t begin = id * count / size_;
       const std::size_t end = (id + 1) * count / size_;
       std::exception_ptr error;
@@ -120,22 +307,31 @@ class ThreadPool {
       {
         const std::lock_guard<std::mutex> lock(mutex_);
         if (error && !error_) error_ = error;
-        if (--pending_ == 0) done_.notify_one();
+        if (--pending_ == 0) done_.notify_all();
       }
     }
   }
 
   std::size_t size_;
+  bool deterministic_;
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable wake_;
   std::condition_variable done_;
+
+  // Static parallel_for state (guarded by mutex_).
   const std::function<void(std::size_t)>* job_fn_ = nullptr;
   std::size_t job_count_ = 0;
   std::size_t pending_ = 0;
   std::uint64_t generation_ = 0;
   bool stop_ = false;
   std::exception_ptr error_;
+
+  // Dynamic scheduler state.
+  std::atomic<std::size_t> outstanding_{0};  ///< submitted, not yet finished
+  std::atomic<std::size_t> queued_{0};       ///< submitted, not yet popped
+  std::atomic<std::size_t> next_queue_{0};   ///< owner-submit round-robin
 
   inline static thread_local int t_worker_id = -1;
 };

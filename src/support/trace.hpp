@@ -31,8 +31,8 @@
 // Threading contract: record() paths (Span, counters) are safe from any
 // thread. Structural calls — set_enabled, set_clock_mode, reset, tick,
 // flush_thread_buffers, the exporters — are driver-thread-only, called
-// between ThreadPool stage barriers (same rule as SimNetwork's
-// round-structural methods).
+// between epochs, i.e. after ThreadPool::drain()/parallel_for returns
+// (same rule as SimNetwork's round-structural methods).
 #pragma once
 
 #include <atomic>
@@ -130,9 +130,9 @@ class Tracer {
   void reset();
 
   /// Move every thread's buffered events into the central log, visiting
-  /// buffers in (worker id, registration) order. Driver-only, at a stage
-  /// barrier (ThreadPool::parallel_for has returned, so the workers'
-  /// writes happen-before this read).
+  /// buffers in (worker id, registration) order. Driver-only, at an epoch
+  /// boundary (ThreadPool::drain() or parallel_for has returned, so the
+  /// workers' writes happen-before this read).
   void flush_thread_buffers();
 
   /// Flush + copy of the central event log. Driver-only.

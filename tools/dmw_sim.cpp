@@ -45,9 +45,14 @@ options:
   --crashes K          number of fail-silent agents        (default 0)
   --crash-point P      before-bidding | after-bidding | after-lambda |
                        after-disclosure | after-reduced    (default after-bidding)
-  --threads T          task-parallel engine on T workers (0 = hardware
-                       threads; omit for the sequential runner). Outcomes
-                       are bit-identical at any thread count.
+  --threads T          task-parallel engine on T workers (0 = auto-detect
+                       std::thread::hardware_concurrency, logged at Info;
+                       omit for the sequential runner). Outcomes are
+                       bit-identical at any thread count.
+  --schedule S         parallel schedule: dynamic (pipelined work stealing,
+                       the default) | static (deterministic sharding).
+                       Default honours DMW_DETERMINISTIC_SCHEDULE; outcomes
+                       are bit-identical either way.
   --trace-out FILE     write a Chrome trace_event JSON of the run (load in
                        about:tracing or https://ui.perfetto.dev)
   --metrics-out FILE   write the RunReport JSON: per-phase wall time, op
@@ -155,6 +160,12 @@ int run_simulation(G group, const Flags& flags) {
 
   dmw::proto::RunConfig config;
   config.encrypt_channels = !flags.get_bool("plain");
+  if (flags.has("schedule")) {
+    const std::string schedule = flags.get_string("schedule", "dynamic");
+    DMW_REQUIRE_MSG(schedule == "dynamic" || schedule == "static",
+                    "--schedule must be dynamic or static");
+    config.deterministic_schedule = schedule == "static";
+  }
   const bool parallel = flags.has("threads");
   const std::size_t threads = parallel ? flags.get_u64("threads", 0) : 0;
   dmw::proto::Outcome outcome;
@@ -274,7 +285,7 @@ int main(int argc, char** argv) {
     const Flags flags(argc, argv,
                       {"n", "m", "c", "seed", "workload", "backend", "p-bits",
                        "deviant", "deviator", "crash-tolerant!", "crashes",
-                       "crash-point", "threads", "plain!", "json!",
+                       "crash-point", "threads", "schedule", "plain!", "json!",
                        "trace-out", "metrics-out", "trace-clock", "help!"});
     if (flags.get_bool("help")) {
       std::printf("%s", kUsage);

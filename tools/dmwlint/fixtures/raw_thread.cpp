@@ -20,6 +20,23 @@ void futures() {
   auto f = std::async([] { return 1; });  // EXPECT: raw-thread
 }
 
+// Hand-rolled deque/steal schedulers are banned too: the pool's audited
+// deques (and their epoch accounting / span flushing) are the only home for
+// work-stealing primitives.
+struct HomebrewScheduler {
+  std::latch join{4};  // EXPECT: raw-thread
+  std::barrier<> stage_barrier{4};  // EXPECT: raw-thread
+  std::counting_semaphore<8> slots{8};  // EXPECT: raw-thread
+  std::binary_semaphore ready{0};  // EXPECT: raw-thread
+};
+
+void chained() {
+  std::promise<int> result;  // EXPECT: raw-thread
+  std::packaged_task<int()> task([] { return 1; });  // EXPECT: raw-thread
+}
+
+void cancellable(std::stop_token token) {}  // EXPECT: raw-thread
+
 // The sanctioned path does not fire: ThreadPool wraps the primitives inside
 // src/support, outside this rule's scope.
 void sharded(ThreadPool& pool) {

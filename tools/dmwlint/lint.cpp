@@ -446,14 +446,18 @@ void rule_banned_pattern(const SourceFile& file,
 
 /// Protocol code (src/dmw, src/exp) must not reach for raw threading
 /// primitives: all parallelism goes through support/thread_pool.hpp, whose
-/// fixed sharding is what makes parallel runs bit-identical to sequential
-/// ones and keeps the TSan CI job meaningful. (support/ itself is out of
-/// scope: ThreadPool is the sanctioned home of std::thread and std::mutex.)
+/// scheduling (static sharding or audited deque/steal) is what makes
+/// parallel runs bit-identical to sequential ones and keeps the TSan CI job
+/// meaningful. The ban covers the deque/steal building blocks too —
+/// hand-rolled work queues (std::latch/barrier/semaphore joins, promise/
+/// future plumbing) would sit outside the pool's epoch accounting and span
+/// flushing. (support/ itself is out of scope: ThreadPool is the sanctioned
+/// home of std::thread, std::mutex and the worker deques.)
 void rule_raw_thread(const SourceFile& file, std::vector<Finding>& findings) {
   if (!has_adjacent(file, "src", "dmw") && !has_adjacent(file, "src", "exp"))
     return;
   static const std::regex re(
-      R"(\bstd::(?:jthread|thread)\b|\bstd::(?:recursive_|shared_|timed_|recursive_timed_)?mutex\b|\bstd::condition_variable(?:_any)?\b|\bstd::(?:async|atomic_thread_fence)\b|\.\s*detach\s*\(\s*\))");
+      R"(\bstd::(?:jthread|thread)\b|\bstd::(?:recursive_|shared_|timed_|recursive_timed_)?mutex\b|\bstd::condition_variable(?:_any)?\b|\bstd::(?:async|atomic_thread_fence)\b|\bstd::(?:latch|barrier)\b|\bstd::(?:counting_|binary_)semaphore\b|\bstd::(?:promise|packaged_task)\b|\bstd::stop_(?:token|source|callback)\b|\.\s*detach\s*\(\s*\))");
   for (std::size_t i = 0; i < file.lines.size(); ++i) {
     const std::string& code = file.lines[i].code;
     for (std::sregex_iterator it(code.begin(), code.end(), re), end;
