@@ -60,6 +60,7 @@
 #include <vector>
 
 #include "dmw/protocol.hpp"
+#include "support/annotations.hpp"
 #include "support/logging.hpp"
 #include "support/thread_pool.hpp"
 
@@ -103,6 +104,7 @@ class ParallelProtocol {
   const DmwAgent<G>& agent(std::size_t i) const { return *agents_[i]; }
 
   Outcome run() {
+    assert_driver();
     Outcome outcome;
     outcome.payments.assign(params_.n(), 0);
 
@@ -194,11 +196,25 @@ class ParallelProtocol {
     bool commit_after = false;
   };
 
+  /// Runtime-checked entry to the driver-only surface. run() may be invoked
+  /// from any non-pool thread; everything downstream of it — run_epoch, the
+  /// two interpreters, advance_round, worker_ops_ merges, deferred-failure
+  /// commits on the lockstep path — assumes the caller IS the (single)
+  /// driver. The assert tells clang's capability analysis to assume the
+  /// driver_role_ role from here on, and the DMW_REQUIRE backs that up at
+  /// runtime: a pool worker reaching run() (e.g. a future nested-engine
+  /// refactor) trips immediately instead of racing the epoch bookkeeping.
+  void assert_driver() DMW_ASSERT_CAPABILITY(driver_role_) {
+    DMW_REQUIRE_MSG(ThreadPool::current_worker_id() == -1,
+                    "ParallelProtocol::run called from a pool worker");
+  }
+
   /// One network epoch: the stages run (pipelined per agent, or lockstep
   /// under deterministic_schedule), then the round advances and the phase
   /// bucket absorbs this epoch's traffic, wall time and the op-count deltas
   /// of the driver and every worker.
-  void run_epoch(Phase phase, Outcome& outcome, std::vector<Stage> stages) {
+  void run_epoch(Phase phase, Outcome& outcome, std::vector<Stage> stages)
+      DMW_REQUIRES(driver_role_) {
     if (outcome.aborted) return;
     const auto traffic_before = net_.stats();
     for (auto& ops : worker_ops_) ops = dmw::num::OpCounts{};
@@ -250,7 +266,8 @@ class ParallelProtocol {
   /// it for every agent), commits serial on the driver in agent order. The
   /// worker->indices mapping is the pool's static partition — a pure
   /// function of (count, thread count).
-  void run_lockstep(const std::vector<Stage>& stages) {
+  void run_lockstep(const std::vector<Stage>& stages)
+      DMW_REQUIRES(driver_role_) {
     for (const Stage& stage : stages) {
       if (stage.agent_fn) {
         pool_.parallel_for(agents_.size(), [&](std::size_t i) {
@@ -276,7 +293,8 @@ class ParallelProtocol {
   /// last slice to finish (per-chain epoch counter hitting zero) commits the
   /// agent's deferred failures and advances the chain — no cross-agent join
   /// anywhere; the driver only waits for the whole epoch to drain.
-  void run_pipelined(const std::vector<Stage>& stages) {
+  void run_pipelined(const std::vector<Stage>& stages)
+      DMW_REQUIRES(driver_role_) {
     const std::size_t n = agents_.size();
     const std::size_t m = params_.m();
     // Chunk width for the task fan-out: slices of the n*m (agent, task)
@@ -351,6 +369,9 @@ class ParallelProtocol {
   std::vector<std::unique_ptr<DmwAgent<G>>> agents_;
   ThreadPool pool_;
   std::vector<dmw::num::OpCounts> worker_ops_;  // merged per run_epoch
+  /// Phantom "driver" capability (annotations.hpp): run_epoch and the
+  /// interpreters DMW_REQUIRES it, assert_driver() produces it.
+  ThreadRole driver_role_;
 };
 
 /// Convenience: run DMW with every agent honest on `threads` workers.

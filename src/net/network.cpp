@@ -10,6 +10,7 @@ namespace dmw::net {
 SimNetwork::SimNetwork(std::size_t n_agents)
     : n_(n_agents), inboxes_(n_agents), per_agent_(n_agents) {
   DMW_REQUIRE(n_agents >= 1);
+  for (auto& inbox : inboxes_) inbox = std::make_unique<Inbox>();
 }
 
 void SimNetwork::enable_concurrency(std::size_t workers) {
@@ -18,7 +19,6 @@ void SimNetwork::enable_concurrency(std::size_t workers) {
     worker_stats_.resize(workers);
     for (auto& slot : worker_stats_) slot.per_agent.resize(n_);
   }
-  if (!inbox_mutexes_) inbox_mutexes_ = std::make_unique<std::mutex[]>(n_);
 }
 
 std::pair<TrafficStats*, TrafficStats*> SimNetwork::stat_slots(AgentId from) {
@@ -64,12 +64,9 @@ void SimNetwork::send(AgentId from, AgentId to, std::uint32_t kind,
     deliver_round += action.extra_delay_rounds;
     if (action.replace_payload) env.payload = *action.replace_payload;
   }
-  if (inbox_mutexes_) {
-    const std::lock_guard<std::mutex> lock(inbox_mutexes_[to]);
-    inboxes_[to].push_back(Pending{std::move(env), deliver_round});
-  } else {
-    inboxes_[to].push_back(Pending{std::move(env), deliver_round});
-  }
+  Inbox& inbox = *inboxes_[to];
+  MutexLock lock(inbox.mutex);
+  inbox.items.push_back(Pending{std::move(env), deliver_round});
 }
 
 void SimNetwork::publish(AgentId from, std::uint32_t kind,
@@ -89,27 +86,25 @@ void SimNetwork::publish(AgentId from, std::uint32_t kind,
   sender->p2p_equivalent_messages += fanout;
   sender->p2p_equivalent_bytes += fanout * size;
 
-  const std::lock_guard<std::mutex> lock(pending_mutex_);
+  MutexLock lock(pending_mutex_);
   pending_postings_.push_back(std::move(posting));
 }
 
 std::vector<Envelope> SimNetwork::receive(AgentId to) {
   DMW_REQUIRE(to < n_);
   std::vector<Envelope> out;
-  std::unique_lock<std::mutex> lock;
-  if (inbox_mutexes_)
-    lock = std::unique_lock<std::mutex>(inbox_mutexes_[to]);
-  auto& inbox = inboxes_[to];
+  Inbox& inbox = *inboxes_[to];
+  MutexLock lock(inbox.mutex);
   // Stable extraction preserving arrival order among deliverable messages.
   std::deque<Pending> keep;
-  for (auto& pending : inbox) {
+  for (auto& pending : inbox.items) {
     if (pending.deliver_round <= round_) {
       out.push_back(std::move(pending.env));
     } else {
       keep.push_back(std::move(pending));
     }
   }
-  inbox = std::move(keep);
+  inbox.items = std::move(keep);
   return out;
 }
 
@@ -126,12 +121,17 @@ void SimNetwork::advance_round() {
   trace::Tracer::instance().tick();
   flush_worker_stats();
   ++round_;
-  auto it = std::stable_partition(
-      pending_postings_.begin(), pending_postings_.end(),
-      [&](const Posting& posting) { return posting.round > round_; });
-  for (auto moved = it; moved != pending_postings_.end(); ++moved)
-    bulletin_.push_back(std::move(*moved));
-  pending_postings_.erase(it, pending_postings_.end());
+  {
+    // Driver-only and between barriers, so uncontended — but the lock keeps
+    // the capability analysis sound for pending_postings_.
+    MutexLock lock(pending_mutex_);
+    auto it = std::stable_partition(
+        pending_postings_.begin(), pending_postings_.end(),
+        [&](const Posting& posting) { return posting.round > round_; });
+    for (auto moved = it; moved != pending_postings_.end(); ++moved)
+      bulletin_.push_back(std::move(*moved));
+    pending_postings_.erase(it, pending_postings_.end());
+  }
   if (trace::on()) {
     // Per-round traffic shape: observe the delta since the last traced
     // boundary (totals_ is complete here — workers flushed above).
@@ -148,9 +148,14 @@ void SimNetwork::advance_round() {
 }
 
 std::size_t SimNetwork::in_flight() const {
-  std::size_t count = pending_postings_.size();
+  std::size_t count = 0;
+  {
+    MutexLock lock(pending_mutex_);
+    count = pending_postings_.size();
+  }
   for (const auto& inbox : inboxes_) {
-    for (const auto& pending : inbox) {
+    MutexLock lock(inbox->mutex);
+    for (const auto& pending : inbox->items) {
       if (pending.deliver_round > round_) ++count;
     }
   }

@@ -17,12 +17,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "support/annotations.hpp"
 #include "support/check.hpp"
 
 namespace dmw::net {
@@ -86,17 +86,20 @@ using FaultInjector = std::function<FaultAction(const Envelope&)>;
 /// Messages sent during round r are visible to receivers from round r+1
 /// (plus any injected delay). advance_round() moves the clock.
 ///
-/// Concurrency: after enable_concurrency(workers), send()/publish()/
-/// receive()/read_bulletin() may be called from ThreadPool workers while a
-/// protocol stage is in flight. Queue mutations take short per-inbox (or
-/// bulletin) locks; traffic statistics stay lock-free on the hot path by
-/// writing to a per-worker accumulator slot selected via
-/// ThreadPool::current_worker_id(), folded into the base counters at the
-/// next advance_round(). Everything round-structural — advance_round(),
-/// in_flight(), stats(), reset_stats(), set_fault_injector() — remains
-/// driver-thread-only (the protocol runner calls them between stage
-/// barriers). A fault injector installed on a concurrent run is invoked
-/// from worker threads and must be thread-safe.
+/// Concurrency: send()/publish()/receive()/read_bulletin() may be called
+/// from ThreadPool workers while a protocol stage is in flight. Queue
+/// mutations take short per-inbox (or pending-postings) locks — each inbox
+/// deque is DMW_GUARDED_BY its own mutex, machine-checked by clang's
+/// thread-safety pass; an uncontended lock is noise next to the crypto per
+/// message, so sequential runs pay it too. Traffic statistics stay
+/// lock-free on the hot path: after enable_concurrency(workers), stat
+/// updates from pool threads write a per-worker accumulator slot selected
+/// via ThreadPool::current_worker_id(), folded into the base counters at
+/// the next advance_round(). Everything round-structural —
+/// advance_round(), in_flight(), stats(), reset_stats(),
+/// set_fault_injector() — remains driver-thread-only (the protocol runner
+/// calls them between stage barriers). A fault injector installed on a
+/// concurrent run is invoked from worker threads and must be thread-safe.
 class SimNetwork {
  public:
   explicit SimNetwork(std::size_t n_agents);
@@ -139,7 +142,8 @@ class SimNetwork {
   /// Allocate `workers` per-worker traffic-accumulator slots so stat
   /// updates from pool threads stay lock-free. Idempotent; call before the
   /// first concurrent stage. With no slots (the default), counters are
-  /// updated directly — the historical single-threaded behaviour.
+  /// updated directly — the historical single-threaded behaviour. (Inbox
+  /// and posting queues are always mutex-guarded, concurrency or not.)
   void enable_concurrency(std::size_t workers);
 
   /// Fold every per-worker accumulator into the base counters. Called
@@ -163,6 +167,15 @@ class SimNetwork {
     std::uint64_t deliver_round;
   };
 
+  /// One recipient's unicast queue paired with the mutex that guards it.
+  /// Pairing them in one struct (instead of a parallel mutex array) is what
+  /// lets the capability analysis tie the deque to *its* lock. Held by
+  /// unique_ptr because Mutex is immovable.
+  struct Inbox {
+    Mutex mutex;
+    std::deque<Pending> items DMW_GUARDED_BY(mutex);
+  };
+
   /// One worker's private counters; padded out by the vectors' allocation
   /// granularity rather than explicit alignment — contention, not false
   /// sharing, is what the design removes.
@@ -175,23 +188,41 @@ class SimNetwork {
   /// thread with concurrency enabled, the base counters otherwise.
   std::pair<TrafficStats*, TrafficStats*> stat_slots(AgentId from);
 
-  std::size_t n_;
+  const std::size_t n_;
+  // dmwlint:allow(guarded-member) epoch-frozen: written only by
+  // advance_round() on the driver thread between stage barriers; workers
+  // read a constant value for the whole stage.
   std::uint64_t round_ = 0;
-  std::vector<std::deque<Pending>> inboxes_;  // per recipient
-  std::vector<Posting> bulletin_;          // visible postings
-  std::vector<Posting> pending_postings_;  // visible once round_ >= .round
+  // dmwlint:allow(guarded-member) the pointer vector is built once in the
+  // ctor and never resized; each Inbox's deque is guarded by its own mutex.
+  std::vector<std::unique_ptr<Inbox>> inboxes_;  // per recipient
+  // dmwlint:allow(guarded-member) epoch-frozen: grows only inside
+  // advance_round() (driver, between barriers); stage-concurrent readers
+  // only ever see the immutable already-published prefix.
+  std::vector<Posting> bulletin_;  // visible postings
+  // mutable: in_flight() is logically const but must take the lock.
+  mutable Mutex pending_mutex_;
+  // Visible once round_ >= .round.
+  std::vector<Posting> pending_postings_ DMW_GUARDED_BY(pending_mutex_);
+  // dmwlint:allow(guarded-member) installed by set_fault_injector()
+  // (driver-only, before the run); workers only invoke it afterwards.
   FaultInjector injector_;
+  // dmwlint:allow(guarded-member) driver-only base counters: workers write
+  // their own worker_stats_ slot instead (stat_slots), folded in here at
+  // advance_round()/flush_worker_stats() on the driver thread.
   TrafficStats totals_;
+  // dmwlint:allow(guarded-member) same discipline as totals_.
   std::vector<TrafficStats> per_agent_;
 
   /// Snapshot of totals_ at the last traced round boundary, so the
   /// per-round traffic histograms (support/trace.hpp) observe deltas.
+  // dmwlint:allow(guarded-member) driver-only (advance_round tracing).
   TrafficStats traced_;
 
   // Concurrency support (empty/unused until enable_concurrency()).
+  // dmwlint:allow(guarded-member) slot w is written only by pool worker w
+  // during a stage and read/cleared only by the driver at barriers.
   std::vector<WorkerStats> worker_stats_;
-  std::unique_ptr<std::mutex[]> inbox_mutexes_;  // one per recipient
-  std::mutex pending_mutex_;                     // guards pending_postings_
 };
 
 }  // namespace dmw::net

@@ -1,0 +1,187 @@
+// Clang thread-safety (capability) annotations + the annotated lock types.
+//
+// The parallel engine's correctness argument is a locking discipline: which
+// mutex guards which member, which members are epoch-frozen read-only caches,
+// which state only the driver thread may touch. TSan checks that discipline
+// dynamically — on the paths the test suite happens to execute. This header
+// makes it *compile-time* checked on every clang build: Clang's
+// -Wthread-safety capability analysis verifies, per function, that every
+// access to a DMW_GUARDED_BY member happens with its capability held, that
+// DMW_REQUIRES contracts hold at every call site, and that a scoped lock
+// actually covers the accesses it claims to. The CI `thread-safety` job
+// compiles the whole tree (src, tools, tests, bench) with
+// -Werror=thread-safety -Werror=thread-safety-beta.
+//
+// On GCC (which has no such analysis) every macro expands to nothing, so the
+// annotations cost nothing and gate nothing there — dmwlint's
+// `guarded-member` rule keeps new code annotated even when only GCC is
+// around.
+//
+// Use the annotated wrappers below (Mutex, MutexLock, CondVar) instead of
+// std::mutex / std::condition_variable: the std types carry no capability
+// attributes, so locking through them is invisible to the analysis.
+// dmwlint's `raw-thread` rule points protocol code here.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+// ---- attribute plumbing ----------------------------------------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define DMW_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef DMW_THREAD_ANNOTATION
+#define DMW_THREAD_ANNOTATION(x)  // expands to nothing outside clang
+#endif
+
+/// Tags a type as a capability ("mutex", "role", ...). Instances can then be
+/// named in the other annotations.
+#define DMW_CAPABILITY(x) DMW_THREAD_ANNOTATION(capability(x))
+
+/// Tags an RAII type whose constructor acquires and destructor releases a
+/// capability (MutexLock below).
+#define DMW_SCOPED_CAPABILITY DMW_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member may only be read/written while holding `x`.
+#define DMW_GUARDED_BY(x) DMW_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member: the *pointee* may only be accessed while holding `x`
+/// (the pointer itself is unguarded).
+#define DMW_PT_GUARDED_BY(x) DMW_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the listed capabilities held on entry (and does not
+/// release them).
+#define DMW_REQUIRES(...) \
+  DMW_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (caller must not hold them).
+#define DMW_ACQUIRE(...) \
+  DMW_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (caller must hold them).
+#define DMW_RELEASE(...) \
+  DMW_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the listed capabilities held (deadlock
+/// guard for functions that acquire them internally).
+#define DMW_EXCLUDES(...) DMW_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to a value guarded by `x`.
+#define DMW_RETURN_CAPABILITY(x) DMW_THREAD_ANNOTATION(lock_returned(x))
+
+/// Assert-style acquisition: the function *checks at runtime* that the
+/// calling context holds the capability (or is otherwise sole owner) and
+/// tells the analysis to assume it from here on. Used for role capabilities
+/// (driver-only state) where no lock object changes hands.
+#define DMW_ASSERT_CAPABILITY(x) \
+  DMW_THREAD_ANNOTATION(assert_capability(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment justifying why the discipline holds anyway.
+#define DMW_NO_THREAD_SAFETY_ANALYSIS \
+  DMW_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace dmw {
+
+// ---- annotated lock types --------------------------------------------------
+
+/// std::mutex with the capability attribute, so DMW_GUARDED_BY(mutex_)
+/// declarations are enforceable. Same cost: the wrapper is one std::mutex,
+/// and every method is a forwarded inline call.
+class DMW_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DMW_ACQUIRE() { mu_.lock(); }
+  void unlock() DMW_RELEASE() { mu_.unlock(); }
+
+  /// The wrapped std::mutex, for CondVar only (a condition wait must
+  /// unlock/relock the native handle). Not for direct locking — that would
+  /// bypass the capability bookkeeping.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII scoped lock over Mutex (the std::lock_guard/std::unique_lock of the
+/// annotated world). Constructor acquires, destructor releases; unlock()
+/// releases early (drain() uses it to rethrow outside the critical section).
+class DMW_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DMW_ACQUIRE(mu) : mu_(&mu) { mu_->lock(); }
+
+  /// Release before destruction (no-op if already released).
+  void unlock() DMW_RELEASE() {
+    if (mu_ != nullptr) {
+      mu_->unlock();
+      mu_ = nullptr;
+    }
+  }
+
+  ~MutexLock() DMW_RELEASE() {
+    if (mu_ != nullptr) mu_->unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable paired with Mutex. wait() takes the Mutex itself
+/// (absl::CondVar-style) and is annotated DMW_REQUIRES(mu): the caller must
+/// hold mu — via a MutexLock — and still holds it when wait() returns. The
+/// implementation adopts the held native handle for the duration of the
+/// wait and releases ownership back before returning, so the MutexLock's
+/// destructor remains the one unlocker.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically unlock mu, block until notified, relock mu.
+  void wait(Mutex& mu) DMW_REQUIRES(mu) {
+    std::unique_lock<std::mutex> adopted(mu.native(), std::adopt_lock);
+    cv_.wait(adopted);
+    adopted.release();
+  }
+
+  /// wait() until pred() holds (checked with mu held).
+  template <class Pred>
+  void wait(Mutex& mu, Pred pred) DMW_REQUIRES(mu) {
+    std::unique_lock<std::mutex> adopted(mu.native(), std::adopt_lock);
+    cv_.wait(adopted, std::move(pred));
+    adopted.release();
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// A role capability: a phantom lock that marks *thread identity* instead of
+/// mutual exclusion. State annotated DMW_GUARDED_BY(role) may only be
+/// touched by functions that DMW_REQUIRES(role) — and the role is only ever
+/// produced by an AssertRole that runtime-checks the caller really is that
+/// thread. ParallelProtocol uses one to make "driver-only" (deferred
+/// failure commits, op-bank merges, epoch advancement) machine-checked
+/// instead of a comment.
+class DMW_CAPABILITY("role") ThreadRole {
+ public:
+  ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+};
+
+}  // namespace dmw

@@ -42,14 +42,14 @@ Logger::Logger() {
 }
 
 Logger::Sink Logger::set_sink(Sink sink) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::swap(sink, sink_);
   return sink;
 }
 
 void Logger::log(LogLevel level, const std::string& message) {
   if (!enabled(level)) return;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (sink_) sink_(level, message);
 }
 

@@ -7,9 +7,10 @@
 
 #include <atomic>
 #include <functional>
-#include <mutex>
 #include <sstream>
 #include <string>
+
+#include "support/annotations.hpp"
 
 namespace dmw {
 
@@ -44,8 +45,8 @@ class Logger {
  private:
   Logger();
   std::atomic<LogLevel> level_{LogLevel::kWarn};
-  std::mutex mutex_;  ///< guards sink_ (swap and every emission)
-  Sink sink_;
+  Mutex mutex_;  ///< guards sink_ (swap and every emission)
+  Sink sink_ DMW_GUARDED_BY(mutex_);
 };
 
 namespace detail {

@@ -27,11 +27,13 @@
 // This is the only sanctioned threading primitive for protocol code: dmwlint's
 // `raw-thread` rule rejects direct std::thread/std::mutex/latch/semaphore use
 // in src/dmw and src/exp so every concurrent path stays inside this audited
-// pool (and thus inside the TSan CI job's coverage).
+// pool (and thus inside the TSan CI job's coverage). The pool's own locking
+// discipline is capability-annotated (support/annotations.hpp): clang's
+// -Wthread-safety pass proves every access to the guarded members below
+// happens under mutex_ / the owning deque's mutex.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
@@ -39,12 +41,12 @@
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "support/annotations.hpp"
 #include "support/check.hpp"
 
 namespace dmw {
@@ -65,9 +67,7 @@ class ThreadPool {
                       bool deterministic = deterministic_schedule_default())
       : size_(threads == 0 ? 1 : threads),
         deterministic_(deterministic),
-        queues_(size_) {
-    for (std::size_t w = 0; w < size_; ++w)
-      queues_[w] = std::make_unique<WorkerQueue>();
+        queues_(make_queues(size_)) {
     workers_.reserve(size_);
     for (std::size_t w = 0; w < size_; ++w)
       workers_.emplace_back([this, w] { worker_loop(w); });
@@ -75,7 +75,7 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       stop_ = true;
     }
     wake_.notify_all();
@@ -163,7 +163,7 @@ class ThreadPool {
                   : next_queue_.fetch_add(1, std::memory_order_relaxed) % size_;
     {
       WorkerQueue& q = *queues_[target];
-      const std::lock_guard<std::mutex> lock(q.mutex);
+      MutexLock lock(q.mutex);
       if (self >= 0)
         q.jobs.emplace_front(std::move(job));
       else
@@ -174,7 +174,7 @@ class ThreadPool {
       // Empty critical section: pairs the notify with the sleepers'
       // predicate re-check so a worker cannot miss the wakeup between
       // testing queued_ and blocking.
-      const std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
     }
     wake_.notify_all();
   }
@@ -184,10 +184,9 @@ class ThreadPool {
   void drain() {
     DMW_REQUIRE_MSG(current_worker_id() == -1,
                     "ThreadPool::drain called from a worker");
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_.wait(lock, [&] {
-      return outstanding_.load(std::memory_order_acquire) == 0;
-    });
+    MutexLock lock(mutex_);
+    while (outstanding_.load(std::memory_order_acquire) != 0)
+      done_.wait(mutex_);
     if (error_) {
       std::exception_ptr error = error_;
       error_ = nullptr;
@@ -207,13 +206,20 @@ class ThreadPool {
 
  private:
   struct WorkerQueue {
-    std::mutex mutex;
-    std::deque<std::function<void()>> jobs;
+    Mutex mutex;
+    std::deque<std::function<void()>> jobs DMW_GUARDED_BY(mutex);
   };
+
+  static std::vector<std::unique_ptr<WorkerQueue>> make_queues(
+      std::size_t count) {
+    std::vector<std::unique_ptr<WorkerQueue>> queues(count);
+    for (auto& q : queues) q = std::make_unique<WorkerQueue>();
+    return queues;
+  }
 
   void parallel_for_static(std::size_t count,
                            const std::function<void(std::size_t)>& fn) {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     DMW_REQUIRE_MSG(job_fn_ == nullptr,
                     "ThreadPool::parallel_for is not reentrant");
     job_fn_ = &fn;
@@ -221,7 +227,7 @@ class ThreadPool {
     pending_ = size_;
     ++generation_;
     wake_.notify_all();
-    done_.wait(lock, [&] { return pending_ == 0; });
+    while (pending_ != 0) done_.wait(mutex_);
     job_fn_ = nullptr;
     if (error_) {
       std::exception_ptr error = error_;
@@ -237,7 +243,7 @@ class ThreadPool {
   bool try_pop(std::size_t id, std::function<void()>& job) {
     {
       WorkerQueue& own = *queues_[id];
-      const std::lock_guard<std::mutex> lock(own.mutex);
+      MutexLock lock(own.mutex);
       if (!own.jobs.empty()) {
         job = std::move(own.jobs.front());
         own.jobs.pop_front();
@@ -246,7 +252,7 @@ class ThreadPool {
     }
     for (std::size_t off = 1; off < size_; ++off) {
       WorkerQueue& victim = *queues_[(id + off) % size_];
-      const std::lock_guard<std::mutex> lock(victim.mutex);
+      MutexLock lock(victim.mutex);
       if (!victim.jobs.empty()) {
         job = std::move(victim.jobs.back());
         victim.jobs.pop_back();
@@ -261,12 +267,12 @@ class ThreadPool {
     try {
       job();
     } catch (...) {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (!error_) error_ = std::current_exception();
     }
     job = nullptr;  // destroy captures before the completion count drops
     if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       done_.notify_all();
     }
   }
@@ -283,11 +289,10 @@ class ThreadPool {
       const std::function<void(std::size_t)>* fn = nullptr;
       std::size_t count = 0;
       {
-        std::unique_lock<std::mutex> lock(mutex_);
-        wake_.wait(lock, [&] {
-          return stop_ || generation_ != seen ||
-                 queued_.load(std::memory_order_acquire) > 0;
-        });
+        MutexLock lock(mutex_);
+        while (!stop_ && generation_ == seen &&
+               queued_.load(std::memory_order_acquire) == 0)
+          wake_.wait(mutex_);
         if (stop_) return;
         if (generation_ != seen) {
           seen = generation_;
@@ -305,28 +310,36 @@ class ThreadPool {
         error = std::current_exception();
       }
       {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (error && !error_) error_ = error;
         if (--pending_ == 0) done_.notify_all();
       }
     }
   }
 
-  std::size_t size_;
+  const std::size_t size_;
+  // dmwlint:allow(guarded-member) flipped only between batches, from the
+  // owning thread, with outstanding_ == 0 (runtime-checked above).
   bool deterministic_;
-  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  // Vector and pointees are built once in the ctor; each WorkerQueue's deque
+  // is guarded by its own mutex.
+  const std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  // dmwlint:allow(guarded-member) written only by the ctor (emplace) and the
+  // dtor (join), strictly before workers exist / after they stopped.
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::condition_variable done_;
+  Mutex mutex_;
+  CondVar wake_;
+  CondVar done_;
 
-  // Static parallel_for state (guarded by mutex_).
-  const std::function<void(std::size_t)>* job_fn_ = nullptr;
-  std::size_t job_count_ = 0;
-  std::size_t pending_ = 0;
-  std::uint64_t generation_ = 0;
-  bool stop_ = false;
-  std::exception_ptr error_;
+  // Static parallel_for state — every member below is guarded by mutex_;
+  // clang's capability analysis enforces it.
+  const std::function<void(std::size_t)>* job_fn_ DMW_GUARDED_BY(mutex_) =
+      nullptr;
+  std::size_t job_count_ DMW_GUARDED_BY(mutex_) = 0;
+  std::size_t pending_ DMW_GUARDED_BY(mutex_) = 0;
+  std::uint64_t generation_ DMW_GUARDED_BY(mutex_) = 0;
+  bool stop_ DMW_GUARDED_BY(mutex_) = false;
+  std::exception_ptr error_ DMW_GUARDED_BY(mutex_);
 
   // Dynamic scheduler state.
   std::atomic<std::size_t> outstanding_{0};  ///< submitted, not yet finished

@@ -6,8 +6,8 @@
 #include <cstdio>
 #include <map>
 #include <memory>
-#include <mutex>
 
+#include "support/annotations.hpp"
 #include "support/json.hpp"
 
 namespace dmw::trace {
@@ -16,18 +16,32 @@ namespace {
 
 using SteadyClock = std::chrono::steady_clock;
 
+/// Current steady-clock reading as plain ns (the tracer's epoch is stored
+/// this way so it can live in an atomic).
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             SteadyClock::now().time_since_epoch())
+      .count();
+}
+
 /// Everything mutable the tracer owns besides the inline enabled latch.
 /// One mutex guards the thread-state registry and the central event log;
 /// record paths never take it (they only touch their own ThreadState).
 struct TracerState {
-  std::mutex mutex;
-  std::vector<std::shared_ptr<detail::ThreadState>> registered;
-  std::uint64_t next_sequence = 0;
-  std::vector<SpanEvent> log;        ///< flushed events
-  std::uint64_t dropped_flushed = 0; ///< dropped counts folded at flush
+  Mutex mutex;
+  std::vector<std::shared_ptr<detail::ThreadState>> registered
+      DMW_GUARDED_BY(mutex);
+  std::uint64_t next_sequence DMW_GUARDED_BY(mutex) = 0;
+  /// Flushed events.
+  std::vector<SpanEvent> log DMW_GUARDED_BY(mutex);
+  /// Dropped counts folded at flush.
+  std::uint64_t dropped_flushed DMW_GUARDED_BY(mutex) = 0;
   std::atomic<std::int64_t> logical{0};
   std::atomic<int> mode{static_cast<int>(ClockMode::kReal)};
-  SteadyClock::time_point epoch = SteadyClock::now();
+  /// Run-relative real-clock origin as steady-clock ns. Atomic, not
+  /// guarded: now_ns() reads it on every span record without touching the
+  /// registry lock, while reset() rebases it from the driver.
+  std::atomic<std::int64_t> epoch_ns{steady_ns()};
 };
 
 TracerState& state() {
@@ -39,10 +53,13 @@ TracerState& state() {
 /// are heap-allocated once and never freed: cached Counter& references
 /// (DMW_COUNT statics) must stay valid for the process lifetime.
 struct MetricsState {
-  std::mutex mutex;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  Mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters
+      DMW_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges
+      DMW_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms
+      DMW_GUARDED_BY(mutex);
 };
 
 MetricsState& metrics() {
@@ -69,7 +86,7 @@ ThreadState& thread_state() {
     auto fresh = std::make_shared<ThreadState>();
     fresh->worker = ThreadPool::current_worker_id();
     auto& s = state();
-    const std::lock_guard<std::mutex> lock(s.mutex);
+    MutexLock lock(s.mutex);
     fresh->sequence = s.next_sequence++;
     s.registered.push_back(fresh);
     return fresh;
@@ -103,9 +120,7 @@ std::int64_t Tracer::now_ns() const {
   if (s.mode.load(std::memory_order_relaxed) ==
       static_cast<int>(ClockMode::kLogical))
     return s.logical.load(std::memory_order_relaxed);
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             SteadyClock::now() - s.epoch)
-      .count();
+  return steady_ns() - s.epoch_ns.load(std::memory_order_relaxed);
 }
 
 void Tracer::tick() {
@@ -115,11 +130,11 @@ void Tracer::tick() {
 
 void Tracer::reset() {
   auto& s = state();
-  const std::lock_guard<std::mutex> lock(s.mutex);
+  MutexLock lock(s.mutex);
   s.log.clear();
   s.dropped_flushed = 0;
   s.logical.store(0, std::memory_order_relaxed);
-  s.epoch = SteadyClock::now();
+  s.epoch_ns.store(steady_ns(), std::memory_order_relaxed);
   for (auto& thread : s.registered) {
     thread->events.clear();
     thread->dropped = 0;
@@ -131,7 +146,7 @@ void Tracer::reset() {
                 });
 
   auto& m = metrics();
-  const std::lock_guard<std::mutex> metrics_lock(m.mutex);
+  MutexLock metrics_lock(m.mutex);
   for (auto& [name, value] : m.counters) value->clear();
   for (auto& [name, value] : m.gauges) value->clear();
   for (auto& [name, value] : m.histograms) value->clear();
@@ -139,7 +154,7 @@ void Tracer::reset() {
 
 void Tracer::flush_thread_buffers() {
   auto& s = state();
-  const std::lock_guard<std::mutex> lock(s.mutex);
+  MutexLock lock(s.mutex);
   // Worker-id order (driver thread's -1 first), registration order as the
   // tiebreak: the flushed log's layout is a function of the run, not of
   // which buffer happened to fill first.
@@ -161,14 +176,15 @@ void Tracer::flush_thread_buffers() {
 
 std::vector<SpanEvent> Tracer::events() {
   flush_thread_buffers();
-  const std::lock_guard<std::mutex> lock(state().mutex);
-  return state().log;
+  auto& s = state();
+  MutexLock lock(s.mutex);
+  return s.log;
 }
 
 std::vector<SpanAggregate> Tracer::aggregate_spans() {
   flush_thread_buffers();
   auto& s = state();
-  const std::lock_guard<std::mutex> lock(s.mutex);
+  MutexLock lock(s.mutex);
   std::map<std::string_view, SpanAggregate> by_name;
   for (const SpanEvent& event : s.log) {
     SpanAggregate& agg = by_name[event.name];
@@ -185,8 +201,9 @@ std::vector<SpanAggregate> Tracer::aggregate_spans() {
 
 std::uint64_t Tracer::events_dropped() {
   flush_thread_buffers();
-  const std::lock_guard<std::mutex> lock(state().mutex);
-  return state().dropped_flushed;
+  auto& s = state();
+  MutexLock lock(s.mutex);
+  return s.dropped_flushed;
 }
 
 const char* Tracer::active_span() const {
@@ -272,7 +289,7 @@ void Histogram::clear() {
 
 Counter& counter(std::string_view name) {
   auto& m = metrics();
-  const std::lock_guard<std::mutex> lock(m.mutex);
+  MutexLock lock(m.mutex);
   auto it = m.counters.find(name);
   if (it == m.counters.end())
     it = m.counters.emplace(std::string(name), std::make_unique<Counter>())
@@ -282,7 +299,7 @@ Counter& counter(std::string_view name) {
 
 Gauge& gauge(std::string_view name) {
   auto& m = metrics();
-  const std::lock_guard<std::mutex> lock(m.mutex);
+  MutexLock lock(m.mutex);
   auto it = m.gauges.find(name);
   if (it == m.gauges.end())
     it = m.gauges.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -291,7 +308,7 @@ Gauge& gauge(std::string_view name) {
 
 Histogram& histogram(std::string_view name) {
   auto& m = metrics();
-  const std::lock_guard<std::mutex> lock(m.mutex);
+  MutexLock lock(m.mutex);
   auto it = m.histograms.find(name);
   if (it == m.histograms.end())
     it = m.histograms
@@ -302,7 +319,7 @@ Histogram& histogram(std::string_view name) {
 
 std::vector<std::pair<std::string, std::uint64_t>> counters_snapshot() {
   auto& m = metrics();
-  const std::lock_guard<std::mutex> lock(m.mutex);
+  MutexLock lock(m.mutex);
   std::vector<std::pair<std::string, std::uint64_t>> out;
   for (const auto& [name, value] : m.counters) {
     if (value->value() != 0) out.emplace_back(name, value->value());
@@ -312,7 +329,7 @@ std::vector<std::pair<std::string, std::uint64_t>> counters_snapshot() {
 
 std::vector<std::pair<std::string, std::int64_t>> gauges_snapshot() {
   auto& m = metrics();
-  const std::lock_guard<std::mutex> lock(m.mutex);
+  MutexLock lock(m.mutex);
   std::vector<std::pair<std::string, std::int64_t>> out;
   for (const auto& [name, value] : m.gauges) {
     if (value->value() != 0) out.emplace_back(name, value->value());
@@ -322,7 +339,7 @@ std::vector<std::pair<std::string, std::int64_t>> gauges_snapshot() {
 
 std::vector<HistogramSnapshot> histograms_snapshot() {
   auto& m = metrics();
-  const std::lock_guard<std::mutex> lock(m.mutex);
+  MutexLock lock(m.mutex);
   std::vector<HistogramSnapshot> out;
   for (const auto& [name, value] : m.histograms) {
     if (value->count() == 0) continue;

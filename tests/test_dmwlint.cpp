@@ -24,7 +24,12 @@ std::size_t count_rule(const std::vector<Finding>& findings,
 
 TEST(DmwLint, RuleNamesAreStable) {
   const auto& names = dmwlint::rule_names();
-  ASSERT_EQ(names.size(), 8u);
+  ASSERT_EQ(names.size(), 11u);
+  EXPECT_NE(std::find(names.begin(), names.end(), "guarded-member"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "thread-id-sink"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "bad-allow"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "loop-inverse"),
             names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "naive-call"), names.end());
@@ -315,6 +320,171 @@ TEST(DmwLint, IncludeHygiene) {
             0u);
 }
 
+TEST(DmwLint, RawThreadLockBanCoversAllOfSrc) {
+  const std::string locks =
+      "std::mutex m;\n"
+      "std::unique_lock<std::mutex> lock(m);\n";
+  // The capability-blind lock vocabulary fires anywhere in src/ (here: a
+  // non-protocol directory), steering to the annotated wrappers.
+  EXPECT_EQ(count_rule(lint_file("src/net/a.cpp", locks), "raw-thread"), 3u);
+  EXPECT_EQ(count_rule(lint_file("src/support/pool.hpp", locks),
+                       "raw-thread"),
+            3u);
+  // The wrappers' own home is exempt; tools/ and tests/ are out of scope.
+  EXPECT_EQ(count_rule(lint_file("src/support/annotations.hpp", locks),
+                       "raw-thread"),
+            0u);
+  EXPECT_EQ(count_rule(lint_file("tools/a.cpp", locks), "raw-thread"), 0u);
+  EXPECT_EQ(count_rule(lint_file("tests/a.cpp", locks), "raw-thread"), 0u);
+  // The annotated wrappers themselves never fire.
+  EXPECT_EQ(count_rule(lint_file("src/net/a.cpp",
+                                 "Mutex m;\nMutexLock lock(m);\n"),
+                       "raw-thread"),
+            0u);
+}
+
+TEST(DmwLint, GuardedMemberRequiresAnnotationOrExemption) {
+  const std::string text =
+      "#pragma once\n"
+      "class Box {\n"
+      " public:\n"
+      "  void put(int value);\n"
+      "  std::size_t size() const;\n"
+      "\n"
+      " private:\n"
+      "  Mutex mutex_;\n"
+      "  std::deque<int> items_ DMW_GUARDED_BY(mutex_);\n"
+      "  std::size_t capacity_;\n"
+      "};\n";
+  const auto findings = lint_file("src/net/box.hpp", text);
+  ASSERT_EQ(count_rule(findings, "guarded-member"), 1u);
+  for (const auto& finding : findings) {
+    if (finding.rule != "guarded-member") continue;
+    EXPECT_EQ(finding.line, 10u);
+    EXPECT_NE(finding.message.find("capacity_"), std::string::npos);
+  }
+}
+
+TEST(DmwLint, GuardedMemberExemptKindsAndScope) {
+  // const, static/constexpr, std::atomic and the lock vocabulary never
+  // need an annotation.
+  const std::string exempt =
+      "#pragma once\n"
+      "class Box {\n"
+      "  Mutex mutex_;\n"
+      "  const std::size_t limit_ = 8;\n"
+      "  static constexpr int kDefault = 4;\n"
+      "  std::atomic<int> hits_ = 0;\n"
+      "  CondVar ready_;\n"
+      "};\n";
+  EXPECT_EQ(count_rule(lint_file("src/net/box.hpp", exempt),
+                       "guarded-member"),
+            0u);
+  // A class with no mutex member is out of scope entirely.
+  const std::string no_mutex =
+      "#pragma once\n"
+      "struct Stats {\n"
+      "  std::size_t count = 0;\n"
+      "};\n";
+  EXPECT_EQ(count_rule(lint_file("src/net/stats.hpp", no_mutex),
+                       "guarded-member"),
+            0u);
+  // The allow escape states the discipline in place.
+  const std::string allowed =
+      "#pragma once\n"
+      "class Box {\n"
+      "  Mutex mutex_;\n"
+      "  // dmwlint:allow(guarded-member) epoch-frozen between rounds\n"
+      "  std::uint64_t round_ = 0;\n"
+      "};\n";
+  EXPECT_EQ(count_rule(lint_file("src/net/box.hpp", allowed),
+                       "guarded-member"),
+            0u);
+}
+
+TEST(DmwLint, ThreadIdSinkBansGetIdEverywhereInSrc) {
+  const std::string get_id = "const auto id = std::this_thread::get_id();\n";
+  EXPECT_EQ(count_rule(lint_file("src/support/pool.cpp", get_id),
+                       "thread-id-sink"),
+            1u);
+  EXPECT_EQ(count_rule(lint_file("tools/a.cpp", get_id), "thread-id-sink"),
+            1u);
+  EXPECT_EQ(count_rule(lint_file("tests/a.cpp", get_id), "thread-id-sink"),
+            0u);
+}
+
+TEST(DmwLint, ThreadIdSinkCatchesIdentityFlowingIntoSinks) {
+  const std::string flow =
+      "report.field(\"workers\", ThreadPool::current_worker_id());\n";
+  EXPECT_EQ(count_rule(lint_file("src/dmw/a.cpp", flow), "thread-id-sink"),
+            1u);
+  // Multi-line statements are assembled from the sink line forward.
+  const std::string multi_line =
+      "transcript.absorb(\n"
+      "    static_cast<unsigned>(ThreadPool::current_worker_id()));\n";
+  const auto findings = lint_file("src/net/a.cpp", multi_line);
+  ASSERT_EQ(count_rule(findings, "thread-id-sink"), 1u);
+  EXPECT_EQ(findings[0].line, 1u);
+  // src/support is out of scope for the flow check (trace exporters label
+  // per-worker lanes by design).
+  EXPECT_EQ(count_rule(lint_file("src/support/trace.cpp", flow),
+                       "thread-id-sink"),
+            0u);
+  // Slot addressing — a worker id that never reaches an output — is fine.
+  const std::string slots =
+      "slots[static_cast<std::size_t>(ThreadPool::current_worker_id())] "
+      "+= 1;\n";
+  EXPECT_EQ(count_rule(lint_file("src/dmw/a.cpp", slots), "thread-id-sink"),
+            0u);
+}
+
+TEST(DmwLint, BadAllowFlagsUnknownSlugs) {
+  EXPECT_EQ(count_rule(lint_file("src/a.cpp",
+                                 "// dmwlint:allow(raw-cloak) typo\n"
+                                 "int x;\n"),
+                       "bad-allow"),
+            1u);
+  EXPECT_EQ(count_rule(lint_file("src/a.cpp",
+                                 "// dmwlint:allow(raw-clock) boot check\n"
+                                 "clock_gettime(0, &ts);\n"),
+                       "bad-allow"),
+            0u);
+  // Every slug in a multi-rule allow is validated independently.
+  EXPECT_EQ(count_rule(lint_file("src/a.cpp",
+                                 "// dmwlint:allow(raw-clock, secret-sync)\n"
+                                 "int x;\n"),
+                       "bad-allow"),
+            1u);
+  // Prose placeholders are not slug-shaped and are ignored.
+  EXPECT_EQ(count_rule(lint_file("src/a.cpp",
+                                 "// write dmwlint:allow(<rule>) in docs\n"
+                                 "int x;\n"),
+                       "bad-allow"),
+            0u);
+}
+
+TEST(DmwLint, AllowWorksAcrossBlankLinesAndNamesManyRules) {
+  // Blank lines between the allow comment and the code are fine.
+  const std::string spaced =
+      "// dmwlint:allow(raw-clock) os boot check\n"
+      "\n"
+      "\n"
+      "clock_gettime(0, &ts);\n";
+  EXPECT_EQ(count_rule(lint_file("src/a.cpp", spaced), "raw-clock"), 0u);
+  // A code line between the allow and the finding breaks the walk.
+  const std::string blocked =
+      "// dmwlint:allow(raw-clock) too far away\n"
+      "int x;\n"
+      "clock_gettime(0, &ts);\n";
+  EXPECT_EQ(count_rule(lint_file("src/a.cpp", blocked), "raw-clock"), 1u);
+  // One allow can cover a line that trips several rules.
+  const std::string multi =
+      "// dmwlint:allow(raw-clock, raw-thread) timing shim\n"
+      "std::unique_lock<std::mutex> hold(m, std::chrono::seconds{1});\n";
+  EXPECT_EQ(count_rule(lint_file("src/net/a.cpp", multi), "raw-clock"), 0u);
+  EXPECT_EQ(count_rule(lint_file("src/net/a.cpp", multi), "raw-thread"), 0u);
+}
+
 TEST(DmwLint, RawStringsAndCommentsAreBlanked) {
   const std::string text =
       "const char* s = R\"(rand() assert(x) std::cerr)\";\n"
@@ -342,7 +512,9 @@ TEST(DmwLint, ShippedFixturesMatchExpectations) {
   const std::vector<std::string> fixtures = {
       "naive_call.cpp",     "secret_sink.cpp",     "ct_branch.cpp",
       "banned_pattern.cpp", "raw_thread.cpp",      "include_hygiene.hpp",
-      "raw_clock.cpp",      "clean.cpp"};
+      "raw_clock.cpp",      "loop_inverse.cpp",    "guarded_member.cpp",
+      "thread_id_sink.cpp", "bad_allow.cpp",       "suppression.cpp",
+      "clean.cpp"};
   for (const auto& name : fixtures) {
     const std::string path = std::string(DMWLINT_FIXTURE_DIR) + "/" + name;
     std::ifstream in(path, std::ios::binary);

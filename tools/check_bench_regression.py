@@ -44,7 +44,23 @@ Dispatches on the top-level "bench" tag each emitter writes:
                                      `tolerance` (absolute, only for phases
                                      with a baseline share >= 5%).
 
-Exit status: 0 within tolerance, 1 regression(s), 2 usage/schema error.
+A "parallel" baseline may additionally carry an "absolute_floors" object
+(hand-added when checking in the baseline, not emitted by bench_parallel):
+
+    "absolute_floors": {
+        "min_hardware_concurrency": 4,
+        "floors": [{"m": 128, "threads": 4, "min_speedup": 1.25}]
+    }
+
+Each floor is an absolute lower bound on the fresh run's speedup for that
+(m, threads) cell, enforced only when the fresh run's machine reports
+hardware_concurrency >= min_hardware_concurrency. This lets a baseline
+recorded honestly on a small machine (where every speedup is ~1.0x and the
+relative gate is vacuous) still bind on the multi-core CI runners.
+
+Exit status: 0 within tolerance, 1 regression(s), 2 usage error,
+3 schema/input error (malformed JSON, missing keys, mismatched schemas) —
+distinct so CI can tell "the code got slower" from "the harness is broken".
 Needs only the Python standard library.
 """
 
@@ -56,6 +72,12 @@ DEFAULT_KEYS = ("commit_ns", "multiexp_ns")
 BACKENDS = ("group64", "group256")
 
 
+# Schema/input problems exit 3, distinct from 1 (genuine regression) and 2
+# (argparse usage error): a missing key means the harness or an emitter
+# changed, not that the code got slower.
+SCHEMA_ERROR_EXIT = 3
+
+
 def load(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
@@ -63,12 +85,12 @@ def load(path):
     except (OSError, ValueError) as error:
         print(f"check_bench_regression: cannot load {path}: {error}",
               file=sys.stderr)
-        sys.exit(2)
+        sys.exit(SCHEMA_ERROR_EXIT)
 
 
 def schema_error(message):
     print(f"check_bench_regression: {message}", file=sys.stderr)
-    sys.exit(2)
+    sys.exit(SCHEMA_ERROR_EXIT)
 
 
 def check_commit(baseline, fresh, keys, tolerance):
@@ -178,6 +200,42 @@ def check_parallel(baseline, fresh, tolerance):
             regressions += check_speedup(
                 f"m={key[0]} threads={key[1]} speedup",
                 base_runs[key].get("speedup"), run.get("speedup"), tolerance)
+
+    # Absolute floors: hand-added to the baseline so a small-machine
+    # baseline (every relative floor ~1.0x) still binds on multi-core CI.
+    floors_doc = baseline.get("absolute_floors")
+    if floors_doc is not None:
+        if not isinstance(floors_doc, dict):
+            schema_error("absolute_floors must be an object")
+        min_hw = floors_doc.get("min_hardware_concurrency")
+        if not isinstance(min_hw, int) or isinstance(min_hw, bool) or \
+                min_hw < 1:
+            schema_error(f"absolute_floors.min_hardware_concurrency invalid "
+                         f"(got {min_hw!r})")
+        floors = floors_doc.get("floors")
+        if not isinstance(floors, list):
+            schema_error("absolute_floors.floors must be a list")
+        if fresh_hw < min_hw:
+            print(f"absolute floors SKIPPED: fresh machine has "
+                  f"hardware_concurrency={fresh_hw} < required {min_hw}")
+        else:
+            for floor in floors:
+                key = (floor.get("m"), floor.get("threads"))
+                min_speedup = floor.get("min_speedup")
+                if key[0] is None or key[1] is None or \
+                        not isinstance(min_speedup, (int, float)):
+                    schema_error(f"malformed absolute floor entry {floor!r}")
+                if key not in fresh_runs:
+                    schema_error(f"absolute floor m={key[0]} "
+                                 f"threads={key[1]} has no fresh run")
+                fresh_v = float(fresh_runs[key].get("speedup", 0.0))
+                compared += 1
+                verdict = "ok" if fresh_v >= min_speedup else "REGRESSION"
+                print(f"m={key[0]} threads={key[1]} absolute floor: "
+                      f"fresh {fresh_v:.3f}x, floor {min_speedup:.3f}x "
+                      f"[{verdict}]")
+                if fresh_v < min_speedup:
+                    regressions += 1
     return compared, regressions
 
 

@@ -1,0 +1,20 @@
+// Fixture: bad-allow rule. A dmwlint:allow(...) naming a rule the linter
+// does not know is almost always a typo — and a typo'd allow silently
+// suppresses nothing while looking like it suppresses something.
+// dmwlint-fixture-path: src/support/bad_allow_fixture.cpp
+
+namespace dmw {
+
+// dmwlint:allow(raw-cloak) typo'd slug  EXPECT: bad-allow
+int unsuppressed();
+
+// Every slug in a multi-rule allow is validated independently: the valid
+// one passes, the unknown one is flagged.
+// dmwlint:allow(raw-clock, secret-sync)  EXPECT: bad-allow
+int half_valid();
+
+// Prose placeholders are not slug-shaped and are ignored: documentation may
+// write dmwlint:allow(<rule>) without tripping anything.
+int documented();
+
+}  // namespace dmw

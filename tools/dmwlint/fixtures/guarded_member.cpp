@@ -1,0 +1,42 @@
+// Fixture: guarded-member rule. A class that declares a mutex has a locking
+// discipline; every mutable member must be DMW_GUARDED_BY-annotated, be of an
+// exempt kind (const, static/constexpr, std::atomic, the lock vocabulary
+// itself), or state its discipline in a dmwlint:allow comment.
+// dmwlint-fixture-path: src/net/guarded_member_fixture.cpp
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "support/annotations.hpp"
+
+namespace dmw {
+
+class Mailbox {
+ public:
+  void push(int value);
+  std::size_t drain(std::vector<int>& out) const;
+
+ private:
+  Mutex mutex_;
+  std::deque<int> items_ DMW_GUARDED_BY(mutex_);
+  std::size_t capacity_;        // EXPECT: guarded-member
+  std::vector<int>* overflow_;  // EXPECT: guarded-member
+
+  // Exempt kinds never fire: immutable after construction, compile-time,
+  // and the lock vocabulary itself.
+  const std::size_t limit_ = 8;
+  static constexpr std::size_t kDefaultLimit = 16;
+  CondVar ready_;
+
+  // dmwlint:allow(guarded-member) epoch-frozen: written only between rounds
+  std::uint64_t round_ = 0;
+};
+
+// A class with no mutex member is out of this rule's scope.
+struct PlainCounter {
+  std::size_t count = 0;
+  std::vector<int> samples;
+};
+
+}  // namespace dmw

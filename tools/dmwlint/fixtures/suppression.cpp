@@ -1,0 +1,36 @@
+// Fixture: suppression semantics. An allow works on the finding line itself,
+// on a comment-only line in the block above it, and across blank lines
+// between that comment and the code; one allow can name several rules. The
+// upward walk stops at the first line containing code.
+// dmwlint-fixture-path: src/dmw/suppression_fixture.cpp
+#include <chrono>  // dmwlint:allow(raw-clock) differential timing shim
+#include <mutex>
+
+namespace dmw::proto {
+
+void same_line() {
+  std::mutex gate;  // dmwlint:allow(raw-thread) interop shim, TSan-audited
+  (void)gate;
+}
+
+void preceding_comment_with_blank_lines() {
+  // dmwlint:allow(raw-thread) interop shim, TSan-audited
+
+  std::mutex gate;
+  (void)gate;
+}
+
+void one_allow_many_rules() {
+  // dmwlint:allow(raw-thread, raw-clock) differential timing shim
+  std::unique_lock<std::timed_mutex> hold_with(std::chrono::seconds{1});
+}
+
+void intervening_code_breaks_the_walk() {
+  // dmwlint:allow(raw-thread) too far away: a code line intervenes
+  int unrelated = 0;
+  (void)unrelated;
+  std::mutex gate;  // EXPECT: raw-thread
+  (void)gate;
+}
+
+}  // namespace dmw::proto

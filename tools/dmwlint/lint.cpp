@@ -228,16 +228,62 @@ SourceFile parse_source(const std::string& path, std::string_view text) {
   return file;
 }
 
-/// `// dmwlint:allow(rule)` on the finding line or on an immediately
-/// preceding comment-only line suppresses the finding.
+/// Every rule slug named by `dmwlint:allow(...)` directives in one line's
+/// comment text. An allow takes a comma-separated list —
+/// `dmwlint:allow(raw-clock, banned-pattern)` — so one comment can cover a
+/// line that trips several rules. Tokens that are not even slug-shaped
+/// (`<rule>` placeholders in prose) are dropped here; slug-shaped tokens
+/// are kept verbatim so rule_bad_allow can flag unknown ones.
+std::vector<std::string> allow_slugs(const std::string& comment) {
+  std::vector<std::string> slugs;
+  const std::string kTag = "dmwlint:allow(";
+  for (std::size_t pos = comment.find(kTag); pos != std::string::npos;
+       pos = comment.find(kTag, pos + 1)) {
+    const std::size_t open = pos + kTag.size();
+    const std::size_t close = comment.find(')', open);
+    if (close == std::string::npos) continue;
+    std::string token;
+    auto flush = [&] {
+      if (!token.empty()) slugs.push_back(token);
+      token.clear();
+    };
+    for (std::size_t i = open; i < close; ++i) {
+      const char c = comment[i];
+      if (c == ',')
+        flush();
+      else if (!std::isspace(static_cast<unsigned char>(c)))
+        token.push_back(c);
+    }
+    flush();
+  }
+  return slugs;
+}
+
+bool slug_shaped(const std::string& token) {
+  if (token.empty() || !std::islower(static_cast<unsigned char>(token[0])))
+    return false;
+  return std::all_of(token.begin(), token.end(), [](unsigned char c) {
+    return std::islower(c) || std::isdigit(c) || c == '-';
+  });
+}
+
+bool line_allows(const SourceLine& line, const std::string& rule) {
+  const auto slugs = allow_slugs(line.comment);
+  return std::find(slugs.begin(), slugs.end(), rule) != slugs.end();
+}
+
+/// `// dmwlint:allow(<rule>)` (or `allow(<rule>, <rule>)`) suppresses a
+/// finding when it sits on the finding line itself, or on a comment-only
+/// line in the comment block above it — blank lines between the comment
+/// and the code are fine; the walk stops at the first line containing
+/// code.
 bool allowed(const SourceFile& file, std::size_t index,
              const std::string& rule) {
-  const std::string needle = "dmwlint:allow(" + rule + ")";
-  if (file.lines[index].comment.find(needle) != std::string::npos)
-    return true;
-  if (index > 0 && !file.lines[index - 1].has_code &&
-      file.lines[index - 1].comment.find(needle) != std::string::npos)
-    return true;
+  if (line_allows(file.lines[index], rule)) return true;
+  for (std::size_t i = index; i-- > 0;) {
+    if (file.lines[i].has_code) break;
+    if (line_allows(file.lines[i], rule)) return true;
+  }
   return false;
 }
 
@@ -451,16 +497,39 @@ void rule_banned_pattern(const SourceFile& file,
 /// meaningful. The ban covers the deque/steal building blocks too —
 /// hand-rolled work queues (std::latch/barrier/semaphore joins, promise/
 /// future plumbing) would sit outside the pool's epoch accounting and span
-/// flushing. (support/ itself is out of scope: ThreadPool is the sanctioned
-/// home of std::thread, std::mutex and the worker deques.)
+/// flushing.
+///
+/// Library-wide (all of src/ except support/annotations.hpp, which wraps
+/// them), the raw *lock* vocabulary is banned too: std::mutex,
+/// std::condition_variable and the std lock holders carry no capability
+/// attributes, so a lock taken through them is invisible to the
+/// -Wthread-safety CI job. Locking goes through dmw::Mutex / MutexLock /
+/// CondVar (support/annotations.hpp). std::thread itself stays legal in
+/// support/ — ThreadPool is its sanctioned home.
 void rule_raw_thread(const SourceFile& file, std::vector<Finding>& findings) {
-  if (!has_adjacent(file, "src", "dmw") && !has_adjacent(file, "src", "exp"))
-    return;
-  static const std::regex re(
-      R"(\bstd::(?:jthread|thread)\b|\bstd::(?:recursive_|shared_|timed_|recursive_timed_)?mutex\b|\bstd::condition_variable(?:_any)?\b|\bstd::(?:async|atomic_thread_fence)\b|\bstd::(?:latch|barrier)\b|\bstd::(?:counting_|binary_)semaphore\b|\bstd::(?:promise|packaged_task)\b|\bstd::stop_(?:token|source|callback)\b|\.\s*detach\s*\(\s*\))");
+  const bool in_protocol =
+      has_adjacent(file, "src", "dmw") || has_adjacent(file, "src", "exp");
+  const bool lock_ban = has_component(file, "src") &&
+                        !has_adjacent(file, "support", "annotations.hpp");
+  if (!in_protocol && !lock_ban) return;
+  static const std::regex lock_re(
+      R"(\bstd::(?:recursive_|shared_|timed_|recursive_timed_)?mutex\b|\bstd::condition_variable(?:_any)?\b|\bstd::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b)");
+  static const std::regex protocol_re(
+      R"(\bstd::(?:jthread|thread)\b|\bstd::(?:async|atomic_thread_fence)\b|\bstd::(?:latch|barrier)\b|\bstd::(?:counting_|binary_)semaphore\b|\bstd::(?:promise|packaged_task)\b|\bstd::stop_(?:token|source|callback)\b|\.\s*detach\s*\(\s*\))");
   for (std::size_t i = 0; i < file.lines.size(); ++i) {
     const std::string& code = file.lines[i].code;
-    for (std::sregex_iterator it(code.begin(), code.end(), re), end;
+    if (lock_ban) {
+      for (std::sregex_iterator it(code.begin(), code.end(), lock_re), end;
+           it != end; ++it) {
+        report(findings, file, i, "raw-thread",
+               "raw lock primitive '" + it->str() +
+                   "' carries no capability attributes and is invisible to "
+                   "-Wthread-safety: use dmw::Mutex / MutexLock / CondVar "
+                   "(support/annotations.hpp)");
+      }
+    }
+    if (!in_protocol) continue;
+    for (std::sregex_iterator it(code.begin(), code.end(), protocol_re), end;
          it != end; ++it) {
       report(findings, file, i, "raw-thread",
              "raw threading primitive '" + it->str() +
@@ -666,14 +735,319 @@ void rule_raw_clock(const SourceFile& file, std::vector<Finding>& findings) {
   }
 }
 
+// ---- rule: guarded-member --------------------------------------------------
+
+/// A class that declares a mutex has a locking discipline, and the
+/// capability analysis can only check what is written down. Every other
+/// member of such a class (src/ and tools/) must be DMW_GUARDED_BY /
+/// DMW_PT_GUARDED_BY-annotated, be of an exempt kind (const with no pointer
+/// declarator, static/constexpr, std::atomic, or the lock/role types
+/// themselves), or carry `dmwlint:allow(guarded-member)` stating the
+/// discipline that protects it (epoch-frozen, driver-only, per-worker
+/// slot). This keeps new members honest even on GCC builds where the
+/// annotations compile to nothing.
+///
+/// Heuristics, over the comment/string-blanked code view: class bodies are
+/// tracked by brace depth; a member statement is a `;`-terminated
+/// statement at class-body depth that does not open a brace and whose
+/// declarator tail is an identifier (function declarations end in `)` after
+/// initializers/annotations are stripped).
+struct ClassScope {
+  int depth = 0;          ///< brace depth of the class body
+  bool has_mutex = false;
+  std::string name;
+};
+
+bool statement_is_exempt_member(const std::string& stmt) {
+  static const std::regex annotated_re(
+      R"(\bDMW_(?:PT_)?GUARDED_BY\s*\()");
+  static const std::regex static_re(R"(\b(?:static|constexpr)\b)");
+  static const std::regex lock_type_re(
+      R"(^\s*(?:mutable\s+)?(?:dmw::)?(?:Mutex|CondVar|ThreadRole)\b)");
+  static const std::regex std_sync_re(
+      R"(^\s*(?:mutable\s+)?std::(?:atomic\b|atomic_(?:flag|bool|int)\b|(?:recursive_|shared_|timed_)?mutex\b|condition_variable\b))");
+  static const std::regex const_re(R"(^\s*(?:mutable\s+)?const\b)");
+  if (std::regex_search(stmt, annotated_re)) return true;
+  if (std::regex_search(stmt, static_re)) return true;
+  if (std::regex_search(stmt, lock_type_re)) return true;
+  if (std::regex_search(stmt, std_sync_re)) return true;
+  // A leading const with no pointer declarator is immutable after
+  // construction (a pointer-to-const member is still a mutable pointer).
+  if (std::regex_search(stmt, const_re) &&
+      stmt.find('*') == std::string::npos)
+    return true;
+  return false;
+}
+
+/// Strip `;`, a trailing `= ...` / `{...}` initializer and trailing DMW_*
+/// annotation calls, then decide: identifier tail = variable member,
+/// `)` / `]` tail elsewhere = function or array-of-function weirdness.
+/// Returns the member name, or "" when the statement is not a variable.
+std::string member_variable_name(std::string stmt) {
+  auto rstrip = [&] {
+    while (!stmt.empty() &&
+           std::isspace(static_cast<unsigned char>(stmt.back())))
+      stmt.pop_back();
+  };
+  rstrip();
+  if (!stmt.empty() && stmt.back() == ';') stmt.pop_back();
+  static const std::regex init_re(R"(=\s*[^=;]*$)");
+  stmt = std::regex_replace(stmt, init_re, "");
+  // Brace initializer: drop one trailing balanced {...}.
+  rstrip();
+  if (!stmt.empty() && stmt.back() == '}') {
+    int depth = 0;
+    std::size_t i = stmt.size();
+    while (i-- > 0) {
+      if (stmt[i] == '}') ++depth;
+      if (stmt[i] == '{' && --depth == 0) {
+        stmt.erase(i);
+        break;
+      }
+    }
+  }
+  // Trailing annotation macro calls (DMW_GUARDED_BY(...) etc.).
+  static const std::regex annot_re(R"((?:\bDMW_[A-Z_]+\s*\([^()]*\)\s*)+$)");
+  stmt = std::regex_replace(stmt, annot_re, "");
+  rstrip();
+  // Trailing array extent(s).
+  while (!stmt.empty() && stmt.back() == ']') {
+    const std::size_t open = stmt.rfind('[');
+    if (open == std::string::npos) return "";
+    stmt.erase(open);
+    rstrip();
+  }
+  // Statements introduced by a declaration keyword (after any access-label
+  // prefix) are types, aliases or friends — never data members.
+  std::string lead = stmt;
+  lead.erase(0, lead.find_first_not_of(" \t\n"));
+  static const std::regex label_re(R"(^(?:public|private|protected)\s*:\s*)");
+  lead = std::regex_replace(lead, label_re, "");
+  static const std::regex lead_keyword_re(
+      R"(^(?:(?:using|typedef|friend|enum|class|struct|union|template|static_assert|explicit|virtual|operator)\b|~))");
+  if (std::regex_search(lead, lead_keyword_re)) return "";
+  static const std::regex tail_re(R"(([A-Za-z_]\w*)\s*$)");
+  std::smatch m;
+  if (!std::regex_search(stmt, m, tail_re)) return "";
+  const std::string name = m[1].str();
+  // `foo)` tails are parameter names of multi-line function declarations;
+  // require the previous character (if any) to not close a parameter list
+  // and the statement to not be a lone keyword or function qualifier
+  // (`... ) const;`, `... ) noexcept;`, `... ) override;`).
+  const std::size_t before = static_cast<std::size_t>(m.position(1));
+  if (before == 0) return "";  // a bare identifier is a statement, not a decl
+  static const std::regex keyword_re(
+      R"(^(?:using|typedef|friend|enum|class|struct|union|template|static_assert|public|private|protected|return|delete|goto|break|continue|case|if|else|for|while|do|switch|new|throw|try|catch|operator|const|noexcept|override|final|volatile|default)$)");
+  if (std::regex_match(name, keyword_re)) return "";
+  return name;
+}
+
+void rule_guarded_member(const SourceFile& file,
+                         std::vector<Finding>& findings) {
+  if (!has_component(file, "src") && !has_component(file, "tools")) return;
+  static const std::regex class_head_re(R"(\b(?:class|struct)\b([^{;:]*))");
+  static const std::regex enum_head_re(R"(\benum\s+(?:class|struct)\b)");
+  static const std::regex name_re(R"(([A-Za-z_]\w*)\s*$)");
+  static const std::regex mutex_decl_re(
+      R"(^\s*(?:mutable\s+)?(?:(?:dmw::)?Mutex\b|std::(?:recursive_|shared_|timed_|recursive_timed_)?mutex\b))");
+  static const std::regex access_label_re(
+      R"(^\s*(?:public|private|protected)\s*:\s*$)");
+
+  int depth = 0;
+  std::vector<ClassScope> scopes;
+  // A member statement under assembly: starting line + accumulated code.
+  std::size_t stmt_begin = 0;
+  std::string stmt;
+  bool in_stmt = false;
+
+  struct Member {
+    std::size_t line;
+    std::string stmt;
+    std::string name;
+    std::size_t scope;  ///< index into scopes at collection time
+  };
+  std::vector<Member> members;
+
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const std::string& code = file.lines[i].code;
+    const int line_depth = depth;
+
+    // Class-head detection: `class`/`struct` with its opening brace on the
+    // same line (the codebase style). `enum class` is not a class scope.
+    std::smatch head;
+    const bool head_here = std::regex_search(code, head, class_head_re) &&
+                           !std::regex_search(code, enum_head_re) &&
+                           code.find('{') != std::string::npos &&
+                           (code.find(';') == std::string::npos ||
+                            code.find('{') < code.find(';'));
+
+    // Member-statement assembly at the innermost class-body depth.
+    const bool at_member_depth =
+        !scopes.empty() && scopes.back().depth == line_depth && !head_here &&
+        !std::regex_match(code, access_label_re);
+    if (at_member_depth && file.lines[i].has_code) {
+      if (!in_stmt) {
+        stmt_begin = i;
+        stmt.clear();
+        in_stmt = true;
+      }
+      stmt += code;
+      stmt += '\n';
+      const bool opens_body = code.find('{') != std::string::npos ||
+                              code.find('}') != std::string::npos;
+      std::string trimmed = code;
+      trimmed.erase(trimmed.find_last_not_of(" \t") + 1);
+      if (trimmed.ends_with(";") && !opens_body) {
+        if (std::regex_search(stmt, mutex_decl_re))
+          scopes.back().has_mutex = true;
+        const std::string name = member_variable_name(stmt);
+        if (!name.empty())
+          members.push_back(Member{stmt_begin, stmt, name,
+                                   scopes.size() - 1});
+        in_stmt = false;
+      } else if (opens_body) {
+        in_stmt = false;  // inline method / nested scope: not a member decl
+      }
+    } else {
+      in_stmt = false;
+    }
+
+    // Brace tracking + scope pushes/pops.
+    for (char c : code) {
+      if (c == '{')
+        ++depth;
+      else if (c == '}')
+        --depth;
+    }
+    if (head_here) {
+      ClassScope scope;
+      scope.depth = line_depth + 1;
+      std::string before_brace = head[1].str();
+      std::smatch nm;
+      if (std::regex_search(before_brace, nm, name_re))
+        scope.name = nm[1].str();
+      scopes.push_back(scope);
+    }
+    while (!scopes.empty() && depth < scopes.back().depth) {
+      // Class closed: emit findings for its unguarded members.
+      const std::size_t closing = scopes.size() - 1;
+      if (scopes[closing].has_mutex) {
+        for (const Member& member : members) {
+          if (member.scope != closing) continue;
+          if (statement_is_exempt_member(member.stmt)) continue;
+          report(findings, file, member.line, "guarded-member",
+                 "class '" + scopes[closing].name + "' declares a mutex but "
+                 "member '" + member.name + "' is neither DMW_GUARDED_BY-"
+                 "annotated nor exempt (const/static/atomic/lock types): "
+                 "annotate it, or state the discipline in a "
+                 "dmwlint:allow(guarded-member) comment");
+        }
+      }
+      std::erase_if(members, [closing](const Member& m) {
+        return m.scope == closing;
+      });
+      scopes.pop_back();
+    }
+  }
+}
+
+// ---- rule: thread-id-sink --------------------------------------------------
+
+/// The bit-identity contract: Outcomes, abort streams, transcripts and
+/// RunReports are byte-identical across thread counts and schedule modes.
+/// Its static form: no thread-identity value — std::this_thread::get_id(),
+/// a ThreadPool worker index, a schedule-mode flag, the machine's hardware
+/// concurrency — may flow into a transcript hash, an Outcome, or a
+/// report/JSON field. Worker ids addressing per-worker accumulator slots
+/// are fine (that is what current_worker_id() is for); worker ids *in the
+/// output* are not. src/support is out of scope (the Chrome-trace exporter
+/// legitimately labels per-worker lanes); tests and bench are free to
+/// record hardware facts (bench_parallel reports hardware_concurrency by
+/// design).
+void rule_thread_id_sink(const SourceFile& file,
+                         std::vector<Finding>& findings) {
+  const bool in_src_or_tools =
+      has_component(file, "src") || has_component(file, "tools");
+  if (!in_src_or_tools) return;
+  static const std::regex get_id_re(R"(\bthis_thread\s*::\s*get_id\b)");
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    if (std::regex_search(file.lines[i].code, get_id_re)) {
+      report(findings, file, i, "thread-id-sink",
+             "std::this_thread::get_id(): OS thread ids are not stable "
+             "across runs or thread counts — use "
+             "ThreadPool::current_worker_id() for slot addressing, and "
+             "keep any thread identity out of transcripts and reports");
+    }
+  }
+
+  const bool protocol_visible = has_adjacent(file, "src", "dmw") ||
+                                has_adjacent(file, "src", "net") ||
+                                has_adjacent(file, "src", "exp") ||
+                                has_adjacent(file, "src", "crypto");
+  if (!protocol_visible) return;
+  static const std::regex source_re(
+      R"(\bcurrent_worker_id\s*\(|\bdeterministic_schedule\s*\(|\bhardware_concurrency\s*\(|\bt_worker_id\b)");
+  // Calls and constructions only — a bare type name in a signature is not a
+  // data flow.
+  static const std::regex sink_re(
+      R"(\babsorb\s*\(|\bsha256[a-z_]*\s*\(|\bSha256\s*[({]|\bJsonWriter\s*[({]|\.key\s*\(|\.field\s*\(|\bwrite_scalar\s*\(|\bwrite_elem\s*\(|\bRunReport\s*[({]|\bOutcome\s*[({]|\bTranscript\s*[({])");
+  // Anchor on the sink and assemble the statement forward (the sink call
+  // syntactically wraps the value it serializes, so it comes first).
+  constexpr std::size_t kMaxStatementLines = 6;
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    if (!std::regex_search(file.lines[i].code, sink_re)) continue;
+    std::string statement;
+    std::size_t last = i;
+    for (std::size_t j = i;
+         j < file.lines.size() && j < i + kMaxStatementLines; ++j) {
+      statement += file.lines[j].code;
+      statement += '\n';
+      last = j;
+      if (file.lines[j].code.find(';') != std::string::npos) break;
+    }
+    if (std::regex_search(statement, source_re)) {
+      report(findings, file, i, "thread-id-sink",
+             "thread-identity value (worker id / schedule mode / hardware "
+             "concurrency) in the same statement as a transcript/report "
+             "sink: outputs must be bit-identical across thread counts "
+             "and schedule modes");
+      i = last;
+    }
+  }
+}
+
+// ---- rule: bad-allow -------------------------------------------------------
+
+/// `dmwlint:allow(...)` directives naming a rule the linter does not know
+/// are almost always typos — and a typo'd allow silently suppresses
+/// nothing while looking like it suppresses something. Slug-shaped tokens
+/// are validated against the rule list; non-slug tokens (`<rule>`
+/// placeholders in prose) are ignored.
+void rule_bad_allow(const SourceFile& file, std::vector<Finding>& findings) {
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    for (const std::string& slug : allow_slugs(file.lines[i].comment)) {
+      if (!slug_shaped(slug)) continue;
+      const auto& names = rule_names();
+      if (std::find(names.begin(), names.end(), slug) != names.end())
+        continue;
+      if (slug == "io-error") continue;
+      report(findings, file, i, "bad-allow",
+             "dmwlint:allow names unknown rule '" + slug +
+                 "': the directive suppresses nothing (see --list-rules "
+                 "for valid slugs)");
+    }
+  }
+}
+
 }  // namespace
 
 // ---- public API ------------------------------------------------------------
 
 const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kNames = {
-      "naive-call",   "secret-sink",     "ct-branch", "banned-pattern",
-      "raw-thread",   "loop-inverse",    "include-hygiene", "raw-clock"};
+      "naive-call",      "secret-sink", "ct-branch",      "banned-pattern",
+      "raw-thread",      "loop-inverse", "include-hygiene", "raw-clock",
+      "guarded-member",  "thread-id-sink", "bad-allow"};
   return kNames;
 }
 
@@ -689,6 +1063,9 @@ std::vector<Finding> lint_file(const std::string& path,
   rule_loop_inverse(file, findings);
   rule_include_hygiene(file, findings);
   rule_raw_clock(file, findings);
+  rule_guarded_member(file, findings);
+  rule_thread_id_sink(file, findings);
+  rule_bad_allow(file, findings);
   std::stable_sort(findings.begin(), findings.end(),
                    [](const Finding& a, const Finding& b) {
                      return a.line < b.line;

@@ -16,11 +16,19 @@
 //                    (use DMW_CHECK), unordered containers in protocol-
 //                    visible code (iteration order leaks into transcripts),
 //                    raw std::cerr / fprintf(stderr, ...) outside the logger.
-//   raw-thread       no std::thread / std::mutex / std::condition_variable /
-//                    std::async / detach() in src/dmw or src/exp: all
-//                    parallelism goes through support/thread_pool.hpp, whose
-//                    deterministic sharding keeps parallel runs bit-identical
-//                    to sequential ones.
+//   raw-thread       no std::thread / std::async / latch / semaphore /
+//                    detach() in src/dmw or src/exp (all parallelism goes
+//                    through support/thread_pool.hpp, whose deterministic
+//                    sharding keeps parallel runs bit-identical to
+//                    sequential ones); and, across all of src/, no raw
+//                    std::mutex / condition_variable / lock_guard /
+//                    unique_lock — locking goes through the capability-
+//                    annotated dmw::Mutex / MutexLock / CondVar wrappers
+//                    (support/annotations.hpp) so the -Wthread-safety CI
+//                    job can see every lock.
+//   loop-inverse     no inv()/sinv()/mod_inv() inside a loop body in
+//                    src/dmw or src/poly: hoist and batch_inverse()
+//                    (Montgomery's trick).
 //   include-hygiene  headers carry #pragma once, no "../" includes, no
 //                    `using namespace std`, no <iostream> in the library.
 //   raw-clock        no direct std::chrono / clock_gettime reads (or
@@ -28,9 +36,24 @@
 //                    support/trace.{hpp,cpp}: all timing shares the one
 //                    run-relative clock the exporters and determinism
 //                    gates observe.
+//   guarded-member   a class declaring a mutex must annotate every mutable
+//                    member with DMW_GUARDED_BY (or be const / static /
+//                    atomic / a lock type, or state its discipline in an
+//                    allow comment) — keeps the capability model complete
+//                    even on compilers that ignore the attributes.
+//   thread-id-sink   no std::this_thread::get_id() anywhere, and no worker
+//                    id / schedule mode / hardware_concurrency in the same
+//                    statement as a transcript/report sink: outputs are
+//                    byte-identical across thread counts by contract.
+//   bad-allow        a dmwlint:allow(...) naming an unknown rule slug is a
+//                    typo that suppresses nothing; flag it.
 //
 // Any finding is suppressed by `// dmwlint:allow(<rule>)` on the same line,
-// or on an immediately preceding comment-only line. See docs/dmwlint.md.
+// or on a comment-only line in the comment block above it (blank lines
+// between the comment and the code are fine; the upward walk stops at the
+// first line containing code). One allow may name several rules,
+// comma-separated: `dmwlint:allow(raw-clock, raw-thread)`. See
+// docs/dmwlint.md.
 #pragma once
 
 #include <string>
