@@ -83,23 +83,40 @@ class ParallelProtocol {
                    const mech::SchedulingInstance& instance,
                    std::vector<Strategy<G>*> strategies, std::size_t threads,
                    RunConfig config = RunConfig{})
-      : params_(params),
-        net_(params.n()),
-        infra_(params.n()),
-        agents_(make_dmw_agents(params, instance, strategies, config)),
-        pool_(threads == 0 ? ThreadPool::default_thread_count() : threads,
-              config.deterministic_schedule),
-        worker_ops_(pool_.size()) {
+      : ParallelProtocol(
+            params, instance, std::move(strategies),
+            std::make_unique<ThreadPool>(
+                threads == 0 ? ThreadPool::default_thread_count() : threads,
+                config.deterministic_schedule),
+            /*borrowed=*/nullptr, config) {
     if (threads == 0) {
-      DMW_INFO() << "--threads 0 resolved to " << pool_.size()
+      DMW_INFO() << "--threads 0 resolved to " << pool_->size()
                  << " workers (std::thread::hardware_concurrency)";
     }
-    net_.enable_concurrency(pool_.size());
-    if (params.tracing()) trace::Tracer::instance().set_enabled(true);
   }
 
-  std::size_t threads() const { return pool_.size(); }
-  bool deterministic_schedule() const { return pool_.deterministic_schedule(); }
+  /// Server-mode hook: borrow a caller-owned pool instead of spawning one.
+  /// A stream of auctions (tools/dmw_serve) then reuses a single warmed set
+  /// of workers across requests — thread creation and teardown leave the
+  /// per-auction path entirely. The pool must be quiescent for the duration
+  /// of run() (the engine is its only client between drain barriers), and
+  /// the pool's scheduling discipline must match config.deterministic_schedule
+  /// — the pool's discipline is what actually executes.
+  ParallelProtocol(const PublicParams<G>& params,
+                   const mech::SchedulingInstance& instance,
+                   std::vector<Strategy<G>*> strategies, ThreadPool& pool,
+                   RunConfig config = RunConfig{})
+      : ParallelProtocol(params, instance, std::move(strategies),
+                         /*owned=*/nullptr, &pool, config) {
+    DMW_REQUIRE_MSG(
+        pool.deterministic_schedule() == config.deterministic_schedule,
+        "ParallelProtocol: borrowed pool discipline disagrees with RunConfig");
+  }
+
+  std::size_t threads() const { return pool_->size(); }
+  bool deterministic_schedule() const {
+    return pool_->deterministic_schedule();
+  }
   net::SimNetwork& network() { return net_; }
   const DmwAgent<G>& agent(std::size_t i) const { return *agents_[i]; }
 
@@ -186,6 +203,24 @@ class ParallelProtocol {
   }
 
  private:
+  /// Delegation target for both public constructors: exactly one of `owned`
+  /// / `borrowed` is set; pool_ points at whichever the caller provided.
+  ParallelProtocol(const PublicParams<G>& params,
+                   const mech::SchedulingInstance& instance,
+                   std::vector<Strategy<G>*> strategies,
+                   std::unique_ptr<ThreadPool> owned, ThreadPool* borrowed,
+                   const RunConfig& config)
+      : params_(params),
+        net_(params.n()),
+        infra_(params.n()),
+        agents_(make_dmw_agents(params, instance, strategies, config)),
+        owned_pool_(std::move(owned)),
+        pool_(borrowed != nullptr ? borrowed : owned_pool_.get()),
+        worker_ops_(pool_->size()) {
+    net_.enable_concurrency(pool_->size());
+    if (params.tracing()) trace::Tracer::instance().set_enabled(true);
+  }
+
   /// One stage of an epoch: an optional per-agent prologue, an optional
   /// per-(agent, task) fan-out, and an optional deferred-failure commit at
   /// the agent's stage boundary. An epoch is a short sequence of stages
@@ -222,7 +257,7 @@ class ParallelProtocol {
     trace::Span span(to_string(phase));
     const std::int64_t step_begin_ns = trace::Tracer::instance().now_ns();
 
-    if (pool_.deterministic_schedule())
+    if (pool_->deterministic_schedule())
       run_lockstep(stages);
     else
       run_pipelined(stages);
@@ -270,12 +305,12 @@ class ParallelProtocol {
       DMW_REQUIRES(driver_role_) {
     for (const Stage& stage : stages) {
       if (stage.agent_fn) {
-        pool_.parallel_for(agents_.size(), [&](std::size_t i) {
+        pool_->parallel_for(agents_.size(), [&](std::size_t i) {
           charge([&] { stage.agent_fn(*agents_[i]); });
         });
       }
       if (stage.task_fn) {
-        pool_.parallel_for(params_.m(), [&](std::size_t j) {
+        pool_->parallel_for(params_.m(), [&](std::size_t j) {
           charge([&] {
             for (auto& agent : agents_) stage.task_fn(*agent, j);
           });
@@ -300,7 +335,7 @@ class ParallelProtocol {
     // Chunk width for the task fan-out: slices of the n*m (agent, task)
     // grid, sized so every stage yields several stealable slices per worker
     // even when m < threads.
-    const std::size_t chunk = pool_.chunk_size(n * m);
+    const std::size_t chunk = pool_->chunk_size(n * m);
 
     struct Chain {
       std::size_t stage = 0;
@@ -324,7 +359,7 @@ class ParallelProtocol {
           chain.remaining.store(slices, std::memory_order_relaxed);
           for (std::size_t begin = 0; begin < m; begin += chunk) {
             const std::size_t end = begin + chunk < m ? begin + chunk : m;
-            pool_.submit([this, advance, &chain, &stage, i, begin, end] {
+            pool_->submit([this, advance, &chain, &stage, i, begin, end] {
               charge([&] {
                 for (std::size_t j = begin; j < end; ++j)
                   stage.task_fn(*agents_[i], j);
@@ -347,8 +382,8 @@ class ParallelProtocol {
     };
 
     for (std::size_t i = 0; i < n; ++i)
-      pool_.submit([advance, i] { (*advance)(i); });
-    pool_.drain();
+      pool_->submit([advance, i] { (*advance)(i); });
+    pool_->drain();
   }
 
   /// Run body() under an op-count scope and bank the delta in the calling
@@ -367,7 +402,8 @@ class ParallelProtocol {
   net::SimNetwork net_;
   PaymentInfrastructure infra_;
   std::vector<std::unique_ptr<DmwAgent<G>>> agents_;
-  ThreadPool pool_;
+  std::unique_ptr<ThreadPool> owned_pool_;  ///< null when the pool is borrowed
+  ThreadPool* pool_;                        ///< owned_pool_.get() or borrowed
   std::vector<dmw::num::OpCounts> worker_ops_;  // merged per run_epoch
   /// Phantom "driver" capability (annotations.hpp): run_epoch and the
   /// interpreters DMW_REQUIRES it, assert_driver() produces it.

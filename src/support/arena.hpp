@@ -1,0 +1,254 @@
+// Per-worker bump/slab arena for per-auction scratch state.
+//
+// The marketplace server mode (tools/dmw_serve) runs an unbounded stream of
+// auctions through one persistent engine. Each auction needs short-lived
+// scratch — digest buffers, workload decode state, per-request bookkeeping
+// — whose lifetime ends exactly at the auction boundary. Heap-allocating
+// that scratch per request makes the steady state allocator-bound and
+// fragmentation-prone; the fix is the classic thread-local-memory pattern
+// (the ROADMAP's `tlm.c` reference): each pool worker owns a private arena of
+// chained slabs, allocation is a bump of a cursor, and the per-auction
+// "free" is a reset() that rewinds every cursor while *keeping* the slabs.
+// After a short warmup the slab set reaches its high-water mark and the
+// steady state performs zero heap allocations through the arena — a
+// property the serve report exposes (`steady_state_slab_allocations`) and
+// CI gates.
+//
+// Concurrency contract: an Arena is deliberately lock-free by *exclusion*,
+// not by atomics — it is owned by exactly one thread at a time. WorkerArenas
+// hands each ThreadPool worker (and the driver thread) its own slot, indexed
+// by ThreadPool::current_worker_id(), so no two threads ever share an arena
+// mid-auction. reset_all() may only run at auction boundaries, after the
+// pool has drained (same happens-before edge the engine's epoch barrier
+// provides). The TSan CI job exercises exactly this pattern via
+// tests/test_arena.cpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/thread_pool.hpp"
+
+namespace dmw {
+
+/// Single-owner bump allocator over a chain of heap slabs.
+///
+/// allocate() bumps a cursor inside the current slab, chaining a new slab
+/// only when the current one is exhausted (oversized requests get a
+/// dedicated slab). reset() rewinds to the first slab without releasing
+/// memory, so a warmed-up arena services any workload it has already seen
+/// without touching the heap. Not thread-safe: one thread owns an Arena at a
+/// time (see WorkerArenas).
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultSlabBytes = 64 * 1024;
+
+  explicit Arena(std::size_t slab_bytes = kDefaultSlabBytes)
+      : slab_bytes_(slab_bytes == 0 ? kDefaultSlabBytes : slab_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Cumulative and live allocator state. `slab_allocations` is monotone —
+  /// the steady-state gate asserts it stops moving after warmup.
+  struct Stats {
+    std::size_t slabs = 0;             ///< slabs currently chained
+    std::size_t reserved_bytes = 0;    ///< total capacity across slabs
+    std::size_t used_bytes = 0;        ///< bytes handed out since last reset
+    std::size_t high_water_bytes = 0;  ///< max used_bytes over any cycle
+    std::size_t slab_allocations = 0;  ///< heap slab allocations, cumulative
+    std::size_t resets = 0;            ///< reset() calls, cumulative
+  };
+
+  /// Aligned raw storage valid until the next reset(). `align` must be a
+  /// power of two; zero-byte requests return a unique aligned pointer.
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    DMW_REQUIRE_MSG(align != 0 && (align & (align - 1)) == 0,
+                    "Arena::allocate alignment must be a power of two");
+    while (current_ < slabs_.size()) {
+      Slab& slab = slabs_[current_];
+      const std::size_t base =
+          reinterpret_cast<std::size_t>(slab.data.get()) + offset_;
+      const std::size_t aligned = (base + (align - 1)) & ~(align - 1);
+      const std::size_t padding = aligned - base;
+      if (offset_ + padding + bytes <= slab.size) {
+        offset_ += padding + bytes;
+        used_bytes_ += padding + bytes;
+        if (used_bytes_ > high_water_bytes_) high_water_bytes_ = used_bytes_;
+        return reinterpret_cast<void*>(aligned);
+      }
+      ++current_;
+      offset_ = 0;
+    }
+    // Exhausted every chained slab: grow. Oversized requests get a dedicated
+    // slab so a single large ask does not blow up the default slab size.
+    const std::size_t need = bytes + align;
+    add_slab(need > slab_bytes_ ? need : slab_bytes_);
+    current_ = slabs_.size() - 1;
+    offset_ = 0;
+    return allocate(bytes, align);
+  }
+
+  /// Typed uninitialized storage for `count` objects of T.
+  template <typename T>
+  T* allocate_array(std::size_t count) {
+    return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Rewind every cursor to the first slab. Keeps all slabs: a warmed-up
+  /// arena re-services the same footprint with zero heap traffic. Only legal
+  /// when no allocation from the previous cycle is still referenced.
+  void reset() {
+    current_ = 0;
+    offset_ = 0;
+    used_bytes_ = 0;
+    ++resets_;
+  }
+
+  /// Release every slab (cold restart). Mainly for tests.
+  void release() {
+    slabs_.clear();
+    slabs_.shrink_to_fit();
+    current_ = 0;
+    offset_ = 0;
+    used_bytes_ = 0;
+  }
+
+  Stats stats() const {
+    Stats s;
+    s.slabs = slabs_.size();
+    for (const Slab& slab : slabs_) s.reserved_bytes += slab.size;
+    s.used_bytes = used_bytes_;
+    s.high_water_bytes = high_water_bytes_;
+    s.slab_allocations = slab_allocations_;
+    s.resets = resets_;
+    return s;
+  }
+
+ private:
+  struct Slab {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void add_slab(std::size_t size) {
+    Slab slab;
+    slab.data = std::make_unique<std::byte[]>(size);
+    slab.size = size;
+    slabs_.push_back(std::move(slab));
+    ++slab_allocations_;
+  }
+
+  const std::size_t slab_bytes_;
+  std::vector<Slab> slabs_;
+  std::size_t current_ = 0;  ///< index of the slab being bumped
+  std::size_t offset_ = 0;   ///< bump cursor within slabs_[current_]
+  std::size_t used_bytes_ = 0;
+  std::size_t high_water_bytes_ = 0;
+  std::size_t slab_allocations_ = 0;
+  std::size_t resets_ = 0;
+};
+
+/// std::allocator adapter so standard containers can draw from an Arena.
+/// deallocate() is a no-op — storage is reclaimed wholesale by
+/// Arena::reset(). Containers using this must not outlive the cycle.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena& arena) : arena_(&arena) {}
+
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(std::size_t count) { return arena_->allocate_array<T>(count); }
+  void deallocate(T*, std::size_t) {}  // reclaimed by Arena::reset()
+
+  Arena* arena() const { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ == b.arena_;
+  }
+  friend bool operator!=(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return !(a == b);
+  }
+
+ private:
+  Arena* arena_;
+};
+
+/// Vector whose backing store lives in an Arena cycle.
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+/// One Arena per ThreadPool worker plus one for the driver thread, addressed
+/// without locks via ThreadPool::current_worker_id(). Worker w uses slot w;
+/// any non-pool thread (the serve driver) uses the extra trailing slot.
+///
+/// reset_all() is driver-only and only legal at an auction boundary, i.e.
+/// after ThreadPool::drain()/parallel_for() returned — that barrier is the
+/// happens-before edge that makes the unlocked resets race-free.
+class WorkerArenas {
+ public:
+  explicit WorkerArenas(std::size_t workers,
+                        std::size_t slab_bytes = Arena::kDefaultSlabBytes)
+      : arenas_(make_arenas(workers + 1, slab_bytes)) {}
+
+  /// Arena owned by the calling thread: per-worker slot on pool threads, the
+  /// trailing driver slot elsewhere.
+  Arena& local() {
+    const int id = ThreadPool::current_worker_id();
+    const std::size_t slot =
+        id >= 0 ? static_cast<std::size_t>(id) : arenas_.size() - 1;
+    DMW_REQUIRE_MSG(slot < arenas_.size(),
+                    "WorkerArenas: worker id exceeds configured pool size");
+    return *arenas_[slot];
+  }
+
+  Arena& at(std::size_t slot) { return *arenas_[slot]; }
+  const Arena& at(std::size_t slot) const { return *arenas_[slot]; }
+
+  /// Slot count including the driver slot.
+  std::size_t size() const { return arenas_.size(); }
+
+  /// Rewind every arena. Driver-only, at auction boundaries (post-drain).
+  void reset_all() {
+    DMW_REQUIRE_MSG(ThreadPool::current_worker_id() == -1,
+                    "WorkerArenas::reset_all called from a pool worker");
+    for (auto& arena : arenas_) arena->reset();
+  }
+
+  /// Sum of per-slot stats — the serve report's arena block.
+  Arena::Stats combined_stats() const {
+    Arena::Stats total;
+    for (const auto& arena : arenas_) {
+      const Arena::Stats s = arena->stats();
+      total.slabs += s.slabs;
+      total.reserved_bytes += s.reserved_bytes;
+      total.used_bytes += s.used_bytes;
+      total.high_water_bytes += s.high_water_bytes;
+      total.slab_allocations += s.slab_allocations;
+      total.resets += s.resets;
+    }
+    return total;
+  }
+
+ private:
+  static std::vector<std::unique_ptr<Arena>> make_arenas(
+      std::size_t count, std::size_t slab_bytes) {
+    std::vector<std::unique_ptr<Arena>> arenas(count);
+    for (auto& arena : arenas) arena = std::make_unique<Arena>(slab_bytes);
+    return arenas;
+  }
+
+  // Pointees are built once in the ctor; each Arena is owned by exactly one
+  // thread between reset_all() barriers (see class comment).
+  const std::vector<std::unique_ptr<Arena>> arenas_;
+};
+
+}  // namespace dmw

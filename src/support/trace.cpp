@@ -327,6 +327,23 @@ std::vector<std::pair<std::string, std::uint64_t>> counters_snapshot() {
   return out;
 }
 
+std::vector<std::pair<std::string, std::uint64_t>> counters_delta(
+    const std::vector<std::pair<std::string, std::uint64_t>>& newer,
+    const std::vector<std::pair<std::string, std::uint64_t>>& older) {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  std::size_t o = 0;
+  for (const auto& [name, value] : newer) {
+    while (o < older.size() && older[o].first < name) ++o;
+    const std::uint64_t base =
+        (o < older.size() && older[o].first == name) ? older[o].second : 0;
+    // Counters are monotone between snapshots of the same run; a reset()
+    // in between makes `base` larger — report the raw value then.
+    const std::uint64_t delta = value >= base ? value - base : value;
+    if (delta != 0) out.emplace_back(name, delta);
+  }
+  return out;
+}
+
 std::vector<std::pair<std::string, std::int64_t>> gauges_snapshot() {
   auto& m = metrics();
   MutexLock lock(m.mutex);

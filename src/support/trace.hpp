@@ -262,6 +262,14 @@ Histogram& histogram(std::string_view name);
 std::vector<std::pair<std::string, std::uint64_t>> counters_snapshot();
 std::vector<std::pair<std::string, std::int64_t>> gauges_snapshot();
 
+/// Interval delta between two counters_snapshot() results (both sorted by
+/// name): `newer - older`, dropping entries whose delta is zero. The serve
+/// driver reports its RunReport-over-interval stream with this — counters
+/// are cumulative, so the delta is what one interval actually did.
+std::vector<std::pair<std::string, std::uint64_t>> counters_delta(
+    const std::vector<std::pair<std::string, std::uint64_t>>& newer,
+    const std::vector<std::pair<std::string, std::uint64_t>>& older);
+
 struct HistogramSnapshot {
   std::string name;
   std::uint64_t count = 0;

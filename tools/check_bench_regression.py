@@ -3,7 +3,8 @@
 
 Usage:
     check_bench_regression.py BASELINE.json FRESH.json [--tolerance 0.25]
-                              [--keys commit_ns,multiexp_ns]
+                              [--keys commit_ns,multiexp_ns] [--require-floors]
+    check_bench_regression.py --self-test FIXTURE_DIR
 
 Dispatches on the top-level "bench" tag each emitter writes:
 
@@ -43,20 +44,45 @@ Dispatches on the top-level "bench" tag each emitter writes:
                                      drift from baseline by at most
                                      `tolerance` (absolute, only for phases
                                      with a baseline share >= 5%).
+  "serve"        (dmw_serve          streaming-marketplace gates: zero
+                  --report-out)      aborted auctions, zero one-shot identity
+                                     mismatches (when the run checked them;
+                                     a fresh run may not check less than the
+                                     baseline did), zero steady-state arena
+                                     slab allocations — all exact — plus
+                                     throughput >= baseline*(1-tolerance) and
+                                     p50/p95/p99 latency <=
+                                     baseline*(1+tolerance). max latency is
+                                     reported, not gated (a single scheduler
+                                     hiccup on a shared runner would flake).
 
-A "parallel" baseline may additionally carry an "absolute_floors" object
-(hand-added when checking in the baseline, not emitted by bench_parallel):
+A "parallel" or "serve" baseline may additionally carry an "absolute_floors"
+object (hand-added when checking in the baseline, not emitted by the bench):
 
     "absolute_floors": {
         "min_hardware_concurrency": 4,
-        "floors": [{"m": 128, "threads": 4, "min_speedup": 1.25}]
+        "floors": [{"m": 128, "threads": 4, "min_speedup": 1.25}]          # parallel
+        "floors": [{"metric": "throughput_per_s", "min": 50.0},
+                   {"metric": "latency_ms.p99", "max": 40.0}]              # serve
     }
 
-Each floor is an absolute lower bound on the fresh run's speedup for that
-(m, threads) cell, enforced only when the fresh run's machine reports
-hardware_concurrency >= min_hardware_concurrency. This lets a baseline
-recorded honestly on a small machine (where every speedup is ~1.0x and the
-relative gate is vacuous) still bind on the multi-core CI runners.
+Every schema shares one bind/skip contract (check_absolute_floors):
+  - block absent                        -> nothing checked, silently (optional)
+  - block present under a schema that
+    does not support it                 -> exit 3 (schema error, not silence)
+  - block malformed                     -> exit 3
+  - fresh hardware_concurrency below
+    min_hardware_concurrency            -> floors SKIPPED, printed as such
+  - otherwise                           -> every floor binds on the fresh run
+
+--require-floors turns "every hardware-gated floor was skipped" into a
+regression (exit 1). The CI scaling-baseline step runs with it on >=4-core
+runners, so the checked-in floors can never silently rot back into the
+never-binding state this flag was added to close out.
+
+--self-test FIXTURE_DIR runs the fixture suite: FIXTURE_DIR/cases.json lists
+{baseline, fresh, args, expect_exit} cases executed against the fixture
+JSONs in a subprocess each; the suite fails on the first mismatch.
 
 Exit status: 0 within tolerance, 1 regression(s), 2 usage error,
 3 schema/input error (malformed JSON, missing keys, mismatched schemas) —
@@ -66,10 +92,17 @@ Needs only the Python standard library.
 
 import argparse
 import json
+import os
+import subprocess
 import sys
 
 DEFAULT_KEYS = ("commit_ns", "multiexp_ns")
 BACKENDS = ("group64", "group256")
+
+# Schemas whose baselines may carry an absolute_floors block. Anywhere else
+# the block is a schema error — silently ignoring it (the old behaviour for
+# non-parallel schemas) meant a misplaced gate never gated anything.
+FLOOR_SCHEMAS = ("parallel", "serve")
 
 
 # Schema/input problems exit 3, distinct from 1 (genuine regression) and 2
@@ -119,7 +152,7 @@ def check_commit(baseline, fresh, keys, tolerance):
                 verdict = "faster (consider refreshing the baseline)"
             print(f"{backend}.{key}: baseline {base_ns:.1f} ns, "
                   f"fresh {fresh_ns:.1f} ns, ratio {ratio:.3f} [{verdict}]")
-    return compared, regressions
+    return compared, regressions, 0
 
 
 def check_bools(fresh, paths):
@@ -147,20 +180,60 @@ def check_speedup(label, base_value, fresh_value, tolerance):
     return 0 if fresh_v >= floor else 1
 
 
-def parallel_hardware_concurrency(doc, name):
-    """Schema check: a parallel bench must say what machine measured it."""
+def hardware_concurrency(doc, name, schema):
+    """Schema check: a floor-bearing bench must say what machine measured it."""
     hw = doc.get("hardware_concurrency")
     if not isinstance(hw, int) or isinstance(hw, bool) or hw < 1:
-        schema_error(f"{name} parallel bench has no valid "
-                     f"hardware_concurrency (got {hw!r}); re-run "
-                     f"bench_parallel to record the measuring machine")
+        schema_error(f"{name} {schema} bench has no valid "
+                     f"hardware_concurrency (got {hw!r}); re-run the bench "
+                     f"to record the measuring machine")
     return hw
+
+
+def check_absolute_floors(baseline, fresh_hw, resolve):
+    """The one bind/skip implementation for the optional absolute_floors block.
+
+    `resolve(entry)` maps a schema-specific floor entry to
+    (label, fresh_value, bound, kind) with kind "min" (fresh >= bound) or
+    "max" (fresh <= bound); it calls schema_error itself for malformed or
+    unresolvable entries. Returns (compared, regressions, bound_count) where
+    bound_count is how many floors actually bound (0 when skipped or absent).
+    """
+    floors_doc = baseline.get("absolute_floors")
+    if floors_doc is None:
+        return 0, 0, 0
+    if not isinstance(floors_doc, dict):
+        schema_error("absolute_floors must be an object")
+    min_hw = floors_doc.get("min_hardware_concurrency")
+    if not isinstance(min_hw, int) or isinstance(min_hw, bool) or min_hw < 1:
+        schema_error(f"absolute_floors.min_hardware_concurrency invalid "
+                     f"(got {min_hw!r})")
+    floors = floors_doc.get("floors")
+    if not isinstance(floors, list) or not floors:
+        schema_error("absolute_floors.floors must be a non-empty list")
+    if fresh_hw < min_hw:
+        print(f"absolute floors SKIPPED: fresh machine has "
+              f"hardware_concurrency={fresh_hw} < required {min_hw}")
+        return 0, 0, 0
+    compared = 0
+    regressions = 0
+    for entry in floors:
+        label, fresh_v, bound, kind = resolve(entry)
+        compared += 1
+        holds = fresh_v >= bound if kind == "min" else fresh_v <= bound
+        word = "floor" if kind == "min" else "ceiling"
+        verdict = "ok" if holds else "REGRESSION"
+        print(f"{label} absolute {word}: fresh {fresh_v:.3f}, "
+              f"{word} {bound:.3f} [{verdict}]")
+        if not holds:
+            regressions += 1
+    return compared, regressions, compared
 
 
 def check_parallel(baseline, fresh, tolerance):
     """Outcome booleans + per-(m, threads) speedup floor for bench_parallel."""
-    base_hw = parallel_hardware_concurrency(baseline, "baseline")
-    fresh_hw = parallel_hardware_concurrency(fresh, "fresh")
+    base_hw = hardware_concurrency(baseline, "baseline", "parallel")
+    fresh_hw = hardware_concurrency(fresh, "fresh", "parallel")
     gate_speedups = fresh_hw >= 4
     if not gate_speedups:
         print(f"speedup floors SKIPPED: fresh run measured on a machine with "
@@ -174,6 +247,7 @@ def check_parallel(baseline, fresh, tolerance):
 
     compared, regressions = check_bools(
         fresh, [("all_outcomes_match", fresh.get("all_outcomes_match"))])
+    floors_bound = 0
 
     def runs_by_key(doc):
         table = {}
@@ -197,46 +271,31 @@ def check_parallel(baseline, fresh, tolerance):
             regressions += 1
         if gate_speedups:
             compared += 1
+            floors_bound += 1
             regressions += check_speedup(
                 f"m={key[0]} threads={key[1]} speedup",
                 base_runs[key].get("speedup"), run.get("speedup"), tolerance)
 
     # Absolute floors: hand-added to the baseline so a small-machine
     # baseline (every relative floor ~1.0x) still binds on multi-core CI.
-    floors_doc = baseline.get("absolute_floors")
-    if floors_doc is not None:
-        if not isinstance(floors_doc, dict):
-            schema_error("absolute_floors must be an object")
-        min_hw = floors_doc.get("min_hardware_concurrency")
-        if not isinstance(min_hw, int) or isinstance(min_hw, bool) or \
-                min_hw < 1:
-            schema_error(f"absolute_floors.min_hardware_concurrency invalid "
-                         f"(got {min_hw!r})")
-        floors = floors_doc.get("floors")
-        if not isinstance(floors, list):
-            schema_error("absolute_floors.floors must be a list")
-        if fresh_hw < min_hw:
-            print(f"absolute floors SKIPPED: fresh machine has "
-                  f"hardware_concurrency={fresh_hw} < required {min_hw}")
-        else:
-            for floor in floors:
-                key = (floor.get("m"), floor.get("threads"))
-                min_speedup = floor.get("min_speedup")
-                if key[0] is None or key[1] is None or \
-                        not isinstance(min_speedup, (int, float)):
-                    schema_error(f"malformed absolute floor entry {floor!r}")
-                if key not in fresh_runs:
-                    schema_error(f"absolute floor m={key[0]} "
-                                 f"threads={key[1]} has no fresh run")
-                fresh_v = float(fresh_runs[key].get("speedup", 0.0))
-                compared += 1
-                verdict = "ok" if fresh_v >= min_speedup else "REGRESSION"
-                print(f"m={key[0]} threads={key[1]} absolute floor: "
-                      f"fresh {fresh_v:.3f}x, floor {min_speedup:.3f}x "
-                      f"[{verdict}]")
-                if fresh_v < min_speedup:
-                    regressions += 1
-    return compared, regressions
+    def resolve(entry):
+        key = (entry.get("m"), entry.get("threads"))
+        min_speedup = entry.get("min_speedup")
+        if key[0] is None or key[1] is None or \
+                not isinstance(min_speedup, (int, float)) or \
+                isinstance(min_speedup, bool):
+            schema_error(f"malformed absolute floor entry {entry!r}")
+        if key not in fresh_runs:
+            schema_error(f"absolute floor m={key[0]} threads={key[1]} has "
+                         f"no fresh run")
+        fresh_v = float(fresh_runs[key].get("speedup", 0.0))
+        return (f"m={key[0]} threads={key[1]} speedup", fresh_v,
+                float(min_speedup), "min")
+
+    floor_compared, floor_regressions, floor_bound = check_absolute_floors(
+        baseline, fresh_hw, resolve)
+    return (compared + floor_compared, regressions + floor_regressions,
+            floors_bound + floor_bound)
 
 
 def check_batchverify(baseline, fresh, tolerance):
@@ -266,7 +325,7 @@ def check_batchverify(baseline, fresh, tolerance):
     compared += 1
     regressions += check_speedup("total speedup", base_total["speedup"],
                                  fresh_total["speedup"], tolerance)
-    return compared, regressions
+    return compared, regressions, 0
 
 
 def check_runreport(baseline, fresh, tolerance):
@@ -356,19 +415,161 @@ def check_runreport(baseline, fresh, tolerance):
               f"fresh {fresh_shares[name]:.3f}, drift {drift:.3f} [{verdict}]")
         if drift > tolerance:
             regressions += 1
-    return compared, regressions
+    return compared, regressions, 0
+
+
+def dig(doc, dotted):
+    """Navigate a dotted path ("latency_ms.p99") through nested dicts."""
+    node = doc
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def check_serve(baseline, fresh, tolerance):
+    """Streaming-marketplace gates for dmw_serve serve-reports."""
+    # The report only compares apples to apples: the whole run configuration
+    # is part of the identity, not something to drift past silently.
+    for key in ("label", "n", "m", "c", "auctions", "warmup", "workload",
+                "arrivals", "threads", "schedule"):
+        if baseline.get(key) != fresh.get(key):
+            schema_error(f"serve config mismatch on '{key}': baseline "
+                         f"{baseline.get(key)!r} vs fresh {fresh.get(key)!r}")
+    fresh_hw = hardware_concurrency(fresh, "fresh", "serve")
+
+    compared = 0
+    regressions = 0
+
+    # Exact gates: a streaming marketplace that aborts honest auctions,
+    # diverges from the one-shot engine, or allocates arena slabs in steady
+    # state is broken regardless of how fast it is.
+    exact = [("aborted_auctions", fresh.get("aborted_auctions"), 0),
+             ("arena.steady_state_slab_allocations",
+              dig(fresh, "arena.steady_state_slab_allocations"), 0)]
+    if baseline.get("checked_oneshot") and not fresh.get("checked_oneshot"):
+        schema_error("baseline checked one-shot identity but fresh run did "
+                     "not (--check-oneshot missing?)")
+    if fresh.get("checked_oneshot"):
+        exact.append(("oneshot_mismatches", fresh.get("oneshot_mismatches"),
+                      0))
+    for label, value, expected in exact:
+        compared += 1
+        if value != expected:
+            print(f"{label}: expected {expected!r}, got {value!r} "
+                  f"[REGRESSION]")
+            regressions += 1
+        else:
+            print(f"{label}: {expected!r} [ok]")
+
+    # Throughput ratchet (higher is better).
+    base_tp = baseline.get("throughput_per_s")
+    fresh_tp = fresh.get("throughput_per_s")
+    if not isinstance(base_tp, (int, float)) or base_tp <= 0 or \
+            not isinstance(fresh_tp, (int, float)):
+        schema_error("throughput_per_s missing or non-positive")
+    floor = float(base_tp) * (1.0 - tolerance)
+    compared += 1
+    verdict = "ok" if fresh_tp >= floor else "REGRESSION"
+    print(f"throughput_per_s: baseline {base_tp:.1f}, fresh {fresh_tp:.1f}, "
+          f"floor {floor:.1f} [{verdict}]")
+    if fresh_tp < floor:
+        regressions += 1
+
+    # Latency percentile ceilings (lower is better). max is printed but not
+    # gated — one scheduler hiccup on a shared runner would flake the job.
+    for pct in ("p50", "p95", "p99"):
+        base_ms = dig(baseline, f"latency_ms.{pct}")
+        fresh_ms = dig(fresh, f"latency_ms.{pct}")
+        if not isinstance(base_ms, (int, float)) or base_ms <= 0 or \
+                not isinstance(fresh_ms, (int, float)):
+            schema_error(f"latency_ms.{pct} missing or non-positive")
+        ceiling = float(base_ms) * (1.0 + tolerance)
+        compared += 1
+        verdict = "ok" if fresh_ms <= ceiling else "REGRESSION"
+        print(f"latency_ms.{pct}: baseline {base_ms:.3f}, fresh "
+              f"{fresh_ms:.3f}, ceiling {ceiling:.3f} [{verdict}]")
+        if fresh_ms > ceiling:
+            regressions += 1
+    base_max = dig(baseline, "latency_ms.max")
+    fresh_max = dig(fresh, "latency_ms.max")
+    print(f"latency_ms.max: baseline {base_max}, fresh {fresh_max} "
+          f"[reported, not gated]")
+
+    # Absolute floors/ceilings, same bind/skip contract as parallel.
+    def resolve(entry):
+        metric = entry.get("metric")
+        has_min = isinstance(entry.get("min"), (int, float)) and \
+            not isinstance(entry.get("min"), bool)
+        has_max = isinstance(entry.get("max"), (int, float)) and \
+            not isinstance(entry.get("max"), bool)
+        if not isinstance(metric, str) or has_min == has_max:
+            schema_error(f"malformed absolute floor entry {entry!r} (need "
+                         f"'metric' plus exactly one of 'min'/'max')")
+        value = dig(fresh, metric)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            schema_error(f"absolute floor metric '{metric}' not found in "
+                         f"fresh serve report")
+        bound = entry["min"] if has_min else entry["max"]
+        return (metric, float(value), float(bound),
+                "min" if has_min else "max")
+
+    floor_compared, floor_regressions, floors_bound = check_absolute_floors(
+        baseline, fresh_hw, resolve)
+    return (compared + floor_compared, regressions + floor_regressions,
+            floors_bound)
+
+
+def self_test(fixture_dir):
+    """Run the fixture suite: cases.json drives subprocess invocations."""
+    manifest_path = os.path.join(fixture_dir, "cases.json")
+    manifest = load(manifest_path)
+    cases = manifest.get("cases")
+    if not isinstance(cases, list) or not cases:
+        schema_error(f"{manifest_path} has no cases")
+    failures = 0
+    for case in cases:
+        name = case.get("name", "?")
+        argv = [sys.executable, os.path.abspath(__file__),
+                os.path.join(fixture_dir, case["baseline"]),
+                os.path.join(fixture_dir, case["fresh"])]
+        argv += case.get("args", [])
+        expect = case.get("expect_exit")
+        result = subprocess.run(argv, capture_output=True, text=True,
+                                check=False)
+        if result.returncode != expect:
+            failures += 1
+            print(f"[self-test] {name}: expected exit {expect}, got "
+                  f"{result.returncode} [FAIL]")
+            sys.stdout.write(result.stdout)
+            sys.stderr.write(result.stderr)
+        else:
+            print(f"[self-test] {name}: exit {result.returncode} [ok]")
+    print(f"[self-test] {len(cases)} case(s), {failures} failure(s)")
+    return 1 if failures else 0
 
 
 def main():
     parser = argparse.ArgumentParser(
         description="fail when bench results regress past a tolerance")
-    parser.add_argument("baseline")
-    parser.add_argument("fresh")
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("fresh", nargs="?")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional slack (default 0.25)")
     parser.add_argument("--keys", default=",".join(DEFAULT_KEYS),
                         help="comma-separated timing keys (commit schema)")
+    parser.add_argument("--require-floors", action="store_true",
+                        help="fail if every hardware-gated speedup floor was "
+                             "skipped (the multi-core scaling-baseline gate)")
+    parser.add_argument("--self-test", metavar="FIXTURE_DIR",
+                        help="run the fixture suite in FIXTURE_DIR and exit")
     args = parser.parse_args()
+
+    if args.self_test:
+        return self_test(args.self_test)
+    if not args.baseline or not args.fresh:
+        parser.error("baseline and fresh are required unless --self-test")
 
     baseline = load(args.baseline)
     fresh = load(args.fresh)
@@ -377,21 +578,42 @@ def main():
     if fresh.get("bench", "commit") != schema:
         schema_error(f"schema mismatch: baseline '{schema}' vs fresh "
                      f"'{fresh.get('bench', 'commit')}'")
+    if schema not in FLOOR_SCHEMAS:
+        for name, doc in (("baseline", baseline), ("fresh", fresh)):
+            if "absolute_floors" in doc:
+                schema_error(f"{name} carries absolute_floors but schema "
+                             f"'{schema}' does not support floors (move the "
+                             f"block to a {'/'.join(FLOOR_SCHEMAS)} baseline)")
     if schema == "commit":
         keys = [k for k in args.keys.split(",") if k]
-        compared, regressions = check_commit(baseline, fresh, keys,
-                                             args.tolerance)
+        compared, regressions, floors_bound = check_commit(
+            baseline, fresh, keys, args.tolerance)
     elif schema == "parallel":
-        compared, regressions = check_parallel(baseline, fresh, args.tolerance)
+        compared, regressions, floors_bound = check_parallel(
+            baseline, fresh, args.tolerance)
     elif schema == "batchverify":
-        compared, regressions = check_batchverify(baseline, fresh,
-                                                  args.tolerance)
+        compared, regressions, floors_bound = check_batchverify(
+            baseline, fresh, args.tolerance)
     elif schema == "runreport":
-        compared, regressions = check_runreport(baseline, fresh,
-                                                args.tolerance)
+        compared, regressions, floors_bound = check_runreport(
+            baseline, fresh, args.tolerance)
+    elif schema == "serve":
+        compared, regressions, floors_bound = check_serve(
+            baseline, fresh, args.tolerance)
     else:
         schema_error(f"unknown bench schema '{schema}'")
         return 2  # unreachable; keeps the linter happy
+
+    if args.require_floors:
+        if schema not in FLOOR_SCHEMAS:
+            schema_error(f"--require-floors is meaningless for schema "
+                         f"'{schema}'")
+        if floors_bound == 0:
+            print("--require-floors: every hardware-gated floor was skipped "
+                  "— the scaling gate did not bind [REGRESSION]")
+            regressions += 1
+        else:
+            print(f"--require-floors: {floors_bound} floor(s) bound [ok]")
 
     print(f"[{schema}] compared {compared} value(s), tolerance "
           f"{args.tolerance:.2f}: {regressions} regression(s)")

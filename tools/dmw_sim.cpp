@@ -35,6 +35,11 @@ options:
   --m M                tasks (default 2)
   --c C                tolerated faulty agents (default 1)
   --seed S             master seed (default 1)
+  --secret-seed X      agent secret-randomness seed (default 0x5eed). The
+                       serve driver derives one per request; passing it here
+                       reproduces any single dmw_serve auction one-shot
+  --instance-seed Y    workload generator seed (default seed*3+1). dmw_serve
+                       reports Y = request_seed*3+1 for each auction
   --workload W         uniform | machine | task | worst   (default uniform)
   --backend B          64 | 256                            (default 64)
   --p-bits P           prime size for --backend 256        (default 128)
@@ -131,8 +136,10 @@ int run_simulation(G group, const Flags& flags) {
                               : dmw::trace::ClockMode::kReal);
     tracer.reset();
   }
-  const auto instance = make_instance(flags.get_string("workload", "uniform"),
-                                      n, m, params.bid_set(), seed * 3 + 1);
+  const auto instance =
+      make_instance(flags.get_string("workload", "uniform"), n, m,
+                    params.bid_set(),
+                    flags.get_u64("instance-seed", seed * 3 + 1));
 
   // Strategy wiring.
   dmw::proto::HonestStrategy<G> honest;
@@ -159,6 +166,7 @@ int run_simulation(G group, const Flags& flags) {
     strategies[n - 1 - k] = &crash;  // crash the last agents
 
   dmw::proto::RunConfig config;
+  config.secret_seed = flags.get_u64("secret-seed", config.secret_seed);
   config.encrypt_channels = !flags.get_bool("plain");
   if (flags.has("schedule")) {
     const std::string schedule = flags.get_string("schedule", "dynamic");
@@ -283,7 +291,8 @@ int main(int argc, char** argv) {
   dmw::Logger::instance().set_level(dmw::LogLevel::kInfo);
   try {
     const Flags flags(argc, argv,
-                      {"n", "m", "c", "seed", "workload", "backend", "p-bits",
+                      {"n", "m", "c", "seed", "secret-seed", "instance-seed",
+                       "workload", "backend", "p-bits",
                        "deviant", "deviator", "crash-tolerant!", "crashes",
                        "crash-point", "threads", "schedule", "plain!", "json!",
                        "trace-out", "metrics-out", "trace-clock", "help!"});
