@@ -10,6 +10,12 @@
 //    RLC batch verification produces), locating the real crossover the
 //    multi_pow dispatch models (numeric/pippenger.hpp).
 //
+// 4. The lane engine vs the scalar ladder on batched independent pows (the
+//    Phase III share-verify shape) — the scalar-vs-lane ns/op curve the CI
+//    simd-ablation artifact records. Both paths compute bit-identical
+//    values with identical OpCounts (numeric/montlane.hpp contract); wall
+//    time is the only observable difference.
+//
 // All matter for Theorem 12's claimed bound; this bench quantifies them.
 #include <benchmark/benchmark.h>
 
@@ -17,7 +23,9 @@
 
 #include "crypto/chacha.hpp"
 #include "dmw/polycommit.hpp"
+#include "numeric/multiexp.hpp"
 #include "numeric/pippenger.hpp"
+#include "numeric/simd.hpp"
 
 namespace {
 
@@ -183,6 +191,80 @@ BENCHMARK(BM_MultiPowDispatch)
     ->RangeMultiplier(4)
     ->Range(16, 1024)
     ->Complexity();
+
+// ---- lane engine vs scalar ladder on batched independent pows --------------
+//
+// multi_pow_batched is the batched counterpart of calling g.pow in a loop:
+// out[j] = bases[j]^{e_j}, no shared squaring chain. The lane engine groups
+// the ladders kLanes at a time; the sweep shows the per-element speedup as
+// the batch grows past kLanes (ragged tails shrink relative to the body).
+// The SetLabel records which kernel this host actually dispatched so the
+// uploaded artifact is self-describing.
+
+using dmw::num::Group256;
+
+template <class G>
+void pow_batched_sweep(benchmark::State& state, const G& proto,
+                       dmw::num::simd::SimdMode mode) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  G g = proto;
+  g.set_simd_mode(mode);
+  auto rng = dmw::crypto::ChaChaRng::from_seed(len);
+  std::vector<typename G::Elem> bases;
+  std::vector<typename G::Scalar> exps;
+  for (std::size_t i = 0; i < len; ++i) {
+    bases.push_back(g.pow(g.z1(), g.random_nonzero_scalar(rng)));
+    exps.push_back(g.random_nonzero_scalar(rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dmw::num::multi_pow_batched<G>(
+        g, std::span<const typename G::Elem>(bases),
+        std::span<const typename G::Scalar>(exps)));
+  }
+  state.SetLabel(dmw::num::simd::backend_name(
+      dmw::num::simd::active_backend()));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_PowBatchedLanes64(benchmark::State& state) {
+  pow_batched_sweep(state, Group64::test_group(),
+                    dmw::num::simd::SimdMode::kOn);
+}
+BENCHMARK(BM_PowBatchedLanes64)
+    ->RangeMultiplier(4)
+    ->Range(4, 1024)
+    ->Complexity();
+
+void BM_PowBatchedScalar64(benchmark::State& state) {
+  pow_batched_sweep(state, Group64::test_group(),
+                    dmw::num::simd::SimdMode::kOff);
+}
+BENCHMARK(BM_PowBatchedScalar64)
+    ->RangeMultiplier(4)
+    ->Range(4, 1024)
+    ->Complexity();
+
+// Group256 rides the interleaved-CIOS MontLane specialization; smaller
+// sweep — each 256-bit ladder is ~two orders of magnitude more work.
+void BM_PowBatchedLanes256(benchmark::State& state) {
+  static const Group256 g256 = [] {
+    dmw::Xoshiro256ss rng(256);
+    return Group256::generate(96, 64, rng);
+  }();
+  pow_batched_sweep(state, g256, dmw::num::simd::SimdMode::kOn);
+}
+BENCHMARK(BM_PowBatchedLanes256)->RangeMultiplier(4)->Range(4, 64);
+
+void BM_PowBatchedScalar256(benchmark::State& state) {
+  static const Group256 g256 = [] {
+    dmw::Xoshiro256ss rng(256);
+    return Group256::generate(96, 64, rng);
+  }();
+  pow_batched_sweep(state, g256, dmw::num::simd::SimdMode::kOff);
+}
+BENCHMARK(BM_PowBatchedScalar256)->RangeMultiplier(4)->Range(4, 64);
 
 }  // namespace
 

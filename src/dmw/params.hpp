@@ -108,6 +108,15 @@ class PublicParams {
   /// tracing on (e.g. dmw_sim --trace-out) owns disabling and exporting.
   bool tracing() const { return tracing_; }
   void set_tracing(bool on) { tracing_ = on; }
+  /// Lane-grouping policy for the vectorized Montgomery tier
+  /// (numeric/simd.hpp): kAuto (the default) engages the lane engine when
+  /// the host has a vector ISA, kOn forces it (portable kernels included),
+  /// kOff pins the historical scalar paths. Outcome-, abort-stream- and
+  /// RunReport-invariant in every mode — the lane engine performs the same
+  /// counted multiplications, just grouped (montlane.hpp contract). Set
+  /// before the params are shared across threads, like every other knob.
+  dmw::num::simd::SimdMode simd() const { return group_.simd_mode(); }
+  void set_simd(dmw::num::simd::SimdMode mode) { group_.set_simd_mode(mode); }
   /// Smallest number of participating agents the protocol can finish with.
   std::size_t quorum() const { return n_ - (crash_tolerant_ ? c_ : 0); }
   const mech::BidSet& bid_set() const { return bid_set_; }

@@ -84,25 +84,32 @@ struct CommitmentVectors {
 
   static CommitmentVectors commit(const PublicParams<G>& params,
                                   const BidPolynomials<G>& polys) {
+    using Scalar = typename G::Scalar;
     const G& g = params.group();
     const std::size_t sigma = params.sigma();
     const auto product = polys.e.mul(g, polys.f);  // degree exactly sigma
-    CommitmentVectors out;
-    out.O.reserve(sigma);
-    out.Q.reserve(sigma);
-    out.R.reserve(sigma);
+    // The 3*sigma commitments are independent, so each vector goes through
+    // the batched fixed-base path (commit_many): the lane engine scans
+    // kLanes commitments per table row when the simd policy engages, and
+    // degenerates to the exact commit() loop otherwise — values and
+    // OpCounts identical either way.
+    std::vector<Scalar> v(sigma), a(sigma), b(sigma), c(sigma), d(sigma);
     for (std::size_t l = 1; l <= sigma; ++l) {
-      const auto v_l = product.coeff(g, l);
-      const auto a_l = polys.e.coeff(g, l);
-      const auto b_l = polys.f.coeff(g, l);
-      const auto c_l = polys.g.coeff(g, l);
-      const auto d_l = polys.h.coeff(g, l);
-      out.O.push_back(g.commit(v_l, c_l));
+      v[l - 1] = product.coeff(g, l);
       // a_l and b_l are zero beyond the polynomial degrees, so commit()
       // degenerates to the z2-only form exactly where the paper specifies.
-      out.Q.push_back(g.commit(a_l, d_l));
-      out.R.push_back(g.commit(b_l, d_l));
+      a[l - 1] = polys.e.coeff(g, l);
+      b[l - 1] = polys.f.coeff(g, l);
+      c[l - 1] = polys.g.coeff(g, l);
+      d[l - 1] = polys.h.coeff(g, l);
     }
+    CommitmentVectors out;
+    out.O.resize(sigma);
+    out.Q.resize(sigma);
+    out.R.resize(sigma);
+    g.commit_many(v.data(), c.data(), out.O.data(), sigma);
+    g.commit_many(a.data(), d.data(), out.Q.data(), sigma);
+    g.commit_many(b.data(), d.data(), out.R.data(), sigma);
     return out;
   }
 

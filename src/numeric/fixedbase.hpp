@@ -27,6 +27,13 @@
 // ThreadPool workers may therefore share one table (and one group) with no
 // locks; builders must not race with readers, which the eager construction
 // rules out by design.
+//
+// Layout: all rows live in ONE contiguous allocation, row-major
+// (entry(i, d) = flat_[i * (2^w - 1) + d - 1]). The lane scan
+// mul_pow_lanes() walks kLanes commitments down the rows in lockstep, so
+// each step gathers from a single 2^w-entry stripe — the whole stripe is a
+// few cache lines (120 B per row for Mont64 at w = 4) instead of the
+// per-row heap blocks the nested-vector layout scattered.
 #pragma once
 
 #include "numeric/expwin.hpp"
@@ -49,28 +56,25 @@ class FixedBaseTable {
   /// Precompute for exponents up to `max_exp_bits` bits.
   FixedBaseTable(const Ops& ops, const Dom& base, unsigned max_exp_bits,
                  unsigned window = kFixedBaseWindow)
-      : window_(window), max_bits_(max_exp_bits) {
+      : window_(window),
+        max_bits_(max_exp_bits),
+        per_row_((std::size_t(1) << window) - 1),
+        nrows_((max_exp_bits + window - 1) / window) {
     DMW_REQUIRE(window >= 1 && window <= 8);
-    const unsigned rows = (max_exp_bits + window - 1) / window;
-    rows_.reserve(rows);
+    flat_.reserve(nrows_ * per_row_);
     Dom cur = base;  // base^(2^(w*i)) as rows are built
-    for (unsigned i = 0; i < rows; ++i) {
-      std::vector<Dom> row;
-      row.reserve((std::size_t(1) << window) - 1);
-      row.push_back(cur);
-      for (std::size_t j = 2; j < (std::size_t(1) << window); ++j)
-        row.push_back(ops.mul(row.back(), cur));
-      cur = ops.mul(row.back(), cur);  // base^(2^(w*(i+1)))
-      rows_.push_back(std::move(row));
+    for (unsigned i = 0; i < nrows_; ++i) {
+      flat_.push_back(cur);
+      for (std::size_t j = 2; j <= per_row_; ++j)
+        flat_.push_back(ops.mul(flat_.back(), cur));
+      cur = ops.mul(flat_.back(), cur);  // base^(2^(w*(i+1)))
     }
   }
 
-  bool initialized() const { return !rows_.empty(); }
+  bool initialized() const { return !flat_.empty(); }
   unsigned window() const { return window_; }
   unsigned max_bits() const { return max_bits_; }
-  std::size_t table_entries() const {
-    return rows_.empty() ? 0 : rows_.size() * rows_.front().size();
-  }
+  std::size_t table_entries() const { return flat_.size(); }
 
   /// acc * base^e, in ceil(bits/w) multiplications, no squarings.
   template <class S>
@@ -78,10 +82,9 @@ class FixedBaseTable {
     DMW_REQUIRE_MSG(exp_bit_length(e) <= max_bits_,
                     "fixed-base exponent exceeds precomputed range");
     DMW_COUNT("expwin/fixedbase_evals", 1);
-    for (std::size_t i = 0; i < rows_.size(); ++i) {
-      const unsigned d =
-          exp_window(e, static_cast<unsigned>(i) * window_, window_);
-      if (d != 0) acc = ops.mul(acc, rows_[i][d - 1]);
+    for (unsigned i = 0; i < nrows_; ++i) {
+      const unsigned d = exp_window(e, i * window_, window_);
+      if (d != 0) acc = ops.mul(acc, flat_[i * per_row_ + d - 1]);
     }
     return acc;
   }
@@ -92,10 +95,44 @@ class FixedBaseTable {
     return mul_pow(ops, ops.one(), e);
   }
 
+  /// Lockstep lane scan: acc[l] *= base^{es[l]} for l < count, one masked
+  /// lane multiplication per row (lanes whose digit is zero sit the row
+  /// out, exactly like mul_pow's skip). `acc` is a Lanes::kLanes-sized
+  /// array whose every slot the caller initialized to an in-range domain
+  /// value; slots >= count are padding and left meaningless. Values and
+  /// OpCounts identical to `count` sequential mul_pow calls — including
+  /// one fixedbase_evals tick per commitment scanned.
+  template <class Lanes, class S>
+  void mul_pow_lanes(const Lanes& lanes, const S* es, Dom* acc,
+                     std::size_t count) const {
+    constexpr std::size_t L = Lanes::kLanes;
+    DMW_REQUIRE(count >= 1 && count <= L);
+    for (std::size_t l = 0; l < count; ++l)
+      DMW_REQUIRE_MSG(exp_bit_length(es[l]) <= max_bits_,
+                      "fixed-base exponent exceeds precomputed range");
+    DMW_COUNT("expwin/fixedbase_evals", count);
+    Dom gather[L];
+    bool active[L];
+    for (unsigned i = 0; i < nrows_; ++i) {
+      const Dom* row = flat_.data() + std::size_t(i) * per_row_;
+      bool any = false;
+      for (std::size_t l = 0; l < L; ++l) {
+        const unsigned d = l < count ? exp_window(es[l], i * window_, window_)
+                                     : 0;
+        active[l] = d != 0;
+        any = any || active[l];
+        gather[l] = row[d != 0 ? d - 1 : 0];
+      }
+      if (any) lanes.mul_masked(acc, gather, active);
+    }
+  }
+
  private:
   unsigned window_ = kFixedBaseWindow;
   unsigned max_bits_ = 0;
-  std::vector<std::vector<Dom>> rows_;
+  std::size_t per_row_ = 0;  ///< entries per row: 2^w - 1
+  unsigned nrows_ = 0;
+  std::vector<Dom> flat_;  ///< row-major contiguous rows
 };
 
 }  // namespace dmw::num

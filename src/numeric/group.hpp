@@ -22,7 +22,9 @@
 #include "numeric/fixedbase.hpp"
 #include "numeric/modarith.hpp"
 #include "numeric/mont.hpp"
+#include "numeric/montlane.hpp"
 #include "numeric/primality.hpp"
+#include "numeric/simd.hpp"
 #include "support/rng.hpp"
 
 namespace dmw::num {
@@ -127,6 +129,28 @@ class Group64 {
     // dmwlint:allow(naive-call) the oracle's own body
     return mul(pow_naive(z1_, a), pow_naive(z2_, b));
   }
+  /// Batched Pedersen commitments out[i] = z1^{a[i]} z2^{b[i]}: when the
+  /// simd policy engages, the lane engine scans both fixed-base tables
+  /// kLanes commitments at a time. Values and OpCounts identical to
+  /// calling commit() in a loop.
+  void commit_many(const Scalar* a, const Scalar* b, Elem* out,
+                   std::size_t n) const {
+    constexpr std::size_t L = MontLane<Mont64>::kLanes;
+    if (!simd_grouped() || n < L) {
+      for (std::size_t i = 0; i < n; ++i) out[i] = commit(a[i], b[i]);
+      return;
+    }
+    const MontLane<Mont64> lanes(pmont_, true);
+    for (std::size_t off = 0; off < n; off += L) {
+      const std::size_t cnt = n - off < L ? n - off : L;
+      op_counts().pow += 2 * cnt;
+      Dom acc[L];
+      for (std::size_t l = 0; l < L; ++l) acc[l] = pmont_.one();
+      z1_tab_.mul_pow_lanes(lanes, a + off, acc, cnt);
+      z2_tab_.mul_pow_lanes(lanes, b + off, acc, cnt);
+      lanes.from_mont_lanes(acc, out + off, cnt);
+    }
+  }
 
   // Multiplicative domain: Montgomery form, one REDC mul per conversion —
   // chained multiplications (window tables, multi-exp squaring chains) cost
@@ -169,12 +193,25 @@ class Group64 {
   std::size_t scalar_bytes() const { return 8; }
   std::size_t elem_bytes() const { return 8; }
 
+  /// The Montgomery context mod p (montlane.hpp engines build on it).
+  const Mont64& mont() const { return pmont_; }
+
+  /// Lane-grouping policy (simd.hpp). Set before the group is shared
+  /// across threads — the backends treat it like every other immutable
+  /// parameter after publication.
+  void set_simd_mode(simd::SimdMode m) { simd_mode_ = m; }
+  simd::SimdMode simd_mode() const { return simd_mode_; }
+  /// True when batch producers should group independent work into lanes
+  /// (the mode resolved against the runtime-detected kernel backend).
+  bool simd_grouped() const { return simd::mode_groups_lanes(simd_mode_); }
+
   std::string describe() const;
 
  private:
   u64 p_, q_, z1_, z2_;
   Mont64 pmont_;  ///< Montgomery context mod p: pow, commit, the domain ops
   FixedBaseTable<Mont64> z1_tab_, z2_tab_;  ///< commit() acceleration
+  simd::SimdMode simd_mode_ = simd::SimdMode::kAuto;
 };
 
 /// BigUInt backend with Montgomery arithmetic modulo p.
@@ -271,6 +308,26 @@ class GroupBig {
     // dmwlint:allow(naive-call) the oracle's own body
     return mul(pow_naive(z1_, a), pow_naive(z2_, b));
   }
+  /// Batched Pedersen commitments (see Group64::commit_many): lane scans of
+  /// both fixed-base tables over the interleaved-limb engine.
+  void commit_many(const Scalar* a, const Scalar* b, Elem* out,
+                   std::size_t n) const {
+    constexpr std::size_t L = MontLane<Montgomery<W>>::kLanes;
+    if (!simd_grouped() || n < L) {
+      for (std::size_t i = 0; i < n; ++i) out[i] = commit(a[i], b[i]);
+      return;
+    }
+    const MontLane<Montgomery<W>> lanes(mont_, true);
+    for (std::size_t off = 0; off < n; off += L) {
+      const std::size_t cnt = n - off < L ? n - off : L;
+      op_counts().pow += 2 * cnt;
+      std::array<Dom, L> acc;
+      acc.fill(mont_.one());
+      z1_tab_.mul_pow_lanes(lanes, a + off, acc.data(), cnt);
+      z2_tab_.mul_pow_lanes(lanes, b + off, acc.data(), cnt);
+      lanes.from_mont_lanes(acc.data(), out + off, cnt);
+    }
+  }
 
   // Multiplicative domain: Montgomery form, one REDC mul per conversion.
   Dom to_dom(const Elem& e) const { return mont_.to_mont(e); }
@@ -319,6 +376,14 @@ class GroupBig {
   std::size_t scalar_bytes() const { return 8 * W; }
   std::size_t elem_bytes() const { return 8 * W; }
 
+  /// The Montgomery context mod p (montlane.hpp engines build on it).
+  const Montgomery<W>& mont() const { return mont_; }
+
+  /// Lane-grouping policy (simd.hpp); see Group64::set_simd_mode.
+  void set_simd_mode(simd::SimdMode m) { simd_mode_ = m; }
+  simd::SimdMode simd_mode() const { return simd_mode_; }
+  bool simd_grouped() const { return simd::mode_groups_lanes(simd_mode_); }
+
   std::string describe() const {
     return "GroupBig<" + std::to_string(W) + ">: p=0x" + p_.to_hex() +
            " q=0x" + q_.to_hex();
@@ -331,11 +396,41 @@ class GroupBig {
   Montgomery<W> mont_;
   std::optional<Montgomery<W>> qmont_;  ///< scalar field mod q (odd q only)
   FixedBaseTable<Montgomery<W>> z1_tab_, z2_tab_;  ///< commit() acceleration
+  simd::SimdMode simd_mode_ = simd::SimdMode::kAuto;
 };
 
 using Group256 = GroupBig<4>;
 
 static_assert(GroupBackend<Group64>);
 static_assert(GroupBackend<Group256>);
+
+// ---- lane-engine glue ------------------------------------------------------
+
+/// Maps a group backend to the Montgomery context its MontLane engine runs
+/// over (the mod-p context, shared by Dom values and commitments).
+template <class G>
+struct GroupLaneCtx;
+template <>
+struct GroupLaneCtx<Group64> {
+  using Ctx = Mont64;
+};
+template <std::size_t W>
+struct GroupLaneCtx<GroupBig<W>> {
+  using Ctx = Montgomery<W>;
+};
+
+/// Lane engine over g's modulus honouring its SimdMode: grouped when the
+/// policy resolves on (montlane.hpp), the scalar ablation otherwise.
+template <GroupBackend G>
+MontLane<typename GroupLaneCtx<G>::Ctx> make_lane_engine(const G& g) {
+  return {g.mont(), g.simd_grouped()};
+}
+
+/// Lane cost model for batch producers: grouping pays only when the policy
+/// engages and the batch fills at least one lane group.
+template <GroupBackend G>
+bool lanes_profitable(const G& g, std::size_t n) {
+  return g.simd_grouped() && n >= simd::kLanes;
+}
 
 }  // namespace dmw::num

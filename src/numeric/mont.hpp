@@ -41,6 +41,12 @@ class Montgomery {
 
   const BigUInt<W>& modulus() const { return n_; }
 
+  /// -n^{-1} mod 2^64 (the REDC constant; montlane.hpp lane kernels).
+  u64 ninv() const { return ninv_; }
+
+  /// R^2 mod n (the to_mont factor; montlane.hpp lane kernels).
+  const BigUInt<W>& r2() const { return r2_; }
+
   /// Montgomery form of 1 (the DomainOps identity).
   const BigUInt<W>& one() const { return one_mont_; }
 
@@ -158,6 +164,12 @@ class Mont64 {
   }
 
   u64 modulus() const { return n_; }
+
+  /// -n^{-1} mod 2^64 (the REDC constant; simd.hpp lane kernels).
+  u64 ninv() const { return ninv_; }
+
+  /// R^2 mod n (the to_mont factor; montlane.hpp lane kernels).
+  u64 r2() const { return r2_; }
 
   /// Montgomery form of 1 (the DomainOps identity).
   Dom one() const { return r_; }

@@ -59,6 +59,10 @@ class MultiExpCache {
         window_(multiexp_window_bits(max_exp_bits == 0 ? 1 : max_exp_bits)),
         stride_(std::size_t(1) << (window_ - 1)),
         count_(bases.size()) {
+    if (lanes_profitable(g, count_)) {
+      build_lanes(g, bases);
+      return;
+    }
     // All per-base odd-power tables in one flat allocation, stride_ apart.
     table_.reserve(count_ * stride_);
     for (const auto& b : bases) {
@@ -127,6 +131,30 @@ class MultiExpCache {
   }
 
  private:
+  /// Lane-grouped table build: domain conversions, the per-base squarings,
+  /// and each odd-power chain step are independent across bases, so the
+  /// lane engine retires them kLanes bases at a time. The multiset of
+  /// multiplications — one conversion, one squaring, stride_-1 chain muls
+  /// per base — is exactly the scalar build's, so OpCounts and every table
+  /// entry are bit-identical; only the execution grouping changes.
+  void build_lanes(const G& g, std::span<const typename G::Elem> bases) {
+    const auto lanes = make_lane_engine(g);
+    std::vector<typename G::Dom> col(count_), sq, next;
+    lanes.to_mont_lanes(bases.data(), col.data(), count_);
+    table_.resize(count_ * stride_);
+    for (std::size_t j = 0; j < count_; ++j) table_[j * stride_] = col[j];
+    if (window_ <= 1) return;
+    sq.resize(count_);
+    next.resize(count_);
+    lanes.mul_lanes(col.data(), col.data(), sq.data(), count_);
+    for (std::size_t k = 1; k < stride_; ++k) {
+      lanes.mul_lanes(col.data(), sq.data(), next.data(), count_);
+      col.swap(next);
+      for (std::size_t j = 0; j < count_; ++j)
+        table_[j * stride_ + k] = col[j];
+    }
+  }
+
   GroupDomOps<G> ops_;
   unsigned window_;
   std::size_t stride_;  ///< table entries per base (2^(w-1))
@@ -176,6 +204,27 @@ typename G::Elem multi_pow_naive(const G& g,
   for (std::size_t j = 0; j < bases.size(); ++j)
     acc = g.mul(acc, g.pow(bases[j], exponents[j]));
   return acc;
+}
+
+/// Batched *independent* exponentiations out[j] = bases[j]^{exponents[j]}
+/// — no product, no shared squaring chain; the batched counterpart of
+/// calling g.pow in a loop. The cost model picks the lane engine when the
+/// group's SimdMode engages and at least one full lane group of same-
+/// modulus exponentiations exists (lanes_profitable); otherwise the scalar
+/// ladder runs — same values, same OpCounts (montlane.hpp contract), so
+/// callers may switch freely. This is the Phase III share-verify shape:
+/// many independent pows against one modulus.
+template <GroupBackend G>
+std::vector<typename G::Elem> multi_pow_batched(
+    const G& g, std::span<const typename G::Elem> bases,
+    std::span<const typename G::Scalar> exponents) {
+  DMW_REQUIRE(bases.size() == exponents.size());
+  std::vector<typename G::Elem> out(bases.size());
+  if (bases.empty()) return out;
+  const MontLane<typename GroupLaneCtx<G>::Ctx> lane{
+      g.mont(), lanes_profitable(g, bases.size())};
+  lane.pow_lanes(bases.data(), exponents.data(), out.data(), bases.size());
+  return out;
 }
 
 }  // namespace dmw::num

@@ -24,6 +24,19 @@
 // Comparing the total modular work of two code paths means comparing
 // `mul` (+ `add`/`inv` where relevant); comparing `pow` alone only says how
 // often exponentiation was invoked.
+//
+// Lane-grouped crediting (numeric/montlane.hpp): when the vectorized
+// Montgomery tier retires a group of kLanes multiplications as one SIMD
+// kernel call, it credits one `mul` per *active lane slot* — masked padding
+// slots whose outputs are discarded are never counted. A lane-batched
+// exponentiation likewise credits one `pow` per element plus exactly the
+// ladder's per-element `mul`s (1 domain entry + bits-1 squarings +
+// popcount-1 products + 1 domain exit, zero exponents just the `pow`).
+// Consequence: OpCounts — and therefore RunReports — are bit-identical
+// across SimdMode off/auto/on; the grouping is visible only in wall time
+// and in the separate simd::lane_ops() engine telemetry (thread-local
+// kernel-dispatch counter, deliberately NOT part of OpCounts so reports
+// never depend on the host ISA).
 #pragma once
 
 #include <cstdint>

@@ -21,9 +21,11 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cmath>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "numeric/groupdom.hpp"
@@ -114,16 +116,51 @@ typename G::Elem multi_pow_pippenger(
       window != 0 ? window : pippenger_window_bits(bases.size(), max_bits);
   DMW_REQUIRE(c >= 1 && c <= kPippengerWindowMax);
 
-  // Bases enter the multiplicative domain once, up front.
-  std::vector<typename G::Dom> dom;
-  dom.reserve(bases.size());
-  for (const auto& b : bases) dom.push_back(g.to_dom(b));
+  // Bases enter the multiplicative domain once, up front — lane-grouped
+  // when the group's SimdMode engages (independent conversions, identical
+  // values and OpCounts either way).
+  const bool use_lanes = lanes_profitable(g, bases.size());
+  const auto lane = make_lane_engine(g);
+  constexpr std::size_t kL = std::remove_cvref_t<decltype(lane)>::kLanes;
+  std::vector<typename G::Dom> dom(bases.size());
+  if (use_lanes) {
+    lane.to_mont_lanes(bases.data(), dom.data(), bases.size());
+  } else {
+    for (std::size_t j = 0; j < bases.size(); ++j) dom[j] = g.to_dom(bases[j]);
+  }
 
   // Buckets for digit values 1..2^c-1; a presence mask avoids spending
   // identity multiplications on empty buckets.
   const std::size_t bucket_count = (std::size_t(1) << c) - 1;
   std::vector<typename G::Dom> bucket(bucket_count);
   std::vector<char> filled(bucket_count, 0);
+
+  // Pending bucket multiplications for the lane engine: accumulations into
+  // *distinct* buckets are independent, so up to kLanes of them retire as
+  // one masked lane group. A second hit on a pending bucket flushes first,
+  // preserving each bucket's accumulation order — the grouped schedule
+  // performs the same multiset of multiplications in the same per-bucket
+  // order as the scalar loop, so values and OpCounts are identical.
+  std::array<std::size_t, kL> pend_bucket{};
+  std::array<std::size_t, kL> pend_base{};
+  std::size_t npend = 0;
+  const auto flush = [&]() {
+    if (npend == 0) return;
+    typename G::Dom a[kL], b[kL];
+    bool active[kL] = {};
+    for (std::size_t k = 0; k < npend; ++k) {
+      a[k] = bucket[pend_bucket[k]];
+      b[k] = dom[pend_base[k]];
+      active[k] = true;
+    }
+    for (std::size_t k = npend; k < kL; ++k) {
+      a[k] = a[0];
+      b[k] = b[0];
+    }
+    lane.mul_masked(a, b, active);
+    for (std::size_t k = 0; k < npend; ++k) bucket[pend_bucket[k]] = a[k];
+    npend = 0;
+  };
 
   const unsigned rounds = (max_bits + c - 1) / c;
   typename G::Dom acc{};
@@ -137,12 +174,25 @@ typename G::Elem multi_pow_pippenger(
       const unsigned d = exp_window(exponents[j], r * c, c);
       if (d == 0) continue;
       if (filled[d - 1]) {
-        bucket[d - 1] = ops.mul(bucket[d - 1], dom[j]);
+        if (use_lanes) {
+          for (std::size_t k = 0; k < npend; ++k) {
+            if (pend_bucket[k] == d - 1) {
+              flush();
+              break;
+            }
+          }
+          pend_bucket[npend] = d - 1;
+          pend_base[npend] = j;
+          if (++npend == kL) flush();
+        } else {
+          bucket[d - 1] = ops.mul(bucket[d - 1], dom[j]);
+        }
       } else {
         bucket[d - 1] = dom[j];
         filled[d - 1] = 1;
       }
     }
+    flush();
     // sum_d d * bucket_d by suffix products: scanning d downward, `running`
     // holds prod_{d' >= d} bucket_{d'} and is folded into `sum` once per
     // level, so bucket_d ends up counted exactly d times.

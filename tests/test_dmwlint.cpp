@@ -320,6 +320,37 @@ TEST(DmwLint, IncludeHygiene) {
             0u);
 }
 
+TEST(DmwLint, IntrinsicHeadersConfinedToSimdHome) {
+  const std::string avx = "#include <immintrin.h>\n";
+  const std::string neon = "#include <arm_neon.h>\n";
+  const std::string sse = "#include <emmintrin.h>\n";
+  // Anywhere but src/numeric/simd.hpp, intrinsics fire — other numeric
+  // headers, protocol code, tools.
+  EXPECT_EQ(count_rule(lint_file("src/numeric/mont.hpp",
+                                 "#pragma once\n" + avx),
+                       "include-hygiene"),
+            1u);
+  EXPECT_EQ(count_rule(lint_file("src/dmw/agent.hpp",
+                                 "#pragma once\n" + neon),
+                       "include-hygiene"),
+            1u);
+  EXPECT_EQ(count_rule(lint_file("tools/bench_json.cpp", sse),
+                       "include-hygiene"),
+            1u);
+  // The sanctioned home is exempt.
+  EXPECT_EQ(count_rule(lint_file("src/numeric/simd.hpp",
+                                 "#pragma once\n" + avx + neon),
+                       "include-hygiene"),
+            0u);
+  // An intrinsic header named in a comment must not fire (includes are
+  // matched on preprocessor lines only).
+  const std::string prose = "// uses <immintrin.h> via numeric/simd.hpp\n";
+  EXPECT_EQ(count_rule(lint_file("src/numeric/montlane.hpp",
+                                 "#pragma once\n" + prose),
+                       "include-hygiene"),
+            0u);
+}
+
 TEST(DmwLint, RawThreadLockBanCoversAllOfSrc) {
   const std::string locks =
       "std::mutex m;\n"

@@ -14,7 +14,17 @@ Dispatches on the top-level "bench" tag each emitter writes:
                                      fails — the baseline is a ratchet,
                                      refreshed by checking in a new
                                      BENCH_commit.json when an optimization
-                                     lands.
+                                     lands. The baseline may carry an
+                                     absolute_floors block gating the lane-
+                                     engine speedups (pow_batch_speedup);
+                                     those floors bind only when the fresh
+                                     run's simd.backend is a real vector
+                                     kernel — a host whose runtime dispatch
+                                     resolved to "scalar" measures ~1.0x for
+                                     every lane speedup by design, so its
+                                     floors are skipped (and printed as
+                                     skipped), exactly like the one-core
+                                     skip for parallel scaling floors.
   "parallel"     (bench_parallel)    correctness booleans must be exactly
                                      true (all_outcomes_match and every
                                      per-run outcome_match); the dimensionless
@@ -56,14 +66,16 @@ Dispatches on the top-level "bench" tag each emitter writes:
                                      reported, not gated (a single scheduler
                                      hiccup on a shared runner would flake).
 
-A "parallel" or "serve" baseline may additionally carry an "absolute_floors"
-object (hand-added when checking in the baseline, not emitted by the bench):
+A "parallel", "serve" or "commit" baseline may additionally carry an
+"absolute_floors" object (hand-added when checking in the baseline, not
+emitted by the bench):
 
     "absolute_floors": {
         "min_hardware_concurrency": 4,
         "floors": [{"m": 128, "threads": 4, "min_speedup": 1.25}]          # parallel
         "floors": [{"metric": "throughput_per_s", "min": 50.0},
                    {"metric": "latency_ms.p99", "max": 40.0}]              # serve
+        "floors": [{"metric": "group64.pow_batch_speedup", "min": 1.5}]    # commit
     }
 
 Every schema shares one bind/skip contract (check_absolute_floors):
@@ -73,6 +85,8 @@ Every schema shares one bind/skip contract (check_absolute_floors):
   - block malformed                     -> exit 3
   - fresh hardware_concurrency below
     min_hardware_concurrency            -> floors SKIPPED, printed as such
+  - commit schema only: fresh
+    simd.backend == "scalar"            -> floors SKIPPED, printed as such
   - otherwise                           -> every floor binds on the fresh run
 
 --require-floors turns "every hardware-gated floor was skipped" into a
@@ -102,7 +116,7 @@ BACKENDS = ("group64", "group256")
 # Schemas whose baselines may carry an absolute_floors block. Anywhere else
 # the block is a schema error — silently ignoring it (the old behaviour for
 # non-parallel schemas) meant a misplaced gate never gated anything.
-FLOOR_SCHEMAS = ("parallel", "serve")
+FLOOR_SCHEMAS = ("parallel", "serve", "commit")
 
 
 # Schema/input problems exit 3, distinct from 1 (genuine regression) and 2
@@ -152,7 +166,45 @@ def check_commit(baseline, fresh, keys, tolerance):
                 verdict = "faster (consider refreshing the baseline)"
             print(f"{backend}.{key}: baseline {base_ns:.1f} ns, "
                   f"fresh {fresh_ns:.1f} ns, ratio {ratio:.3f} [{verdict}]")
-    return compared, regressions, 0
+
+    # Absolute floors (hand-added to the baseline): lane-engine speedup
+    # gates like group64.pow_batch_speedup. They bind only when the fresh
+    # machine actually dispatched a vector kernel — with runtime dispatch
+    # resolved to "scalar", SimdMode::kAuto degenerates to the scalar
+    # ladder and every lane speedup is honestly ~1.0x, so gating it would
+    # measure the runner's ISA, not the code.
+    if "absolute_floors" not in baseline:
+        return compared, regressions, 0
+    fresh_hw = hardware_concurrency(fresh, "fresh", "commit")
+    sim_backend = dig(fresh, "simd.backend")
+    if not isinstance(sim_backend, str) or not sim_backend:
+        schema_error("commit baseline carries absolute_floors but the fresh "
+                     "run records no simd.backend; re-run bench_json (schema "
+                     ">= 2) to say which lane kernel measured it")
+    if sim_backend == "scalar":
+        print("absolute floors SKIPPED: fresh machine dispatches the scalar "
+              "lane backend (no vector unit — lane speedups are ~1.0x there "
+              "by design)")
+        return compared, regressions, 0
+
+    def resolve(entry):
+        metric = entry.get("metric")
+        min_v = entry.get("min")
+        if not isinstance(metric, str) or \
+                not isinstance(min_v, (int, float)) or \
+                isinstance(min_v, bool):
+            schema_error(f"malformed absolute floor entry {entry!r} (need "
+                         f"'metric' plus 'min')")
+        value = dig(fresh, metric)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            schema_error(f"absolute floor metric '{metric}' not found in "
+                         f"fresh commit bench")
+        return metric, float(value), float(min_v), "min"
+
+    floor_compared, floor_regressions, floors_bound = check_absolute_floors(
+        baseline, fresh_hw, resolve)
+    return (compared + floor_compared, regressions + floor_regressions,
+            floors_bound)
 
 
 def check_bools(fresh, paths):

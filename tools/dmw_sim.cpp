@@ -58,6 +58,12 @@ options:
                        the default) | static (deterministic sharding).
                        Default honours DMW_DETERMINISTIC_SCHEDULE; outcomes
                        are bit-identical either way.
+  --simd S             auto | on | off (default auto). Lane-grouping policy
+                       for the vectorized Montgomery tier (numeric/simd.hpp):
+                       auto engages when the host has a vector ISA, on
+                       forces the portable lane kernels, off pins the
+                       scalar paths. Outcomes, abort streams and RunReports
+                       are bit-identical in every mode
   --trace-out FILE     write a Chrome trace_event JSON of the run (load in
                        about:tracing or https://ui.perfetto.dev)
   --metrics-out FILE   write the RunReport JSON: per-phase wall time, op
@@ -128,6 +134,14 @@ int run_simulation(G group, const Flags& flags) {
       tolerant ? PublicParams<G>::make_crash_tolerant(std::move(group), n, m,
                                                       c, seed)
                : PublicParams<G>::make(std::move(group), n, m, c, seed);
+  const std::string simd = flags.get_string("simd", "auto");
+  if (simd == "on") {
+    params.set_simd(dmw::num::simd::SimdMode::kOn);
+  } else if (simd == "off") {
+    params.set_simd(dmw::num::simd::SimdMode::kOff);
+  } else {
+    DMW_REQUIRE_MSG(simd == "auto", "--simd must be auto, on or off");
+  }
   if (tracing) {
     params.set_tracing(true);
     auto& tracer = dmw::trace::Tracer::instance();
@@ -294,7 +308,8 @@ int main(int argc, char** argv) {
                       {"n", "m", "c", "seed", "secret-seed", "instance-seed",
                        "workload", "backend", "p-bits",
                        "deviant", "deviator", "crash-tolerant!", "crashes",
-                       "crash-point", "threads", "schedule", "plain!", "json!",
+                       "crash-point", "threads", "schedule", "simd", "plain!",
+                       "json!",
                        "trace-out", "metrics-out", "trace-clock", "help!"});
     if (flags.get_bool("help")) {
       std::printf("%s", kUsage);

@@ -1,0 +1,17 @@
+// Fixture: vendor intrinsic headers are confined to src/numeric/simd.hpp
+// (runtime dispatch + portable fallback live there); including them from
+// any other file under src/ fires include-hygiene.
+// dmwlint-fixture-path: src/numeric/fastpath.cpp
+
+#include <immintrin.h>  // EXPECT: include-hygiene
+#include <arm_neon.h>  // EXPECT: include-hygiene
+#include <emmintrin.h>  // EXPECT: include-hygiene
+
+#include "numeric/simd.hpp"
+#include <vector>
+
+namespace dmw::num {
+
+inline int fine() { return 0; }
+
+}  // namespace dmw::num

@@ -659,6 +659,12 @@ void rule_include_hygiene(const SourceFile& file,
   static const std::regex iostream_re(R"(#\s*include\s*<iostream>)");
   static const std::regex cassert_re(
       R"(#\s*include\s*(?:<cassert>|<assert\.h>))");
+  static const std::regex intrinsics_re(
+      R"(#\s*include\s*<(?:immintrin|x86intrin|x86gprintrin|emmintrin|xmmintrin|pmmintrin|smmintrin|tmmintrin|nmmintrin|wmmintrin|ammintrin|avxintrin|avx2intrin|arm_neon|arm_sve|arm_acle|arm_fp16)\.h>)");
+  // numeric/simd.hpp is the one sanctioned home for vendor intrinsics: it
+  // wraps them behind runtime dispatch with a portable fallback, so every
+  // other file stays ISA-neutral and the scalar ablation stays honest.
+  const bool is_simd_home = has_adjacent(file, "numeric", "simd.hpp");
   bool has_pragma_once = false;
   for (std::size_t i = 0; i < file.lines.size(); ++i) {
     std::string lead = file.lines[i].code;
@@ -682,6 +688,11 @@ void rule_include_hygiene(const SourceFile& file,
       report(findings, file, i, "include-hygiene",
              "<cassert> include: invariants go through DMW_CHECK "
              "(support/check.hpp)");
+    if (!is_simd_home && std::regex_search(code, intrinsics_re))
+      report(findings, file, i, "include-hygiene",
+             "vendor intrinsic header outside src/numeric/simd.hpp: SIMD "
+             "kernels are confined there behind runtime dispatch with a "
+             "portable fallback (numeric/simd.hpp header contract)");
     if (has_component(file, "src") && std::regex_search(code, iostream_re))
       report(findings, file, i, "include-hygiene",
              "<iostream> in the library: static-init cost in every TU and "
