@@ -1,8 +1,32 @@
 #include "dmw/messages.hpp"
 
 #include "dmw/protocol.hpp"
+#include "net/network.hpp"
 
 namespace dmw::proto {
+
+namespace {
+
+/// Static-init registration of the protocol's kind tags with the network's
+/// communication ledger, so every ledger row and flow event carries the
+/// protocol-level name instead of a bare integer. This TU is always linked
+/// (it provides to_string), so the registry is populated before main.
+[[maybe_unused]] const bool g_comm_kinds_registered = [] {
+  const auto reg = [](MsgKind kind, const char* name) {
+    net::register_comm_kind(static_cast<std::uint32_t>(kind), name);
+  };
+  reg(MsgKind::kKeyExchange, "key_exchange");
+  reg(MsgKind::kShares, "shares");
+  reg(MsgKind::kCommitments, "commitments");
+  reg(MsgKind::kLambdaPsi, "lambda_psi");
+  reg(MsgKind::kWinnerShares, "winner_shares");
+  reg(MsgKind::kReducedLambdaPsi, "reduced_lambda_psi");
+  reg(MsgKind::kPaymentClaim, "payment_claim");
+  reg(MsgKind::kAbort, "abort");
+  return true;
+}();
+
+}  // namespace
 
 const char* to_string(AbortReason reason) {
   switch (reason) {

@@ -251,6 +251,7 @@ class ParallelProtocol {
   void run_epoch(Phase phase, Outcome& outcome, std::vector<Stage> stages)
       DMW_REQUIRES(driver_role_) {
     if (outcome.aborted) return;
+    net_.set_comm_phase(static_cast<std::uint32_t>(phase), to_string(phase));
     const auto traffic_before = net_.stats();
     for (auto& ops : worker_ops_) ops = dmw::num::OpCounts{};
     dmw::num::OpCountScope driver_ops;

@@ -55,6 +55,10 @@ struct Outcome {
 
   net::TrafficStats traffic;               ///< whole-run totals
   std::array<PhaseTraffic, static_cast<std::size_t>(Phase::kCount)> phases;
+  /// Communication-ledger rows (SimNetwork::comm_rows()): every message
+  /// attributed to its (phase, round, kind, sender) cell. Populated only
+  /// when the run was traced (the ledger records iff trace::on()).
+  std::vector<net::CommRow> comm;
   std::uint64_t rounds = 0;
   bool transcripts_consistent = true;      ///< all agents saw one broadcast
 
@@ -141,6 +145,7 @@ void finalize_outcome(const PublicParams<G>& params, net::SimNetwork& net,
                       Outcome& outcome) {
   DMW_SPAN("run/finalize");
   outcome.traffic = net.stats();
+  outcome.comm = net.comm_rows();
   if (outcome.aborted) return;
 
   // Payment settlement (Phase IV): decode the published claims.
@@ -272,6 +277,7 @@ class ProtocolRunner {
   template <class Fn>
   void step(Phase phase, Outcome& outcome, Fn&& fn) {
     if (outcome.aborted) return;
+    net_.set_comm_phase(static_cast<std::uint32_t>(phase), to_string(phase));
     const auto traffic_before = net_.stats();
     dmw::num::OpCountScope ops;
     trace::Span span(to_string(phase));
@@ -342,6 +348,18 @@ trace::RunReport make_run_report(const PublicParams<G>& params,
     row.p2p_messages = bucket.stats.p2p_equivalent_messages;
     row.p2p_bytes = bucket.stats.p2p_equivalent_bytes;
     report.phases.push_back(std::move(row));
+  }
+  for (const net::CommRow& row : outcome.comm) {
+    trace::RunReport::CommRow out;
+    out.phase = row.phase_label;
+    out.round = row.key.round;
+    out.kind = row.kind_name;
+    out.sender = row.key.sender;
+    out.messages = row.counts.messages;
+    out.wire_bytes = row.counts.wire_bytes;
+    out.p2p_messages = row.counts.p2p_messages;
+    out.p2p_bytes = row.counts.p2p_bytes;
+    report.comm.push_back(std::move(out));
   }
   trace::collect_into(report);
   return report;

@@ -336,7 +336,8 @@ class ServeEngine {
   std::string outcome_digest() const { return crypto::digest_hex(chain_); }
 
   /// Field-by-field Outcome identity (the bit-identity contract's fields:
-  /// abort record, schedule, prices, payments, rounds, traffic).
+  /// abort record, schedule, prices, payments, rounds, and every
+  /// TrafficStats column — unicast, broadcast, and p2p-equivalent alike).
   static bool outcomes_identical(const Outcome& a, const Outcome& b) {
     if (a.aborted != b.aborted) return false;
     if (a.aborted) {
@@ -351,6 +352,10 @@ class ServeEngine {
     }
     return a.payments == b.payments && a.rounds == b.rounds &&
            a.transcripts_consistent == b.transcripts_consistent &&
+           a.traffic.unicast_messages == b.traffic.unicast_messages &&
+           a.traffic.unicast_bytes == b.traffic.unicast_bytes &&
+           a.traffic.broadcast_messages == b.traffic.broadcast_messages &&
+           a.traffic.broadcast_bytes == b.traffic.broadcast_bytes &&
            a.traffic.p2p_equivalent_messages ==
                b.traffic.p2p_equivalent_messages &&
            a.traffic.p2p_equivalent_bytes == b.traffic.p2p_equivalent_bytes;

@@ -1,0 +1,208 @@
+// Closed-form honest-run communication expectations (Theorem 11 bookkeeping).
+//
+// For an honest run over the simulated star network, every ledger cell of
+// net::SimNetwork's communication ledger (network.hpp) is determined exactly
+// by the public parameters: which kinds flow, in which phase/round, from
+// which sender, how many envelopes, and how many wire bytes each. This
+// header spells those counts out as closed forms in (n, m, sigma, c) plus
+// the per-task first prices, so tests and the T1-comm bench can assert the
+// measured ledger *equals* the paper's cost model instead of eyeballing
+// totals.
+//
+// Scope: the forms assume the fixed-width scalar codec (Group64's raw
+// 8-byte scalars/elements; see net/serialize.hpp) and a delay-free network
+// (no delivery injector), which is exactly the honest-measurement setup of
+// exp/complexity.hpp. GroupBig's variable-length `big` encoding has no
+// closed form, so there is deliberately no overload for it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dmw/messages.hpp"
+#include "dmw/protocol.hpp"
+#include "net/network.hpp"
+
+namespace dmw::exp {
+
+/// Everything the closed forms depend on. Build one by hand or with
+/// comm_spec_for() below.
+struct CommSpec {
+  std::size_t n = 0;      ///< agents
+  std::size_t m = 0;      ///< tasks
+  std::size_t c = 0;      ///< max faulty (enters the disclosure quorum)
+  std::size_t sigma = 0;  ///< degree bound w_k + c + 1 (commitment width)
+  bool encrypt_channels = false;
+  bool crash_tolerant = false;
+  /// Winning bid per task; the III.3 disclosure count is y*_j + 1 (+c when
+  /// crash tolerant). Taken from Outcome::first_prices.
+  std::vector<mech::Cost> first_prices;
+  /// Encoded width of one scalar/element; 8 for Group64's raw-u64 codec.
+  std::size_t scalar_bytes = 8;
+};
+
+/// LEB128 length of `value` (net/serialize.hpp varint).
+inline std::size_t varint_len(std::uint64_t value) {
+  std::size_t len = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+/// Envelope framing billed by the cost model: from + to/round + kind.
+inline constexpr std::size_t kEnvelopeOverhead = 12;
+
+/// Wire size of one message of `kind` under `spec` (header + payload,
+/// matching net::Envelope::wire_size over the codecs in dmw/messages.hpp).
+inline std::uint64_t expected_wire_size(const CommSpec& spec,
+                                        proto::MsgKind kind) {
+  const std::uint64_t s = spec.scalar_bytes;
+  std::uint64_t payload = 0;
+  switch (kind) {
+    case proto::MsgKind::kKeyExchange:
+      payload = s;  // one group element
+      break;
+    case proto::MsgKind::kShares:
+      // task + the four shares e, f, g, h; the AEAD layer wraps that in a
+      // cleartext u32 nonce plus ciphertext||16-byte tag (dmw/agent.hpp).
+      payload = 4 + 4 * s;
+      if (spec.encrypt_channels) payload += 4 + 16;
+      break;
+    case proto::MsgKind::kCommitments:
+      // task + the O, Q, R vectors, each sigma elements behind a varint.
+      payload = 4 + 3 * (varint_len(spec.sigma) + spec.sigma * s);
+      break;
+    case proto::MsgKind::kLambdaPsi:
+    case proto::MsgKind::kReducedLambdaPsi:
+      payload = 4 + 2 * s;  // task + Lambda + Psi
+      break;
+    case proto::MsgKind::kWinnerShares:
+      // task + the n received f-shares behind a varint.
+      payload = 4 + varint_len(spec.n) + spec.n * s;
+      break;
+    case proto::MsgKind::kPaymentClaim:
+      payload = varint_len(spec.n) + spec.n * 8;  // claimed P_i vector
+      break;
+    case proto::MsgKind::kAbort:
+      payload = 8;  // never sent in an honest run
+      break;
+  }
+  return kEnvelopeOverhead + payload;
+}
+
+/// Prescribed III.3 disclosure quorum for task j: the first y*_j + 1 alive
+/// agents in pseudonym order, padded by c under crash tolerance so missing
+/// disclosers cannot deadlock winner identification (dmw/agent.hpp).
+inline std::size_t expected_disclosers(const CommSpec& spec, std::size_t task) {
+  return static_cast<std::size_t>(spec.first_prices[task]) + 1 +
+         (spec.crash_tolerant ? spec.c : 0);
+}
+
+/// The full expected ledger of an honest run, in CommKey order — one row per
+/// (phase, round, kind, sender) cell, exactly as SimNetwork::comm_rows()
+/// reports it. Rounds are the delay-free step indices of
+/// ProtocolRunner::run(): keys fold in round 0, shares + commitments in
+/// round 1, Lambda/Psi in round 2, disclosures in round 4, reduced
+/// Lambda/Psi in round 6, payment claims in round 8.
+inline std::vector<net::CommRow> expected_honest_comm(const CommSpec& spec) {
+  std::vector<net::CommRow> rows;
+  const auto phase_of = [](proto::Phase phase) {
+    return static_cast<std::uint32_t>(phase);
+  };
+  const auto emit = [&](proto::Phase phase, std::uint64_t round,
+                        proto::MsgKind kind, std::size_t sender,
+                        std::uint64_t messages, std::uint64_t fanout) {
+    if (messages == 0) return;
+    const std::uint64_t wire = expected_wire_size(spec, kind);
+    net::CommRow row;
+    row.key = net::CommKey{phase_of(phase), round,
+                           static_cast<std::uint32_t>(kind),
+                           static_cast<net::AgentId>(sender)};
+    row.phase_label = proto::to_string(phase);
+    row.kind_name = net::comm_kind_name(static_cast<std::uint32_t>(kind));
+    row.counts.messages = messages;
+    row.counts.wire_bytes = messages * wire;
+    row.counts.p2p_messages = messages * fanout;
+    row.counts.p2p_bytes = messages * fanout * wire;
+    rows.push_back(std::move(row));
+  };
+
+  const std::uint64_t n = spec.n;
+  const std::uint64_t m = spec.m;
+  const std::uint64_t broadcast = n > 1 ? n - 1 : 1;  // publish billing
+
+  // Round 0: DH key publication, only when the AEAD layer is on.
+  if (spec.encrypt_channels) {
+    for (std::size_t i = 0; i < n; ++i)
+      emit(proto::Phase::kBidding, 0, proto::MsgKind::kKeyExchange, i, 1,
+           broadcast);
+  }
+  // Round 1: per task, each agent unicasts shares to the n-1 peers...
+  for (std::size_t i = 0; i < n; ++i)
+    emit(proto::Phase::kBidding, 1, proto::MsgKind::kShares, i, m * (n - 1),
+         1);
+  // ...and publishes one commitment vector per task.
+  for (std::size_t i = 0; i < n; ++i)
+    emit(proto::Phase::kBidding, 1, proto::MsgKind::kCommitments, i, m,
+         broadcast);
+  // Round 2: Lambda/Psi, one posting per (agent, task).
+  for (std::size_t i = 0; i < n; ++i)
+    emit(proto::Phase::kLambdaPsi, 2, proto::MsgKind::kLambdaPsi, i, m,
+         broadcast);
+  // Round 4: III.3 disclosures — agent k (pseudonym rank k+1) discloses for
+  // task j iff k+1 <= y*_j + 1 (+c when crash tolerant).
+  for (std::size_t k = 0; k < n; ++k) {
+    std::uint64_t tasks_disclosed = 0;
+    for (std::size_t j = 0; j < spec.m; ++j)
+      if (k + 1 <= expected_disclosers(spec, j)) ++tasks_disclosed;
+    emit(proto::Phase::kWinner, 4, proto::MsgKind::kWinnerShares, k,
+         tasks_disclosed, broadcast);
+  }
+  // Round 6: winner-excluded Lambda/Psi, again one per (agent, task).
+  for (std::size_t i = 0; i < n; ++i)
+    emit(proto::Phase::kSecondPrice, 6, proto::MsgKind::kReducedLambdaPsi, i,
+         m, broadcast);
+  // Round 8: one payment-claim vector per agent.
+  for (std::size_t i = 0; i < n; ++i)
+    emit(proto::Phase::kPayments, 8, proto::MsgKind::kPaymentClaim, i, 1,
+         broadcast);
+  return rows;
+}
+
+/// Spec for the honest measurement run that produced `outcome`.
+inline CommSpec comm_spec_for(
+    const proto::PublicParams<dmw::num::Group64>& params,
+    const proto::Outcome& outcome, const proto::RunConfig& config) {
+  CommSpec spec;
+  spec.n = params.n();
+  spec.m = params.m();
+  spec.c = params.c();
+  spec.sigma = params.sigma();
+  spec.encrypt_channels = config.encrypt_channels;
+  spec.crash_tolerant = params.crash_tolerant();
+  spec.first_prices = outcome.first_prices;
+  return spec;
+}
+
+/// Collapse ledger rows to per-kind totals (kind name -> summed counts),
+/// the granularity the T1-comm bench reports and gates.
+inline std::map<std::string, net::CommCounts> comm_totals_by_kind(
+    const std::vector<net::CommRow>& rows) {
+  std::map<std::string, net::CommCounts> totals;
+  for (const auto& row : rows) totals[row.kind_name] += row.counts;
+  return totals;
+}
+
+/// Whole-ledger totals; equals TrafficStats' p2p-equivalent columns on the
+/// p2p side when every send was recorded under the ledger.
+inline net::CommCounts comm_grand_total(const std::vector<net::CommRow>& rows) {
+  net::CommCounts total;
+  for (const auto& row : rows) total += row.counts;
+  return total;
+}
+
+}  // namespace dmw::exp

@@ -2,10 +2,90 @@
 
 #include <algorithm>
 
+#include "net/serialize.hpp"
 #include "support/thread_pool.hpp"
 #include "support/trace.hpp"
 
 namespace dmw::net {
+
+std::vector<std::uint8_t> Envelope::encode() const {
+  Writer w;
+  w.u32(from);
+  w.u32(to);
+  w.u32(kind);
+  w.blob(payload);
+  return w.take();
+}
+
+Envelope Envelope::decode(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  Envelope env;
+  env.from = r.u32();
+  env.to = r.u32();
+  env.kind = r.u32();
+  env.payload = r.blob();
+  r.expect_done();
+  return env;
+}
+
+std::vector<std::uint8_t> Posting::encode() const {
+  Writer w;
+  w.u32(from);
+  w.u32(kind);
+  w.u64(round);
+  w.blob(payload);
+  return w.take();
+}
+
+Posting Posting::decode(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  Posting posting;
+  posting.from = r.u32();
+  posting.kind = r.u32();
+  posting.round = r.u64();
+  posting.payload = r.blob();
+  r.expect_done();
+  return posting;
+}
+
+namespace {
+
+/// Kind-name registry. Leaked (registrations run at static init from
+/// dmw/messages.cpp, lookups can outlive main's locals); names are static
+/// storage, so the registry keeps bare pointers.
+struct KindRegistry {
+  Mutex mutex;
+  std::map<std::uint32_t, const char*> names DMW_GUARDED_BY(mutex);
+};
+
+KindRegistry& kind_registry() {
+  static KindRegistry* r = new KindRegistry;
+  return *r;
+}
+
+}  // namespace
+
+void register_comm_kind(std::uint32_t kind, const char* name) {
+  DMW_REQUIRE(name != nullptr);
+  auto& r = kind_registry();
+  MutexLock lock(r.mutex);
+  r.names[kind] = name;
+}
+
+std::string comm_kind_name(std::uint32_t kind) {
+  auto& r = kind_registry();
+  MutexLock lock(r.mutex);
+  const auto it = r.names.find(kind);
+  if (it != r.names.end()) return it->second;
+  return "kind" + std::to_string(kind);
+}
+
+const char* comm_kind_label(std::uint32_t kind) {
+  auto& r = kind_registry();
+  MutexLock lock(r.mutex);
+  const auto it = r.names.find(kind);
+  return it != r.names.end() ? it->second : "unregistered";
+}
 
 SimNetwork::SimNetwork(std::size_t n_agents)
     : n_(n_agents), inboxes_(n_agents), per_agent_(n_agents) {
@@ -30,7 +110,44 @@ std::pair<TrafficStats*, TrafficStats*> SimNetwork::stat_slots(AgentId from) {
   return {&totals_, &per_agent_[from]};
 }
 
+std::map<std::uint64_t, CommCounts>& SimNetwork::comm_slot() {
+  const int worker = ThreadPool::current_worker_id();
+  if (worker >= 0 && static_cast<std::size_t>(worker) < worker_stats_.size())
+    return worker_stats_[static_cast<std::size_t>(worker)].comm;
+  return comm_cells_;
+}
+
+std::uint64_t SimNetwork::record_comm(AgentId from, std::uint32_t kind,
+                                      std::uint64_t p2p_fanout,
+                                      std::uint64_t size) {
+  CommCounts& cell = comm_slot()[(std::uint64_t{kind} << 32) | from];
+  cell.messages += 1;
+  cell.wire_bytes += size;
+  cell.p2p_messages += p2p_fanout;
+  cell.p2p_bytes += p2p_fanout * size;
+  return next_msg_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void SimNetwork::fold_comm_cells() {
+  const auto fold = [&](std::map<std::uint64_t, CommCounts>& cells) {
+    for (const auto& [packed, counts] : cells) {
+      const auto kind = static_cast<std::uint32_t>(packed >> 32);
+      const auto sender = static_cast<AgentId>(packed & 0xffffffffu);
+      comm_ledger_[CommKey{comm_phase_, round_, kind, sender}] += counts;
+      // Per-kind registry counters: cumulative across rounds, so they show
+      // up in RunReport metrics and in the serve interval counter deltas.
+      const std::string name = comm_kind_name(kind);
+      trace::counter("net/kind/" + name + "/messages").add(counts.messages);
+      trace::counter("net/kind/" + name + "/bytes").add(counts.wire_bytes);
+    }
+    cells.clear();
+  };
+  fold(comm_cells_);
+  for (auto& slot : worker_stats_) fold(slot.comm);
+}
+
 void SimNetwork::flush_worker_stats() {
+  fold_comm_cells();
   for (auto& slot : worker_stats_) {
     totals_ += slot.totals;
     slot.totals = TrafficStats{};
@@ -39,6 +156,29 @@ void SimNetwork::flush_worker_stats() {
       slot.per_agent[a] = TrafficStats{};
     }
   }
+}
+
+void SimNetwork::set_comm_phase(std::uint32_t phase, std::string_view label) {
+  comm_phase_ = phase;
+  auto& stored = comm_phase_labels_[phase];
+  if (stored.empty()) stored.assign(label);
+}
+
+std::vector<CommRow> SimNetwork::comm_rows() const {
+  std::vector<CommRow> out;
+  out.reserve(comm_ledger_.size());
+  for (const auto& [key, counts] : comm_ledger_) {
+    CommRow row;
+    row.key = key;
+    const auto it = comm_phase_labels_.find(key.phase);
+    row.phase_label = it != comm_phase_labels_.end()
+                          ? it->second
+                          : std::string("unattributed");
+    row.kind_name = comm_kind_name(key.kind);
+    row.counts = counts;
+    out.push_back(std::move(row));
+  }
+  return out;
 }
 
 void SimNetwork::send(AgentId from, AgentId to, std::uint32_t kind,
@@ -56,6 +196,13 @@ void SimNetwork::send(AgentId from, AgentId to, std::uint32_t kind,
   sender->unicast_bytes += size;
   sender->p2p_equivalent_messages += 1;
   sender->p2p_equivalent_bytes += size;
+  if (trace::on()) {
+    // Ledger + flow stamp. Billed like TrafficStats — before the injector,
+    // so a dropped message still counts as sent (its flow arrow dangles,
+    // which is exactly what a Perfetto view of a lossy run should show).
+    env.msg_id = record_comm(from, kind, 1, size);
+    trace::flow_event(comm_kind_label(kind), env.msg_id, /*send=*/true);
+  }
 
   std::uint64_t deliver_round = round_ + 1;
   if (injector_) {
@@ -85,6 +232,10 @@ void SimNetwork::publish(AgentId from, std::uint32_t kind,
   sender->broadcast_bytes += size;
   sender->p2p_equivalent_messages += fanout;
   sender->p2p_equivalent_bytes += fanout * size;
+  if (trace::on()) {
+    posting.msg_id = record_comm(from, kind, fanout, size);
+    trace::flow_event(comm_kind_label(kind), posting.msg_id, /*send=*/true);
+  }
 
   MutexLock lock(pending_mutex_);
   pending_postings_.push_back(std::move(posting));
@@ -93,18 +244,28 @@ void SimNetwork::publish(AgentId from, std::uint32_t kind,
 std::vector<Envelope> SimNetwork::receive(AgentId to) {
   DMW_REQUIRE(to < n_);
   std::vector<Envelope> out;
-  Inbox& inbox = *inboxes_[to];
-  MutexLock lock(inbox.mutex);
-  // Stable extraction preserving arrival order among deliverable messages.
-  std::deque<Pending> keep;
-  for (auto& pending : inbox.items) {
-    if (pending.deliver_round <= round_) {
-      out.push_back(std::move(pending.env));
-    } else {
-      keep.push_back(std::move(pending));
+  {
+    Inbox& inbox = *inboxes_[to];
+    MutexLock lock(inbox.mutex);
+    // Stable extraction preserving arrival order among deliverable messages.
+    std::deque<Pending> keep;
+    for (auto& pending : inbox.items) {
+      if (pending.deliver_round <= round_) {
+        out.push_back(std::move(pending.env));
+      } else {
+        keep.push_back(std::move(pending));
+      }
+    }
+    inbox.items = std::move(keep);
+  }
+  if (trace::on()) {
+    // Close the send->deliver flow arrows on the receiving thread.
+    for (const Envelope& env : out) {
+      if (env.msg_id != 0)
+        trace::flow_event(comm_kind_label(env.kind), env.msg_id,
+                          /*send=*/false);
     }
   }
-  inbox.items = std::move(keep);
   return out;
 }
 
@@ -121,6 +282,7 @@ void SimNetwork::advance_round() {
   trace::Tracer::instance().tick();
   flush_worker_stats();
   ++round_;
+  const std::size_t published_from = bulletin_.size();
   {
     // Driver-only and between barriers, so uncontended — but the lock keeps
     // the capability analysis sound for pending_postings_.
@@ -131,6 +293,16 @@ void SimNetwork::advance_round() {
     for (auto moved = it; moved != pending_postings_.end(); ++moved)
       bulletin_.push_back(std::move(*moved));
     pending_postings_.erase(it, pending_postings_.end());
+  }
+  if (trace::on()) {
+    // A posting is "delivered" the moment it reaches the bulletin: close its
+    // flow arrow here on the driver, across the round barrier.
+    for (std::size_t b = published_from; b < bulletin_.size(); ++b) {
+      const Posting& posting = bulletin_[b];
+      if (posting.msg_id != 0)
+        trace::flow_event(comm_kind_label(posting.kind), posting.msg_id,
+                          /*send=*/false);
+    }
   }
   if (trace::on()) {
     // Per-round traffic shape: observe the delta since the last traced
@@ -169,7 +341,11 @@ void SimNetwork::reset_stats() {
   for (auto& slot : worker_stats_) {
     slot.totals = TrafficStats{};
     for (auto& s : slot.per_agent) s = TrafficStats{};
+    slot.comm.clear();
   }
+  comm_cells_.clear();
+  comm_ledger_.clear();
+  comm_phase_ = kCommPhaseUnattributed;
 }
 
 }  // namespace dmw::net

@@ -12,13 +12,16 @@
 // on each channel, used by the robustness tests.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -35,9 +38,18 @@ struct Envelope {
   AgentId to = 0;
   std::uint32_t kind = 0;  ///< protocol-defined message kind tag
   std::vector<std::uint8_t> payload;
+  /// Flow-trace id stamped by SimNetwork::send while tracing is on (0 =
+  /// unstamped). Simulator-local: excluded from wire_size() and the codec.
+  std::uint64_t msg_id = 0;
 
   /// Wire size charged to the traffic statistics: fixed header + payload.
   std::size_t wire_size() const { return 12 + payload.size(); }
+
+  /// Transport codec (from, to, kind, length-prefixed payload). wire_size()
+  /// stays the *billed* size of the paper's 12-byte-header cost model; the
+  /// codec is the actual byte image a real transport would ship.
+  std::vector<std::uint8_t> encode() const;
+  static Envelope decode(std::span<const std::uint8_t> bytes);
 };
 
 /// A published (broadcast) record. Readable by everyone including observers.
@@ -46,9 +58,77 @@ struct Posting {
   std::uint32_t kind = 0;
   std::vector<std::uint8_t> payload;
   std::uint64_t round = 0;  ///< round in which it became visible
+  /// Flow-trace id stamped by SimNetwork::publish while tracing is on (0 =
+  /// unstamped). Simulator-local: excluded from wire_size() and the codec.
+  std::uint64_t msg_id = 0;
 
   std::size_t wire_size() const { return 12 + payload.size(); }
+
+  /// Transport codec (from, kind, round, length-prefixed payload).
+  std::vector<std::uint8_t> encode() const;
+  static Posting decode(std::span<const std::uint8_t> bytes);
 };
+
+// ---- Communication ledger --------------------------------------------------
+
+/// Phase value for traffic recorded before any set_comm_phase() call.
+inline constexpr std::uint32_t kCommPhaseUnattributed = 0xffffffffu;
+
+/// Attribution key of one ledger cell: protocol phase and network round the
+/// message left in, its kind tag, and its sender.
+struct CommKey {
+  std::uint32_t phase = kCommPhaseUnattributed;
+  std::uint64_t round = 0;
+  std::uint32_t kind = 0;
+  AgentId sender = 0;
+
+  friend bool operator==(const CommKey&, const CommKey&) = default;
+  friend bool operator<(const CommKey& a, const CommKey& b) {
+    if (a.phase != b.phase) return a.phase < b.phase;
+    if (a.round != b.round) return a.round < b.round;
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.sender < b.sender;
+  }
+};
+
+/// Counters of one ledger cell. `messages`/`wire_bytes` count send/publish
+/// operations at their billed wire size; the p2p fields apply the paper's
+/// broadcast-as-(n-1)-unicasts equivalence (Thm. 11), matching TrafficStats.
+struct CommCounts {
+  std::uint64_t messages = 0;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t p2p_messages = 0;
+  std::uint64_t p2p_bytes = 0;
+
+  CommCounts& operator+=(const CommCounts& o) {
+    messages += o.messages;
+    wire_bytes += o.wire_bytes;
+    p2p_messages += o.p2p_messages;
+    p2p_bytes += o.p2p_bytes;
+    return *this;
+  }
+  friend bool operator==(const CommCounts&, const CommCounts&) = default;
+};
+
+/// One label-resolved ledger row, ordered by key.
+struct CommRow {
+  CommKey key;
+  std::string phase_label;
+  std::string kind_name;
+  CommCounts counts;
+};
+
+/// Register a human-readable name for a message-kind tag (driver/static-init
+/// only; `name` must have static storage duration — the registry keeps the
+/// pointer for flow-event labels). Idempotent; last registration wins.
+void register_comm_kind(std::uint32_t kind, const char* name);
+
+/// Registered name for `kind`, or "kind<N>" for unregistered tags.
+std::string comm_kind_name(std::uint32_t kind);
+
+/// Registered static-storage label for `kind`, or "unregistered". This is
+/// the pointer flow events carry (trace keeps it, not a copy).
+const char* comm_kind_label(std::uint32_t kind);
 
 /// Per-agent and aggregate traffic statistics.
 struct TrafficStats {
@@ -161,6 +241,19 @@ class SimNetwork {
   }
   void reset_stats();
 
+  /// Attribute subsequent traffic to `phase` in the communication ledger
+  /// (the label is copied). Driver-only, between stage barriers — the value
+  /// is epoch-frozen for workers, like round(). The protocol runners call
+  /// this at the top of every step/epoch; traffic outside any step lands in
+  /// kCommPhaseUnattributed.
+  void set_comm_phase(std::uint32_t phase, std::string_view label);
+
+  /// Label-resolved (phase, round, kind, sender) ledger rows in key order.
+  /// Recording is gated on trace::on() (the ledger is empty in untraced
+  /// runs, keeping the tracing-off send path at one extra branch). Complete
+  /// after advance_round()/flush_worker_stats(); driver-only.
+  std::vector<CommRow> comm_rows() const;
+
  private:
   struct Pending {
     Envelope env;
@@ -182,11 +275,27 @@ class SimNetwork {
   struct WorkerStats {
     TrafficStats totals;
     std::vector<TrafficStats> per_agent;
+    /// Current-round ledger cells keyed (kind << 32) | sender; phase and
+    /// round are epoch-frozen during a stage, so they attach at fold time.
+    std::map<std::uint64_t, CommCounts> comm;
   };
 
   /// Stat targets for the calling thread: the per-worker slot on a pool
   /// thread with concurrency enabled, the base counters otherwise.
   std::pair<TrafficStats*, TrafficStats*> stat_slots(AgentId from);
+
+  /// Ledger cell map for the calling thread (same slot selection rule).
+  std::map<std::uint64_t, CommCounts>& comm_slot();
+
+  /// Tracing-on bookkeeping shared by send()/publish(): bump the calling
+  /// thread's ledger cell and stamp + flow-trace the message id.
+  std::uint64_t record_comm(AgentId from, std::uint32_t kind,
+                            std::uint64_t p2p_fanout, std::uint64_t size);
+
+  /// Fold every slot's current-round ledger cells into the ledger under
+  /// (comm_phase_, round_) and bump the per-kind net/* registry counters.
+  /// Driver-only, called by flush_worker_stats() before round_ advances.
+  void fold_comm_cells();
 
   const std::size_t n_;
   // dmwlint:allow(guarded-member) epoch-frozen: written only by
@@ -223,6 +332,23 @@ class SimNetwork {
   // dmwlint:allow(guarded-member) slot w is written only by pool worker w
   // during a stage and read/cleared only by the driver at barriers.
   std::vector<WorkerStats> worker_stats_;
+
+  // ---- Communication ledger ----
+  // dmwlint:allow(guarded-member) epoch-frozen like round_: written only by
+  // set_comm_phase() on the driver thread between stage barriers.
+  std::uint32_t comm_phase_ = kCommPhaseUnattributed;
+  // dmwlint:allow(guarded-member) driver-only (set_comm_phase/comm_rows).
+  std::map<std::uint32_t, std::string> comm_phase_labels_;
+  // dmwlint:allow(guarded-member) same discipline as totals_: the base cell
+  // map takes non-worker writes, worker cells live in worker_stats_, and
+  // the driver folds both at barriers.
+  std::map<std::uint64_t, CommCounts> comm_cells_;
+  // dmwlint:allow(guarded-member) driver-only (fold_comm_cells/comm_rows).
+  std::map<CommKey, CommCounts> comm_ledger_;
+  /// Monotonic flow-trace message id; stamped only while tracing is on.
+  /// Never reset: ids stay unique across reset_stats() so a multi-auction
+  /// trace (dmw_serve) keeps its send->deliver arrows unambiguous.
+  std::atomic<std::uint64_t> next_msg_id_{0};
 };
 
 }  // namespace dmw::net

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -34,6 +35,8 @@ struct TracerState {
   std::uint64_t next_sequence DMW_GUARDED_BY(mutex) = 0;
   /// Flushed events.
   std::vector<SpanEvent> log DMW_GUARDED_BY(mutex);
+  /// Flushed message-flow endpoints.
+  std::vector<FlowEvent> flow_log DMW_GUARDED_BY(mutex);
   /// Dropped counts folded at flush.
   std::uint64_t dropped_flushed DMW_GUARDED_BY(mutex) = 0;
   std::atomic<std::int64_t> logical{0};
@@ -132,11 +135,13 @@ void Tracer::reset() {
   auto& s = state();
   MutexLock lock(s.mutex);
   s.log.clear();
+  s.flow_log.clear();
   s.dropped_flushed = 0;
   s.logical.store(0, std::memory_order_relaxed);
   s.epoch_ns.store(steady_ns(), std::memory_order_relaxed);
   for (auto& thread : s.registered) {
     thread->events.clear();
+    thread->flows.clear();
     thread->dropped = 0;
   }
   // Prune states whose threads have exited (registry holds the only ref).
@@ -169,9 +174,19 @@ void Tracer::flush_thread_buffers() {
   for (auto* thread : order) {
     s.log.insert(s.log.end(), thread->events.begin(), thread->events.end());
     thread->events.clear();
+    s.flow_log.insert(s.flow_log.end(), thread->flows.begin(),
+                      thread->flows.end());
+    thread->flows.clear();
     s.dropped_flushed += thread->dropped;
     thread->dropped = 0;
   }
+}
+
+std::vector<FlowEvent> Tracer::flows() {
+  flush_thread_buffers();
+  auto& s = state();
+  MutexLock lock(s.mutex);
+  return s.flow_log;
 }
 
 std::vector<SpanEvent> Tracer::events() {
@@ -213,12 +228,18 @@ const char* Tracer::active_span() const {
 
 std::string Tracer::chrome_trace_json() {
   const auto log = events();
+  const auto flow_log = flows();
   JsonWriter w;
   w.begin_object();
   w.begin_array("traceEvents");
   // Thread-name metadata so Perfetto labels lanes "driver"/"worker N".
   std::vector<int> workers;
   for (const SpanEvent& event : log) {
+    if (std::find(workers.begin(), workers.end(), event.worker) ==
+        workers.end())
+      workers.push_back(event.worker);
+  }
+  for (const FlowEvent& event : flow_log) {
     if (std::find(workers.begin(), workers.end(), event.worker) ==
         workers.end())
       workers.push_back(event.worker);
@@ -255,6 +276,21 @@ std::string Tracer::chrome_trace_json() {
     w.key("ops");
     write_ops(w, event.ops);
     w.end_object();
+    w.end_object();
+  }
+  // Message causality: one "s"/"f" flow pair per message id links send to
+  // deliver across the round barrier ("bp":"e" binds the finish to the
+  // enclosing slice, the receiving phase span).
+  for (const FlowEvent& event : flow_log) {
+    w.begin_object();
+    w.field("name", event.name);
+    w.field("cat", "msg");
+    w.field("ph", event.send ? "s" : "f");
+    if (!event.send) w.field("bp", "e");
+    w.field("id", event.id);
+    w.field("ts", event.ts_ns / 1000);
+    w.field("pid", std::uint64_t{1});
+    w.field("tid", static_cast<std::int64_t>(event.worker + 1));
     w.end_object();
   }
   w.end_array();
@@ -377,7 +413,8 @@ std::string RunReport::json() const {
   w.begin_object();
   w.field("report", "dmw-run");
   w.field("bench", "runreport");
-  w.field("schema_version", std::uint64_t{1});
+  // v2: added the comm_report ledger section (docs/tracing.md).
+  w.field("schema_version", std::uint64_t{2});
   w.field("label", label);
   w.field("n", n);
   w.field("m", m);
@@ -396,6 +433,20 @@ std::string RunReport::json() const {
     w.field("broadcasts", phase.broadcasts);
     w.field("p2p_messages", phase.p2p_messages);
     w.field("p2p_bytes", phase.p2p_bytes);
+    w.end_object();
+  }
+  w.end_array();
+  w.begin_array("comm_report");
+  for (const CommRow& row : comm) {
+    w.begin_object();
+    w.field("phase", row.phase);
+    w.field("round", row.round);
+    w.field("kind", row.kind);
+    w.field("sender", row.sender);
+    w.field("messages", row.messages);
+    w.field("wire_bytes", row.wire_bytes);
+    w.field("p2p_messages", row.p2p_messages);
+    w.field("p2p_bytes", row.p2p_bytes);
     w.end_object();
   }
   w.end_array();
@@ -447,6 +498,67 @@ void collect_into(RunReport& report) {
   report.gauges = gauges_snapshot();
   report.histograms = histograms_snapshot();
   report.events_dropped = tracer.events_dropped();
+}
+
+namespace {
+
+/// "net/kind/shares/bytes" -> "dmw_net_kind_shares_bytes".
+std::string prometheus_name(std::string_view name) {
+  std::string out = "dmw_";
+  for (const char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_' || ch == ':';
+    out.push_back(ok ? ch : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string prometheus_text() {
+  std::string out;
+  char line[256];
+  for (const auto& [name, value] : counters_snapshot()) {
+    const std::string metric = prometheus_name(name);
+    out += "# TYPE " + metric + " counter\n";
+    std::snprintf(line, sizeof line, "%s %llu\n", metric.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += line;
+  }
+  for (const auto& [name, value] : gauges_snapshot()) {
+    const std::string metric = prometheus_name(name);
+    out += "# TYPE " + metric + " gauge\n";
+    std::snprintf(line, sizeof line, "%s %lld\n", metric.c_str(),
+                  static_cast<long long>(value));
+    out += line;
+  }
+  for (const HistogramSnapshot& hist : histograms_snapshot()) {
+    const std::string metric = prometheus_name(hist.name);
+    out += "# TYPE " + metric + " summary\n";
+    for (const double q : {0.5, 0.9, 0.99}) {
+      // Smallest pow2 bucket whose cumulative count covers quantile q; the
+      // estimate is the bucket's inclusive upper edge (2^b - 1, 0 for b=0).
+      std::uint64_t cumulative = 0;
+      double estimate = 0.0;
+      for (const auto& [pow2, count] : hist.buckets) {
+        cumulative += count;
+        estimate = pow2 == 0
+                       ? 0.0
+                       : std::ldexp(1.0, static_cast<int>(pow2)) - 1.0;
+        if (static_cast<double>(cumulative) >=
+            q * static_cast<double>(hist.count))
+          break;
+      }
+      std::snprintf(line, sizeof line, "%s{quantile=\"%g\"} %.0f\n",
+                    metric.c_str(), q, estimate);
+      out += line;
+    }
+    std::snprintf(line, sizeof line, "%s_sum %llu\n%s_count %llu\n",
+                  metric.c_str(), static_cast<unsigned long long>(hist.sum),
+                  metric.c_str(), static_cast<unsigned long long>(hist.count));
+    out += line;
+  }
+  return out;
 }
 
 std::string log_stamp() {

@@ -75,6 +75,19 @@ struct SpanAggregate {
   dmw::num::OpCounts ops;
 };
 
+/// One message-flow endpoint: a send (Chrome "s") or a deliver ("f"),
+/// stamped with the monotonic message id that links the pair into one
+/// arrow across the round barrier. SimNetwork records these; they only
+/// reach the Chrome exporter, never the RunReport (ids are assigned in
+/// arrival order, so they are not thread-count invariant).
+struct FlowEvent {
+  const char* name = nullptr;  ///< static-storage kind label
+  std::uint64_t id = 0;        ///< message id (1-based; 0 never recorded)
+  std::int64_t ts_ns = 0;
+  int worker = -1;  ///< ThreadPool worker id; -1 = driver thread
+  bool send = false;  ///< true = flow start ("s"), false = finish ("f")
+};
+
 namespace detail {
 
 /// The global on/off latch, inline so a disabled DMW_SPAN/DMW_COUNT costs
@@ -86,6 +99,7 @@ inline std::atomic<bool> g_enabled{false};
 /// is lock-free.
 struct ThreadState {
   std::vector<SpanEvent> events;
+  std::vector<FlowEvent> flows;     ///< buffered message-flow endpoints
   std::vector<const char*> stack;   ///< active span names, innermost last
   std::uint64_t dropped = 0;        ///< events beyond the per-thread cap
   int worker = -1;                  ///< worker id at registration
@@ -148,14 +162,36 @@ class Tracer {
   /// Innermost active span name on the calling thread, nullptr when none.
   const char* active_span() const;
 
-  /// Chrome trace_event JSON ("X" complete events + thread-name metadata;
-  /// ts/dur in microseconds). Load in about:tracing or Perfetto.
-  /// Driver-only.
+  /// Flush + copy of the central message-flow log. Driver-only.
+  std::vector<FlowEvent> flows();
+
+  /// Chrome trace_event JSON ("X" complete events + thread-name metadata +
+  /// "s"/"f" message-flow pairs; ts/dur in microseconds). Load in
+  /// about:tracing or Perfetto. Driver-only.
   std::string chrome_trace_json();
 
  private:
   Tracer();
 };
+
+/// Record one message-flow endpoint (send when `send` is true, deliver
+/// otherwise). `name` must have static storage duration. A no-op while
+/// tracing is off; overflow past the per-thread cap counts as dropped.
+inline void flow_event(const char* name, std::uint64_t id, bool send) {
+  if (!on()) return;
+  auto& state = detail::thread_state();
+  if (state.flows.size() >= detail::kMaxBufferedEvents) {
+    ++state.dropped;
+    return;
+  }
+  FlowEvent event;
+  event.name = name;
+  event.id = id;
+  event.ts_ns = Tracer::instance().now_ns();
+  event.worker = ThreadPool::current_worker_id();
+  event.send = send;
+  state.flows.push_back(event);
+}
 
 /// RAII span. `name` must have static storage duration (string literals /
 /// to_string tables); the tracer keeps the pointer, not a copy.
@@ -304,6 +340,22 @@ struct RunReport {
   };
   std::vector<PhaseRow> phases;
 
+  /// One communication-ledger row: the (phase, round, kind, sender)
+  /// attribution cell from SimNetwork::comm_rows(), label-resolved by
+  /// proto::make_run_report. Ordered by (phase index, round, kind, sender),
+  /// so the section is byte-identical across thread counts and schedules.
+  struct CommRow {
+    std::string phase;  ///< phase label ("II bidding", ...)
+    std::uint64_t round = 0;
+    std::string kind;  ///< registered kind name ("shares", ...)
+    std::uint64_t sender = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t wire_bytes = 0;
+    std::uint64_t p2p_messages = 0;
+    std::uint64_t p2p_bytes = 0;
+  };
+  std::vector<CommRow> comm;
+
   std::vector<SpanAggregate> spans;
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, std::int64_t>> gauges;
@@ -318,6 +370,14 @@ struct RunReport {
 /// Fill the spans/metrics/events_dropped sections from the process-wide
 /// tracer and registry. Driver-only (flushes thread buffers).
 void collect_into(RunReport& report);
+
+/// Prometheus text-format dump of the metrics registry: counters and gauges
+/// as one sample each, histograms as summaries (p50/p90/p99 quantile
+/// estimates from the pow2 buckets, plus _sum and _count). Names are
+/// sanitized to the Prometheus charset ('/' and other separators become
+/// '_') and prefixed "dmw_". dmw_serve --telemetry-out writes this
+/// periodically for scraping a long-lived server.
+std::string prometheus_text();
 
 /// "+1.234567s" run-relative stamp ("t42" under the logical clock), plus
 /// the calling thread's active span name when tracing. The logger's

@@ -24,7 +24,8 @@ std::size_t count_rule(const std::vector<Finding>& findings,
 
 TEST(DmwLint, RuleNamesAreStable) {
   const auto& names = dmwlint::rule_names();
-  ASSERT_EQ(names.size(), 11u);
+  ASSERT_EQ(names.size(), 12u);
+  EXPECT_NE(std::find(names.begin(), names.end(), "raw-send"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "guarded-member"),
             names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "thread-id-sink"),
@@ -469,6 +470,51 @@ TEST(DmwLint, ThreadIdSinkCatchesIdentityFlowingIntoSinks) {
             0u);
 }
 
+TEST(DmwLint, RawSendFlagsLiteralKindTags) {
+  // send(from, to, kind, payload): the third argument is the kind.
+  EXPECT_EQ(count_rule(lint_file("src/exp/a.cpp",
+                                 "net.send(0, 1, 7, payload);\n"),
+                       "raw-send"),
+            1u);
+  // publish(from, kind, payload): the second argument is the kind.
+  EXPECT_EQ(count_rule(lint_file("src/exp/a.cpp",
+                                 "net.publish(2, 0x2a, payload);\n"),
+                       "raw-send"),
+            1u);
+  // Named kinds (enum casts, named constants) and variables do not fire,
+  // and literals in *other* argument positions are not kind tags.
+  EXPECT_EQ(count_rule(
+                lint_file("src/dmw/a.cpp",
+                          "net.publish(0, static_cast<std::uint32_t>("
+                          "MsgKind::kShares), msg.encode(g));\n"
+                          "net.send(0, 1, kind, payload);\n"
+                          "net.send(0, 1, kind_of(7), make_payload(16));\n"),
+                "raw-send"),
+            0u);
+  // Multi-line calls are assembled; the finding anchors on the call line.
+  const auto findings = lint_file("src/exp/a.cpp",
+                                  "net.send(0, 1,\n"
+                                  "         3u,\n"
+                                  "         std::move(payload));\n");
+  ASSERT_EQ(count_rule(findings, "raw-send"), 1u);
+  EXPECT_EQ(findings[0].line, 1u);
+}
+
+TEST(DmwLint, RawSendScopeAndAllow) {
+  const std::string literal = "net.send(0, 1, 7, payload);\n";
+  // tests/ drives arbitrary kinds through the raw transport on purpose.
+  EXPECT_EQ(count_rule(lint_file("tests/a.cpp", literal), "raw-send"), 0u);
+  // src/, tools/ and bench/ are all in scope.
+  EXPECT_EQ(count_rule(lint_file("tools/a.cpp", literal), "raw-send"), 1u);
+  EXPECT_EQ(count_rule(lint_file("bench/a.cpp", literal), "raw-send"), 1u);
+  // The allowlist escape works as for every rule.
+  EXPECT_EQ(count_rule(lint_file("src/exp/a.cpp",
+                                 "// dmwlint:allow(raw-send) probe\n"
+                                 "net.publish(0, 999, payload);\n"),
+                       "raw-send"),
+            0u);
+}
+
 TEST(DmwLint, BadAllowFlagsUnknownSlugs) {
   EXPECT_EQ(count_rule(lint_file("src/a.cpp",
                                  "// dmwlint:allow(raw-cloak) typo\n"
@@ -545,7 +591,7 @@ TEST(DmwLint, ShippedFixturesMatchExpectations) {
       "banned_pattern.cpp", "raw_thread.cpp",      "include_hygiene.hpp",
       "raw_clock.cpp",      "loop_inverse.cpp",    "guarded_member.cpp",
       "thread_id_sink.cpp", "bad_allow.cpp",       "suppression.cpp",
-      "clean.cpp"};
+      "raw_send.cpp",       "clean.cpp"};
   for (const auto& name : fixtures) {
     const std::string path = std::string(DMWLINT_FIXTURE_DIR) + "/" + name;
     std::ifstream in(path, std::ios::binary);

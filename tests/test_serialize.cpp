@@ -1,7 +1,8 @@
 // Wire-format writer/reader: round-trips, varint edge cases and decode
-// failure modes.
+// failure modes — plus the Envelope/Posting transport codecs.
 #include <gtest/gtest.h>
 
+#include "net/network.hpp"
 #include "net/serialize.hpp"
 #include "numeric/group.hpp"
 
@@ -125,6 +126,89 @@ TEST(Serialize, GroupCodecsRoundTrip64) {
   Reader r(w.bytes());
   EXPECT_EQ(read_scalar(r, g), 12345u);
   EXPECT_EQ(read_elem(r, g), g.z1());
+}
+
+TEST(Serialize, EnvelopeRoundTrip) {
+  Envelope env;
+  env.from = 3;
+  env.to = 7;
+  env.kind = 2;
+  env.payload = {0xde, 0xad, 0xbe, 0xef};
+  env.msg_id = 99;  // simulator-local: must not survive the codec
+
+  const auto bytes = Envelope::decode(env.encode());
+  EXPECT_EQ(bytes.from, env.from);
+  EXPECT_EQ(bytes.to, env.to);
+  EXPECT_EQ(bytes.kind, env.kind);
+  EXPECT_EQ(bytes.payload, env.payload);
+  EXPECT_EQ(bytes.msg_id, 0u);
+}
+
+TEST(Serialize, EnvelopeEmptyPayloadRoundTrip) {
+  Envelope env;
+  env.from = 0;
+  env.to = 1;
+  const auto decoded = Envelope::decode(env.encode());
+  EXPECT_EQ(decoded.to, 1u);
+  EXPECT_TRUE(decoded.payload.empty());
+}
+
+TEST(Serialize, PostingRoundTrip) {
+  Posting posting;
+  posting.from = 5;
+  posting.kind = 4;
+  posting.round = 0x1122334455667788ULL;
+  posting.payload = {1, 2, 3};
+  posting.msg_id = 42;
+
+  const auto decoded = Posting::decode(posting.encode());
+  EXPECT_EQ(decoded.from, posting.from);
+  EXPECT_EQ(decoded.kind, posting.kind);
+  EXPECT_EQ(decoded.round, posting.round);
+  EXPECT_EQ(decoded.payload, posting.payload);
+  EXPECT_EQ(decoded.msg_id, 0u);
+}
+
+TEST(Serialize, EnvelopeTruncationRejected) {
+  Envelope env;
+  env.from = 1;
+  env.to = 2;
+  env.kind = 3;
+  env.payload = {9, 9, 9};
+  auto bytes = env.encode();
+  // Every proper prefix must fail: either a header underrun or a payload
+  // blob whose declared length runs past the buffer.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW(
+        Envelope::decode(std::span<const std::uint8_t>(bytes.data(), len)),
+        DecodeError)
+        << "prefix length " << len;
+  }
+}
+
+TEST(Serialize, EnvelopeTrailingBytesRejected) {
+  Envelope env;
+  env.payload = {1};
+  auto bytes = env.encode();
+  bytes.push_back(0x00);
+  EXPECT_THROW(Envelope::decode(bytes), DecodeError);
+}
+
+TEST(Serialize, PostingTruncationAndTrailingRejected) {
+  Posting posting;
+  posting.from = 2;
+  posting.kind = 6;
+  posting.round = 9;
+  posting.payload = {7, 7};
+  auto bytes = posting.encode();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW(
+        Posting::decode(std::span<const std::uint8_t>(bytes.data(), len)),
+        DecodeError)
+        << "prefix length " << len;
+  }
+  bytes.push_back(0xff);
+  EXPECT_THROW(Posting::decode(bytes), DecodeError);
 }
 
 }  // namespace

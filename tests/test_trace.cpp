@@ -172,6 +172,16 @@ TEST_F(Trace, RunReportGoldenSchema) {
   row.p2p_messages = 18;
   row.p2p_bytes = 2048;
   report.phases.push_back(row);
+  RunReport::CommRow comm_row;
+  comm_row.phase = "bidding";
+  comm_row.round = 1;
+  comm_row.kind = "shares";
+  comm_row.sender = 2;
+  comm_row.messages = 4;
+  comm_row.wire_bytes = 192;
+  comm_row.p2p_messages = 4;
+  comm_row.p2p_bytes = 192;
+  report.comm.push_back(comm_row);
   SpanAggregate span;
   span.name = "phase3/lambda_psi";
   span.count = 2;
@@ -188,11 +198,14 @@ TEST_F(Trace, RunReportGoldenSchema) {
   report.histograms.push_back(hist);
 
   const std::string expected =
-      R"({"report":"dmw-run","bench":"runreport","schema_version":1,)"
+      R"({"report":"dmw-run","bench":"runreport","schema_version":2,)"
       R"("label":"golden","n":3,"m":2,"c":1,"aborted":false,)"
       R"("abort_reason":"","rounds":7,"phases":[{"phase":"bidding",)"
       R"("wall_ns":1500,"ops":{"mul":4,"pow":3,"inv":2,"add":1,"total":10},)"
       R"("unicasts":12,"broadcasts":3,"p2p_messages":18,"p2p_bytes":2048}],)"
+      R"("comm_report":[{"phase":"bidding","round":1,"kind":"shares",)"
+      R"("sender":2,"messages":4,"wire_bytes":192,"p2p_messages":4,)"
+      R"("p2p_bytes":192}],)"
       R"("spans":[{"name":"phase3/lambda_psi","count":2,"total_ns":10,)"
       R"("ops":{"mul":0,"pow":6,"inv":0,"add":0,"total":6}}],)"
       R"("metrics":{"counters":{"batchverify/batches":2},)"

@@ -54,6 +54,19 @@ Dispatches on the top-level "bench" tag each emitter writes:
                                      drift from baseline by at most
                                      `tolerance` (absolute, only for phases
                                      with a baseline share >= 5%).
+  "comm"         (bench_table1_comm) Table-1 communication-ledger gates:
+                                     every per-sweep-point total and every
+                                     per-kind ledger cell is a machine-
+                                     independent function of (n, m, sigma),
+                                     so fresh must equal baseline exactly,
+                                     and the fresh run's own measured-vs-
+                                     closed-form conformance flags must all
+                                     be true. `tolerance` is ignored —
+                                     nothing in this schema is allowed to
+                                     drift. Fit exponents are reported, not
+                                     gated (they are derived from the counts
+                                     through libm and may wobble in the last
+                                     digits across platforms).
   "serve"        (dmw_serve          streaming-marketplace gates: zero
                   --report-out)      aborted auctions, zero one-shot identity
                                      mismatches (when the run checked them;
@@ -573,6 +586,85 @@ def check_serve(baseline, fresh, tolerance):
             floors_bound)
 
 
+def check_comm(baseline, fresh, tolerance):
+    """Exact-equality gates for the Table-1 communication-ledger bench."""
+    del tolerance  # counts are machine-independent; nothing may drift
+    for key in ("group", "c", "encrypt_channels", "quick", "m_fixed",
+                "n_fixed"):
+        if baseline.get(key) != fresh.get(key):
+            schema_error(f"comm config mismatch on '{key}': baseline "
+                         f"{baseline.get(key)!r} vs fresh {fresh.get(key)!r}")
+
+    compared = 0
+    regressions = 0
+    kind_fields = ("messages", "wire_bytes", "p2p_messages", "p2p_bytes")
+    for sweep in ("sweep_n", "sweep_m"):
+        base_points = {(p.get("n"), p.get("m")): p
+                       for p in baseline.get(sweep, [])}
+        fresh_points = {(p.get("n"), p.get("m")): p
+                        for p in fresh.get(sweep, [])}
+        if not base_points or set(base_points) != set(fresh_points):
+            schema_error(f"{sweep} point sets differ between baseline and "
+                         f"fresh")
+        for n, m in sorted(base_points):
+            bp = base_points[(n, m)]
+            fp = fresh_points[(n, m)]
+            point_regressions = 0
+
+            for field in ("dmw_messages", "dmw_bytes", "mw_messages",
+                          "mw_bytes"):
+                compared += 1
+                if bp.get(field) != fp.get(field):
+                    print(f"{sweep} n={n} m={m} {field}: baseline "
+                          f"{bp.get(field)}, fresh {fp.get(field)} "
+                          f"[REGRESSION]")
+                    point_regressions += 1
+
+            base_kinds = {k.get("kind"): k for k in bp.get("kinds", [])}
+            fresh_kinds = {k.get("kind"): k for k in fp.get("kinds", [])}
+            if not base_kinds or set(base_kinds) != set(fresh_kinds):
+                schema_error(f"{sweep} n={n} m={m}: ledger kind sets differ "
+                             f"between baseline and fresh")
+            for kind in sorted(base_kinds):
+                for field in kind_fields:
+                    compared += 1
+                    if base_kinds[kind].get(field) != \
+                            fresh_kinds[kind].get(field):
+                        print(f"{sweep} n={n} m={m} kind {kind} {field}: "
+                              f"baseline {base_kinds[kind].get(field)}, "
+                              f"fresh {fresh_kinds[kind].get(field)} "
+                              f"[REGRESSION]")
+                        point_regressions += 1
+                # The fresh run's own measured-vs-closed-form verdict: a
+                # ledger that stopped matching Theorem 11's bookkeeping is a
+                # regression even if it matches a (stale) baseline.
+                compared += 1
+                if fresh_kinds[kind].get("conforms") is not True:
+                    print(f"{sweep} n={n} m={m} kind {kind}: fresh ledger "
+                          f"drifted from the closed form [REGRESSION]")
+                    point_regressions += 1
+            compared += 1
+            if fp.get("conforms") is not True:
+                print(f"{sweep} n={n} m={m}: fresh conforms flag is "
+                      f"{fp.get('conforms')!r} [REGRESSION]")
+                point_regressions += 1
+            if point_regressions == 0:
+                print(f"{sweep} n={n} m={m}: totals and "
+                      f"{len(base_kinds)} ledger kind(s) exact [ok]")
+            regressions += point_regressions
+
+    compared += 1
+    if fresh.get("all_conform") is not True:
+        print(f"all_conform: expected True, got "
+              f"{fresh.get('all_conform')!r} [REGRESSION]")
+        regressions += 1
+    else:
+        print("all_conform: True [ok]")
+    for name, value in sorted((fresh.get("fits") or {}).items()):
+        print(f"fit {name}: {value} (reported, not gated)")
+    return compared, regressions, 0
+
+
 def self_test(fixture_dir):
     """Run the fixture suite: cases.json drives subprocess invocations."""
     manifest_path = os.path.join(fixture_dir, "cases.json")
@@ -651,6 +743,9 @@ def main():
             baseline, fresh, args.tolerance)
     elif schema == "serve":
         compared, regressions, floors_bound = check_serve(
+            baseline, fresh, args.tolerance)
+    elif schema == "comm":
+        compared, regressions, floors_bound = check_comm(
             baseline, fresh, args.tolerance)
     else:
         schema_error(f"unknown bench schema '{schema}'")

@@ -62,6 +62,11 @@ options:
   --report-out FILE    write the serve-report JSON to FILE
   --snapshots-out FILE write interval snapshots (throughput, latency window,
                        metric-counter deltas) to FILE
+  --telemetry-out FILE rewrite FILE with a Prometheus text-format dump of the
+                       metrics registry (dmw_net_kind_* traffic counters,
+                       latency histograms, ...) at every --interval boundary
+                       and once at shutdown — point a node_exporter textfile
+                       collector or a scrape-side cat at it
   --json               print the serve-report JSON to stdout
   --help               this text
 
@@ -162,15 +167,18 @@ int run_serve(G group, const Flags& flags) {
                                      nullptr);
   const std::string report_out = flags.get_string("report-out", "");
   const std::string snapshots_out = flags.get_string("snapshots-out", "");
+  const std::string telemetry_out = flags.get_string("telemetry-out", "");
   const std::uint64_t interval_len = flags.get_u64("interval", 256);
   DMW_REQUIRE_MSG(interval_len > 0, "--interval must be positive");
 
   auto params = PublicParams<G>::make(std::move(group), n, m, c, seed);
 
-  // Interval snapshots read the metrics registry; turn the tracer on (real
-  // clock — latency is the product here) only when they are requested.
+  // Interval snapshots and the Prometheus dump read the metrics registry;
+  // turn the tracer on (real clock — latency is the product here) only when
+  // one of them is requested.
+  const bool metrics_wanted = !snapshots_out.empty() || !telemetry_out.empty();
   auto& tracer = dmw::trace::Tracer::instance();
-  if (!snapshots_out.empty()) {
+  if (metrics_wanted) {
     params.set_tracing(true);
     tracer.set_clock_mode(dmw::trace::ClockMode::kReal);
     tracer.reset();
@@ -238,6 +246,10 @@ int run_serve(G group, const Flags& flags) {
       interval_first = done;
     }
     if (done > warmup && (done - warmup) % interval_len == 0) {
+      // Atomic-enough for a textfile collector: the whole registry is
+      // rewritten in one short write between auction boundaries.
+      if (!telemetry_out.empty())
+        write_file(telemetry_out, dmw::trace::prometheus_text());
       IntervalSnapshot snap;
       snap.index = snapshots.size();
       snap.first_auction = interval_first;
@@ -270,7 +282,11 @@ int run_serve(G group, const Flags& flags) {
                         : 0;
   const auto steady_latency = latencies.summary(steady_auctions);
 
-  if (!snapshots_out.empty()) tracer.set_enabled(false);
+  // Final telemetry dump so short runs (and the shutdown state of long
+  // ones) land in the file even when no interval boundary was crossed.
+  if (!telemetry_out.empty())
+    write_file(telemetry_out, dmw::trace::prometheus_text());
+  if (metrics_wanted) tracer.set_enabled(false);
 
   // ---- Serve report ("bench": "serve") -------------------------------------
   dmw::JsonWriter w;
@@ -384,7 +400,7 @@ int main(int argc, char** argv) {
                        "auctions", "warmup", "workload-file", "arrivals",
                        "rate", "threads", "schedule", "check-oneshot!",
                        "plain!", "interval", "report-out", "snapshots-out",
-                       "json!", "help!"});
+                       "telemetry-out", "json!", "help!"});
     if (flags.get_bool("help")) {
       std::printf("%s", kUsage);
       return 0;

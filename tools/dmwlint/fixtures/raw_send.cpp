@@ -1,0 +1,50 @@
+// Fixture: raw-send rule. Every SimNetwork send/publish names a message
+// kind from the registered vocabulary (proto::MsgKind, CentralMsg, or a
+// named register_comm_kind'd constant); a bare numeric literal yields an
+// anonymous "kind<N>" ledger row that the per-kind counters and the
+// closed-form comm-conformance gates cannot attribute.
+// dmwlint-fixture-path: src/exp/raw_send_fixture.cpp
+#include "net/network.hpp"
+
+namespace dmw::exp {
+
+void raw_kinds(net::SimNetwork& net, std::vector<std::uint8_t> payload) {
+  net.send(0, 1, 7, payload);       // EXPECT: raw-send
+  net.publish(2, 0x2a, payload);    // EXPECT: raw-send
+  net.send(0, 1,                    // EXPECT: raw-send
+           3u, payload);
+  net.publish(4,                    // EXPECT: raw-send
+              5, payload);
+}
+
+// Named kinds — casts of the registered enums or named constants — are the
+// sanctioned vocabulary and never fire; nor do variables.
+void named_kinds(net::SimNetwork& net, std::vector<std::uint8_t> payload,
+                 std::uint32_t negotiated) {
+  net.publish(0, static_cast<std::uint32_t>(proto::MsgKind::kCommitments),
+              payload);
+  net.send(0, 1, static_cast<std::uint32_t>(CentralMsg::kBidVector),
+           payload);
+  constexpr std::uint32_t kProbeKind = 40;
+  net.send(0, 1, kProbeKind, payload);
+  net.publish(2, negotiated, payload);
+}
+
+// Literals elsewhere in the argument list are not kind tags: agent ids and
+// payload expressions may be numeric.
+void literal_elsewhere(net::SimNetwork& net) {
+  net.send(0, 1, kind_of(7), make_payload(16));
+  net.publish(3, kind_of(0x2a), make_payload(8));
+}
+
+// The escape hatch: a deliberate raw tag can be allowlisted in place.
+void allowlisted(net::SimNetwork& net, std::vector<std::uint8_t> payload) {
+  // dmwlint:allow(raw-send) unregistered-kind rejection probe
+  net.publish(0, 999, payload);
+}
+
+// Prose and strings never fire: send(0, 1, 7, p) in a comment,
+// "net.publish(0, 9, p)" in a string literal.
+const char* kDoc = "net.publish(0, 9, p) is how a raw tag would look";
+
+}  // namespace dmw::exp

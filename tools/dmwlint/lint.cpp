@@ -1027,6 +1027,82 @@ void rule_thread_id_sink(const SourceFile& file,
   }
 }
 
+// ---- rule: raw-send --------------------------------------------------------
+
+/// Every SimNetwork::send()/publish() call names a message kind, and that
+/// kind is the attribution key for the whole observability stack: the
+/// per-phase traffic ledger (CommLedger cells), the per-kind net/* trace
+/// counters, the Prometheus telemetry dump, and the closed-form
+/// comm-conformance gates all group by registered kind
+/// (net::register_comm_kind — proto::MsgKind and CentralMsg register theirs
+/// at static init). A bare integer literal as the kind argument bypasses
+/// that vocabulary: the ledger renders an anonymous "kind<N>" row no gate
+/// can check and no reader can attribute. Library, tool, example and bench
+/// code must pass a named kind (a MsgKind/CentralMsg cast or a named
+/// constant); tests/ is exempt — transport tests drive arbitrary kinds
+/// through the raw network on purpose. A deliberate raw tag elsewhere can
+/// state its reason in an allow comment.
+void rule_raw_send(const SourceFile& file, std::vector<Finding>& findings) {
+  const bool in_scope =
+      has_component(file, "src") || has_component(file, "tools") ||
+      has_component(file, "examples") || has_component(file, "bench");
+  if (!in_scope || has_component(file, "tests")) return;
+  static const std::regex call_re(R"((?:\.|->)\s*(send|publish)\s*\()");
+  static const std::regex literal_re(
+      R"(^\s*(?:0[xX][0-9a-fA-F]+|[0-9]+)[uUlL]*\s*$)");
+  constexpr std::size_t kMaxStatementLines = 8;
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const std::string& code = file.lines[i].code;
+    for (std::sregex_iterator it(code.begin(), code.end(), call_re), end;
+         it != end; ++it) {
+      // send(from, to, kind, payload) vs publish(from, kind, payload).
+      const std::size_t kind_index = (*it)[1].str() == "send" ? 2 : 1;
+      // Walk the argument list from the call's opening paren, splitting on
+      // top-level commas, across up to kMaxStatementLines lines.
+      std::vector<std::string> arguments;
+      std::string current;
+      int depth = 1;
+      bool closed = false;
+      const std::size_t column =
+          static_cast<std::size_t>(it->position(0)) +
+          static_cast<std::size_t>(it->length(0));
+      for (std::size_t j = i;
+           j < file.lines.size() && j < i + kMaxStatementLines && !closed;
+           ++j) {
+        const std::string& text = file.lines[j].code;
+        for (std::size_t k = (j == i ? column : 0); k < text.size(); ++k) {
+          const char c = text[k];
+          if (c == '(' || c == '[' || c == '{') {
+            ++depth;
+          } else if (c == ')' || c == ']' || c == '}') {
+            if (--depth == 0) {
+              closed = true;
+              break;
+            }
+          } else if (c == ',' && depth == 1) {
+            arguments.push_back(current);
+            current.clear();
+            continue;
+          }
+          current += c;
+        }
+        current += ' ';  // a line break inside an argument is whitespace
+      }
+      arguments.push_back(current);
+      if (arguments.size() <= kind_index) continue;
+      if (!std::regex_match(arguments[kind_index], literal_re)) continue;
+      report(findings, file, i, "raw-send",
+             "bare integer literal as the message kind in " +
+                 (*it)[1].str() +
+                 "(): kinds come from the registered vocabulary "
+                 "(proto::MsgKind / CentralMsg, net::register_comm_kind) so "
+                 "the traffic ledger, per-kind counters and comm-conformance "
+                 "gates can attribute the message — name the kind, or "
+                 "allowlist a deliberate raw tag");
+    }
+  }
+}
+
 // ---- rule: bad-allow -------------------------------------------------------
 
 /// `dmwlint:allow(...)` directives naming a rule the linter does not know
@@ -1058,7 +1134,7 @@ const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kNames = {
       "naive-call",      "secret-sink", "ct-branch",      "banned-pattern",
       "raw-thread",      "loop-inverse", "include-hygiene", "raw-clock",
-      "guarded-member",  "thread-id-sink", "bad-allow"};
+      "guarded-member",  "thread-id-sink", "raw-send",     "bad-allow"};
   return kNames;
 }
 
@@ -1076,6 +1152,7 @@ std::vector<Finding> lint_file(const std::string& path,
   rule_raw_clock(file, findings);
   rule_guarded_member(file, findings);
   rule_thread_id_sink(file, findings);
+  rule_raw_send(file, findings);
   rule_bad_allow(file, findings);
   std::stable_sort(findings.begin(), findings.end(),
                    [](const Finding& a, const Finding& b) {

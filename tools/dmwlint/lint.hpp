@@ -45,6 +45,12 @@
 //                    id / schedule mode / hardware_concurrency in the same
 //                    statement as a transcript/report sink: outputs are
 //                    byte-identical across thread counts by contract.
+//   raw-send         a SimNetwork send()/publish() whose kind argument is a
+//                    bare integer literal (outside tests/) bypasses the
+//                    registered kind vocabulary the traffic ledger,
+//                    per-kind counters and comm-conformance gates key on:
+//                    pass a proto::MsgKind / CentralMsg cast or a named,
+//                    register_comm_kind'd constant.
 //   bad-allow        a dmwlint:allow(...) naming an unknown rule slug is a
 //                    typo that suppresses nothing; flag it.
 //
